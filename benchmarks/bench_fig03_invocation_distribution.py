@@ -1,0 +1,35 @@
+"""Fig. 3 -- distribution of per-function invocation counts.
+
+The paper shows that most functions are rarely invoked while a small minority
+accounts for almost all invocations.  This bench regenerates the histogram of
+per-function invocation counts (log-scale buckets) for the synthetic
+workload.
+"""
+
+from repro.analysis import invocation_count_histogram, invocation_count_summary
+from repro.metrics.summary import ComparisonTable
+
+from .conftest import save_and_print
+
+
+def test_fig03_invocation_distribution(benchmark, trace, output_dir):
+    histogram = benchmark(invocation_count_histogram, trace)
+
+    table = ComparisonTable(
+        title="Fig. 3 - per-function invocation-count distribution",
+        columns=("invocation_range", "functions"),
+    )
+    for label, count in histogram.items():
+        table.add_row(invocation_range=label, functions=count)
+    summary = invocation_count_summary(trace)
+    extra = ComparisonTable(
+        title="Fig. 3 - summary statistics",
+        columns=("statistic", "value"),
+    )
+    for key, value in summary.items():
+        extra.add_row(statistic=key, value=value)
+    save_and_print(output_dir, "fig03_invocation_distribution", table.render() + "\n\n" + extra.render())
+
+    # The heavy tail must be visible: more functions in the lowest decade
+    # than in the highest non-empty one.
+    assert summary["skewness_ratio"] > 1.0

@@ -1,0 +1,33 @@
+"""Fig. 5 -- proportion of trigger types among functions.
+
+The paper reports HTTP 41.19%, timer 26.64%, queue 14.40%, orchestration
+7.76%, others 2.72%, combination 2.60%, event 2.52%, storage 2.19%.  The
+synthetic workload assigns triggers per archetype, so the exact mix differs,
+but HTTP and timer triggers should dominate just as in the paper.
+"""
+
+from repro.analysis import trigger_proportions
+from repro.metrics.summary import ComparisonTable
+from repro.traces import TriggerType
+
+from .conftest import save_and_print
+
+
+def test_fig05_trigger_proportions(benchmark, trace, output_dir):
+    proportions = benchmark(trigger_proportions, trace)
+
+    paper = {trigger.value: share for trigger, share in TriggerType.paper_proportions().items()}
+    table = ComparisonTable(
+        title="Fig. 5 - trigger-type proportions (measured vs. paper)",
+        columns=("trigger", "measured_pct", "paper_pct"),
+    )
+    for trigger, share in sorted(proportions.items(), key=lambda item: -item[1]):
+        table.add_row(
+            trigger=trigger,
+            measured_pct=100.0 * share,
+            paper_pct=100.0 * paper.get(trigger, 0.0),
+        )
+    save_and_print(output_dir, "fig05_trigger_proportions", table.render())
+
+    dominant = max(proportions, key=proportions.get)
+    assert dominant in ("http", "timer")

@@ -1,0 +1,39 @@
+"""Fig. 6 -- temporal locality of infrequently invoked functions.
+
+The paper plots five rarely invoked functions whose invocations cluster in a
+few short windows.  This bench measures, across all infrequent functions, how
+much of their activity is concentrated in bursts, and lists the five most
+bursty examples (the analogue of the five functions plotted in the paper).
+"""
+
+from repro.analysis import temporal_locality_study
+from repro.metrics.summary import ComparisonTable
+
+from .conftest import save_and_print
+
+
+def test_fig06_temporal_locality(benchmark, trace, output_dir):
+    report = benchmark(temporal_locality_study, trace)
+
+    table = ComparisonTable(
+        title="Fig. 6 - temporal locality among infrequent functions",
+        columns=("metric", "value"),
+    )
+    table.add_row(metric="infrequent_functions", value=report.functions_considered)
+    table.add_row(metric="bursty_functions", value=report.bursty_functions)
+    table.add_row(metric="bursty_fraction", value=report.bursty_fraction)
+    table.add_row(metric="mean_burst_concentration", value=report.mean_burst_concentration)
+    table.add_row(metric="mean_active_periods", value=report.mean_active_period_count)
+
+    examples = ComparisonTable(
+        title="Fig. 6 - five most bursty infrequent functions",
+        columns=("function", "burst_concentration"),
+    )
+    ranked = sorted(
+        report.per_function_concentration.items(), key=lambda item: -item[1]
+    )[:5]
+    for function_id, concentration in ranked:
+        examples.add_row(function=function_id, burst_concentration=concentration)
+
+    save_and_print(output_dir, "fig06_temporal_locality", table.render() + "\n\n" + examples.render())
+    assert report.functions_considered > 0

@@ -1,0 +1,26 @@
+"""Fig. 9 / RQ1 -- normalized memory usage and always-cold function percentage.
+
+The paper reports SPES's memory usage is only 8.08% above the fixed
+keep-alive policy (the most frugal baseline) while 36-56% below the others,
+and that SPES keeps the always-cold population below 8%, with
+Hybrid-Application the closest baseline.
+"""
+
+from repro.experiments import rq1_coldstart
+
+from .conftest import save_and_print
+
+
+def test_fig09_memory_and_always_cold(benchmark, all_results, output_dir):
+    table = benchmark(rq1_coldstart.memory_and_always_cold, all_results)
+    save_and_print(output_dir, "fig09_memory_alwayscold", table.render())
+
+    spes = all_results["spes"]
+    fixed = all_results["fixed-10min"]
+    hybrid_app = all_results["hybrid-application"]
+    # Memory shape: SPES stays close to the fixed keep-alive policy and far
+    # below the application-grained hybrid.
+    assert spes.average_memory_usage <= fixed.average_memory_usage * 1.25
+    assert hybrid_app.average_memory_usage > spes.average_memory_usage * 1.2
+    # Always-cold shape: SPES is (close to) the lowest.
+    assert spes.always_cold_fraction <= fixed.always_cold_fraction

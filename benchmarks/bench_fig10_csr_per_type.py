@@ -1,0 +1,39 @@
+"""Fig. 10 / RQ1 -- average cold-start rate of each SPES category.
+
+The paper shows that unknown and pulsed functions contribute the most cold
+starts (by design SPES tolerates them there), while the predictable
+categories (always-warm, regular, appro-regular, dense, correlated, possible)
+stay low.
+"""
+
+from repro.core.categories import FunctionCategory
+from repro.experiments import rq1_coldstart
+
+from .conftest import save_and_print
+
+
+def test_fig10_csr_per_type(benchmark, spes_policy, all_results, output_dir):
+    spes_result = all_results["spes"]
+    table = benchmark(rq1_coldstart.per_category_csr_table, spes_policy, spes_result)
+    save_and_print(output_dir, "fig10_csr_per_type", table.render())
+
+    rates = rq1_coldstart.per_category_csr(spes_policy, spes_result)
+    predictable = [
+        rates[category]
+        for category in (
+            FunctionCategory.ALWAYS_WARM,
+            FunctionCategory.REGULAR,
+            FunctionCategory.APPRO_REGULAR,
+            FunctionCategory.DENSE,
+        )
+        if category in rates
+    ]
+    hard = [
+        rates[category]
+        for category in (FunctionCategory.UNKNOWN, FunctionCategory.PULSED)
+        if category in rates
+    ]
+    assert predictable, "predictable categories must be populated"
+    # Shape check: the hard categories dominate the cold starts.
+    if hard:
+        assert max(hard) >= max(predictable)

@@ -1,0 +1,24 @@
+"""Fig. 12 / RQ2 -- wasted-memory-time ratio per SPES category.
+
+The paper observes that "possible" functions generate the highest WMT ratio:
+SPES deliberately predicts aggressively for them, accepting extra wasted
+memory to suppress their cold starts.
+"""
+
+from repro.core.categories import FunctionCategory
+from repro.experiments import rq2_memory
+
+from .conftest import save_and_print
+
+
+def test_fig12_wmt_ratio_per_type(benchmark, spes_policy, all_results, output_dir):
+    spes_result = all_results["spes"]
+    table = benchmark(rq2_memory.wmt_ratio_per_type_table, spes_policy, spes_result)
+    save_and_print(output_dir, "fig12_wmt_per_type", table.render())
+
+    ratios = rq2_memory.wmt_ratio_per_type(spes_policy, spes_result)
+    assert ratios
+    # Successive / always-warm functions should waste less per invocation
+    # than the aggressively predicted "possible" functions.
+    if FunctionCategory.POSSIBLE in ratios and FunctionCategory.SUCCESSIVE in ratios:
+        assert ratios[FunctionCategory.POSSIBLE] >= ratios[FunctionCategory.SUCCESSIVE]

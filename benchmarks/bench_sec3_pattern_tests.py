@@ -1,0 +1,39 @@
+"""§III-B1 -- trigger-conditioned invocation-pattern tests.
+
+The paper reports that 68.12% of timer-triggered functions are invoked
+(quasi-)periodically and 45.02% of HTTP-triggered functions follow a Poisson
+arrival process (excluding functions with too few samples).
+"""
+
+from repro.analysis import http_poisson_test, timer_periodicity_test
+from repro.metrics.summary import ComparisonTable
+
+from .conftest import save_and_print
+
+
+def test_sec3_pattern_tests(benchmark, trace, output_dir):
+    def run_both():
+        return timer_periodicity_test(trace), http_poisson_test(trace)
+
+    timer_report, http_report = benchmark(run_both)
+
+    table = ComparisonTable(
+        title="Sec. III-B1 - invocation-pattern tests (measured vs. paper)",
+        columns=("test", "matching_pct", "insufficient_pct", "paper_pct"),
+    )
+    table.add_row(
+        test="timer functions (quasi-)periodic",
+        matching_pct=100.0 * timer_report.matching_fraction,
+        insufficient_pct=100.0 * timer_report.insufficient_fraction,
+        paper_pct=68.12,
+    )
+    table.add_row(
+        test="HTTP functions Poisson",
+        matching_pct=100.0 * http_report.matching_fraction,
+        insufficient_pct=100.0 * http_report.insufficient_fraction,
+        paper_pct=45.02,
+    )
+    save_and_print(output_dir, "sec3_pattern_tests", table.render())
+
+    # A meaningful share of timer functions must look periodic.
+    assert timer_report.matching_fraction > 0.3

@@ -1,0 +1,42 @@
+"""Compare SPES against every baseline of the paper on one workload.
+
+This is the programmatic equivalent of ``spes-repro compare``: it builds an
+Azure-like workload, runs SPES plus the five baselines (fixed keep-alive,
+Hybrid-Function, Hybrid-Application, Defuse, FaaSCache), and prints the RQ1 /
+RQ2 tables (Q3-CSR reduction, normalized memory, WMT, EMCR and overhead).
+
+Run with:  python examples/policy_comparison.py [n_functions] [seed]
+"""
+
+import sys
+
+from repro.experiments import ExperimentConfig, ExperimentRunner, rq1_coldstart, rq2_memory
+from repro.metrics import build_comparison
+
+
+def main() -> None:
+    n_functions = int(sys.argv[1]) if len(sys.argv) > 1 else 200
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 2024
+
+    config = ExperimentConfig(n_functions=n_functions, seed=seed)
+    runner = ExperimentRunner(config)
+    print(f"simulating {n_functions} functions over "
+          f"{config.duration_days - config.training_days:.0f} days "
+          f"(training on {config.training_days:.0f} days)...")
+
+    results = runner.run_all()
+
+    print()
+    print(build_comparison(results, title="SPES vs. baselines").render())
+    print()
+    print(rq1_coldstart.headline_improvements(results).render())
+    print()
+    print(rq1_coldstart.memory_and_always_cold(results).render())
+    print()
+    print(rq2_memory.wmt_and_emcr_table(results).render())
+    print()
+    print(rq1_coldstart.per_category_csr_table(runner.spes_policy(), results["spes"]).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Reproduce the paper's Section III workload analysis on a synthetic trace.
+
+Prints the invocation-count distribution (Fig. 3), trigger proportions
+(Fig. 5), the trigger-conditioned pattern tests (Sec. III-B1), the
+co-occurrence study (Sec. III-B2), temporal locality (Fig. 6) and concept
+drift (Fig. 4), then shows how SPES's offline categorizer labels the same
+population.
+
+Run with:  python examples/workload_analysis.py
+"""
+
+from repro import AzureTraceGenerator, GeneratorProfile, split_trace
+from repro.analysis import (
+    cooccurrence_study,
+    drift_study,
+    http_poisson_test,
+    invocation_count_summary,
+    temporal_locality_study,
+    timer_periodicity_test,
+    trigger_proportions,
+)
+from repro.core import OfflineCategorizer
+
+
+def main() -> None:
+    trace = AzureTraceGenerator(GeneratorProfile(n_functions=200, seed=3)).generate()
+
+    print("== Invocation-count distribution (Fig. 3) ==")
+    for key, value in invocation_count_summary(trace).items():
+        print(f"  {key:<20}{value:>12.2f}")
+
+    print("\n== Trigger proportions (Fig. 5) ==")
+    for trigger, share in sorted(trigger_proportions(trace).items(), key=lambda kv: -kv[1]):
+        print(f"  {trigger:<16}{100 * share:>7.2f}%")
+
+    print("\n== Pattern tests (Sec. III-B1) ==")
+    timer = timer_periodicity_test(trace)
+    http = http_poisson_test(trace)
+    print(f"  timer functions (quasi-)periodic: {100 * timer.matching_fraction:.1f}%")
+    print(f"  HTTP functions Poisson:           {100 * http.matching_fraction:.1f}%")
+
+    print("\n== Co-occurrence study (Sec. III-B2) ==")
+    cor = cooccurrence_study(trace, seed=1)
+    print(f"  candidate COR:        {cor.candidate_cor:.4f}")
+    print(f"  negative-sample COR:  {cor.negative_cor:.4f}")
+    print(f"  ratio:                {cor.candidate_to_negative_ratio:.1f}x")
+
+    print("\n== Temporal locality (Fig. 6) ==")
+    locality = temporal_locality_study(trace)
+    print(f"  infrequent functions analysed: {locality.functions_considered}")
+    print(f"  bursty fraction:               {100 * locality.bursty_fraction:.1f}%")
+
+    print("\n== Concept drift (Fig. 4) ==")
+    drift = drift_study(trace)
+    print(f"  active functions analysed: {drift.functions_considered}")
+    print(f"  drifting fraction:         {100 * drift.drifting_fraction:.1f}%")
+
+    print("\n== SPES offline categorization of the 12-day training window ==")
+    split = split_trace(trace, training_days=12.0)
+    result = OfflineCategorizer().categorize(split.training)
+    total = len(result.profiles)
+    for category, count in result.category_counts().most_common():
+        print(f"  {category.value:<16}{count:>5}  ({100 * count / total:.1f}%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Empirical trace analysis reproducing §III of the paper.
+
+* :mod:`repro.analysis.invocation_stats` -- the invocation-count histogram of
+  Fig. 3 and the trigger-type proportions of Fig. 5.
+* :mod:`repro.analysis.pattern_tests` -- the Kolmogorov-Smirnov periodicity
+  and Poisson tests of §III-B1.
+* :mod:`repro.analysis.cooccurrence` -- the co-occurrence-rate study of
+  §III-B2 (candidate vs. negative samples, same vs. different trigger).
+* :mod:`repro.analysis.locality` -- the temporal-locality measurements behind
+  Fig. 6.
+* :mod:`repro.analysis.drift` -- concept-shift detection behind Fig. 4.
+"""
+
+from repro.analysis.invocation_stats import (
+    invocation_count_histogram,
+    invocation_count_summary,
+    trigger_proportions,
+)
+from repro.analysis.pattern_tests import (
+    PatternTestReport,
+    http_poisson_test,
+    timer_periodicity_test,
+)
+from repro.analysis.cooccurrence import CooccurrenceReport, cooccurrence_study
+from repro.analysis.locality import LocalityReport, temporal_locality_study
+from repro.analysis.drift import DriftReport, detect_shifts, drift_study
+
+__all__ = [
+    "invocation_count_histogram",
+    "invocation_count_summary",
+    "trigger_proportions",
+    "PatternTestReport",
+    "timer_periodicity_test",
+    "http_poisson_test",
+    "CooccurrenceReport",
+    "cooccurrence_study",
+    "LocalityReport",
+    "temporal_locality_study",
+    "DriftReport",
+    "detect_shifts",
+    "drift_study",
+]

@@ -1,0 +1,139 @@
+"""Co-occurrence rate study (§III-B2).
+
+For every function that shares an application or owner with at least one
+other function ("candidate" pairs), the study compares its mean co-occurrence
+rate with candidates against its mean COR with negatively sampled functions
+that share neither an application nor an owner.  The paper reports a ~4.6x
+gap (0.2312 vs 0.0504) and a further gap between same-trigger and
+different-trigger candidates (0.2710 vs 0.1307).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.correlation import co_occurrence_rate
+from repro.traces.trace import Trace
+
+
+@dataclass
+class CooccurrenceReport:
+    """Mean co-occurrence rates for candidate and negative-sample pairs.
+
+    Attributes
+    ----------
+    candidate_cor:
+        Mean COR between functions sharing an application or owner.
+    negative_cor:
+        Mean COR against randomly sampled unrelated functions.
+    same_trigger_cor:
+        Mean COR restricted to candidate pairs sharing the trigger type.
+    different_trigger_cor:
+        Mean COR restricted to candidate pairs with different trigger types.
+    pairs_evaluated:
+        Number of candidate pairs contributing to the averages.
+    """
+
+    candidate_cor: float
+    negative_cor: float
+    same_trigger_cor: float
+    different_trigger_cor: float
+    pairs_evaluated: int
+
+    @property
+    def candidate_to_negative_ratio(self) -> float:
+        """How many times larger the candidate COR is than the negative-sample COR."""
+        if self.negative_cor == 0:
+            return float("inf") if self.candidate_cor > 0 else 0.0
+        return self.candidate_cor / self.negative_cor
+
+
+def cooccurrence_study(
+    trace: Trace,
+    negative_samples_per_function: int = 50,
+    max_functions: int | None = 500,
+    min_invocations: int = 5,
+    seed: int = 0,
+) -> CooccurrenceReport:
+    """Run the §III-B2 co-occurrence study on ``trace``.
+
+    Parameters
+    ----------
+    trace:
+        Trace to analyse.
+    negative_samples_per_function:
+        Number of unrelated functions sampled per target (50 in the paper).
+    max_functions:
+        Optional cap on the number of target functions, to keep the study
+        tractable on large traces; targets are the most-invoked eligible
+        functions.
+    min_invocations:
+        Minimum invoked minutes for a function to participate.
+    seed:
+        Seed for the negative sampling.
+    """
+    rng = np.random.default_rng(seed)
+    records = {record.function_id: record for record in trace.records()}
+
+    eligible = [
+        function_id
+        for function_id in trace.function_ids
+        if int((trace.series(function_id) > 0).sum()) >= min_invocations
+    ]
+    if max_functions is not None and len(eligible) > max_functions:
+        eligible = sorted(
+            eligible, key=lambda fid: trace.total_invocations(fid), reverse=True
+        )[:max_functions]
+    eligible_set = set(eligible)
+
+    by_app = trace.functions_by_app()
+    by_owner = trace.functions_by_owner()
+
+    candidate_values: List[float] = []
+    negative_values: List[float] = []
+    same_trigger_values: List[float] = []
+    different_trigger_values: List[float] = []
+    pairs = 0
+
+    all_ids = list(trace.function_ids)
+    for target_id in eligible:
+        target_record = records[target_id]
+        related = set(by_app.get(target_record.app_id, ()))
+        related.update(by_owner.get(target_record.owner_id, ()))
+        related.discard(target_id)
+        candidates = [fid for fid in related if fid in eligible_set]
+        if not candidates:
+            continue
+
+        target_series = trace.series(target_id)
+        for candidate_id in candidates:
+            value = co_occurrence_rate(target_series, trace.series(candidate_id))
+            candidate_values.append(value)
+            if records[candidate_id].trigger == target_record.trigger:
+                same_trigger_values.append(value)
+            else:
+                different_trigger_values.append(value)
+            pairs += 1
+
+        unrelated_pool = [fid for fid in all_ids if fid not in related and fid != target_id]
+        if unrelated_pool:
+            sample_size = min(negative_samples_per_function, len(unrelated_pool))
+            sampled = rng.choice(unrelated_pool, size=sample_size, replace=False)
+            for negative_id in sampled:
+                negative_values.append(
+                    co_occurrence_rate(target_series, trace.series(str(negative_id)))
+                )
+
+    def mean_or_zero(values: List[float]) -> float:
+        return float(np.mean(values)) if values else 0.0
+
+    return CooccurrenceReport(
+        candidate_cor=mean_or_zero(candidate_values),
+        negative_cor=mean_or_zero(negative_values),
+        same_trigger_cor=mean_or_zero(same_trigger_values),
+        different_trigger_cor=mean_or_zero(different_trigger_values),
+        pairs_evaluated=pairs,
+    )

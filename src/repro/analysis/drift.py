@@ -1,0 +1,107 @@
+"""Concept-shift detection in invocation behaviour (Fig. 4, §III-A4).
+
+The paper plots three functions whose invocation volume changes regime over
+the 14-day window.  This module detects such shifts by comparing the
+invocation-rate distribution of consecutive windows: a large relative change
+in the windowed mean rate marks a change point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.traces.trace import Trace
+
+
+@dataclass
+class DriftReport:
+    """Population-level concept-drift measurements.
+
+    Attributes
+    ----------
+    functions_considered:
+        Number of sufficiently active functions analysed.
+    drifting_functions:
+        Number of functions with at least one detected change point.
+    change_points:
+        Detected change points (minute indices) per drifting function.
+    """
+
+    functions_considered: int
+    drifting_functions: int
+    change_points: Dict[str, List[int]] = field(default_factory=dict)
+
+    @property
+    def drifting_fraction(self) -> float:
+        """Fraction of analysed functions exhibiting a concept shift."""
+        if self.functions_considered == 0:
+            return 0.0
+        return self.drifting_functions / self.functions_considered
+
+
+def detect_shifts(
+    series: np.ndarray,
+    window_minutes: int = 1440,
+    relative_change_threshold: float = 1.0,
+    min_rate: float = 0.002,
+) -> List[int]:
+    """Detect change points in one invocation series.
+
+    The series is split into consecutive windows of ``window_minutes``; a
+    change point is reported between two windows whose mean rates differ by
+    more than ``relative_change_threshold`` (relative to the smaller one),
+    provided at least one side is active (above ``min_rate``).
+    """
+    counts = np.asarray(series, dtype=float)
+    if counts.ndim != 1:
+        raise ValueError("series must be one-dimensional")
+    if window_minutes < 1:
+        raise ValueError("window_minutes must be >= 1")
+    n_windows = counts.shape[0] // window_minutes
+    if n_windows < 2:
+        return []
+    rates = [
+        counts[i * window_minutes : (i + 1) * window_minutes].mean()
+        for i in range(n_windows)
+    ]
+    change_points: List[int] = []
+    for index in range(1, n_windows):
+        before, after = rates[index - 1], rates[index]
+        if max(before, after) < min_rate:
+            continue
+        smaller = max(min(before, after), min_rate)
+        relative_change = abs(after - before) / smaller
+        if relative_change > relative_change_threshold:
+            change_points.append(index * window_minutes)
+    return change_points
+
+
+def drift_study(
+    trace: Trace,
+    window_minutes: int = 1440,
+    relative_change_threshold: float = 1.0,
+    min_invocations: int = 50,
+) -> DriftReport:
+    """Detect concept shifts across all sufficiently active functions of a trace."""
+    change_points: Dict[str, List[int]] = {}
+    considered = 0
+    for function_id in trace.function_ids:
+        series = trace.series(function_id)
+        if int(series.sum()) < min_invocations:
+            continue
+        considered += 1
+        points = detect_shifts(
+            series,
+            window_minutes=window_minutes,
+            relative_change_threshold=relative_change_threshold,
+        )
+        if points:
+            change_points[function_id] = points
+    return DriftReport(
+        functions_considered=considered,
+        drifting_functions=len(change_points),
+        change_points=change_points,
+    )

@@ -1,0 +1,92 @@
+"""Invocation-count distribution and trigger proportions (Fig. 3 and Fig. 5)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.traces.trace import Trace
+
+
+def invocation_count_histogram(
+    trace: Trace, bins_per_decade: int = 1, max_decade: int = 10
+) -> Dict[str, int]:
+    """Histogram of per-function total invocation counts on a log scale.
+
+    Reproduces Fig. 3: the x-axis spans decades of invocation counts and the
+    y-axis counts how many functions fall into each range.  Functions with
+    zero invocations are reported under the ``"0"`` bucket.
+
+    Parameters
+    ----------
+    trace:
+        The trace to analyse.
+    bins_per_decade:
+        Number of buckets per factor-of-ten range.
+    max_decade:
+        Counts at or above ``10 ** max_decade`` land in the last bucket.
+    """
+    if bins_per_decade < 1:
+        raise ValueError("bins_per_decade must be >= 1")
+    if max_decade < 1:
+        raise ValueError("max_decade must be >= 1")
+
+    histogram: Dict[str, int] = {"0": 0}
+    edges = np.logspace(0, max_decade, max_decade * bins_per_decade + 1)
+    labels = [
+        f"[{edges[i]:.0f}, {edges[i + 1]:.0f})" for i in range(len(edges) - 1)
+    ]
+    for label in labels:
+        histogram[label] = 0
+
+    for function_id in trace.function_ids:
+        total = trace.total_invocations(function_id)
+        if total == 0:
+            histogram["0"] += 1
+            continue
+        index = int(np.searchsorted(edges, total, side="right")) - 1
+        index = min(max(index, 0), len(labels) - 1)
+        histogram[labels[index]] += 1
+    return histogram
+
+
+def invocation_count_summary(trace: Trace) -> Dict[str, float]:
+    """Summary statistics of the per-function invocation-count distribution."""
+    totals = np.array(
+        [trace.total_invocations(function_id) for function_id in trace.function_ids],
+        dtype=float,
+    )
+    invoked = totals[totals > 0]
+    if invoked.size == 0:
+        return {
+            "functions": float(totals.size),
+            "invoked_functions": 0.0,
+            "median": 0.0,
+            "p90": 0.0,
+            "p99": 0.0,
+            "max": 0.0,
+            "skewness_ratio": 0.0,
+        }
+    return {
+        "functions": float(totals.size),
+        "invoked_functions": float(invoked.size),
+        "median": float(np.median(invoked)),
+        "p90": float(np.percentile(invoked, 90)),
+        "p99": float(np.percentile(invoked, 99)),
+        "max": float(invoked.max()),
+        # Ratio of the mean to the median: > 1 indicates the heavy right tail
+        # visible in Fig. 3.
+        "skewness_ratio": float(invoked.mean() / max(np.median(invoked), 1.0)),
+    }
+
+
+def trigger_proportions(trace: Trace) -> Dict[str, float]:
+    """Fraction of functions bound to each trigger type (Fig. 5)."""
+    groups = trace.functions_by_trigger()
+    total = sum(len(functions) for functions in groups.values())
+    if total == 0:
+        return {}
+    return {
+        trigger: len(functions) / total for trigger, functions in sorted(groups.items())
+    }

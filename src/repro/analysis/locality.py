@@ -1,0 +1,111 @@
+"""Temporal-locality analysis of infrequently invoked functions (Fig. 6).
+
+The paper observes that many rarely invoked functions concentrate their
+invocations in a few short windows (bursts), so a short keep-alive after the
+first invocation of a burst avoids most of their cold starts.  This module
+quantifies that: for each infrequent function it measures how much of its
+activity falls inside bursts of consecutive invocations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.sequences import extract_sequences
+from repro.traces.trace import Trace
+
+
+@dataclass
+class LocalityReport:
+    """Population-level temporal-locality measurements.
+
+    Attributes
+    ----------
+    functions_considered:
+        Number of infrequently invoked functions analysed.
+    bursty_functions:
+        Number whose burst concentration exceeds the burstiness threshold.
+    mean_burst_concentration:
+        Mean fraction of invoked minutes that sit inside multi-minute bursts.
+    mean_active_period_count:
+        Mean number of distinct activity periods per function.
+    per_function_concentration:
+        Burst concentration per analysed function.
+    """
+
+    functions_considered: int
+    bursty_functions: int
+    mean_burst_concentration: float
+    mean_active_period_count: float
+    per_function_concentration: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def bursty_fraction(self) -> float:
+        """Fraction of analysed functions exhibiting temporal locality."""
+        if self.functions_considered == 0:
+            return 0.0
+        return self.bursty_functions / self.functions_considered
+
+
+def temporal_locality_study(
+    trace: Trace,
+    max_invocations: int = 2000,
+    min_invocations: int = 5,
+    burst_threshold: float = 0.5,
+) -> LocalityReport:
+    """Measure temporal locality among infrequently invoked functions.
+
+    Parameters
+    ----------
+    trace:
+        Trace to analyse.
+    max_invocations:
+        Upper bound on total invocations for a function to count as
+        "infrequent".
+    min_invocations:
+        Lower bound so that the concentration measure is meaningful.
+    burst_threshold:
+        A function is "bursty" when at least this fraction of its invoked
+        minutes belongs to activity runs of two or more consecutive minutes.
+    """
+    concentrations: Dict[str, float] = {}
+    active_period_counts: List[int] = []
+    bursty = 0
+
+    for function_id in trace.function_ids:
+        series = trace.series(function_id)
+        total = int((series > 0).sum())
+        if not min_invocations <= total <= max_invocations:
+            continue
+        summary = extract_sequences(series)
+        in_burst_minutes = sum(length for length in summary.active_times if length >= 2)
+        concentration = in_burst_minutes / summary.invoked_slots
+        concentrations[function_id] = concentration
+        active_period_counts.append(len(summary.active_times))
+        if concentration >= burst_threshold:
+            bursty += 1
+
+    considered = len(concentrations)
+    return LocalityReport(
+        functions_considered=considered,
+        bursty_functions=bursty,
+        mean_burst_concentration=(
+            float(np.mean(list(concentrations.values()))) if concentrations else 0.0
+        ),
+        mean_active_period_count=(
+            float(np.mean(active_period_counts)) if active_period_counts else 0.0
+        ),
+        per_function_concentration=concentrations,
+    )
+
+
+def normalized_burst_series(trace: Trace, function_id: str) -> np.ndarray:
+    """Min-max normalized invocation series of one function (as plotted in Fig. 6)."""
+    series = trace.series(function_id).astype(float)
+    maximum = series.max()
+    if maximum == 0:
+        return series
+    return series / maximum

@@ -1,0 +1,130 @@
+"""Idle-time histogram shared by the hybrid policies and Defuse.
+
+Shahrad et al. (ATC'20) model each unit's (function's or application's)
+*idle times* -- the gaps between consecutive invocations -- with a bounded
+histogram (4 hours at one-minute resolution).  From the histogram they derive
+
+* a *pre-warm window*: a conservative head percentile of the idle-time
+  distribution; the instance is unloaded after execution and re-loaded this
+  many minutes after the last invocation, and
+* a *keep-alive window*: a tail percentile; the instance stays (or is kept)
+  resident until this many minutes have elapsed since the last invocation.
+
+A histogram is only trusted when it has enough samples and is not dominated
+by out-of-bounds idle times; otherwise the policy falls back to a standard
+keep-alive.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+
+class IdleTimeHistogram:
+    """Bounded idle-time histogram with percentile-based window extraction.
+
+    Parameters
+    ----------
+    range_minutes:
+        Histogram upper bound; idle times beyond it are counted as
+        out-of-bounds (OOB).  Shahrad et al. use 4 hours (240 minutes).
+    head_percentile:
+        Percentile defining the pre-warm window.
+    tail_percentile:
+        Percentile defining the keep-alive window.
+    min_samples:
+        Minimum number of in-bounds samples before the histogram is trusted.
+    max_oob_fraction:
+        Maximum tolerated fraction of out-of-bounds samples.
+    """
+
+    def __init__(
+        self,
+        range_minutes: int = 240,
+        head_percentile: float = 5.0,
+        tail_percentile: float = 99.0,
+        min_samples: int = 10,
+        max_oob_fraction: float = 0.5,
+    ) -> None:
+        if range_minutes < 1:
+            raise ValueError("range_minutes must be >= 1")
+        if not 0 <= head_percentile <= tail_percentile <= 100:
+            raise ValueError("percentiles must satisfy 0 <= head <= tail <= 100")
+        if min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        if not 0 < max_oob_fraction <= 1:
+            raise ValueError("max_oob_fraction must be in (0, 1]")
+        self.range_minutes = range_minutes
+        self.head_percentile = head_percentile
+        self.tail_percentile = tail_percentile
+        self.min_samples = min_samples
+        self.max_oob_fraction = max_oob_fraction
+        self._bins = np.zeros(range_minutes + 1, dtype=np.int64)
+        self._oob = 0
+
+    # ------------------------------------------------------------------ #
+    def observe(self, idle_minutes: int) -> None:
+        """Record one idle time (gap between consecutive invocations)."""
+        if idle_minutes < 0:
+            raise ValueError("idle_minutes must be non-negative")
+        if idle_minutes > self.range_minutes:
+            self._oob += 1
+        else:
+            self._bins[idle_minutes] += 1
+
+    def observe_many(self, idle_times: Iterable[int]) -> None:
+        """Record several idle times."""
+        for idle in idle_times:
+            self.observe(int(idle))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def in_bounds_count(self) -> int:
+        """Number of recorded idle times within the histogram range."""
+        return int(self._bins.sum())
+
+    @property
+    def out_of_bounds_count(self) -> int:
+        """Number of recorded idle times beyond the histogram range."""
+        return self._oob
+
+    @property
+    def total_count(self) -> int:
+        """Total number of recorded idle times."""
+        return self.in_bounds_count + self._oob
+
+    @property
+    def is_representative(self) -> bool:
+        """Whether the histogram has enough in-bounds data to be trusted."""
+        total = self.total_count
+        if total == 0 or self.in_bounds_count < self.min_samples:
+            return False
+        return (self._oob / total) <= self.max_oob_fraction
+
+    # ------------------------------------------------------------------ #
+    def percentile(self, percentile: float) -> int:
+        """Return the requested percentile of the in-bounds idle times."""
+        count = self.in_bounds_count
+        if count == 0:
+            return self.range_minutes
+        target = np.ceil(count * percentile / 100.0)
+        target = max(target, 1)
+        cumulative = np.cumsum(self._bins)
+        index = int(np.searchsorted(cumulative, target))
+        return min(index, self.range_minutes)
+
+    @property
+    def prewarm_window(self) -> int:
+        """Minutes to wait after an invocation before re-loading the instance."""
+        return self.percentile(self.head_percentile)
+
+    @property
+    def keep_alive_window(self) -> int:
+        """Minutes after an invocation until the instance is evicted."""
+        return max(self.percentile(self.tail_percentile), 1)
+
+    def as_array(self) -> np.ndarray:
+        """Copy of the histogram bins (index = idle minutes)."""
+        return self._bins.copy()

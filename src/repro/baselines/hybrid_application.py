@@ -1,0 +1,22 @@
+"""Hybrid histogram policy at application granularity (HA in the paper).
+
+This is the policy as originally proposed by Shahrad et al. (ATC'20): all
+functions of an application are loaded and unloaded together, driven by the
+application's aggregate idle-time histogram.  Grouping reduces always-cold
+functions (a sibling's invocation keeps the whole app warm) but inflates
+memory usage, which is exactly the trade-off the paper's Fig. 9 shows.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.hybrid_base import HybridHistogramPolicyBase
+from repro.traces.schema import FunctionRecord
+
+
+class HybridApplicationPolicy(HybridHistogramPolicyBase):
+    """Hybrid histogram keep-alive / pre-warming, one unit per application."""
+
+    name = "hybrid-application"
+
+    def unit_of(self, record: FunctionRecord) -> str:
+        return record.app_id

@@ -1,0 +1,78 @@
+"""LCS: least-recently-used warm containers with a long keep-alive (ICDCN'23).
+
+LCS keeps containers warm for an extended period and, when the number of warm
+containers exceeds a budget, evicts the least recently used one.  It is not
+part of the paper's baseline set (the paper discusses it in related work) but
+is included as an additional comparator for the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Mapping, Sequence, Set
+
+from repro.simulation.policy_base import ProvisioningPolicy
+from repro.traces.schema import FunctionRecord
+from repro.traces.trace import Trace
+
+
+class LcsPolicy(ProvisioningPolicy):
+    """LRU warm-container policy with a fixed time-to-live and capacity.
+
+    Parameters
+    ----------
+    keep_alive_minutes:
+        How long a container may stay warm without invocations (default 30,
+        i.e. longer than the fixed 10-minute baseline, per the LCS idea of
+        "keeping containers alive for a longer period").
+    capacity:
+        Maximum number of simultaneously warm containers.  ``None`` means the
+        capacity is set to one fifth of the function population at prepare
+        time.
+    """
+
+    name = "lcs"
+
+    def __init__(self, keep_alive_minutes: int = 30, capacity: int | None = None) -> None:
+        if keep_alive_minutes < 1:
+            raise ValueError("keep_alive_minutes must be >= 1")
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 when given")
+        self.keep_alive_minutes = keep_alive_minutes
+        self.capacity = capacity
+        self._last_used: "OrderedDict[str, int]" = OrderedDict()
+
+    def prepare(
+        self,
+        functions: Sequence[FunctionRecord],
+        training: Trace | None = None,
+    ) -> None:
+        super().prepare(functions, training)
+        if self.capacity is None:
+            self.capacity = max(1, len(functions) // 5)
+        self.reset()
+
+    def reset(self) -> None:
+        self._last_used = OrderedDict()
+
+    def on_minute(self, minute: int, invocations: Mapping[str, int]) -> Set[str]:
+        for function_id in invocations:
+            if function_id in self._last_used:
+                del self._last_used[function_id]
+            self._last_used[function_id] = minute
+
+        # Expire containers idle beyond the keep-alive window.
+        expired = [
+            function_id
+            for function_id, last in self._last_used.items()
+            if minute - last >= self.keep_alive_minutes
+        ]
+        for function_id in expired:
+            del self._last_used[function_id]
+
+        # Enforce capacity by evicting the least recently used containers.
+        capacity = self.capacity if self.capacity is not None else len(self._last_used)
+        while len(self._last_used) > capacity:
+            self._last_used.popitem(last=False)
+
+        return set(self._last_used)

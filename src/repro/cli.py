@@ -1,0 +1,160 @@
+"""Command-line interface: ``spes-repro <command>``.
+
+Commands
+--------
+``compare``
+    Run SPES and every baseline on a synthetic Azure-like workload and print
+    the comparison table (RQ1/RQ2 headline numbers).
+``analyze``
+    Print the §III empirical analysis of a synthetic workload (invocation
+    distribution, trigger mix, pattern tests, co-occurrence, locality).
+``tradeoff``
+    Run the RQ3 parameter sweeps.
+``ablation``
+    Run the RQ4 ablations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis import (
+    cooccurrence_study,
+    invocation_count_summary,
+    temporal_locality_study,
+    http_poisson_test,
+    timer_periodicity_test,
+    trigger_proportions,
+)
+from repro.experiments import ExperimentConfig, ExperimentRunner, rq1_coldstart, rq2_memory
+from repro.experiments.rq3_tradeoff import givenup_sweep, linear_fit, prewarm_sweep, sweep_table
+from repro.experiments.rq4_ablation import (
+    ablation_table,
+    adaptivity_ablation,
+    correlation_ablation,
+)
+from repro.metrics.summary import build_comparison
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--functions", type=int, default=400, help="number of synthetic functions")
+    parser.add_argument("--seed", type=int, default=2024, help="workload seed")
+    parser.add_argument(
+        "--days", type=float, default=14.0, help="total workload duration in days"
+    )
+    parser.add_argument(
+        "--training-days", type=float, default=12.0, help="days used for offline modelling"
+    )
+
+
+def _runner_from_args(args: argparse.Namespace) -> ExperimentRunner:
+    config = ExperimentConfig(
+        n_functions=args.functions,
+        seed=args.seed,
+        duration_days=args.days,
+        training_days=args.training_days,
+    )
+    return ExperimentRunner(config)
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    runner = _runner_from_args(args)
+    results = runner.run_all()
+    print(build_comparison(results, title="SPES vs. baselines").render())
+    print()
+    print(rq1_coldstart.headline_improvements(results).render())
+    print()
+    print(rq1_coldstart.memory_and_always_cold(results).render())
+    print()
+    print(rq2_memory.wmt_and_emcr_table(results).render())
+    print()
+    print(rq2_memory.overhead_comparison(results).render(float_format="{:.6f}"))
+    return 0
+
+
+def _command_analyze(args: argparse.Namespace) -> int:
+    runner = _runner_from_args(args)
+    trace = runner.trace
+    print("Invocation-count summary (Fig. 3):")
+    for key, value in invocation_count_summary(trace).items():
+        print(f"  {key}: {value:.2f}")
+    print("\nTrigger proportions (Fig. 5):")
+    for trigger, fraction in trigger_proportions(trace).items():
+        print(f"  {trigger}: {100.0 * fraction:.2f}%")
+    timer_report = timer_periodicity_test(trace)
+    http_report = http_poisson_test(trace)
+    print("\nPattern tests (Sec. III-B1):")
+    print(
+        f"  timer functions (quasi-)periodic: {100.0 * timer_report.matching_fraction:.2f}% "
+        f"(insufficient data: {100.0 * timer_report.insufficient_fraction:.2f}%)"
+    )
+    print(
+        f"  HTTP functions Poisson: {100.0 * http_report.matching_fraction:.2f}% "
+        f"(insufficient data: {100.0 * http_report.insufficient_fraction:.2f}%)"
+    )
+    cor = cooccurrence_study(trace)
+    print("\nCo-occurrence study (Sec. III-B2):")
+    print(f"  candidate COR: {cor.candidate_cor:.4f}")
+    print(f"  negative-sample COR: {cor.negative_cor:.4f}")
+    print(f"  same-trigger COR: {cor.same_trigger_cor:.4f}")
+    print(f"  different-trigger COR: {cor.different_trigger_cor:.4f}")
+    locality = temporal_locality_study(trace)
+    print("\nTemporal locality (Fig. 6):")
+    print(f"  infrequent functions analysed: {locality.functions_considered}")
+    print(f"  bursty fraction: {100.0 * locality.bursty_fraction:.2f}%")
+    return 0
+
+
+def _command_tradeoff(args: argparse.Namespace) -> int:
+    runner = _runner_from_args(args)
+    prewarm_points = prewarm_sweep(runner)
+    print(sweep_table(prewarm_points, "theta_prewarm", "Fig. 13a - theta_prewarm sweep").render())
+    slope, intercept = linear_fit(prewarm_points)
+    print(f"linear fit: q3_csr = {slope:.4f} * memory + {intercept:.4f}")
+    print()
+    givenup_points = givenup_sweep(runner)
+    print(sweep_table(givenup_points, "givenup_scale", "Fig. 13b - theta_givenup sweep").render())
+    slope, intercept = linear_fit(givenup_points)
+    print(f"linear fit: q3_csr = {slope:.4f} * memory + {intercept:.4f}")
+    return 0
+
+
+def _command_ablation(args: argparse.Namespace) -> int:
+    runner = _runner_from_args(args)
+    print(ablation_table(correlation_ablation(runner), "Fig. 14 - correlation ablation").render())
+    print()
+    print(ablation_table(adaptivity_ablation(runner), "Fig. 15 - adaptivity ablation").render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="spes-repro",
+        description="Reproduction of SPES (ICDE 2024): serverless function provisioning.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    for name, handler, help_text in (
+        ("compare", _command_compare, "compare SPES against all baselines"),
+        ("analyze", _command_analyze, "run the Sec. III empirical trace analysis"),
+        ("tradeoff", _command_tradeoff, "run the RQ3 parameter sweeps"),
+        ("ablation", _command_ablation, "run the RQ4 ablations"),
+    ):
+        sub = subparsers.add_parser(name, help=help_text)
+        _add_common_arguments(sub)
+        sub.set_defaults(handler=handler)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""Function categories used by SPES (Table I and §IV-B of the paper)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class FunctionCategory(str, enum.Enum):
+    """All categories a function can be assigned to.
+
+    The five *deterministic* categories (§IV-A) are checked in priority
+    order: a function matching an earlier definition is never checked against
+    a later one.  The three *indeterminate* assignments (§IV-B) cover
+    functions that match none of the deterministic definitions, and
+    ``UNKNOWN`` holds functions with no usable history at all.
+    ``NEWLY_POSSIBLE`` marks functions promoted online by the adaptive
+    adjusting strategy (§IV-C / Fig. 10's "new_poss" bar).
+    """
+
+    # Deterministic categories, in priority order.
+    ALWAYS_WARM = "always_warm"
+    REGULAR = "regular"
+    APPRO_REGULAR = "appro_regular"
+    DENSE = "dense"
+    SUCCESSIVE = "successive"
+
+    # Indeterminate assignments.
+    PULSED = "pulsed"
+    CORRELATED = "correlated"
+    POSSIBLE = "possible"
+
+    # Fallback / online promotions.
+    UNKNOWN = "unknown"
+    NEWLY_POSSIBLE = "newly_possible"
+
+    @classmethod
+    def deterministic(cls) -> tuple["FunctionCategory", ...]:
+        """The five deterministic categories, in categorization priority order."""
+        return (
+            cls.ALWAYS_WARM,
+            cls.REGULAR,
+            cls.APPRO_REGULAR,
+            cls.DENSE,
+            cls.SUCCESSIVE,
+        )
+
+    @classmethod
+    def indeterminate(cls) -> tuple["FunctionCategory", ...]:
+        """The three supplementary assignments of §IV-B."""
+        return (cls.PULSED, cls.CORRELATED, cls.POSSIBLE)
+
+    @property
+    def is_deterministic(self) -> bool:
+        """True for the five Table-I categories."""
+        return self in self.deterministic()
+
+    @property
+    def uses_prediction(self) -> bool:
+        """True when the category pre-loads based on predicted invocation times."""
+        return self in (
+            FunctionCategory.REGULAR,
+            FunctionCategory.APPRO_REGULAR,
+            FunctionCategory.DENSE,
+            FunctionCategory.POSSIBLE,
+            FunctionCategory.NEWLY_POSSIBLE,
+        )

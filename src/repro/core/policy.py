@@ -1,0 +1,296 @@
+"""SPES online provisioning (Algorithm 1) as a :class:`ProvisioningPolicy`.
+
+The offline phase (:class:`~repro.core.offline.OfflineCategorizer`) assigns a
+category and predictive values to every function.  Online, the policy
+
+* records invocations, waiting times and cold starts per function;
+* schedules pre-warm triggers from the predictive values, so a function is
+  loaded shortly before its predicted next invocation;
+* pre-warms *correlated* functions when their linked predictors fire;
+* keeps an invoked function resident until it has been idle for its
+  category's give-up threshold (unless a prediction justifies keeping it);
+* applies the adaptive strategies: predictive-value adjusting, promotion of
+  unknown/unseen functions, and online correlation for unseen functions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Set
+
+from repro.core.adaptive import AdjustingStrategy, OnlineCorrelationTracker
+from repro.core.categories import FunctionCategory
+from repro.core.config import SpesConfig
+from repro.core.offline import CategorizationResult, OfflineCategorizer
+from repro.core.state import FunctionState
+from repro.simulation.policy_base import ProvisioningPolicy
+from repro.traces.schema import FunctionRecord
+from repro.traces.trace import Trace
+
+
+class SpesPolicy(ProvisioningPolicy):
+    """The SPES differentiated provisioning scheduler.
+
+    Parameters
+    ----------
+    config:
+        SPES configuration; the paper's defaults are used when omitted.
+
+    Examples
+    --------
+    >>> from repro.traces import AzureTraceGenerator, GeneratorProfile, split_trace
+    >>> from repro.simulation import simulate_policy
+    >>> trace = AzureTraceGenerator(GeneratorProfile.small(seed=1)).generate()
+    >>> split = split_trace(trace, training_days=2.0)
+    >>> result = simulate_policy(SpesPolicy(), split.simulation, split.training)
+    >>> 0.0 <= result.overall_cold_start_rate <= 1.0
+    True
+    """
+
+    name = "spes"
+
+    def __init__(self, config: SpesConfig | None = None) -> None:
+        self.config = config or SpesConfig()
+        self.categorization: CategorizationResult | None = None
+        self._states: Dict[str, FunctionState] = {}
+        self._resident: Set[str] = set()
+        self._prewarm_calendar: Dict[int, Dict[str, int]] = {}
+        self._prediction_hold_until: Dict[str, int] = {}
+        self._correlated_prewarm_until: Dict[str, int] = {}
+        self._online_prewarm_until: Dict[str, int] = {}
+        self._predictor_index: Dict[str, List[tuple[str, int]]] = {}
+        self._training_invocations: Dict[str, int] = {}
+        self._adjusting: AdjustingStrategy | None = None
+        self._online_corr: OnlineCorrelationTracker | None = None
+
+    # ------------------------------------------------------------------ #
+    # Offline phase
+    # ------------------------------------------------------------------ #
+    def prepare(
+        self,
+        functions: Sequence[FunctionRecord],
+        training: Trace | None = None,
+    ) -> None:
+        super().prepare(functions, training)
+        config = self.config
+
+        self._states = {}
+        self._resident = set()
+        self._prewarm_calendar = {}
+        self._prediction_hold_until = {}
+        self._correlated_prewarm_until = {}
+        self._online_prewarm_until = {}
+        self._predictor_index = {}
+        self._training_invocations = {}
+        self._adjusting = AdjustingStrategy(config) if config.enable_adjusting else None
+        self._online_corr = (
+            OnlineCorrelationTracker(config) if config.enable_online_correlation else None
+        )
+
+        if training is not None:
+            self.categorization = OfflineCategorizer(config).categorize(training)
+            self._predictor_index = self.categorization.predictor_index()
+            for function_id in training.function_ids:
+                self._training_invocations[function_id] = training.total_invocations(
+                    function_id
+                )
+        else:
+            self.categorization = None
+
+        for record in functions:
+            profile = (
+                self.categorization.profiles.get(record.function_id)
+                if self.categorization is not None
+                else None
+            )
+            if profile is not None:
+                category = profile.category
+                state = FunctionState(
+                    function_id=record.function_id,
+                    category=category,
+                    predictive=profile.predictive,
+                    theta_prewarm=config.theta_prewarm,
+                    theta_givenup=config.theta_givenup(category),
+                    offline_wt_median=profile.offline_wt_median,
+                    offline_wt_std=profile.offline_wt_std,
+                    seen_in_training=self._training_invocations.get(record.function_id, 0) > 0,
+                )
+            else:
+                state = FunctionState(
+                    function_id=record.function_id,
+                    category=FunctionCategory.UNKNOWN,
+                    theta_prewarm=config.theta_prewarm,
+                    theta_givenup=config.theta_givenup(FunctionCategory.UNKNOWN),
+                    seen_in_training=False,
+                )
+            self._states[record.function_id] = state
+
+    # ------------------------------------------------------------------ #
+    # Introspection used by experiments, analysis and tests
+    # ------------------------------------------------------------------ #
+    @property
+    def states(self) -> Mapping[str, FunctionState]:
+        """Per-function online state (read-only view for analysis)."""
+        return self._states
+
+    def category_assignments(self) -> Dict[str, FunctionCategory]:
+        """Current category of every known function, including online promotions."""
+        return {function_id: state.category for function_id, state in self._states.items()}
+
+    @property
+    def resident_functions(self) -> Set[str]:
+        """Functions currently kept resident by the policy."""
+        return set(self._resident)
+
+    # ------------------------------------------------------------------ #
+    # Online phase (Algorithm 1)
+    # ------------------------------------------------------------------ #
+    def on_minute(self, minute: int, invocations: Mapping[str, int]) -> Set[str]:
+        config = self.config
+
+        for function_id in invocations:
+            state = self._ensure_state(function_id)
+            cold = function_id not in self._resident
+            state.record_invocation(minute, cold)
+            if self._adjusting is not None:
+                self._adjusting.maybe_update(state)
+            self._resident.add(function_id)
+            self._schedule_prediction_prewarm(state, minute)
+            self._fire_correlated_links(function_id, minute)
+            self._update_online_correlation(state, minute)
+
+        self._apply_due_prewarm(minute, invocations)
+        self._evict_idle(minute, invocations)
+        return set(self._resident)
+
+    # ------------------------------------------------------------------ #
+    # Invocation handling helpers
+    # ------------------------------------------------------------------ #
+    def _ensure_state(self, function_id: str) -> FunctionState:
+        state = self._states.get(function_id)
+        if state is None:
+            state = FunctionState(
+                function_id=function_id,
+                category=FunctionCategory.UNKNOWN,
+                theta_prewarm=self.config.theta_prewarm,
+                theta_givenup=self.config.theta_givenup(FunctionCategory.UNKNOWN),
+                seen_in_training=False,
+            )
+            self._states[function_id] = state
+        return state
+
+    def _schedule_prediction_prewarm(self, state: FunctionState, minute: int) -> None:
+        """Register future pre-warm triggers from the function's predictions.
+
+        Each trigger carries the end of the prediction window it was derived
+        from, so a prediction made now is still honoured even if an
+        intervening (e.g. spurious) invocation later moves the function's
+        "last invocation" anchor.
+        """
+        if state.predictive.is_empty:
+            return
+        theta = state.theta_prewarm
+        for low, high in state.predictive.predicted_times(minute):
+            trigger = max(minute, low - theta)
+            hold_until = high + theta + 1
+            if trigger <= minute:
+                continue
+            entries = self._prewarm_calendar.setdefault(trigger, {})
+            if hold_until > entries.get(state.function_id, 0):
+                entries[state.function_id] = hold_until
+
+    def _fire_correlated_links(self, predictor_id: str, minute: int) -> None:
+        """Pre-warm correlated targets whose predictor just fired."""
+        for target_id, lag in self._predictor_index.get(predictor_id, ()):
+            load_at = minute + max(0, lag - self.config.theta_prewarm)
+            keep_until = minute + lag + self.config.theta_prewarm + 1
+            current = self._correlated_prewarm_until.get(target_id, 0)
+            if keep_until > current:
+                self._correlated_prewarm_until[target_id] = keep_until
+            if load_at <= minute:
+                self._resident.add(target_id)
+                self._ensure_state(target_id)
+            else:
+                entries = self._prewarm_calendar.setdefault(load_at, {})
+                if keep_until > entries.get(target_id, 0):
+                    entries[target_id] = keep_until
+
+    def _update_online_correlation(self, state: FunctionState, minute: int) -> None:
+        """Feed the online-correlation tracker (unseen targets and their candidates)."""
+        if self._online_corr is None:
+            return
+        function_id = state.function_id
+        if not state.seen_in_training:
+            if not self._online_corr.is_tracked(function_id):
+                self._online_corr.register_target(
+                    function_id, self._candidate_ids_for(function_id)
+                )
+            self._online_corr.on_target_invoked(function_id, minute)
+
+        targets = self._online_corr.on_candidate_invoked(function_id, minute)
+        for target_id in targets:
+            keep_until = minute + self.config.correlated_prewarm_window + 1
+            current = self._online_prewarm_until.get(target_id, 0)
+            if keep_until > current:
+                self._online_prewarm_until[target_id] = keep_until
+            self._resident.add(target_id)
+            self._ensure_state(target_id)
+
+    def _candidate_ids_for(self, function_id: str) -> List[str]:
+        """Rank candidate predictors for an unseen function (same trigger first)."""
+        record = self.known_functions.get(function_id)
+        if record is None:
+            return []
+        candidates: List[tuple[int, int, str]] = []
+        for other_id, other in self.known_functions.items():
+            if other_id == function_id:
+                continue
+            if other.trigger != record.trigger:
+                continue
+            state = self._states.get(other_id)
+            if state is None or state.category == FunctionCategory.UNKNOWN:
+                continue
+            same_app = 1 if other.app_id == record.app_id else 0
+            same_owner = 1 if other.owner_id == record.owner_id else 0
+            activity = self._training_invocations.get(other_id, 0)
+            candidates.append((-(same_app * 2 + same_owner), -activity, other_id))
+        candidates.sort()
+        return [function_id for _, _, function_id in candidates[: self.config.online_corr_max_candidates]]
+
+    # ------------------------------------------------------------------ #
+    # Pre-warming and eviction
+    # ------------------------------------------------------------------ #
+    def _apply_due_prewarm(self, minute: int, invocations: Mapping[str, int]) -> None:
+        due = self._prewarm_calendar.pop(minute, None)
+        if not due:
+            return
+        for function_id, hold_until in due.items():
+            state = self._states.get(function_id)
+            if state is None:
+                continue
+            current_hold = self._prediction_hold_until.get(function_id, 0)
+            if hold_until > current_hold:
+                self._prediction_hold_until[function_id] = hold_until
+            if function_id not in invocations:
+                self._resident.add(function_id)
+
+    def _evict_idle(self, minute: int, invocations: Mapping[str, int]) -> None:
+        for function_id in list(self._resident):
+            if function_id in invocations:
+                continue
+            state = self._states.get(function_id)
+            if state is None:
+                self._resident.discard(function_id)
+                continue
+            if state.category == FunctionCategory.ALWAYS_WARM:
+                continue
+            next_minute = minute + 1
+            keep = (
+                state.preload_due(next_minute)
+                or next_minute < self._prediction_hold_until.get(function_id, 0)
+                or next_minute < self._correlated_prewarm_until.get(function_id, 0)
+                or next_minute < self._online_prewarm_until.get(function_id, 0)
+            )
+            if keep:
+                continue
+            if state.idle_minutes(minute) >= state.theta_givenup:
+                self._resident.discard(function_id)

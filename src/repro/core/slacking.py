@@ -1,0 +1,151 @@
+"""Slacking rules used before the "regular" category check (§IV-A2).
+
+Strictly periodic invocations rarely produce a perfectly constant waiting-time
+sequence: the boundary WTs of the observation window are truncated, scheduled
+events can be delayed by a minute, and an occasional unrelated invocation can
+split one long WT into a long WT plus a tiny one.  The paper applies two
+slacking rules before giving up on the "regular" definition:
+
+1. drop the first and last waiting times, and
+2. merge adjacent small waiting times into neighbouring near-mode waiting
+   times, so e.g. ``(1439, 1438, 1, 1439, 1438, 1)`` becomes
+   ``(1439, 1439, 1439, 1439)``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+
+def trim_boundary_waiting_times(waiting_times: Sequence[int]) -> tuple[int, ...]:
+    """Drop the first and last waiting times (slacking rule 1).
+
+    Sequences with fewer than three waiting times are returned unchanged,
+    since removing both boundaries would leave nothing to check.
+    """
+    values = tuple(int(value) for value in waiting_times)
+    if len(values) < 3:
+        return values
+    return values[1:-1]
+
+
+def waiting_time_mode(waiting_times: Sequence[int]) -> int | None:
+    """Most frequent waiting-time value; ties break toward the largest value.
+
+    Returns ``None`` for an empty sequence.  Breaking ties toward the largest
+    value matches the merging example in the paper, where the near-period
+    value (1439) absorbs the small residues.
+    """
+    values = [int(value) for value in waiting_times]
+    if not values:
+        return None
+    counter = Counter(values)
+    best_count = max(counter.values())
+    candidates = [value for value, count in counter.items() if count == best_count]
+    return max(candidates)
+
+
+def merge_small_waiting_times(
+    waiting_times: Sequence[int],
+    mode_tolerance_fraction: float = 0.05,
+    small_fraction: float = 0.25,
+) -> tuple[int, ...]:
+    """Merge waiting-time fragments back into near-mode waiting times (rule 2).
+
+    A spurious invocation in the middle of an otherwise regular gap splits one
+    mode-sized waiting time into two fragments.  This rule repairs such
+    splits:
+
+    * a waiting time at or above the near-mode band absorbs immediately
+      following *small* waiting times (the paper's worked example, where
+      ``(1439, 1438, 1, ...)`` becomes ``(1439, 1439, ...)``), and
+    * a run of below-mode fragments whose sum lands inside the near-mode band
+      is collapsed into a single waiting time (an even split such as
+      ``(100, 258)`` for a 359-minute mode).
+
+    Fragments that cannot be reassembled into a near-mode value are left
+    untouched.
+
+    Parameters
+    ----------
+    waiting_times:
+        The waiting-time sequence to process.
+    mode_tolerance_fraction:
+        A value counts as "close to the mode" when it is within
+        ``max(1, mode * mode_tolerance_fraction)`` of the mode.
+    small_fraction:
+        A value counts as "small" when it is at most
+        ``max(1, mode * small_fraction)``.
+    """
+    values = [int(value) for value in waiting_times]
+    if len(values) < 2:
+        return tuple(values)
+    mode = waiting_time_mode(values)
+    if mode is None or mode <= 1:
+        return tuple(values)
+
+    tolerance = max(1, int(round(mode * mode_tolerance_fraction)))
+    small_limit = max(1, int(round(mode * small_fraction)))
+
+    merged: list[int] = []
+    index = 0
+    length = len(values)
+    while index < length:
+        value = values[index]
+        if value >= mode - tolerance:
+            # Near-or-above-mode value: absorb trailing small fragments.
+            total = value
+            cursor = index + 1
+            while (
+                cursor < length
+                and total < mode
+                and values[cursor] <= small_limit
+                and total + values[cursor] <= mode + tolerance
+            ):
+                total += values[cursor]
+                cursor += 1
+            merged.append(total)
+            index = cursor
+            continue
+
+        # Below-mode fragment: try to reassemble a full near-mode gap.
+        total = value
+        cursor = index + 1
+        while (
+            cursor < length
+            and total < mode - tolerance
+            and total + values[cursor] <= mode + tolerance
+        ):
+            total += values[cursor]
+            cursor += 1
+        if abs(total - mode) <= tolerance:
+            merged.append(total)
+            index = cursor
+        else:
+            merged.append(value)
+            index += 1
+
+    return tuple(merged)
+
+
+def apply_slacking_pipeline(waiting_times: Sequence[int]) -> list[tuple[int, ...]]:
+    """Return the sequence of progressively slacked WT variants to check.
+
+    The classifier evaluates the "regular" definition against, in order:
+
+    1. the raw waiting times,
+    2. the boundary-trimmed waiting times,
+    3. the boundary-trimmed waiting times with small WTs merged.
+
+    Variants identical to an earlier one are omitted.
+    """
+    raw = tuple(int(value) for value in waiting_times)
+    variants = [raw]
+    trimmed = trim_boundary_waiting_times(raw)
+    if trimmed != raw:
+        variants.append(trimmed)
+    merged = merge_small_waiting_times(trimmed)
+    if merged not in variants:
+        variants.append(merged)
+    return variants

@@ -1,0 +1,93 @@
+"""Per-function online state (the ``FState`` of Algorithm 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.categories import FunctionCategory
+from repro.core.predictive import PredictiveValues
+
+
+@dataclass
+class FunctionState:
+    """Mutable online state tracked for one function during provisioning.
+
+    Attributes
+    ----------
+    function_id:
+        The function's id.
+    category:
+        Current category (may be promoted online by the adaptive strategies).
+    predictive:
+        Current predictive values (may be adjusted online).
+    theta_prewarm:
+        Pre-warm window applied to this function.
+    theta_givenup:
+        Idle threshold after which the instance is evicted.
+    last_invocation:
+        Minute of the most recent invocation, or ``None``.
+    online_waiting_times:
+        Waiting times observed during the online phase (used by adjusting).
+    invocation_count / cold_start_count:
+        Online counters (used for reporting per-category statistics).
+    offline_wt_median / offline_wt_std:
+        Training-window statistics used to decide when the online behaviour
+        has drifted far enough to adjust the predictive values.
+    seen_in_training:
+        False for functions that never appeared during training ("unseen").
+    adjusted:
+        True once the adjusting strategy has modified the predictive values.
+    """
+
+    function_id: str
+    category: FunctionCategory
+    predictive: PredictiveValues = field(default_factory=PredictiveValues.none)
+    theta_prewarm: int = 2
+    theta_givenup: int = 1
+    last_invocation: int | None = None
+    online_waiting_times: List[int] = field(default_factory=list)
+    invocation_count: int = 0
+    cold_start_count: int = 0
+    offline_wt_median: float = 0.0
+    offline_wt_std: float = 0.0
+    seen_in_training: bool = True
+    adjusted: bool = False
+
+    # ------------------------------------------------------------------ #
+    def record_invocation(self, minute: int, cold: bool) -> int | None:
+        """Record an invocation at ``minute``; return the completed WT, if any.
+
+        A waiting time is produced only when at least one idle minute
+        separates this invocation from the previous one.
+        """
+        waiting_time: int | None = None
+        if self.last_invocation is not None:
+            gap = minute - self.last_invocation - 1
+            if gap > 0:
+                waiting_time = gap
+                self.online_waiting_times.append(gap)
+        self.last_invocation = minute
+        self.invocation_count += 1
+        if cold:
+            self.cold_start_count += 1
+        return waiting_time
+
+    def idle_minutes(self, minute: int) -> int:
+        """Idle minutes accumulated up to and including ``minute``."""
+        if self.last_invocation is None:
+            return minute + 1
+        return max(0, minute - self.last_invocation)
+
+    def preload_due(self, minute: int) -> bool:
+        """True when a predicted invocation justifies keeping/loading the instance."""
+        if self.last_invocation is None or self.predictive.is_empty:
+            return False
+        return self.predictive.matches(minute, self.last_invocation, self.theta_prewarm)
+
+    @property
+    def cold_start_rate(self) -> float:
+        """Online cold-start rate of this function."""
+        if self.invocation_count == 0:
+            return 0.0
+        return self.cold_start_count / self.invocation_count

@@ -1,0 +1,19 @@
+"""End-to-end experiment harness reproducing the paper's evaluation (§V).
+
+:class:`ExperimentRunner` owns the workload (synthetic Azure-like trace or a
+loaded real trace), the train/simulation split and the policy suite; the
+``rq1``-``rq4`` modules turn simulation results into the numbers behind each
+figure of the paper.
+"""
+
+from repro.experiments.runner import ExperimentConfig, ExperimentRunner
+from repro.experiments import rq1_coldstart, rq2_memory, rq3_tradeoff, rq4_ablation
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentRunner",
+    "rq1_coldstart",
+    "rq2_memory",
+    "rq3_tradeoff",
+    "rq4_ablation",
+]

@@ -1,0 +1,118 @@
+"""RQ1: effectiveness in cold-start reduction (Figs. 8, 9 and 10)."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+import numpy as np
+
+from repro.core.categories import FunctionCategory
+from repro.core.policy import SpesPolicy
+from repro.metrics.coldstart import (
+    cold_start_cdf,
+    csr_improvement,
+    per_category_cold_start_rate,
+)
+from repro.metrics.memory import normalized_memory_usage
+from repro.metrics.summary import ComparisonTable
+from repro.simulation.results import SimulationResult
+
+
+def csr_cdf_table(
+    results: Mapping[str, SimulationResult],
+    grid: np.ndarray | None = None,
+) -> ComparisonTable:
+    """The CDF of function-wise cold-start rates per policy (Fig. 8).
+
+    Each row is one grid point of the cold-start-rate axis; each policy column
+    holds the fraction of invoked functions whose CSR is at most that value.
+    """
+    if grid is None:
+        grid = np.round(np.arange(0.0, 1.01, 0.05), 2)
+    table = ComparisonTable(
+        title="Fig. 8 - CDF of function-wise cold-start rate",
+        columns=("csr",) + tuple(results),
+    )
+    cdfs = {name: cold_start_cdf(result, grid)[1] for name, result in results.items()}
+    for index, value in enumerate(grid):
+        row: Dict[str, object] = {"csr": float(value)}
+        for name in results:
+            row[name] = float(cdfs[name][index]) if cdfs[name].size else 0.0
+        table.add_row(**row)
+    return table
+
+
+def headline_improvements(
+    results: Mapping[str, SimulationResult], candidate: str = "spes"
+) -> ComparisonTable:
+    """SPES's Q3-CSR reduction over every baseline (the paper's headline numbers)."""
+    if candidate not in results:
+        raise KeyError(f"candidate policy {candidate!r} not in results")
+    table = ComparisonTable(
+        title="RQ1 - 75th-percentile CSR and SPES's relative reduction",
+        columns=("policy", "q3_csr", "p90_csr", "never_cold", "always_cold", "q3_reduction_by_spes"),
+    )
+    candidate_result = results[candidate]
+    for name, result in results.items():
+        reduction = None if name == candidate else csr_improvement(candidate_result, result)
+        table.add_row(
+            policy=name,
+            q3_csr=result.q3_cold_start_rate,
+            p90_csr=result.cold_start_rate_percentile(90.0),
+            never_cold=result.never_cold_fraction,
+            always_cold=result.always_cold_fraction,
+            q3_reduction_by_spes=reduction,
+        )
+    return table
+
+
+def memory_and_always_cold(
+    results: Mapping[str, SimulationResult], reference: str = "spes"
+) -> ComparisonTable:
+    """Normalized memory usage and always-cold percentage per policy (Fig. 9)."""
+    normalized = normalized_memory_usage(results, reference)
+    table = ComparisonTable(
+        title="Fig. 9 - normalized memory usage and always-cold functions",
+        columns=("policy", "normalized_memory", "always_cold_pct"),
+    )
+    for name, result in results.items():
+        table.add_row(
+            policy=name,
+            normalized_memory=normalized[name],
+            always_cold_pct=100.0 * result.always_cold_fraction,
+        )
+    return table
+
+
+def per_category_csr(
+    spes_policy: SpesPolicy, spes_result: SimulationResult
+) -> Dict[FunctionCategory, float]:
+    """Average cold-start rate of each SPES category (Fig. 10)."""
+    return per_category_cold_start_rate(spes_result, spes_policy.category_assignments())
+
+
+def per_category_csr_table(
+    spes_policy: SpesPolicy, spes_result: SimulationResult
+) -> ComparisonTable:
+    """Fig. 10 rendered as a table ordered like the paper's bar chart."""
+    rates = per_category_csr(spes_policy, spes_result)
+    order = [
+        FunctionCategory.UNKNOWN,
+        FunctionCategory.ALWAYS_WARM,
+        FunctionCategory.REGULAR,
+        FunctionCategory.APPRO_REGULAR,
+        FunctionCategory.DENSE,
+        FunctionCategory.SUCCESSIVE,
+        FunctionCategory.PULSED,
+        FunctionCategory.POSSIBLE,
+        FunctionCategory.CORRELATED,
+        FunctionCategory.NEWLY_POSSIBLE,
+    ]
+    table = ComparisonTable(
+        title="Fig. 10 - average cold-start rate per category",
+        columns=("category", "cold_start_rate"),
+    )
+    for category in order:
+        if category in rates:
+            table.add_row(category=category.value, cold_start_rate=rates[category])
+    return table

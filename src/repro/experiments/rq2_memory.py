@@ -1,0 +1,68 @@
+"""RQ2: wasted memory time, memory efficiency and scheduler overhead (Figs. 11, 12)."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.core.categories import FunctionCategory
+from repro.core.policy import SpesPolicy
+from repro.metrics.memory import (
+    normalized_wasted_memory_time,
+    per_category_wmt_ratio,
+)
+from repro.metrics.summary import ComparisonTable
+from repro.simulation.results import SimulationResult
+
+
+def wmt_and_emcr_table(
+    results: Mapping[str, SimulationResult], reference: str = "spes"
+) -> ComparisonTable:
+    """Normalized wasted memory time and EMCR per policy (Fig. 11)."""
+    normalized = normalized_wasted_memory_time(results, reference)
+    table = ComparisonTable(
+        title="Fig. 11 - normalized wasted memory time and EMCR",
+        columns=("policy", "normalized_wmt", "emcr_pct"),
+    )
+    for name, result in results.items():
+        table.add_row(
+            policy=name,
+            normalized_wmt=normalized[name],
+            emcr_pct=100.0 * result.emcr,
+        )
+    return table
+
+
+def wmt_ratio_per_type(
+    spes_policy: SpesPolicy, spes_result: SimulationResult
+) -> Dict[FunctionCategory, float]:
+    """Mean per-function WMT ratio of each SPES category (Fig. 12)."""
+    return per_category_wmt_ratio(spes_result, spes_policy.category_assignments())
+
+
+def wmt_ratio_per_type_table(
+    spes_policy: SpesPolicy, spes_result: SimulationResult
+) -> ComparisonTable:
+    """Fig. 12 rendered as a table."""
+    ratios = wmt_ratio_per_type(spes_policy, spes_result)
+    table = ComparisonTable(
+        title="Fig. 12 - wasted-memory-time ratio per category",
+        columns=("category", "wmt_ratio"),
+    )
+    for category, ratio in sorted(ratios.items(), key=lambda item: item[0].value):
+        table.add_row(category=category.value, wmt_ratio=ratio)
+    return table
+
+
+def overhead_comparison(results: Mapping[str, SimulationResult]) -> ComparisonTable:
+    """Scheduler decision overhead per simulated minute (RQ2 overhead discussion)."""
+    table = ComparisonTable(
+        title="RQ2 - scheduler overhead per simulated minute",
+        columns=("policy", "overhead_s_per_min", "total_overhead_s"),
+    )
+    for name, result in results.items():
+        table.add_row(
+            policy=name,
+            overhead_s_per_min=result.overhead_per_minute,
+            total_overhead_s=result.overhead_seconds,
+        )
+    return table

@@ -1,0 +1,68 @@
+"""RQ4: impact of SPES's complementary designs (Figs. 14 and 15).
+
+* Fig. 14 ablates the inter-function correlation designs: ``w/o Corr``
+  removes the offline "correlated" category, ``w/o Online-Corr`` removes the
+  online correlation of unseen functions.
+* Fig. 15 ablates the concept-shift designs: ``w/o Forgetting`` removes the
+  recency-based re-categorization, ``w/o Adjusting`` removes the online
+  predictive-value updates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.runner import ExperimentRunner
+from repro.metrics.summary import ComparisonTable
+from repro.simulation.results import SimulationResult
+
+
+def correlation_ablation(runner: ExperimentRunner) -> Dict[str, SimulationResult]:
+    """Run SPES with the correlation designs disabled (Fig. 14)."""
+    base_config = runner.config.spes_config
+    return {
+        "spes": runner.run_spes(),
+        "w/o-corr": runner.run_spes_variant(
+            base_config.replace(enable_correlation=False),
+            cache_key="spes-no-corr",
+        ),
+        "w/o-online-corr": runner.run_spes_variant(
+            base_config.replace(enable_online_correlation=False),
+            cache_key="spes-no-online-corr",
+        ),
+    }
+
+
+def adaptivity_ablation(runner: ExperimentRunner) -> Dict[str, SimulationResult]:
+    """Run SPES with the concept-shift designs disabled (Fig. 15)."""
+    base_config = runner.config.spes_config
+    return {
+        "spes": runner.run_spes(),
+        "w/o-forgetting": runner.run_spes_variant(
+            base_config.replace(enable_forgetting=False),
+            cache_key="spes-no-forgetting",
+        ),
+        "w/o-adjusting": runner.run_spes_variant(
+            base_config.replace(enable_adjusting=False),
+            cache_key="spes-no-adjusting",
+        ),
+    }
+
+
+def ablation_table(results: Dict[str, SimulationResult], title: str) -> ComparisonTable:
+    """Render an ablation as the paper does: Q3-CSR, normalized memory and WMT."""
+    reference = results.get("spes")
+    reference_memory = reference.average_memory_usage if reference else 1.0
+    reference_wmt = reference.total_wasted_memory_time if reference else 1
+    table = ComparisonTable(
+        title=title,
+        columns=("variant", "q3_csr", "normalized_memory", "normalized_wmt"),
+    )
+    for name, result in results.items():
+        table.add_row(
+            variant=name,
+            q3_csr=result.q3_cold_start_rate,
+            normalized_memory=result.average_memory_usage / max(reference_memory, 1e-9),
+            normalized_wmt=result.total_wasted_memory_time / max(reference_wmt, 1),
+        )
+    return table

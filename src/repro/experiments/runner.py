@@ -1,0 +1,168 @@
+"""Experiment orchestration: workload, split, policy suite and result caching."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict
+
+from repro.baselines import (
+    DefusePolicy,
+    FaasCachePolicy,
+    FixedKeepAlivePolicy,
+    HybridApplicationPolicy,
+    HybridFunctionPolicy,
+    LcsPolicy,
+)
+from repro.core import SpesConfig, SpesPolicy
+from repro.simulation import ProvisioningPolicy, SimulationResult, Simulator
+from repro.traces import AzureTraceGenerator, GeneratorProfile, Trace, TraceSplit, split_trace
+
+
+@dataclass
+class ExperimentConfig:
+    """Configuration of one reproduction experiment.
+
+    Attributes
+    ----------
+    n_functions:
+        Number of functions in the synthetic workload.
+    seed:
+        Workload seed.
+    duration_days:
+        Total trace length (the Azure trace spans 14 days).
+    training_days:
+        Days used for offline pattern modelling (12 in the paper).
+    warmup_minutes:
+        Minutes of history replayed through each policy before metrics start.
+    include_lcs:
+        Whether to include the extra LCS comparator (not in the paper's set).
+    spes_config:
+        SPES configuration used for the main SPES run.
+    """
+
+    n_functions: int = 400
+    seed: int = 2024
+    duration_days: float = 14.0
+    training_days: float = 12.0
+    warmup_minutes: int = 1440
+    include_lcs: bool = False
+    spes_config: SpesConfig = field(default_factory=SpesConfig)
+
+    def generator_profile(self) -> GeneratorProfile:
+        """Profile of the synthetic workload generator for this experiment."""
+        return GeneratorProfile(
+            n_functions=self.n_functions,
+            duration_days=self.duration_days,
+            # Keep the unseen-function window inside short experiment traces.
+            unseen_window_days=min(2.0, self.duration_days / 4.0),
+            seed=self.seed,
+        )
+
+
+class ExperimentRunner:
+    """Builds the workload once and simulates any number of policies over it.
+
+    Parameters
+    ----------
+    config:
+        Experiment configuration (defaults reproduce the benchmark setup).
+    trace:
+        Optional pre-built trace (e.g. the real Azure trace); when omitted a
+        synthetic trace is generated from the configuration.
+    """
+
+    def __init__(self, config: ExperimentConfig | None = None, trace: Trace | None = None) -> None:
+        self.config = config or ExperimentConfig()
+        self._trace = trace
+        self._split: TraceSplit | None = None
+        self._results: Dict[str, SimulationResult] = {}
+        self._spes_policy: SpesPolicy | None = None
+
+    # ------------------------------------------------------------------ #
+    # Workload
+    # ------------------------------------------------------------------ #
+    @property
+    def trace(self) -> Trace:
+        """The full 14-day workload (generated lazily)."""
+        if self._trace is None:
+            self._trace = AzureTraceGenerator(self.config.generator_profile()).generate()
+        return self._trace
+
+    @property
+    def split(self) -> TraceSplit:
+        """Training / simulation split of the workload."""
+        if self._split is None:
+            self._split = split_trace(self.trace, training_days=self.config.training_days)
+        return self._split
+
+    # ------------------------------------------------------------------ #
+    # Policy suite
+    # ------------------------------------------------------------------ #
+    def spes_policy(self) -> SpesPolicy:
+        """The SPES policy instance used for the cached main run."""
+        if self._spes_policy is None:
+            self._spes_policy = SpesPolicy(self.config.spes_config)
+        return self._spes_policy
+
+    def baseline_factories(self) -> Dict[str, Callable[[], ProvisioningPolicy]]:
+        """Factories for every baseline policy of the paper's comparison.
+
+        FaaSCache needs a memory capacity; following the paper, it is set to
+        the peak memory SPES used during the simulation, so the SPES run is
+        executed first if needed.
+        """
+        spes_result = self.run_spes()
+        capacity = max(1, int(spes_result.peak_memory_usage))
+        factories: Dict[str, Callable[[], ProvisioningPolicy]] = {
+            "fixed-10min": lambda: FixedKeepAlivePolicy(keep_alive_minutes=10),
+            "hybrid-function": HybridFunctionPolicy,
+            "hybrid-application": HybridApplicationPolicy,
+            "defuse": DefusePolicy,
+            "faascache": lambda: FaasCachePolicy(capacity=capacity),
+        }
+        if self.config.include_lcs:
+            factories["lcs"] = LcsPolicy
+        return factories
+
+    # ------------------------------------------------------------------ #
+    # Simulation
+    # ------------------------------------------------------------------ #
+    def simulate(self, policy: ProvisioningPolicy, cache_key: str | None = None) -> SimulationResult:
+        """Simulate one policy over the experiment's simulation window."""
+        if cache_key is not None and cache_key in self._results:
+            return self._results[cache_key]
+        simulator = Simulator(
+            simulation_trace=self.split.simulation,
+            training_trace=self.split.training,
+            warmup_minutes=self.config.warmup_minutes,
+        )
+        result = simulator.run(policy)
+        if cache_key is not None:
+            self._results[cache_key] = result
+        return result
+
+    def run_spes(self) -> SimulationResult:
+        """Run (or return the cached) main SPES simulation."""
+        if "spes" not in self._results:
+            self._results["spes"] = self.simulate(self.spes_policy())
+        return self._results["spes"]
+
+    def run_baselines(self) -> Dict[str, SimulationResult]:
+        """Run (or return cached) simulations of every baseline."""
+        results: Dict[str, SimulationResult] = {}
+        for name, factory in self.baseline_factories().items():
+            results[name] = self.simulate(factory(), cache_key=name)
+        return results
+
+    def run_all(self) -> Dict[str, SimulationResult]:
+        """Run SPES and every baseline; returns ``{policy_name: result}``."""
+        results = {"spes": self.run_spes()}
+        results.update(self.run_baselines())
+        return results
+
+    def run_spes_variant(self, config: SpesConfig, cache_key: str | None = None) -> SimulationResult:
+        """Run a SPES variant with a different configuration (sweeps, ablations)."""
+        if cache_key is not None and cache_key in self._results:
+            return self._results[cache_key]
+        result = self.simulate(SpesPolicy(config), cache_key=cache_key)
+        return result

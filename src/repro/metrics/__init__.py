@@ -1,0 +1,42 @@
+"""Evaluation metrics used throughout the paper's evaluation (§V-A2).
+
+* cold-start rate (CSR) distributions, percentiles and CDFs;
+* wasted memory time (WMT) and per-function WMT ratios;
+* normalized memory usage and the effective memory consumption ratio (EMCR);
+* per-category aggregations used by Fig. 10 and Fig. 12;
+* policy comparison tables.
+"""
+
+from repro.metrics.coldstart import (
+    always_cold_fraction,
+    cold_start_cdf,
+    cold_start_rate_percentile,
+    csr_improvement,
+    never_cold_fraction,
+    per_category_cold_start_rate,
+)
+from repro.metrics.memory import (
+    normalized_memory_usage,
+    normalized_wasted_memory_time,
+    per_category_wmt_ratio,
+    wmt_reduction,
+)
+from repro.metrics.distribution import empirical_cdf, percentile_table
+from repro.metrics.summary import ComparisonTable, build_comparison
+
+__all__ = [
+    "cold_start_cdf",
+    "cold_start_rate_percentile",
+    "always_cold_fraction",
+    "never_cold_fraction",
+    "csr_improvement",
+    "per_category_cold_start_rate",
+    "normalized_memory_usage",
+    "normalized_wasted_memory_time",
+    "per_category_wmt_ratio",
+    "wmt_reduction",
+    "empirical_cdf",
+    "percentile_table",
+    "ComparisonTable",
+    "build_comparison",
+]

@@ -1,0 +1,75 @@
+"""Cold-start metrics: CSR distributions, percentiles, always-cold fractions."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+import numpy as np
+
+from repro.core.categories import FunctionCategory
+from repro.metrics.distribution import empirical_cdf
+from repro.simulation.results import SimulationResult
+
+
+def cold_start_cdf(
+    result: SimulationResult, grid: np.ndarray | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF of the function-wise cold-start rate (paper Fig. 8)."""
+    return empirical_cdf(result.cold_start_rates(), grid)
+
+
+def cold_start_rate_percentile(result: SimulationResult, percentile: float) -> float:
+    """Percentile of the function-wise CSR distribution (75 gives the Q3-CSR)."""
+    return result.cold_start_rate_percentile(percentile)
+
+
+def always_cold_fraction(result: SimulationResult) -> float:
+    """Fraction of invoked functions whose every invocation was a cold start."""
+    return result.always_cold_fraction
+
+
+def never_cold_fraction(result: SimulationResult) -> float:
+    """Fraction of invoked functions that never experienced a cold start."""
+    return result.never_cold_fraction
+
+
+def csr_improvement(
+    candidate: SimulationResult, baseline: SimulationResult, percentile: float = 75.0
+) -> float:
+    """Relative reduction of the percentile CSR achieved by ``candidate`` over ``baseline``.
+
+    Matches the paper's headline statement ("reducing the 75th-percentile
+    cold start rates by 49.77%"): a return value of 0.5 means the candidate's
+    percentile CSR is half the baseline's.  Returns 0 when the baseline's
+    percentile CSR is zero.
+    """
+    baseline_value = baseline.cold_start_rate_percentile(percentile)
+    if baseline_value == 0:
+        return 0.0
+    candidate_value = candidate.cold_start_rate_percentile(percentile)
+    return (baseline_value - candidate_value) / baseline_value
+
+
+def per_category_cold_start_rate(
+    result: SimulationResult,
+    categories: Mapping[str, FunctionCategory],
+) -> Dict[FunctionCategory, float]:
+    """Aggregate CSR per SPES category (paper Fig. 10).
+
+    The rate for a category is total cold starts divided by total invocations
+    of the functions assigned to it; categories with no invoked functions are
+    omitted.
+    """
+    invocations: Dict[FunctionCategory, int] = {}
+    cold_starts: Dict[FunctionCategory, int] = {}
+    for function_id, stats in result.per_function.items():
+        if stats.invocations == 0:
+            continue
+        category = categories.get(function_id, FunctionCategory.UNKNOWN)
+        invocations[category] = invocations.get(category, 0) + stats.invocations
+        cold_starts[category] = cold_starts.get(category, 0) + stats.cold_starts
+    return {
+        category: cold_starts[category] / invocations[category]
+        for category in invocations
+        if invocations[category] > 0
+    }

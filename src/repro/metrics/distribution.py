@@ -1,0 +1,49 @@
+"""Distribution helpers: empirical CDFs and percentile tables."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def empirical_cdf(
+    values: Sequence[float] | np.ndarray,
+    grid: Sequence[float] | np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF of ``values``.
+
+    Parameters
+    ----------
+    values:
+        Sample values.
+    grid:
+        Points at which to evaluate the CDF.  When omitted, the sorted unique
+        sample values are used, which reproduces the familiar step plot.
+
+    Returns
+    -------
+    (x, y):
+        ``y[i]`` is the fraction of samples less than or equal to ``x[i]``.
+    """
+    samples = np.asarray(values, dtype=float)
+    if samples.size == 0:
+        return np.zeros(0), np.zeros(0)
+    sorted_samples = np.sort(samples)
+    if grid is None:
+        x = np.unique(sorted_samples)
+    else:
+        x = np.asarray(grid, dtype=float)
+    y = np.searchsorted(sorted_samples, x, side="right") / samples.size
+    return x, y
+
+
+def percentile_table(
+    values: Sequence[float] | np.ndarray,
+    percentiles: Sequence[float] = (25.0, 50.0, 75.0, 90.0, 95.0, 99.0),
+) -> dict[float, float]:
+    """Return ``{percentile: value}`` for the requested percentiles."""
+    samples = np.asarray(values, dtype=float)
+    if samples.size == 0:
+        return {float(p): 0.0 for p in percentiles}
+    return {float(p): float(np.percentile(samples, p)) for p in percentiles}

@@ -1,0 +1,68 @@
+"""Memory metrics: wasted memory time, normalized usage and EMCR helpers."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+import numpy as np
+
+from repro.core.categories import FunctionCategory
+from repro.simulation.results import SimulationResult
+
+
+def normalized_memory_usage(
+    results: Mapping[str, SimulationResult], reference: str
+) -> Dict[str, float]:
+    """Average memory usage of each policy, normalized by the reference policy.
+
+    The paper normalizes memory usage by SPES's average (Fig. 9a).
+    """
+    if reference not in results:
+        raise KeyError(f"reference policy {reference!r} not in results")
+    reference_usage = results[reference].average_memory_usage
+    if reference_usage == 0:
+        raise ValueError("reference policy has zero average memory usage")
+    return {
+        name: result.average_memory_usage / reference_usage
+        for name, result in results.items()
+    }
+
+
+def normalized_wasted_memory_time(
+    results: Mapping[str, SimulationResult], reference: str
+) -> Dict[str, float]:
+    """Total wasted memory time of each policy, normalized by the reference policy."""
+    if reference not in results:
+        raise KeyError(f"reference policy {reference!r} not in results")
+    reference_wmt = results[reference].total_wasted_memory_time
+    if reference_wmt == 0:
+        raise ValueError("reference policy has zero wasted memory time")
+    return {
+        name: result.total_wasted_memory_time / reference_wmt
+        for name, result in results.items()
+    }
+
+
+def wmt_reduction(candidate: SimulationResult, baseline: SimulationResult) -> float:
+    """Relative WMT reduction of ``candidate`` over ``baseline`` (paper §V-C)."""
+    if baseline.total_wasted_memory_time == 0:
+        return 0.0
+    return (
+        baseline.total_wasted_memory_time - candidate.total_wasted_memory_time
+    ) / baseline.total_wasted_memory_time
+
+
+def per_category_wmt_ratio(
+    result: SimulationResult,
+    categories: Mapping[str, FunctionCategory],
+) -> Dict[FunctionCategory, float]:
+    """Mean per-function WMT ratio (WMT / invocations) per category (paper Fig. 12)."""
+    ratios: Dict[FunctionCategory, list[float]] = {}
+    for function_id, stats in result.per_function.items():
+        if stats.invocations == 0 and stats.wasted_memory_time == 0:
+            continue
+        category = categories.get(function_id, FunctionCategory.UNKNOWN)
+        ratios.setdefault(category, []).append(stats.wmt_ratio)
+    return {
+        category: float(np.mean(values)) for category, values in ratios.items() if values
+    }

@@ -1,0 +1,94 @@
+"""Policy comparison tables rendered as plain text.
+
+The benchmark harness regenerates each of the paper's figures as a table of
+numbers; :class:`ComparisonTable` is the shared renderer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence
+
+from repro.simulation.results import SimulationResult
+
+
+@dataclass
+class ComparisonTable:
+    """A simple column-aligned text table.
+
+    Attributes
+    ----------
+    title:
+        Table caption printed above the header.
+    columns:
+        Column names, in display order.
+    rows:
+        One mapping per row; missing cells render as empty strings.
+    """
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+
+    def add_row(self, **cells: object) -> None:
+        """Append a row given as keyword arguments keyed by column name."""
+        self.rows.append(dict(cells))
+
+    def render(self, float_format: str = "{:.4f}") -> str:
+        """Render the table as aligned plain text."""
+        def format_cell(value: object) -> str:
+            if isinstance(value, float):
+                return float_format.format(value)
+            if value is None:
+                return ""
+            return str(value)
+
+        header = [str(column) for column in self.columns]
+        body = [[format_cell(row.get(column)) for column in self.columns] for row in self.rows]
+        widths = [
+            max(len(header[i]), *(len(line[i]) for line in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [self.title]
+        lines.append("  ".join(header[i].ljust(widths[i]) for i in range(len(header))))
+        lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+        for line in body:
+            lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(header))))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def build_comparison(
+    results: Mapping[str, SimulationResult],
+    title: str = "Policy comparison",
+) -> ComparisonTable:
+    """Build the standard policy-comparison table from simulation results."""
+    columns = (
+        "policy",
+        "q3_csr",
+        "p90_csr",
+        "overall_csr",
+        "never_cold",
+        "always_cold",
+        "wmt",
+        "avg_memory",
+        "emcr",
+        "overhead_s_per_min",
+    )
+    table = ComparisonTable(title=title, columns=columns)
+    for name, result in results.items():
+        table.add_row(
+            policy=name,
+            q3_csr=result.q3_cold_start_rate,
+            p90_csr=result.cold_start_rate_percentile(90.0),
+            overall_csr=result.overall_cold_start_rate,
+            never_cold=result.never_cold_fraction,
+            always_cold=result.always_cold_fraction,
+            wmt=float(result.total_wasted_memory_time),
+            avg_memory=result.average_memory_usage,
+            emcr=result.emcr,
+            overhead_s_per_min=result.overhead_per_minute,
+        )
+    return table

@@ -1,0 +1,34 @@
+"""Discrete-time (per-minute) serverless provisioning simulator.
+
+The simulator follows the principles the paper adopts from Shahrad et al.
+(ATC'20):
+
+* every execution completes within the one-minute sampling slot;
+* cold-start latency is uniform across functions, so the number of cold
+  starts fully determines the latency impact;
+* every loaded instance consumes one unit of memory, and a host can hold all
+  loaded instances (no capacity-induced evictions unless a policy imposes its
+  own limit, as FaaSCache does).
+
+Provisioning policies implement :class:`ProvisioningPolicy` and are driven by
+:class:`Simulator`, which charges cold starts, wasted memory time, memory
+usage, and effective memory consumption exactly as defined in the paper.
+"""
+
+from repro.simulation.policy_base import AlwaysWarmPolicy, NoKeepAlivePolicy, ProvisioningPolicy
+from repro.simulation.memory import MemoryAccountant
+from repro.simulation.results import FunctionStats, SimulationResult
+from repro.simulation.engine import Simulator, simulate_policy
+from repro.simulation.overhead import OverheadTimer
+
+__all__ = [
+    "ProvisioningPolicy",
+    "AlwaysWarmPolicy",
+    "NoKeepAlivePolicy",
+    "MemoryAccountant",
+    "FunctionStats",
+    "SimulationResult",
+    "Simulator",
+    "simulate_policy",
+    "OverheadTimer",
+]

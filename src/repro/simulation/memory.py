@@ -1,0 +1,116 @@
+"""Memory accounting: wasted memory time, usage and effective consumption.
+
+The accounting rules follow §II-B and §V-A of the paper:
+
+* every loaded function instance occupies one memory unit for the minute;
+* *wasted memory time* (WMT) accrues one unit for every minute a function's
+  image is resident while the function is not invoked;
+* the *effective memory consumption ratio* (EMCR) is the fraction of loaded
+  instance-minutes that actually served an invocation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Set
+
+import numpy as np
+
+
+class MemoryAccountant:
+    """Accumulates per-minute memory statistics during a simulation run.
+
+    Parameters
+    ----------
+    duration:
+        Number of minutes the simulation will run for (used to pre-allocate
+        the per-minute usage series).
+    """
+
+    def __init__(self, duration: int) -> None:
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        self._duration = duration
+        self._usage = np.zeros(duration, dtype=np.int64)
+        self._idle = np.zeros(duration, dtype=np.int64)
+        self._wmt_per_function: Dict[str, int] = {}
+        self._loaded_instance_minutes = 0
+        self._active_instance_minutes = 0
+
+    def observe_minute(
+        self,
+        minute: int,
+        loaded: Set[str] | Iterable[str],
+        invocations: Mapping[str, int],
+    ) -> None:
+        """Charge one minute of memory usage.
+
+        Parameters
+        ----------
+        minute:
+            Simulation minute index.
+        loaded:
+            Function ids resident in memory during this minute (including
+            instances loaded on demand to serve this minute's invocations).
+        invocations:
+            ``{function_id: count}`` invoked during this minute.
+        """
+        if not 0 <= minute < self._duration:
+            raise IndexError(f"minute {minute} outside simulation of {self._duration} minutes")
+        loaded_set = set(loaded)
+        used = len(loaded_set)
+        active = sum(1 for function_id in loaded_set if function_id in invocations)
+        idle = used - active
+
+        self._usage[minute] = used
+        self._idle[minute] = idle
+        self._loaded_instance_minutes += used
+        self._active_instance_minutes += active
+        for function_id in loaded_set:
+            if function_id not in invocations:
+                self._wmt_per_function[function_id] = (
+                    self._wmt_per_function.get(function_id, 0) + 1
+                )
+
+    # ------------------------------------------------------------------ #
+    # Aggregates
+    # ------------------------------------------------------------------ #
+    @property
+    def usage_series(self) -> np.ndarray:
+        """Per-minute number of loaded instances."""
+        view = self._usage.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def idle_series(self) -> np.ndarray:
+        """Per-minute number of loaded-but-idle instances."""
+        view = self._idle.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def wasted_memory_time(self) -> int:
+        """Total wasted memory time (idle instance-minutes) over the run."""
+        return int(self._idle.sum())
+
+    @property
+    def wmt_per_function(self) -> Dict[str, int]:
+        """Wasted memory time attributed to each function."""
+        return dict(self._wmt_per_function)
+
+    @property
+    def average_memory_usage(self) -> float:
+        """Mean number of loaded instances per minute."""
+        return float(self._usage.mean()) if self._duration else 0.0
+
+    @property
+    def peak_memory_usage(self) -> int:
+        """Maximum number of instances loaded in any single minute."""
+        return int(self._usage.max()) if self._duration else 0
+
+    @property
+    def effective_memory_consumption_ratio(self) -> float:
+        """Fraction of loaded instance-minutes that served an invocation (EMCR)."""
+        if self._loaded_instance_minutes == 0:
+            return 0.0
+        return self._active_instance_minutes / self._loaded_instance_minutes

@@ -1,0 +1,63 @@
+"""Wall-clock instrumentation for scheduler decision overhead (paper RQ2).
+
+The paper compares the per-minute decision overhead of each scheduler on the
+simulation machine.  :class:`OverheadTimer` accumulates the time spent inside
+``ProvisioningPolicy.on_minute`` so the experiment harness can report the same
+comparison.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class OverheadTimer:
+    """Accumulates wall-clock time across repeated measured sections."""
+
+    def __init__(self) -> None:
+        self._total = 0.0
+        self._count = 0
+        self._max = 0.0
+
+    @contextmanager
+    def measure(self) -> Iterator[None]:
+        """Context manager measuring one decision step."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._total += elapsed
+            self._count += 1
+            if elapsed > self._max:
+                self._max = elapsed
+
+    @property
+    def total_seconds(self) -> float:
+        """Total measured time in seconds."""
+        return self._total
+
+    @property
+    def call_count(self) -> int:
+        """Number of measured sections."""
+        return self._count
+
+    @property
+    def mean_seconds(self) -> float:
+        """Mean time per measured section, in seconds."""
+        if self._count == 0:
+            return 0.0
+        return self._total / self._count
+
+    @property
+    def max_seconds(self) -> float:
+        """Longest single measured section, in seconds."""
+        return self._max
+
+    def reset(self) -> None:
+        """Clear all accumulated measurements."""
+        self._total = 0.0
+        self._count = 0
+        self._max = 0.0

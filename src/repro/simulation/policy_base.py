@@ -1,0 +1,121 @@
+"""Abstract provisioning-policy interface shared by SPES and all baselines.
+
+A policy's job is simple to state: at the end of every simulated minute it
+declares which function instances should stay (or become) resident in memory
+for the following minute.  The simulator charges a cold start whenever a
+function is invoked while not resident, and one minute of wasted memory time
+for every resident-but-idle instance-minute.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Mapping, Sequence, Set
+
+from repro.traces.schema import FunctionRecord
+from repro.traces.trace import Trace
+
+
+class ProvisioningPolicy(abc.ABC):
+    """Base class for function-provisioning policies.
+
+    Lifecycle:
+
+    1. :meth:`prepare` is called once with the static function metadata and
+       (optionally) the training trace, before the simulation starts.  This is
+       the offline phase where SPES categorizes functions and where the hybrid
+       histogram policies build their idle-time histograms.
+    2. :meth:`on_minute` is called once per simulated minute with the
+       invocations observed during that minute.  It returns the set of
+       function ids that should be resident at the start of the *next* minute.
+
+    Policies are stateful; a fresh instance (or a call to :meth:`reset`)
+    should be used for each simulation run.
+    """
+
+    #: Human-readable policy name used in result tables.
+    name: str = "policy"
+
+    def prepare(
+        self,
+        functions: Sequence[FunctionRecord],
+        training: Trace | None = None,
+    ) -> None:
+        """Offline phase: observe metadata and (optionally) the training trace.
+
+        The default implementation records the function metadata and does no
+        modelling; subclasses override to build their predictive state.
+        """
+        self._functions = {record.function_id: record for record in functions}
+
+    @property
+    def known_functions(self) -> Mapping[str, FunctionRecord]:
+        """Function metadata provided at :meth:`prepare` time."""
+        return getattr(self, "_functions", {})
+
+    @abc.abstractmethod
+    def on_minute(self, minute: int, invocations: Mapping[str, int]) -> Set[str]:
+        """Decide the resident set for the start of the next minute.
+
+        Parameters
+        ----------
+        minute:
+            Index of the simulated minute (relative to the simulation window).
+        invocations:
+            ``{function_id: count}`` for functions invoked during this minute.
+            Functions not present were not invoked.
+
+        Returns
+        -------
+        set of str
+            Ids of the functions that should be resident at the start of the
+            next minute.  Invoked functions that are *not* returned are
+            evicted immediately after serving their request.
+        """
+
+    def reset(self) -> None:
+        """Clear any per-run state.  Subclasses with online state override this."""
+
+
+class NoKeepAlivePolicy(ProvisioningPolicy):
+    """Degenerate policy that never keeps anything warm (every invocation is cold).
+
+    Useful as a lower bound for memory usage and an upper bound for cold
+    starts in tests and sanity checks.
+    """
+
+    name = "no-keepalive"
+
+    def on_minute(self, minute: int, invocations: Mapping[str, int]) -> Set[str]:
+        return set()
+
+
+class AlwaysWarmPolicy(ProvisioningPolicy):
+    """Degenerate policy that keeps every known function warm at all times.
+
+    Useful as an upper bound for memory usage and a lower bound for cold
+    starts (only the very first invocation of a function never seen before
+    can be cold).
+    """
+
+    name = "always-warm"
+
+    def __init__(self, function_ids: Iterable[str] | None = None) -> None:
+        self._explicit_ids = set(function_ids) if function_ids is not None else None
+
+    def prepare(
+        self,
+        functions: Sequence[FunctionRecord],
+        training: Trace | None = None,
+    ) -> None:
+        super().prepare(functions, training)
+        if self._explicit_ids is None:
+            self._resident = {record.function_id for record in functions}
+        else:
+            self._resident = set(self._explicit_ids)
+
+    def on_minute(self, minute: int, invocations: Mapping[str, int]) -> Set[str]:
+        resident = set(getattr(self, "_resident", set()))
+        resident.update(invocations)
+        self._resident = resident
+        return set(resident)

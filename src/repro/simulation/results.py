@@ -1,0 +1,200 @@
+"""Simulation results: per-function statistics and run-level aggregates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+import numpy as np
+
+
+@dataclass
+class FunctionStats:
+    """Cold-start and memory statistics for one function over a run.
+
+    Attributes
+    ----------
+    function_id:
+        Id of the function.
+    invocations:
+        Number of minutes the function was invoked at least once.  Following
+        the paper's simulation principle (all executions fit in a minute),
+        each invoked minute contributes one provisioning decision, so the
+        cold-start rate is computed over invoked minutes.
+    cold_starts:
+        Number of invoked minutes at which the function was not resident.
+    wasted_memory_time:
+        Minutes the function's image sat in memory without being invoked.
+    """
+
+    function_id: str
+    invocations: int = 0
+    cold_starts: int = 0
+    wasted_memory_time: int = 0
+
+    @property
+    def cold_start_rate(self) -> float:
+        """Cold starts divided by invocations (0 for never-invoked functions)."""
+        if self.invocations == 0:
+            return 0.0
+        return self.cold_starts / self.invocations
+
+    @property
+    def always_cold(self) -> bool:
+        """True when every invocation of the function was a cold start."""
+        return self.invocations > 0 and self.cold_starts == self.invocations
+
+    @property
+    def never_cold(self) -> bool:
+        """True when the function was invoked and never experienced a cold start."""
+        return self.invocations > 0 and self.cold_starts == 0
+
+    @property
+    def wmt_ratio(self) -> float:
+        """Wasted memory time divided by invoked minutes (paper Fig. 12)."""
+        if self.invocations == 0:
+            return float(self.wasted_memory_time)
+        return self.wasted_memory_time / self.invocations
+
+
+@dataclass
+class SimulationResult:
+    """Aggregated outcome of one policy simulated over one trace window.
+
+    Attributes
+    ----------
+    policy_name:
+        Name of the simulated policy.
+    duration_minutes:
+        Length of the simulation window.
+    per_function:
+        Statistics for every function that was invoked or kept resident.
+    memory_usage:
+        Per-minute number of loaded instances.
+    total_wasted_memory_time:
+        Sum of idle instance-minutes over the run.
+    emcr:
+        Effective memory consumption ratio.
+    overhead_seconds:
+        Total wall-clock time spent inside the policy's decision code.
+    overhead_per_minute:
+        Mean policy decision time per simulated minute, in seconds.
+    """
+
+    policy_name: str
+    duration_minutes: int
+    per_function: Dict[str, FunctionStats] = field(default_factory=dict)
+    memory_usage: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+    total_wasted_memory_time: int = 0
+    emcr: float = 0.0
+    overhead_seconds: float = 0.0
+    overhead_per_minute: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Cold-start aggregates
+    # ------------------------------------------------------------------ #
+    def invoked_functions(self) -> list[FunctionStats]:
+        """Statistics for functions invoked at least once during the run."""
+        return [stats for stats in self.per_function.values() if stats.invocations > 0]
+
+    @property
+    def total_invocations(self) -> int:
+        """Total invoked minutes over all functions."""
+        return sum(stats.invocations for stats in self.per_function.values())
+
+    @property
+    def total_cold_starts(self) -> int:
+        """Total cold starts over all functions."""
+        return sum(stats.cold_starts for stats in self.per_function.values())
+
+    @property
+    def overall_cold_start_rate(self) -> float:
+        """Cold starts divided by invocations over the whole run."""
+        invocations = self.total_invocations
+        if invocations == 0:
+            return 0.0
+        return self.total_cold_starts / invocations
+
+    def cold_start_rates(self) -> np.ndarray:
+        """Function-wise cold-start rates (only functions that were invoked)."""
+        rates = [stats.cold_start_rate for stats in self.invoked_functions()]
+        return np.asarray(rates, dtype=float)
+
+    def cold_start_rate_percentile(self, percentile: float) -> float:
+        """Percentile of the function-wise cold-start-rate distribution.
+
+        The paper's headline metric is the 75th percentile (``Q3-CSR``).
+        """
+        rates = self.cold_start_rates()
+        if rates.size == 0:
+            return 0.0
+        return float(np.percentile(rates, percentile))
+
+    @property
+    def q3_cold_start_rate(self) -> float:
+        """The 75th-percentile function-wise cold-start rate."""
+        return self.cold_start_rate_percentile(75.0)
+
+    @property
+    def always_cold_fraction(self) -> float:
+        """Fraction of invoked functions whose every invocation was cold."""
+        invoked = self.invoked_functions()
+        if not invoked:
+            return 0.0
+        return sum(1 for stats in invoked if stats.always_cold) / len(invoked)
+
+    @property
+    def never_cold_fraction(self) -> float:
+        """Fraction of invoked functions that experienced no cold start at all."""
+        invoked = self.invoked_functions()
+        if not invoked:
+            return 0.0
+        return sum(1 for stats in invoked if stats.never_cold) / len(invoked)
+
+    # ------------------------------------------------------------------ #
+    # Memory aggregates
+    # ------------------------------------------------------------------ #
+    @property
+    def average_memory_usage(self) -> float:
+        """Mean loaded instances per minute."""
+        if self.memory_usage.size == 0:
+            return 0.0
+        return float(self.memory_usage.mean())
+
+    @property
+    def peak_memory_usage(self) -> int:
+        """Maximum loaded instances in any minute."""
+        if self.memory_usage.size == 0:
+            return 0
+        return int(self.memory_usage.max())
+
+    def wmt_per_function(self) -> Dict[str, int]:
+        """Wasted memory time attributed to each function."""
+        return {
+            function_id: stats.wasted_memory_time
+            for function_id, stats in self.per_function.items()
+        }
+
+    # ------------------------------------------------------------------ #
+    def summary(self) -> Dict[str, float]:
+        """A flat dictionary of headline metrics, handy for tables and tests."""
+        return {
+            "policy": self.policy_name,
+            "invocations": float(self.total_invocations),
+            "cold_starts": float(self.total_cold_starts),
+            "overall_csr": self.overall_cold_start_rate,
+            "q3_csr": self.q3_cold_start_rate,
+            "p90_csr": self.cold_start_rate_percentile(90.0),
+            "always_cold_fraction": self.always_cold_fraction,
+            "never_cold_fraction": self.never_cold_fraction,
+            "wasted_memory_time": float(self.total_wasted_memory_time),
+            "avg_memory": self.average_memory_usage,
+            "peak_memory": float(self.peak_memory_usage),
+            "emcr": self.emcr,
+            "overhead_per_minute_s": self.overhead_per_minute,
+        }
+
+
+def compare_results(results: Mapping[str, SimulationResult]) -> Dict[str, Dict[str, float]]:
+    """Build a ``{policy: summary}`` mapping from several simulation results."""
+    return {name: result.summary() for name, result in results.items()}

@@ -1,0 +1,63 @@
+"""Trace substrate: schemas, containers, loaders and synthetic workload generation.
+
+The Azure Functions 2019 public trace used by the paper records per-minute
+invocation counts for every function over 14 days, together with owner
+(user), application and trigger metadata.  This package provides:
+
+* :mod:`repro.traces.schema` -- value objects (:class:`TriggerType`,
+  :class:`FunctionRecord`) shared by every other subsystem.
+* :mod:`repro.traces.trace` -- the :class:`Trace` container holding the
+  per-minute invocation matrix and metadata, with train/simulation splitting.
+* :mod:`repro.traces.archetypes` -- per-pattern invocation series generators
+  (periodic, Poisson, bursty, chained, ...).
+* :mod:`repro.traces.synthetic` -- :class:`AzureTraceGenerator`, a full
+  synthetic-workload generator whose marginal statistics match the published
+  characteristics of the Azure trace.
+* :mod:`repro.traces.azure_loader` -- loader for the real Azure CSV schema so
+  the genuine trace can be substituted when it is available offline.
+"""
+
+from repro.traces.schema import (
+    MINUTES_PER_DAY,
+    FunctionRecord,
+    TraceMetadata,
+    TriggerType,
+)
+from repro.traces.trace import Trace, TraceSplit, split_trace
+from repro.traces.archetypes import (
+    ArchetypeName,
+    generate_always_warm,
+    generate_bursty,
+    generate_chained,
+    generate_dense_poisson,
+    generate_drifting,
+    generate_periodic,
+    generate_pulsed,
+    generate_quasi_periodic,
+    generate_rare,
+)
+from repro.traces.synthetic import AzureTraceGenerator, GeneratorProfile
+from repro.traces.azure_loader import load_azure_invocation_csv
+
+__all__ = [
+    "MINUTES_PER_DAY",
+    "TriggerType",
+    "FunctionRecord",
+    "TraceMetadata",
+    "Trace",
+    "TraceSplit",
+    "split_trace",
+    "ArchetypeName",
+    "generate_always_warm",
+    "generate_periodic",
+    "generate_quasi_periodic",
+    "generate_dense_poisson",
+    "generate_bursty",
+    "generate_pulsed",
+    "generate_chained",
+    "generate_rare",
+    "generate_drifting",
+    "AzureTraceGenerator",
+    "GeneratorProfile",
+    "load_azure_invocation_csv",
+]

@@ -1,0 +1,325 @@
+"""Per-pattern invocation-series generators ("archetypes").
+
+Each generator returns a 1-D integer array of per-minute invocation counts
+exhibiting one of the behaviours the paper observes in the Azure trace:
+
+* ``always_warm``   -- invoked (almost) every minute (§IV-A1).
+* ``periodic``      -- timer-like, near-constant waiting time (§IV-A2).
+* ``quasi_periodic``-- period drawn from a small set of values (§IV-A3).
+* ``dense_poisson`` -- frequent, irregular Poisson arrivals (§IV-A4, HTTP).
+* ``bursty``        -- long idle stretches punctuated by dense bursts, i.e.
+  temporal locality / the "successive" category (§IV-A5, Fig. 6).
+* ``pulsed``        -- milder, shorter bursts (§IV-B2 D1).
+* ``chained``       -- invocations that follow a parent function after a lag,
+  the basis of the "correlated" category (§IV-B2 D2).
+* ``rare``          -- a handful of invocations, some with a repeated waiting
+  time ("possible", §IV-B2 D3) and some without ("unknown").
+* ``drifting``      -- a concept shift: the pattern changes mid-trace
+  (§III-A4, Fig. 4).
+
+All generators take a :class:`numpy.random.Generator` so callers control
+determinism, and all return arrays of exactly ``duration`` minutes.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+ArchetypeName = Literal[
+    "always_warm",
+    "periodic",
+    "quasi_periodic",
+    "dense_poisson",
+    "bursty",
+    "pulsed",
+    "chained",
+    "rare",
+    "drifting",
+    "unknown",
+]
+
+
+def _empty(duration: int) -> np.ndarray:
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    return np.zeros(duration, dtype=np.int64)
+
+
+def generate_always_warm(
+    rng: np.random.Generator,
+    duration: int,
+    miss_probability: float = 0.0005,
+    mean_rate: float = 3.0,
+) -> np.ndarray:
+    """Function invoked at (almost) every minute.
+
+    Parameters
+    ----------
+    rng:
+        Random generator.
+    duration:
+        Number of minutes.
+    miss_probability:
+        Probability that any given minute has no invocation.  The paper's
+        definition tolerates a total idle time of at most one thousandth of
+        the observation window, so the default stays well inside that bound.
+    mean_rate:
+        Mean invocations per active minute (Poisson distributed, minimum 1).
+    """
+    series = _empty(duration)
+    active = rng.random(duration) >= miss_probability
+    counts = np.maximum(rng.poisson(mean_rate, size=duration), 1)
+    series[active] = counts[active]
+    return series
+
+
+def generate_periodic(
+    rng: np.random.Generator,
+    duration: int,
+    period: int = 60,
+    jitter_probability: float = 0.02,
+    miss_probability: float = 0.0,
+    extra_noise_rate: float = 0.0,
+    phase: int | None = None,
+    invocations_per_event: int = 1,
+) -> np.ndarray:
+    """Timer-like function invoked every ``period`` minutes.
+
+    Real timer functions are rarely perfectly periodic: firings get delayed
+    by a minute (``jitter_probability``), occasionally dropped
+    (``miss_probability``), and unrelated events sporadically invoke the same
+    function (``extra_noise_rate``, expected spurious invocations per
+    minute).  These are exactly the contingencies the paper's slacking rules
+    are designed to absorb.
+    """
+    if period < 1:
+        raise ValueError("period must be >= 1")
+    if not 0 <= miss_probability < 1:
+        raise ValueError("miss_probability must be in [0, 1)")
+    if extra_noise_rate < 0:
+        raise ValueError("extra_noise_rate must be non-negative")
+    series = _empty(duration)
+    start = int(rng.integers(0, period)) if phase is None else phase % period
+    for minute in range(start, duration, period):
+        if miss_probability > 0 and rng.random() < miss_probability:
+            continue
+        slot = minute
+        if jitter_probability > 0 and rng.random() < jitter_probability:
+            slot = min(duration - 1, max(0, minute + int(rng.choice([-1, 1]))))
+        series[slot] += invocations_per_event
+    if extra_noise_rate > 0:
+        series += rng.poisson(extra_noise_rate, size=duration)
+    return series
+
+
+def generate_quasi_periodic(
+    rng: np.random.Generator,
+    duration: int,
+    periods: tuple[int, ...] = (3, 4, 5),
+    weights: tuple[float, ...] | None = None,
+    extra_noise_rate: float = 0.0,
+    invocations_per_event: int = 1,
+) -> np.ndarray:
+    """Function whose inter-event gap is drawn from a small set of values.
+
+    This mirrors the paper's "approximatively regular" example: an IoT-hub
+    function expected every 3 minutes that actually fires every 3-5 minutes.
+    ``extra_noise_rate`` adds sporadic unrelated invocations on top.
+    """
+    if not periods:
+        raise ValueError("periods must be non-empty")
+    if any(p < 1 for p in periods):
+        raise ValueError("all periods must be >= 1")
+    if weights is not None and len(weights) != len(periods):
+        raise ValueError("weights must match periods in length")
+    if extra_noise_rate < 0:
+        raise ValueError("extra_noise_rate must be non-negative")
+    probabilities = None
+    if weights is not None:
+        total = float(sum(weights))
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        probabilities = [w / total for w in weights]
+
+    series = _empty(duration)
+    minute = int(rng.integers(0, max(periods)))
+    while minute < duration:
+        series[minute] += invocations_per_event
+        minute += int(rng.choice(periods, p=probabilities))
+    if extra_noise_rate > 0:
+        series += rng.poisson(extra_noise_rate, size=duration)
+    return series
+
+
+def generate_dense_poisson(
+    rng: np.random.Generator,
+    duration: int,
+    rate_per_minute: float = 0.8,
+    diurnal: bool = True,
+    diurnal_amplitude: float = 0.6,
+) -> np.ndarray:
+    """Frequent, irregular invocations following a (optionally diurnal) Poisson process.
+
+    The paper observes that ~45% of HTTP-triggered functions follow a Poisson
+    arrival process; a diurnal modulation keeps the series realistic for
+    human-generated traffic.
+    """
+    if rate_per_minute <= 0:
+        raise ValueError("rate_per_minute must be positive")
+    if not 0 <= diurnal_amplitude < 1:
+        raise ValueError("diurnal_amplitude must be in [0, 1)")
+    minutes = np.arange(duration)
+    if diurnal:
+        modulation = 1.0 + diurnal_amplitude * np.sin(2 * np.pi * minutes / 1440.0)
+    else:
+        modulation = np.ones(duration)
+    rates = rate_per_minute * modulation
+    return rng.poisson(rates).astype(np.int64)
+
+
+def generate_bursty(
+    rng: np.random.Generator,
+    duration: int,
+    burst_count: int = 6,
+    burst_length_range: tuple[int, int] = (8, 40),
+    burst_rate: float = 2.5,
+    min_gap: int = 120,
+) -> np.ndarray:
+    """Long idle stretches punctuated by dense bursts (temporal locality).
+
+    These series drive the "successive" category: once a burst starts, the
+    function is invoked at (nearly) every minute until the burst ends.
+    """
+    low, high = burst_length_range
+    if low < 1 or high < low:
+        raise ValueError("invalid burst_length_range")
+    series = _empty(duration)
+    cursor = int(rng.integers(0, max(1, min_gap)))
+    for _ in range(burst_count):
+        if cursor >= duration:
+            break
+        length = int(rng.integers(low, high + 1))
+        end = min(duration, cursor + length)
+        series[cursor:end] = np.maximum(rng.poisson(burst_rate, size=end - cursor), 1)
+        cursor = end + min_gap + int(rng.integers(0, min_gap + 1))
+    return series
+
+
+def generate_pulsed(
+    rng: np.random.Generator,
+    duration: int,
+    pulse_count: int = 10,
+    pulse_length_range: tuple[int, int] = (2, 6),
+    min_gap: int = 200,
+) -> np.ndarray:
+    """Short, mild bursts separated by long gaps (the "pulsed" assignment).
+
+    Pulsed functions show weaker temporal locality than "successive" ones: the
+    bursts are too short to satisfy the successive-category thresholds, yet a
+    short keep-alive after the first invocation still avoids most cold starts.
+    """
+    low, high = pulse_length_range
+    if low < 1 or high < low:
+        raise ValueError("invalid pulse_length_range")
+    series = _empty(duration)
+    cursor = int(rng.integers(0, max(1, min_gap)))
+    for _ in range(pulse_count):
+        if cursor >= duration:
+            break
+        length = int(rng.integers(low, high + 1))
+        end = min(duration, cursor + length)
+        series[cursor:end] = 1
+        cursor = end + min_gap + int(rng.integers(0, min_gap + 1))
+    return series
+
+
+def generate_chained(
+    rng: np.random.Generator,
+    parent_series: np.ndarray,
+    lag: int = 2,
+    trigger_probability: float = 0.95,
+    extra_noise_rate: float = 0.0,
+) -> np.ndarray:
+    """Invocations that follow ``parent_series`` after ``lag`` minutes.
+
+    This models function chaining / fan-out: whenever the parent is invoked,
+    the child is invoked ``lag`` minutes later with ``trigger_probability``.
+    Such children become the "correlated" category through the T-lagged
+    co-occurrence rate.
+    """
+    if lag < 0:
+        raise ValueError("lag must be non-negative")
+    if not 0 < trigger_probability <= 1:
+        raise ValueError("trigger_probability must be in (0, 1]")
+    parent = np.asarray(parent_series, dtype=np.int64)
+    duration = parent.shape[0]
+    series = _empty(duration)
+    parent_minutes = np.nonzero(parent)[0]
+    for minute in parent_minutes:
+        child_minute = minute + lag
+        if child_minute >= duration:
+            continue
+        if rng.random() < trigger_probability:
+            series[child_minute] += max(1, int(parent[minute]))
+    if extra_noise_rate > 0:
+        series += rng.poisson(extra_noise_rate, size=duration)
+    return series
+
+
+def generate_rare(
+    rng: np.random.Generator,
+    duration: int,
+    invocation_count: int = 4,
+    repeated_gap: int | None = None,
+) -> np.ndarray:
+    """A handful of invocations scattered over the trace.
+
+    If ``repeated_gap`` is given, consecutive invocations are separated by that
+    gap (with the remainder placed randomly), producing at least one repeated
+    waiting time and therefore a "possible" function.  Otherwise the
+    invocations land at uniformly random minutes ("unknown" behaviour).
+    """
+    if invocation_count < 1:
+        raise ValueError("invocation_count must be >= 1")
+    series = _empty(duration)
+    if repeated_gap is not None:
+        if repeated_gap < 1:
+            raise ValueError("repeated_gap must be >= 1")
+        start = int(rng.integers(0, max(1, duration - repeated_gap * invocation_count)))
+        minute = start
+        placed = 0
+        while placed < invocation_count and minute < duration:
+            series[minute] += 1
+            minute += repeated_gap
+            placed += 1
+        return series
+    minutes = rng.choice(duration, size=min(invocation_count, duration), replace=False)
+    for minute in minutes:
+        series[int(minute)] += 1
+    return series
+
+
+def generate_drifting(
+    rng: np.random.Generator,
+    duration: int,
+    first_period: int = 30,
+    second_rate: float = 0.5,
+    change_point_fraction: float = 0.5,
+) -> np.ndarray:
+    """A concept shift: periodic behaviour that turns into Poisson traffic.
+
+    The change point splits the trace at ``change_point_fraction`` of its
+    duration, reproducing the short-term evolution shown in Fig. 4 and
+    exercising SPES's forgetting / adjusting strategies.
+    """
+    if not 0 < change_point_fraction < 1:
+        raise ValueError("change_point_fraction must be in (0, 1)")
+    change_point = int(duration * change_point_fraction)
+    change_point = min(max(change_point, 1), duration - 1)
+    first = generate_periodic(rng, change_point, period=first_period)
+    second = generate_dense_poisson(
+        rng, duration - change_point, rate_per_minute=second_rate, diurnal=False
+    )
+    return np.concatenate([first, second])

@@ -1,0 +1,146 @@
+"""Loader for the real Azure Functions 2019 public trace.
+
+The paper evaluates on the dataset released with Shahrad et al. (ATC'20),
+distributed as CSV files named ``invocations_per_function_md.anon.d{DD}.csv``
+(one per day).  Each row describes one function for one day:
+
+``HashOwner, HashApp, HashFunction, Trigger, 1, 2, ..., 1440``
+
+where columns ``1``..``1440`` hold per-minute invocation counts.  This module
+stitches those daily files into a single :class:`~repro.traces.trace.Trace`,
+so the synthetic generator can be swapped for the genuine trace whenever the
+dataset is available locally.  Nothing in the rest of the library depends on
+which source produced the trace.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+from repro.traces.schema import MINUTES_PER_DAY, FunctionRecord, TraceMetadata, TriggerType
+from repro.traces.trace import Trace
+
+#: Mapping from the trace's ``Trigger`` column values to :class:`TriggerType`.
+_TRIGGER_ALIASES: Dict[str, TriggerType] = {
+    "http": TriggerType.HTTP,
+    "timer": TriggerType.TIMER,
+    "queue": TriggerType.QUEUE,
+    "storage": TriggerType.STORAGE,
+    "blob": TriggerType.STORAGE,
+    "event": TriggerType.EVENT,
+    "eventhub": TriggerType.EVENT,
+    "orchestration": TriggerType.ORCHESTRATION,
+    "durable": TriggerType.ORCHESTRATION,
+    "others": TriggerType.OTHERS,
+    "other": TriggerType.OTHERS,
+    "combination": TriggerType.COMBINATION,
+}
+
+
+def parse_trigger(raw: str) -> TriggerType:
+    """Map a raw trigger string from the CSV to a :class:`TriggerType`.
+
+    Unknown trigger labels are mapped to :attr:`TriggerType.OTHERS` rather than
+    rejected, since the public trace contains a long tail of trigger variants.
+    """
+    return _TRIGGER_ALIASES.get(raw.strip().lower(), TriggerType.OTHERS)
+
+
+def _read_daily_file(path: Path) -> Dict[tuple[str, str, str, str], np.ndarray]:
+    """Read one daily invocation CSV into ``{(owner, app, func, trigger): counts}``."""
+    rows: Dict[tuple[str, str, str, str], np.ndarray] = {}
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None:
+            return rows
+        minute_columns = len(header) - 4
+        if minute_columns <= 0:
+            raise ValueError(f"{path}: expected minute columns after the 4 id columns")
+        for row in reader:
+            if len(row) < 4:
+                continue
+            owner, app, function, trigger = row[0], row[1], row[2], row[3]
+            counts = np.zeros(minute_columns, dtype=np.int64)
+            for index, value in enumerate(row[4 : 4 + minute_columns]):
+                if value:
+                    counts[index] = int(float(value))
+            key = (owner, app, function, trigger)
+            if key in rows:
+                rows[key] = rows[key] + counts
+            else:
+                rows[key] = counts
+    return rows
+
+
+def load_azure_invocation_csv(
+    paths: Sequence[str | Path] | Iterable[str | Path],
+    name: str = "azure-2019",
+    max_functions: int | None = None,
+) -> Trace:
+    """Load one or more daily Azure invocation CSVs into a :class:`Trace`.
+
+    Parameters
+    ----------
+    paths:
+        Daily CSV files, in chronological order.  Each contributes 1440
+        minute columns; days are concatenated in the order given.
+    name:
+        Name recorded in the trace metadata.
+    max_functions:
+        Optional cap on the number of functions loaded (useful for smoke
+        tests on the full dataset).
+
+    Returns
+    -------
+    Trace
+        A trace whose duration is ``1440 * len(paths)`` minutes.
+    """
+    path_list = [Path(path) for path in paths]
+    if not path_list:
+        raise ValueError("at least one daily CSV path is required")
+
+    daily = [_read_daily_file(path) for path in path_list]
+    day_length = MINUTES_PER_DAY
+    duration = day_length * len(daily)
+
+    # Collect the union of function keys across days.  The trigger label can
+    # occasionally differ between days for the same function; keep the first.
+    key_of_function: Dict[tuple[str, str, str], str] = {}
+    records: Dict[str, FunctionRecord] = {}
+    counts: Dict[str, np.ndarray] = {}
+
+    for day_index, day_rows in enumerate(daily):
+        offset = day_index * day_length
+        for (owner, app, function, trigger), series in day_rows.items():
+            identity = (owner, app, function)
+            function_id = key_of_function.get(identity)
+            if function_id is None:
+                if max_functions is not None and len(records) >= max_functions:
+                    continue
+                function_id = f"{owner}:{app}:{function}"
+                key_of_function[identity] = function_id
+                records[function_id] = FunctionRecord(
+                    function_id=function_id,
+                    app_id=f"{owner}:{app}",
+                    owner_id=owner,
+                    trigger=parse_trigger(trigger),
+                )
+                counts[function_id] = np.zeros(duration, dtype=np.int64)
+            window = counts[function_id][offset : offset + day_length]
+            usable = min(series.shape[0], day_length)
+            window[:usable] += series[:usable]
+
+    if not records:
+        raise ValueError("no functions were loaded from the given CSV files")
+
+    metadata = TraceMetadata(
+        name=name,
+        duration_minutes=duration,
+        extra={"source_files": [str(path) for path in path_list]},
+    )
+    return Trace(records.values(), counts, metadata)

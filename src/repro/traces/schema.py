@@ -1,0 +1,118 @@
+"""Value objects describing serverless functions and trace metadata.
+
+These types mirror the columns of the Azure Functions 2019 public trace that
+the paper evaluates on: every function is identified by a hashed id and is
+owned by an application, which in turn belongs to a user (owner).  Each
+function is bound to one trigger type (2.6% of functions in the trace are
+bound to a combination of triggers, which we model with
+:attr:`TriggerType.COMBINATION`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping
+
+#: Number of one-minute sampling slots per day in the Azure trace.
+MINUTES_PER_DAY = 1440
+
+
+class TriggerType(str, enum.Enum):
+    """Trigger categories used by the Azure Functions trace (paper Fig. 5).
+
+    The paper reports the following proportions over all functions:
+    HTTP 41.19%, timer 26.64%, queue 14.40%, orchestration 7.76%,
+    others 2.72%, event 2.52%, storage 2.19%, combination 2.60%.
+    """
+
+    HTTP = "http"
+    TIMER = "timer"
+    QUEUE = "queue"
+    STORAGE = "storage"
+    EVENT = "event"
+    ORCHESTRATION = "orchestration"
+    OTHERS = "others"
+    COMBINATION = "combination"
+
+    @classmethod
+    def paper_proportions(cls) -> Mapping["TriggerType", float]:
+        """Return the trigger-type mix reported in the paper (Fig. 5)."""
+        return {
+            cls.HTTP: 0.4119,
+            cls.TIMER: 0.2664,
+            cls.QUEUE: 0.1440,
+            cls.ORCHESTRATION: 0.0776,
+            cls.OTHERS: 0.0272,
+            cls.COMBINATION: 0.0260,
+            cls.EVENT: 0.0252,
+            cls.STORAGE: 0.0219,
+        }
+
+
+@dataclass(frozen=True)
+class FunctionRecord:
+    """Static metadata about a single serverless function.
+
+    Attributes
+    ----------
+    function_id:
+        Unique identifier of the function (hashed id in the real trace).
+    app_id:
+        Identifier of the application the function belongs to.
+    owner_id:
+        Identifier of the user (subscription) owning the application.
+    trigger:
+        The trigger type bound to the function.
+    archetype:
+        Optional name of the synthetic archetype that generated this
+        function's invocation series.  ``None`` for functions loaded from a
+        real trace.  This field is only used by tests and analysis tooling --
+        SPES and the baselines never look at it.
+    """
+
+    function_id: str
+    app_id: str
+    owner_id: str
+    trigger: TriggerType = TriggerType.HTTP
+    archetype: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.function_id:
+            raise ValueError("function_id must be a non-empty string")
+        if not self.app_id:
+            raise ValueError("app_id must be a non-empty string")
+        if not self.owner_id:
+            raise ValueError("owner_id must be a non-empty string")
+
+
+@dataclass
+class TraceMetadata:
+    """Summary metadata describing a :class:`~repro.traces.trace.Trace`.
+
+    Attributes
+    ----------
+    name:
+        Human readable name of the trace (e.g. ``"azure-2019"`` or
+        ``"synthetic-default"``).
+    duration_minutes:
+        Number of one-minute sampling slots in the trace.
+    seed:
+        Seed used to generate the trace, if synthetic.
+    extra:
+        Free-form annotations (generator profile parameters, source path...).
+    """
+
+    name: str
+    duration_minutes: int
+    seed: int | None = None
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def duration_days(self) -> float:
+        """Trace duration expressed in days."""
+        return self.duration_minutes / MINUTES_PER_DAY
+
+    def __post_init__(self) -> None:
+        if self.duration_minutes <= 0:
+            raise ValueError("duration_minutes must be positive")

@@ -1,0 +1,261 @@
+"""The :class:`Trace` container: per-minute invocation counts plus metadata.
+
+A trace is conceptually a sparse matrix ``counts[function, minute]`` holding
+invocation counts, together with a :class:`~repro.traces.schema.FunctionRecord`
+for every function.  Functions with zero invocations may still appear in the
+trace (they exist in the platform's registry even when idle), which matters
+because the paper explicitly reasons about functions that never appear during
+training ("unseen" functions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.traces.schema import MINUTES_PER_DAY, FunctionRecord, TraceMetadata
+
+
+class Trace:
+    """Per-minute invocation counts for a set of serverless functions.
+
+    Parameters
+    ----------
+    records:
+        Static metadata for every function in the trace.
+    counts:
+        Mapping from function id to a 1-D integer array of invocation counts,
+        one entry per minute.  All arrays must share the same length.
+    metadata:
+        Optional trace-level metadata; a default is synthesized if omitted.
+    """
+
+    def __init__(
+        self,
+        records: Iterable[FunctionRecord],
+        counts: Mapping[str, Sequence[int] | np.ndarray],
+        metadata: TraceMetadata | None = None,
+    ) -> None:
+        self._records: Dict[str, FunctionRecord] = {}
+        for record in records:
+            if record.function_id in self._records:
+                raise ValueError(f"duplicate function id: {record.function_id}")
+            self._records[record.function_id] = record
+
+        self._counts: Dict[str, np.ndarray] = {}
+        duration = None
+        for function_id, series in counts.items():
+            if function_id not in self._records:
+                raise KeyError(f"counts provided for unknown function: {function_id}")
+            array = np.asarray(series, dtype=np.int64)
+            if array.ndim != 1:
+                raise ValueError("invocation series must be one-dimensional")
+            if (array < 0).any():
+                raise ValueError("invocation counts must be non-negative")
+            if duration is None:
+                duration = array.shape[0]
+            elif array.shape[0] != duration:
+                raise ValueError("all invocation series must have the same length")
+            self._counts[function_id] = array
+
+        missing = set(self._records) - set(self._counts)
+        if missing and duration is None:
+            raise ValueError("cannot infer trace duration: no invocation series given")
+        for function_id in missing:
+            self._counts[function_id] = np.zeros(duration, dtype=np.int64)
+
+        if duration is None:
+            raise ValueError("a trace must contain at least one function")
+
+        self._duration = int(duration)
+        self.metadata = metadata or TraceMetadata(
+            name="unnamed", duration_minutes=self._duration
+        )
+        if self.metadata.duration_minutes != self._duration:
+            raise ValueError(
+                "metadata.duration_minutes does not match the invocation series length"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def duration_minutes(self) -> int:
+        """Number of one-minute slots in the trace."""
+        return self._duration
+
+    @property
+    def duration_days(self) -> float:
+        """Trace duration in days."""
+        return self._duration / MINUTES_PER_DAY
+
+    @property
+    def function_ids(self) -> list[str]:
+        """All function ids, in insertion order."""
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, function_id: object) -> bool:
+        return function_id in self._records
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._records)
+
+    def record(self, function_id: str) -> FunctionRecord:
+        """Return the static metadata for ``function_id``."""
+        return self._records[function_id]
+
+    def records(self) -> list[FunctionRecord]:
+        """Return metadata for every function."""
+        return list(self._records.values())
+
+    def series(self, function_id: str) -> np.ndarray:
+        """Return the invocation-count series for ``function_id`` (read-only view)."""
+        view = self._counts[function_id].view()
+        view.flags.writeable = False
+        return view
+
+    def total_invocations(self, function_id: str | None = None) -> int:
+        """Total invocation count for one function, or the whole trace."""
+        if function_id is not None:
+            return int(self._counts[function_id].sum())
+        return int(sum(int(series.sum()) for series in self._counts.values()))
+
+    def invoked_function_ids(self) -> list[str]:
+        """Ids of functions with at least one invocation in this trace."""
+        return [fid for fid, series in self._counts.items() if series.any()]
+
+    # ------------------------------------------------------------------ #
+    # Per-minute access used by the simulator
+    # ------------------------------------------------------------------ #
+    def invocations_at(self, minute: int) -> Dict[str, int]:
+        """Return ``{function_id: count}`` for functions invoked at ``minute``.
+
+        Functions with zero invocations at that minute are omitted, matching
+        how the simulator and the provisioning policies consume the trace.
+        """
+        if not 0 <= minute < self._duration:
+            raise IndexError(f"minute {minute} outside trace of {self._duration} minutes")
+        result: Dict[str, int] = {}
+        for function_id, series in self._counts.items():
+            count = int(series[minute])
+            if count > 0:
+                result[function_id] = count
+        return result
+
+    def iter_minutes(
+        self, start: int = 0, stop: int | None = None
+    ) -> Iterator[tuple[int, Dict[str, int]]]:
+        """Yield ``(minute, invocations)`` pairs over ``[start, stop)``.
+
+        This pre-computes, per function, the minutes at which it is invoked,
+        so iterating a long, sparse trace does not repeatedly scan every
+        function's series.
+        """
+        stop = self._duration if stop is None else stop
+        if not 0 <= start <= stop <= self._duration:
+            raise IndexError("invalid minute range")
+
+        per_minute: Dict[int, Dict[str, int]] = {}
+        for function_id, series in self._counts.items():
+            window = series[start:stop]
+            for offset in np.nonzero(window)[0]:
+                minute = start + int(offset)
+                per_minute.setdefault(minute, {})[function_id] = int(window[offset])
+
+        for minute in range(start, stop):
+            yield minute, per_minute.get(minute, {})
+
+    # ------------------------------------------------------------------ #
+    # Grouping helpers used by application-grained policies and COR mining
+    # ------------------------------------------------------------------ #
+    def functions_by_app(self) -> Dict[str, list[str]]:
+        """Group function ids by application id."""
+        groups: Dict[str, list[str]] = {}
+        for record in self._records.values():
+            groups.setdefault(record.app_id, []).append(record.function_id)
+        return groups
+
+    def functions_by_owner(self) -> Dict[str, list[str]]:
+        """Group function ids by owner (user) id."""
+        groups: Dict[str, list[str]] = {}
+        for record in self._records.values():
+            groups.setdefault(record.owner_id, []).append(record.function_id)
+        return groups
+
+    def functions_by_trigger(self) -> Dict[str, list[str]]:
+        """Group function ids by trigger type value."""
+        groups: Dict[str, list[str]] = {}
+        for record in self._records.values():
+            groups.setdefault(record.trigger.value, []).append(record.function_id)
+        return groups
+
+    # ------------------------------------------------------------------ #
+    # Slicing
+    # ------------------------------------------------------------------ #
+    def slice(self, start: int, stop: int, name: str | None = None) -> "Trace":
+        """Return a new trace restricted to minutes ``[start, stop)``.
+
+        Every function is retained, even those with no invocation in the
+        window, so that "unseen during training" functions remain visible to
+        downstream consumers.
+        """
+        if not 0 <= start < stop <= self._duration:
+            raise ValueError(f"invalid slice [{start}, {stop}) for {self._duration} minutes")
+        sliced = {fid: series[start:stop].copy() for fid, series in self._counts.items()}
+        metadata = TraceMetadata(
+            name=name or f"{self.metadata.name}[{start}:{stop}]",
+            duration_minutes=stop - start,
+            seed=self.metadata.seed,
+            extra=dict(self.metadata.extra),
+        )
+        return Trace(self.records(), sliced, metadata)
+
+
+@dataclass(frozen=True)
+class TraceSplit:
+    """A training/simulation split of a trace, as used in the paper (12 + 2 days)."""
+
+    training: Trace
+    simulation: Trace
+
+    @property
+    def unseen_function_ids(self) -> list[str]:
+        """Functions invoked during simulation but never during training."""
+        trained = set(self.training.invoked_function_ids())
+        return [
+            fid
+            for fid in self.simulation.invoked_function_ids()
+            if fid not in trained
+        ]
+
+
+def split_trace(trace: Trace, training_days: float = 12.0) -> TraceSplit:
+    """Split ``trace`` into training and simulation windows.
+
+    The paper uses the first 12 days of the 14-day Azure trace for pattern
+    modelling and the final 2 days for simulation.
+
+    Parameters
+    ----------
+    trace:
+        The full trace to split.
+    training_days:
+        Number of days assigned to the training window.  Must leave at least
+        one minute for simulation.
+    """
+    boundary = int(round(training_days * MINUTES_PER_DAY))
+    if not 0 < boundary < trace.duration_minutes:
+        raise ValueError(
+            f"training_days={training_days} does not fit a trace of "
+            f"{trace.duration_days:.2f} days"
+        )
+    training = trace.slice(0, boundary, name=f"{trace.metadata.name}-train")
+    simulation = trace.slice(
+        boundary, trace.duration_minutes, name=f"{trace.metadata.name}-sim"
+    )
+    return TraceSplit(training=training, simulation=simulation)

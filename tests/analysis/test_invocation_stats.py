@@ -1,0 +1,52 @@
+"""Tests for the Fig. 3 / Fig. 5 trace statistics."""
+
+import pytest
+
+from repro.analysis import (
+    invocation_count_histogram,
+    invocation_count_summary,
+    trigger_proportions,
+)
+
+
+class TestHistogram:
+    def test_counts_every_function_once(self, small_trace):
+        histogram = invocation_count_histogram(small_trace)
+        assert sum(histogram.values()) == len(small_trace)
+
+    def test_zero_bucket(self, small_trace):
+        histogram = invocation_count_histogram(small_trace)
+        never = sum(
+            1 for fid in small_trace.function_ids if small_trace.total_invocations(fid) == 0
+        )
+        assert histogram["0"] == never
+
+    def test_invalid_parameters_rejected(self, small_trace):
+        with pytest.raises(ValueError):
+            invocation_count_histogram(small_trace, bins_per_decade=0)
+        with pytest.raises(ValueError):
+            invocation_count_histogram(small_trace, max_decade=0)
+
+    def test_heavy_tail_visible(self, small_trace):
+        summary = invocation_count_summary(small_trace)
+        assert summary["skewness_ratio"] > 1.0
+
+    def test_summary_fields(self, small_trace):
+        summary = invocation_count_summary(small_trace)
+        assert summary["functions"] == len(small_trace)
+        assert summary["invoked_functions"] <= summary["functions"]
+        assert summary["median"] <= summary["p90"] <= summary["p99"] <= summary["max"]
+
+
+class TestTriggerProportions:
+    def test_fractions_sum_to_one(self, small_trace):
+        proportions = trigger_proportions(small_trace)
+        assert sum(proportions.values()) == pytest.approx(1.0)
+
+    def test_known_trigger_values(self, small_trace):
+        proportions = trigger_proportions(small_trace)
+        valid = {
+            "http", "timer", "queue", "storage", "event",
+            "orchestration", "others", "combination",
+        }
+        assert set(proportions).issubset(valid)

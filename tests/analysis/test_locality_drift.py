@@ -1,0 +1,79 @@
+"""Tests for the temporal-locality (Fig. 6) and concept-drift (Fig. 4) analyses."""
+
+import numpy as np
+
+from repro.analysis import detect_shifts, drift_study, temporal_locality_study
+from repro.analysis.locality import normalized_burst_series
+from repro.traces import AzureTraceGenerator, FunctionRecord, GeneratorProfile, Trace, archetypes
+from repro.traces.schema import TraceMetadata
+
+
+def build_trace(counts, records):
+    duration = len(next(iter(counts.values())))
+    return Trace(records, counts, TraceMetadata(name="t", duration_minutes=duration))
+
+
+class TestLocality:
+    def test_bursty_functions_detected(self, rng):
+        duration = 20000
+        counts = {}
+        records = []
+        for index in range(4):
+            fid = f"bursty-{index}"
+            counts[fid] = archetypes.generate_bursty(
+                rng, duration, burst_count=4, burst_length_range=(15, 30), min_gap=3000
+            )
+            records.append(FunctionRecord(fid, f"a{index}", f"o{index}"))
+        report = temporal_locality_study(build_trace(counts, records))
+        assert report.functions_considered == 4
+        assert report.bursty_fraction > 0.5
+        assert report.mean_burst_concentration > 0.5
+
+    def test_scattered_functions_not_bursty(self, rng):
+        duration = 20000
+        series = np.zeros(duration, dtype=np.int64)
+        series[rng.choice(duration, size=30, replace=False)] = 1
+        records = [FunctionRecord("scatter", "a", "o")]
+        report = temporal_locality_study(build_trace({"scatter": series}, records))
+        assert report.bursty_fraction < 0.5
+
+    def test_frequency_bounds_respected(self, small_trace):
+        report = temporal_locality_study(small_trace, min_invocations=5, max_invocations=100)
+        for fid in report.per_function_concentration:
+            invoked = int((small_trace.series(fid) > 0).sum())
+            assert 5 <= invoked <= 100
+
+    def test_normalized_series_bounded(self, small_trace):
+        fid = small_trace.invoked_function_ids()[0]
+        normalized = normalized_burst_series(small_trace, fid)
+        assert normalized.max() <= 1.0
+        assert normalized.min() >= 0.0
+
+
+class TestDrift:
+    def test_change_point_detected_in_drifting_series(self, rng):
+        series = archetypes.generate_drifting(
+            rng, 6 * 1440, first_period=120, second_rate=1.0, change_point_fraction=0.5
+        )
+        points = detect_shifts(series, window_minutes=1440)
+        assert points
+        assert any(2 * 1440 <= point <= 4 * 1440 for point in points)
+
+    def test_stable_series_has_no_change_points(self, rng):
+        series = archetypes.generate_dense_poisson(rng, 6 * 1440, rate_per_minute=0.5, diurnal=False)
+        assert detect_shifts(series, window_minutes=1440) == []
+
+    def test_drift_study_finds_drifting_population(self):
+        profile = GeneratorProfile(n_functions=150, seed=31, drifting_fraction=0.1)
+        trace = AzureTraceGenerator(profile).generate()
+        report = drift_study(trace)
+        assert report.functions_considered > 0
+        assert 0.0 <= report.drifting_fraction <= 1.0
+
+    def test_detect_shifts_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            detect_shifts(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            detect_shifts(np.zeros(10), window_minutes=0)

@@ -1,0 +1,79 @@
+"""Tests for the KS-based pattern tests (§III-B1)."""
+
+import numpy as np
+
+from repro.analysis import http_poisson_test, timer_periodicity_test
+from repro.traces import FunctionRecord, Trace, TriggerType, archetypes
+from repro.traces.schema import TraceMetadata
+
+
+def build_trace(counts, records):
+    duration = len(next(iter(counts.values())))
+    return Trace(records, counts, TraceMetadata(name="t", duration_minutes=duration))
+
+
+class TestTimerPeriodicity:
+    def test_periodic_timers_detected(self, rng):
+        duration = 5000
+        counts = {}
+        records = []
+        for index in range(5):
+            fid = f"timer-{index}"
+            counts[fid] = archetypes.generate_periodic(
+                rng, duration, period=30, jitter_probability=0.0
+            )
+            records.append(FunctionRecord(fid, f"a{index}", f"o{index}", TriggerType.TIMER))
+        report = timer_periodicity_test(build_trace(counts, records))
+        assert report.population == 5
+        assert report.matching_fraction > 0.5
+
+    def test_poisson_timers_not_periodic(self, rng):
+        duration = 5000
+        counts = {}
+        records = []
+        for index in range(5):
+            fid = f"timer-{index}"
+            counts[fid] = archetypes.generate_dense_poisson(
+                rng, duration, rate_per_minute=0.2, diurnal=False
+            )
+            records.append(FunctionRecord(fid, f"a{index}", f"o{index}", TriggerType.TIMER))
+        report = timer_periodicity_test(build_trace(counts, records))
+        assert report.matching_fraction < 0.5
+
+    def test_insufficient_data_counted(self, rng):
+        duration = 1000
+        sparse = np.zeros(duration, dtype=np.int64)
+        sparse[10] = 1
+        records = [FunctionRecord("t", "a", "o", TriggerType.TIMER)]
+        report = timer_periodicity_test(build_trace({"t": sparse}, records))
+        assert report.insufficient == 1
+        assert report.tested == 0
+
+
+class TestHttpPoisson:
+    def test_poisson_http_detected(self, rng):
+        duration = 20000
+        counts = {}
+        records = []
+        for index in range(5):
+            fid = f"http-{index}"
+            counts[fid] = archetypes.generate_dense_poisson(
+                rng, duration, rate_per_minute=0.05, diurnal=False
+            )
+            records.append(FunctionRecord(fid, f"a{index}", f"o{index}", TriggerType.HTTP))
+        report = http_poisson_test(build_trace(counts, records))
+        assert report.matching_fraction > 0.5
+
+    def test_periodic_http_rejected(self, rng):
+        duration = 5000
+        counts = {"http-0": archetypes.generate_periodic(rng, duration, period=20, jitter_probability=0.0)}
+        records = [FunctionRecord("http-0", "a", "o", TriggerType.HTTP)]
+        report = http_poisson_test(build_trace(counts, records))
+        assert report.matching_fraction == 0.0
+
+    def test_non_http_functions_not_counted(self, rng):
+        duration = 2000
+        counts = {"t": archetypes.generate_periodic(rng, duration, period=10)}
+        records = [FunctionRecord("t", "a", "o", TriggerType.TIMER)]
+        report = http_poisson_test(build_trace(counts, records))
+        assert report.population == 0

@@ -1,0 +1,73 @@
+"""Tests for the FaaSCache (GDSF) baseline."""
+
+import pytest
+
+from repro.baselines import FaasCachePolicy
+from repro.traces import FunctionRecord
+
+
+def prepared_policy(capacity, n_functions=10):
+    policy = FaasCachePolicy(capacity=capacity)
+    records = [FunctionRecord(f"f{i}", "a", "o") for i in range(n_functions)]
+    policy.prepare(records)
+    return policy
+
+
+class TestFaasCache:
+    def test_everything_kept_until_capacity(self):
+        policy = prepared_policy(capacity=3)
+        policy.on_minute(0, {"f0": 1})
+        policy.on_minute(1, {"f1": 1})
+        resident = policy.on_minute(2, {"f2": 1})
+        assert resident == {"f0", "f1", "f2"}
+
+    def test_eviction_when_capacity_exceeded(self):
+        policy = prepared_policy(capacity=2)
+        policy.on_minute(0, {"f0": 1})
+        policy.on_minute(1, {"f1": 1})
+        resident = policy.on_minute(2, {"f2": 1})
+        assert len(resident) == 2
+        assert "f2" in resident
+
+    def test_frequency_protects_hot_functions(self):
+        policy = prepared_policy(capacity=2)
+        for minute in range(5):
+            policy.on_minute(minute, {"hot": 1})
+        policy.on_minute(5, {"cold1": 1})
+        resident = policy.on_minute(6, {"cold2": 1})
+        assert "hot" in resident
+
+    def test_clock_advances_on_eviction(self):
+        policy = prepared_policy(capacity=1)
+        policy.on_minute(0, {"f0": 1})
+        policy.on_minute(1, {"f1": 1})
+        assert policy._clock > 0  # eviction happened and the clock moved
+
+    def test_never_evicts_below_capacity(self):
+        policy = prepared_policy(capacity=100)
+        for minute in range(10):
+            policy.on_minute(minute, {f"f{minute}": 1})
+        assert len(policy.resident_functions) == 10
+
+    def test_default_capacity_derived_from_population(self):
+        policy = FaasCachePolicy()
+        records = [FunctionRecord(f"f{i}", "a", "o") for i in range(50)]
+        policy.prepare(records)
+        assert policy.capacity == 5
+
+    def test_custom_sizes_respected(self):
+        policy = FaasCachePolicy(capacity=3, sizes={"big": 3.0})
+        policy.prepare([FunctionRecord("big", "a", "o"), FunctionRecord("small", "a", "o")])
+        policy.on_minute(0, {"big": 1})
+        resident = policy.on_minute(1, {"small": 1})
+        assert len(resident) <= 2
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FaasCachePolicy(capacity=0)
+
+    def test_reset_clears_cache(self):
+        policy = prepared_policy(capacity=5)
+        policy.on_minute(0, {"f0": 1})
+        policy.reset()
+        assert policy.resident_functions == set()

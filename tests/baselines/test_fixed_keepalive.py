@@ -1,0 +1,45 @@
+"""Tests for the fixed keep-alive baseline."""
+
+import pytest
+
+from repro.baselines import FixedKeepAlivePolicy
+
+
+class TestFixedKeepAlive:
+    def test_name_reflects_window(self):
+        assert FixedKeepAlivePolicy(10).name == "fixed-10min"
+
+    def test_function_stays_resident_within_window(self):
+        policy = FixedKeepAlivePolicy(3)
+        assert "f" in policy.on_minute(0, {"f": 1})
+        assert "f" in policy.on_minute(1, {})
+        assert "f" in policy.on_minute(2, {})
+        assert "f" not in policy.on_minute(3, {})
+
+    def test_invocation_refreshes_expiry(self):
+        policy = FixedKeepAlivePolicy(2)
+        policy.on_minute(0, {"f": 1})
+        policy.on_minute(1, {"f": 1})
+        assert "f" in policy.on_minute(2, {})
+        assert "f" not in policy.on_minute(3, {})
+
+    def test_zero_window_evicts_immediately(self):
+        policy = FixedKeepAlivePolicy(0)
+        assert policy.on_minute(0, {"f": 1}) == set()
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError):
+            FixedKeepAlivePolicy(-1)
+
+    def test_reset_clears_state(self):
+        policy = FixedKeepAlivePolicy(5)
+        policy.on_minute(0, {"f": 1})
+        policy.reset()
+        assert policy.on_minute(1, {}) == set()
+
+    def test_multiple_functions_tracked_independently(self):
+        policy = FixedKeepAlivePolicy(2)
+        policy.on_minute(0, {"a": 1})
+        resident = policy.on_minute(1, {"b": 1})
+        assert resident == {"a", "b"}
+        assert policy.on_minute(2, {}) == {"b"}

@@ -1,0 +1,76 @@
+"""Tests for the idle-time histogram."""
+
+import pytest
+
+from repro.baselines import IdleTimeHistogram
+
+
+class TestIdleTimeHistogram:
+    def test_percentiles_of_constant_idle(self):
+        histogram = IdleTimeHistogram(range_minutes=240)
+        histogram.observe_many([60] * 20)
+        assert histogram.percentile(5) == 60
+        assert histogram.percentile(99) == 60
+        assert histogram.prewarm_window == 60
+        assert histogram.keep_alive_window == 60
+
+    def test_percentiles_of_spread_idle(self):
+        histogram = IdleTimeHistogram()
+        histogram.observe_many(list(range(1, 101)))
+        assert histogram.percentile(5) == pytest.approx(5, abs=1)
+        assert histogram.percentile(99) == pytest.approx(99, abs=1)
+
+    def test_out_of_bounds_counted_separately(self):
+        histogram = IdleTimeHistogram(range_minutes=100)
+        histogram.observe(50)
+        histogram.observe(150)
+        assert histogram.in_bounds_count == 1
+        assert histogram.out_of_bounds_count == 1
+
+    def test_representative_requires_min_samples(self):
+        histogram = IdleTimeHistogram(min_samples=10)
+        histogram.observe_many([5] * 9)
+        assert not histogram.is_representative
+        histogram.observe(5)
+        assert histogram.is_representative
+
+    def test_representative_rejects_mostly_oob(self):
+        histogram = IdleTimeHistogram(range_minutes=10, min_samples=5, max_oob_fraction=0.5)
+        histogram.observe_many([5] * 5)
+        histogram.observe_many([100] * 20)
+        assert not histogram.is_representative
+
+    def test_empty_histogram_defaults(self):
+        histogram = IdleTimeHistogram(range_minutes=240)
+        assert histogram.percentile(50) == 240
+        assert not histogram.is_representative
+
+    def test_negative_idle_rejected(self):
+        histogram = IdleTimeHistogram()
+        with pytest.raises(ValueError):
+            histogram.observe(-1)
+
+    def test_keep_alive_window_at_least_one(self):
+        histogram = IdleTimeHistogram()
+        histogram.observe_many([0] * 20)
+        assert histogram.keep_alive_window >= 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"range_minutes": 0},
+            {"head_percentile": 50, "tail_percentile": 10},
+            {"min_samples": 0},
+            {"max_oob_fraction": 0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            IdleTimeHistogram(**kwargs)
+
+    def test_as_array_is_copy(self):
+        histogram = IdleTimeHistogram(range_minutes=10)
+        histogram.observe(3)
+        array = histogram.as_array()
+        array[3] = 99
+        assert histogram.as_array()[3] == 1

@@ -1,0 +1,51 @@
+"""Tests for the LCS (LRU warm container) baseline."""
+
+import pytest
+
+from repro.baselines import LcsPolicy
+from repro.traces import FunctionRecord
+
+
+def prepared_policy(keep_alive=30, capacity=None, n_functions=10):
+    policy = LcsPolicy(keep_alive_minutes=keep_alive, capacity=capacity)
+    policy.prepare([FunctionRecord(f"f{i}", "a", "o") for i in range(n_functions)])
+    return policy
+
+
+class TestLcs:
+    def test_container_expires_after_keepalive(self):
+        policy = prepared_policy(keep_alive=5, capacity=10)
+        policy.on_minute(0, {"f0": 1})
+        assert "f0" in policy.on_minute(4, {})
+        assert "f0" not in policy.on_minute(5, {})
+
+    def test_lru_eviction_when_over_capacity(self):
+        policy = prepared_policy(keep_alive=100, capacity=2)
+        policy.on_minute(0, {"f0": 1})
+        policy.on_minute(1, {"f1": 1})
+        resident = policy.on_minute(2, {"f2": 1})
+        assert resident == {"f1", "f2"}
+
+    def test_recent_use_protects_from_lru(self):
+        policy = prepared_policy(keep_alive=100, capacity=2)
+        policy.on_minute(0, {"f0": 1})
+        policy.on_minute(1, {"f1": 1})
+        policy.on_minute(2, {"f0": 1})
+        resident = policy.on_minute(3, {"f2": 1})
+        assert "f0" in resident
+        assert "f1" not in resident
+
+    def test_default_capacity_from_population(self):
+        policy = prepared_policy(n_functions=50)
+        assert policy.capacity == 10
+
+    @pytest.mark.parametrize("kwargs", [{"keep_alive_minutes": 0}, {"capacity": 0}])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            LcsPolicy(**kwargs)
+
+    def test_reset(self):
+        policy = prepared_policy()
+        policy.on_minute(0, {"f0": 1})
+        policy.reset()
+        assert policy.on_minute(1, {}) == set()

@@ -1,0 +1,133 @@
+"""Tests for the adaptive strategies (adjusting and online correlation)."""
+
+from repro.core import SpesConfig
+from repro.core.adaptive import AdjustingStrategy, OnlineCorrelationTracker
+from repro.core.categories import FunctionCategory
+from repro.core.predictive import PredictiveValues
+from repro.core.state import FunctionState
+
+
+def regular_state(median=30.0, std=2.0, wts=None):
+    return FunctionState(
+        function_id="f",
+        category=FunctionCategory.REGULAR,
+        predictive=PredictiveValues.from_discrete([int(median)]),
+        offline_wt_median=median,
+        offline_wt_std=std,
+        online_waiting_times=list(wts or []),
+    )
+
+
+class TestAdjusting:
+    def test_no_update_with_too_few_waiting_times(self):
+        strategy = AdjustingStrategy(SpesConfig(adjusting_min_new_wts=5))
+        state = regular_state(wts=[60, 61])
+        strategy.maybe_update(state)
+        assert not state.adjusted
+
+    def test_no_update_when_drift_within_tolerance(self):
+        strategy = AdjustingStrategy(SpesConfig(adjusting_min_new_wts=3))
+        state = regular_state(median=30, std=5, wts=[31, 32, 29, 30, 33])
+        strategy.maybe_update(state)
+        assert not state.adjusted
+        assert state.predictive.discrete == (30,)
+
+    def test_predictive_value_blended_on_large_drift(self):
+        strategy = AdjustingStrategy(SpesConfig(adjusting_min_new_wts=3))
+        state = regular_state(median=30, std=2, wts=[60, 61, 60, 59, 60])
+        strategy.maybe_update(state)
+        assert state.adjusted
+        # The blended value (old 30, new 60) should appear among predictions.
+        assert 45 in state.predictive.discrete
+        assert "f" in strategy.adjusted_functions
+
+    def test_window_predictions_shifted(self):
+        strategy = AdjustingStrategy(SpesConfig(adjusting_min_new_wts=3))
+        state = FunctionState(
+            function_id="f",
+            category=FunctionCategory.DENSE,
+            predictive=PredictiveValues.from_range(2, 5),
+            offline_wt_median=3,
+            offline_wt_std=1,
+            online_waiting_times=[20, 22, 21, 20, 19],
+        )
+        strategy.maybe_update(state)
+        assert state.adjusted
+        low, high = state.predictive.window
+        assert low > 2
+
+    def test_unknown_function_promoted_to_newly_possible(self):
+        strategy = AdjustingStrategy(SpesConfig(adjusting_min_new_wts=3))
+        state = FunctionState(
+            function_id="f",
+            category=FunctionCategory.UNKNOWN,
+            online_waiting_times=[120, 120, 120, 5],
+            seen_in_training=False,
+        )
+        strategy.maybe_update(state)
+        assert state.category is FunctionCategory.NEWLY_POSSIBLE
+        assert not state.predictive.is_empty
+        assert "f" in strategy.promoted_functions
+
+    def test_unknown_without_repeats_not_promoted(self):
+        strategy = AdjustingStrategy(SpesConfig(adjusting_min_new_wts=3))
+        state = FunctionState(
+            function_id="f",
+            category=FunctionCategory.UNKNOWN,
+            online_waiting_times=[10, 20, 30, 40],
+            seen_in_training=False,
+        )
+        strategy.maybe_update(state)
+        assert state.category is FunctionCategory.UNKNOWN
+
+
+class TestOnlineCorrelation:
+    def make_tracker(self, **config_kwargs):
+        defaults = dict(
+            online_corr_max_candidates=5,
+            online_corr_min_observations=2,
+            online_corr_drop_margin=0.3,
+            online_corr_futility_fires=10,
+        )
+        defaults.update(config_kwargs)
+        return OnlineCorrelationTracker(SpesConfig(**defaults))
+
+    def test_register_and_prewarm(self):
+        tracker = self.make_tracker()
+        tracker.register_target("target", ["cand1", "cand2"])
+        assert tracker.is_tracked("target")
+        assert tracker.on_candidate_invoked("cand1", 5) == ["target"]
+
+    def test_unknown_candidate_ignored(self):
+        tracker = self.make_tracker()
+        tracker.register_target("target", ["cand1"])
+        assert tracker.on_candidate_invoked("other", 5) == []
+
+    def test_candidate_limit_respected(self):
+        tracker = self.make_tracker(online_corr_max_candidates=2)
+        tracker.register_target("target", ["a", "b", "c", "d"])
+        assert len(tracker.active_candidates("target")) == 2
+
+    def test_cor_tracking_and_pruning(self):
+        tracker = self.make_tracker()
+        tracker.register_target("target", ["good", "bad"])
+        # "good" fires right before each target invocation, "bad" never does.
+        for minute in (10, 30, 50):
+            tracker.on_candidate_invoked("good", minute)
+            tracker.on_target_invoked("target", minute + 2)
+        assert tracker.candidate_cor("target", "good") == 1.0
+        assert tracker.candidate_cor("target", "bad") == 0.0
+        assert tracker.active_candidates("target") == {"good"}
+
+    def test_futility_pruning_without_target_invocations(self):
+        tracker = self.make_tracker(online_corr_futility_fires=3)
+        tracker.register_target("target", ["noisy"])
+        prewarms = [tracker.on_candidate_invoked("noisy", minute) for minute in range(6)]
+        # The first few fires pre-warm the target, later ones are pruned.
+        assert prewarms[0] == ["target"]
+        assert prewarms[-1] == []
+
+    def test_no_registration_without_candidates(self):
+        tracker = self.make_tracker()
+        tracker.register_target("target", [])
+        assert not tracker.is_tracked("target")

@@ -1,0 +1,97 @@
+"""Tests for the SPES configuration object."""
+
+import pytest
+
+from repro.core import SpesConfig
+from repro.core.categories import FunctionCategory
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        config = SpesConfig()
+        assert config.theta_prewarm == 2
+        assert config.theta_givenup(FunctionCategory.DENSE) == 5
+        assert config.theta_givenup(FunctionCategory.PULSED) == 5
+        assert config.theta_givenup(FunctionCategory.REGULAR) == 1
+        assert config.tcor_threshold == 0.5
+        assert config.tcor_max_lag == 10
+
+    def test_all_ablation_flags_enabled_by_default(self):
+        config = SpesConfig()
+        assert config.enable_correlation
+        assert config.enable_online_correlation
+        assert config.enable_forgetting
+        assert config.enable_adjusting
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"always_warm_idle_fraction": 0.0},
+            {"regular_percentile_spread": -1},
+            {"appro_regular_n_modes": 0},
+            {"appro_regular_mode_coverage": 1.5},
+            {"dense_p90_threshold": 0},
+            {"successive_gamma1": 5, "successive_gamma2": 3},
+            {"min_waiting_times": 0},
+            {"tcor_threshold": 0.0},
+            {"tcor_max_lag": -1},
+            {"correlation_precision_threshold": 2.0},
+            {"alpha": 1.0},
+            {"possible_min_mode_count": 1},
+            {"validation_days": 0},
+            {"theta_prewarm": -1},
+            {"theta_givenup_default": 0},
+            {"correlated_prewarm_window": 0},
+            {"adjusting_min_new_wts": 0},
+            {"online_corr_max_candidates": 0},
+            {"online_corr_drop_margin": 1.0},
+            {"online_corr_futility_fires": 0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SpesConfig(**kwargs)
+
+    def test_invalid_givenup_override_rejected(self):
+        with pytest.raises(ValueError):
+            SpesConfig(theta_givenup_overrides={FunctionCategory.DENSE: 0})
+
+
+class TestHelpers:
+    def test_replace_returns_new_instance(self):
+        config = SpesConfig()
+        other = config.replace(theta_prewarm=5)
+        assert other.theta_prewarm == 5
+        assert config.theta_prewarm == 2
+
+    def test_scaled_givenup(self):
+        config = SpesConfig()
+        scaled = config.scaled_givenup(3)
+        assert scaled.theta_givenup_default == 3
+        assert scaled.theta_givenup(FunctionCategory.DENSE) == 15
+        assert config.theta_givenup_default == 1
+
+    def test_scaled_givenup_rejects_zero(self):
+        with pytest.raises(ValueError):
+            SpesConfig().scaled_givenup(0)
+
+
+class TestCategories:
+    def test_deterministic_priority_order(self):
+        order = FunctionCategory.deterministic()
+        assert order[0] is FunctionCategory.ALWAYS_WARM
+        assert order[-1] is FunctionCategory.SUCCESSIVE
+
+    def test_indeterminate_members(self):
+        assert FunctionCategory.CORRELATED in FunctionCategory.indeterminate()
+
+    def test_uses_prediction_flags(self):
+        assert FunctionCategory.REGULAR.uses_prediction
+        assert not FunctionCategory.SUCCESSIVE.uses_prediction
+        assert not FunctionCategory.UNKNOWN.uses_prediction
+
+    def test_is_deterministic(self):
+        assert FunctionCategory.DENSE.is_deterministic
+        assert not FunctionCategory.PULSED.is_deterministic

@@ -1,0 +1,99 @@
+"""Tests for the co-occurrence-rate metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.correlation import (
+    best_lagged_cor,
+    co_occurrence_rate,
+    forward_trigger_rate,
+    lagged_co_occurrence_rate,
+    mean_pairwise_cor,
+)
+
+
+class TestCor:
+    def test_identical_series_full_overlap(self):
+        series = [1, 0, 1, 0, 1]
+        assert co_occurrence_rate(series, series) == 1.0
+
+    def test_disjoint_series_zero(self):
+        assert co_occurrence_rate([1, 0, 1, 0], [0, 1, 0, 1]) == 0.0
+
+    def test_partial_overlap(self):
+        target = [1, 1, 0, 1, 0]
+        candidate = [1, 0, 0, 1, 1]
+        assert co_occurrence_rate(target, candidate) == pytest.approx(2 / 3)
+
+    def test_no_target_invocations(self):
+        assert co_occurrence_rate([0, 0, 0], [1, 1, 1]) == 0.0
+
+    def test_asymmetric(self):
+        target = [1, 0, 0, 0]
+        candidate = [1, 1, 1, 1]
+        assert co_occurrence_rate(target, candidate) == 1.0
+        assert co_occurrence_rate(candidate, target) == 0.25
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            co_occurrence_rate([1, 0], [1, 0, 1])
+
+
+class TestLaggedCor:
+    def test_lag_zero_equals_plain_cor(self):
+        target = [1, 0, 1, 0, 1]
+        candidate = [1, 1, 0, 0, 1]
+        assert lagged_co_occurrence_rate(target, candidate, 0) == co_occurrence_rate(
+            target, candidate
+        )
+
+    def test_perfect_lagged_chain(self):
+        candidate = [1, 0, 0, 1, 0, 0, 1, 0, 0]
+        target = [0, 0, 1, 0, 0, 1, 0, 0, 1]
+        assert lagged_co_occurrence_rate(target, candidate, 2) == 1.0
+        assert lagged_co_occurrence_rate(target, candidate, 1) == 0.0
+
+    def test_negative_lag_rejected(self):
+        with pytest.raises(ValueError):
+            lagged_co_occurrence_rate([1], [1], -1)
+
+    def test_best_lagged_cor_finds_lag(self):
+        candidate = np.zeros(60, dtype=int)
+        candidate[::10] = 1
+        target = np.zeros(60, dtype=int)
+        target[3::10] = 1
+        cor, lag = best_lagged_cor(target, candidate, max_lag=5)
+        assert cor == 1.0
+        assert lag == 3
+
+    def test_best_lagged_cor_prefers_smallest_lag_on_tie(self):
+        target = [1, 1, 1, 1]
+        candidate = [1, 1, 1, 1]
+        cor, lag = best_lagged_cor(target, candidate, max_lag=2)
+        assert cor == 1.0
+        assert lag == 0
+
+
+class TestForwardTriggerRate:
+    def test_perfect_chain(self):
+        predictor = [1, 0, 0, 1, 0, 0]
+        target = [0, 0, 1, 0, 0, 1]
+        assert forward_trigger_rate(predictor, target, max_lag=3) == 1.0
+
+    def test_frequent_predictor_low_precision(self):
+        predictor = [1] * 100
+        target = [0] * 99 + [1]
+        assert forward_trigger_rate(predictor, target, max_lag=2) < 0.05
+
+    def test_no_predictor_invocations(self):
+        assert forward_trigger_rate([0, 0], [1, 1], max_lag=1) == 0.0
+
+
+class TestMeanPairwise:
+    def test_empty_inputs(self):
+        assert mean_pairwise_cor([], []) == 0.0
+
+    def test_average_over_pairs(self):
+        targets = [[1, 0, 1, 0]]
+        candidates = [[1, 0, 1, 0], [0, 1, 0, 1]]
+        assert mean_pairwise_cor(targets, candidates) == pytest.approx(0.5)

@@ -1,0 +1,139 @@
+"""Tests for indeterminate function assignment (pulsed / correlated / possible)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SpesConfig
+from repro.core.categories import FunctionCategory
+from repro.core.indeterminate import (
+    CorrelationLink,
+    StrategyOutcome,
+    choose_indeterminate_category,
+    evaluate_correlated_strategy,
+    evaluate_possible_strategy,
+    evaluate_pulsed_strategy,
+    possible_predictive_values,
+)
+from repro.core.predictive import PredictiveValues
+
+
+class TestPossiblePredictiveValues:
+    def test_repeated_values_become_predictions(self):
+        config = SpesConfig()
+        values = possible_predictive_values((100, 100, 7, 300, 300), config)
+        assert not values.is_empty
+        assert set(values.discrete or ()) | set(
+            range(values.window[0], values.window[1] + 1) if values.window else set()
+        ) >= {100}
+
+    def test_no_repeats_gives_empty(self):
+        config = SpesConfig()
+        assert possible_predictive_values((1, 2, 3, 4), config).is_empty
+
+    def test_narrow_repeats_become_window(self):
+        config = SpesConfig(possible_range_threshold=10)
+        values = possible_predictive_values((20, 20, 24, 24), config)
+        assert values.window == (20, 24)
+
+
+class TestPulsedEvaluation:
+    def test_one_cold_start_per_pulse(self):
+        series = [1, 1, 1, 0, 0, 0, 0, 0, 0, 0, 1, 1, 0]
+        outcome = evaluate_pulsed_strategy(series, theta_givenup=3)
+        assert outcome.cold_starts == 2
+
+    def test_wasted_memory_bounded_by_givenup(self):
+        series = [1] + [0] * 20
+        outcome = evaluate_pulsed_strategy(series, theta_givenup=5)
+        assert outcome.wasted_memory == 5
+
+    def test_no_invocations(self):
+        outcome = evaluate_pulsed_strategy([0, 0, 0], theta_givenup=5)
+        assert outcome == StrategyOutcome(0, 0)
+
+
+class TestPossibleEvaluation:
+    def test_accurate_prediction_avoids_cold_starts(self):
+        series = np.zeros(100, dtype=int)
+        series[::10] = 1
+        predictive = PredictiveValues.from_discrete([10])
+        outcome = evaluate_possible_strategy(series, predictive, theta_prewarm=2, theta_givenup=1)
+        assert outcome.cold_starts <= 1
+
+    def test_wrong_prediction_costs_cold_starts(self):
+        series = np.zeros(100, dtype=int)
+        series[::10] = 1
+        predictive = PredictiveValues.from_discrete([50])
+        outcome = evaluate_possible_strategy(series, predictive, theta_prewarm=1, theta_givenup=1)
+        assert outcome.cold_starts >= 8
+
+    def test_empty_prediction_behaves_like_pulsed(self):
+        series = [1, 0, 0, 1, 0]
+        possible = evaluate_possible_strategy(
+            series, PredictiveValues.none(), theta_prewarm=2, theta_givenup=1
+        )
+        pulsed = evaluate_pulsed_strategy(series, theta_givenup=1)
+        assert possible.cold_starts == pulsed.cold_starts
+
+
+class TestCorrelatedEvaluation:
+    def test_predictor_prewarming_avoids_cold_starts(self):
+        duration = 60
+        predictor = np.zeros(duration, dtype=int)
+        predictor[::10] = 1
+        target = np.zeros(duration, dtype=int)
+        target[2::10] = 1
+        outcome = evaluate_correlated_strategy(
+            target, [(predictor, 2)], prewarm_window=2, theta_givenup=1
+        )
+        assert outcome.cold_starts == 0
+
+    def test_unrelated_predictor_does_not_help(self):
+        duration = 60
+        predictor = np.zeros(duration, dtype=int)
+        predictor[5] = 1
+        target = np.zeros(duration, dtype=int)
+        target[30::10] = 1
+        outcome = evaluate_correlated_strategy(
+            target, [(predictor, 2)], prewarm_window=2, theta_givenup=1
+        )
+        assert outcome.cold_starts == 3
+
+
+class TestChoice:
+    def test_double_winner_chosen_directly(self):
+        outcomes = {
+            FunctionCategory.PULSED: StrategyOutcome(5, 10),
+            FunctionCategory.POSSIBLE: StrategyOutcome(1, 5),
+        }
+        assert choose_indeterminate_category(outcomes, alpha=0.5) is FunctionCategory.POSSIBLE
+
+    def test_cold_start_winner_preferred_when_saving_is_large(self):
+        outcomes = {
+            FunctionCategory.PULSED: StrategyOutcome(cold_starts=50, wasted_memory=10),
+            FunctionCategory.POSSIBLE: StrategyOutcome(cold_starts=1, wasted_memory=14),
+        }
+        assert choose_indeterminate_category(outcomes, alpha=0.5) is FunctionCategory.POSSIBLE
+
+    def test_memory_winner_preferred_when_cs_difference_is_marginal(self):
+        outcomes = {
+            FunctionCategory.PULSED: StrategyOutcome(cold_starts=100, wasted_memory=10),
+            FunctionCategory.CORRELATED: StrategyOutcome(cold_starts=99, wasted_memory=500),
+        }
+        assert choose_indeterminate_category(outcomes, alpha=0.5) is FunctionCategory.PULSED
+
+    def test_single_candidate(self):
+        outcomes = {FunctionCategory.PULSED: StrategyOutcome(1, 1)}
+        assert choose_indeterminate_category(outcomes, alpha=0.5) is FunctionCategory.PULSED
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            choose_indeterminate_category({}, alpha=0.5)
+
+
+class TestCorrelationLink:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CorrelationLink("p", lag=-1, cor=0.5)
+        with pytest.raises(ValueError):
+            CorrelationLink("p", lag=1, cor=1.5)

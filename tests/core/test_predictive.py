@@ -1,0 +1,78 @@
+"""Tests for predictive values."""
+
+import pytest
+
+from repro.core.predictive import PredictiveValues
+
+
+class TestConstruction:
+    def test_none_is_empty(self):
+        assert PredictiveValues.none().is_empty
+
+    def test_from_discrete_deduplicates_and_sorts(self):
+        values = PredictiveValues.from_discrete([30, 10, 30])
+        assert values.discrete == (10, 30)
+
+    def test_from_range(self):
+        values = PredictiveValues.from_range(2, 5)
+        assert values.window == (2, 5)
+
+    def test_negative_discrete_rejected(self):
+        with pytest.raises(ValueError):
+            PredictiveValues(discrete=(-1,))
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            PredictiveValues(window=(5, 2))
+
+    def test_spread_rule_discrete_when_wide(self):
+        values = PredictiveValues.from_values_with_spread_rule([10, 500], range_threshold=10)
+        assert values.discrete == (10, 500)
+        assert values.window is None
+
+    def test_spread_rule_range_when_narrow(self):
+        values = PredictiveValues.from_values_with_spread_rule([10, 14], range_threshold=10)
+        assert values.window == (10, 14)
+
+    def test_spread_rule_empty(self):
+        assert PredictiveValues.from_values_with_spread_rule([], 10).is_empty
+
+
+class TestPrediction:
+    def test_predicted_times_discrete(self):
+        values = PredictiveValues.from_discrete([10, 20])
+        assert values.predicted_times(100) == [(110, 110), (120, 120)]
+
+    def test_predicted_times_window(self):
+        values = PredictiveValues.from_range(5, 8)
+        assert values.predicted_times(100) == [(105, 108)]
+
+    def test_matches_inside_prewarm_window(self):
+        values = PredictiveValues.from_discrete([30])
+        assert values.matches(128, last_invocation=100, theta_prewarm=2)
+        assert values.matches(132, last_invocation=100, theta_prewarm=2)
+        assert not values.matches(127, last_invocation=100, theta_prewarm=2)
+        assert not values.matches(133, last_invocation=100, theta_prewarm=2)
+
+    def test_matches_window_prediction(self):
+        values = PredictiveValues.from_range(10, 20)
+        assert values.matches(109, last_invocation=100, theta_prewarm=1)
+        assert values.matches(121, last_invocation=100, theta_prewarm=1)
+        assert not values.matches(122, last_invocation=100, theta_prewarm=1)
+
+    def test_empty_never_matches(self):
+        assert not PredictiveValues.none().matches(5, 0, 10)
+
+    def test_prewarm_trigger_minutes(self):
+        values = PredictiveValues.from_discrete([30, 60])
+        triggers = values.prewarm_trigger_minutes(100, theta_prewarm=2)
+        assert triggers == [128, 158]
+
+    def test_prewarm_trigger_clamped_to_last_invocation(self):
+        values = PredictiveValues.from_discrete([1])
+        assert values.prewarm_trigger_minutes(100, theta_prewarm=5) == [100]
+
+    def test_horizon(self):
+        values = PredictiveValues(discrete=(10,), window=(20, 40))
+        assert values.horizon(100, theta_prewarm=3) == 143
+        assert PredictiveValues.none().horizon(100, 3) is None

@@ -1,0 +1,74 @@
+"""Tests for the slacking rules."""
+
+from repro.core.slacking import (
+    apply_slacking_pipeline,
+    merge_small_waiting_times,
+    trim_boundary_waiting_times,
+    waiting_time_mode,
+)
+
+
+class TestTrim:
+    def test_trims_first_and_last(self):
+        assert trim_boundary_waiting_times((5, 10, 10, 10, 7)) == (10, 10, 10)
+
+    def test_short_sequences_unchanged(self):
+        assert trim_boundary_waiting_times((5, 7)) == (5, 7)
+        assert trim_boundary_waiting_times(()) == ()
+
+
+class TestMode:
+    def test_simple_mode(self):
+        assert waiting_time_mode((3, 3, 5)) == 3
+
+    def test_tie_breaks_toward_largest(self):
+        assert waiting_time_mode((1439, 1438, 1, 1439, 1438, 1)) == 1439
+
+    def test_empty_sequence(self):
+        assert waiting_time_mode(()) is None
+
+
+class TestMerge:
+    def test_paper_example(self):
+        merged = merge_small_waiting_times((1439, 1438, 1, 1439, 1438, 1))
+        assert merged == (1439, 1439, 1439, 1439)
+
+    def test_even_split_reassembled(self):
+        # A spurious invocation splits a 360-minute gap into 100 + 259.
+        merged = merge_small_waiting_times((359, 100, 259, 359, 359))
+        assert merged == (359, 359, 359, 359)
+
+    def test_unmergeable_fragments_left_alone(self):
+        merged = merge_small_waiting_times((100, 7, 3, 100, 100, 100))
+        assert 7 in merged or 10 in merged  # fragments kept (possibly joined)
+        assert merged.count(100) >= 3
+
+    def test_no_merge_for_small_mode(self):
+        values = (1, 2, 1, 2, 1)
+        assert merge_small_waiting_times(values) == values
+
+    def test_short_sequence_unchanged(self):
+        assert merge_small_waiting_times((5,)) == (5,)
+
+    def test_irregular_sequence_not_forced_regular(self):
+        values = (3, 50, 7, 200, 12, 90)
+        merged = merge_small_waiting_times(values)
+        # Nothing resembles a dominant mode, so little should change.
+        assert len(merged) >= 4
+
+
+class TestPipeline:
+    def test_pipeline_variants_ordered(self):
+        variants = apply_slacking_pipeline((5, 10, 10, 1, 9, 10, 7))
+        assert variants[0] == (5, 10, 10, 1, 9, 10, 7)
+        assert variants[1] == (10, 10, 1, 9, 10)
+        assert len(variants) >= 2
+
+    def test_pipeline_deduplicates(self):
+        variants = apply_slacking_pipeline((10, 10))
+        assert len(variants) == 1
+
+    def test_pipeline_recovers_noisy_periodic_sequence(self):
+        noisy = (60, 60, 20, 40, 60, 60, 59, 60)
+        final = apply_slacking_pipeline(noisy)[-1]
+        assert max(final) - min(final) <= 1

@@ -1,0 +1,62 @@
+"""Tests for the per-function online state."""
+
+from repro.core.categories import FunctionCategory
+from repro.core.predictive import PredictiveValues
+from repro.core.state import FunctionState
+
+
+def make_state(**kwargs):
+    defaults = dict(function_id="f", category=FunctionCategory.REGULAR)
+    defaults.update(kwargs)
+    return FunctionState(**defaults)
+
+
+class TestRecordInvocation:
+    def test_first_invocation_produces_no_waiting_time(self):
+        state = make_state()
+        assert state.record_invocation(10, cold=True) is None
+        assert state.invocation_count == 1
+        assert state.cold_start_count == 1
+
+    def test_gap_produces_waiting_time(self):
+        state = make_state()
+        state.record_invocation(10, cold=True)
+        wt = state.record_invocation(15, cold=False)
+        assert wt == 4
+        assert state.online_waiting_times == [4]
+
+    def test_consecutive_invocations_produce_no_waiting_time(self):
+        state = make_state()
+        state.record_invocation(10, cold=True)
+        assert state.record_invocation(11, cold=False) is None
+        assert state.online_waiting_times == []
+
+    def test_cold_start_rate(self):
+        state = make_state()
+        state.record_invocation(0, cold=True)
+        state.record_invocation(5, cold=False)
+        assert state.cold_start_rate == 0.5
+
+
+class TestIdleAndPreload:
+    def test_idle_minutes_without_invocation(self):
+        state = make_state()
+        assert state.idle_minutes(4) == 5
+
+    def test_idle_minutes_after_invocation(self):
+        state = make_state()
+        state.record_invocation(10, cold=True)
+        assert state.idle_minutes(10) == 0
+        assert state.idle_minutes(13) == 3
+
+    def test_preload_due_requires_history_and_predictions(self):
+        state = make_state(predictive=PredictiveValues.from_discrete([10]))
+        assert not state.preload_due(5)
+        state.record_invocation(0, cold=True)
+        assert state.preload_due(9)
+        assert not state.preload_due(20)
+
+    def test_preload_due_empty_prediction(self):
+        state = make_state()
+        state.record_invocation(0, cold=True)
+        assert not state.preload_due(1)

@@ -1,0 +1,78 @@
+"""Tests for cold-start metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.categories import FunctionCategory
+from repro.metrics import (
+    cold_start_cdf,
+    cold_start_rate_percentile,
+    csr_improvement,
+    per_category_cold_start_rate,
+)
+from repro.simulation.results import FunctionStats, SimulationResult
+
+
+def result_with_rates(rates, name="p"):
+    per_function = {
+        f"f{i}": FunctionStats(f"f{i}", invocations=10, cold_starts=int(round(rate * 10)))
+        for i, rate in enumerate(rates)
+    }
+    return SimulationResult(
+        policy_name=name,
+        duration_minutes=100,
+        per_function=per_function,
+        memory_usage=np.zeros(100, dtype=np.int64),
+    )
+
+
+class TestCdf:
+    def test_cdf_monotonic_and_bounded(self):
+        result = result_with_rates([0.0, 0.1, 0.5, 1.0])
+        x, y = cold_start_cdf(result, grid=np.linspace(0, 1, 11))
+        assert (np.diff(y) >= 0).all()
+        assert y[-1] == pytest.approx(1.0)
+
+    def test_cdf_at_zero_counts_never_cold_functions(self):
+        result = result_with_rates([0.0, 0.0, 1.0, 0.5])
+        _, y = cold_start_cdf(result, grid=np.array([0.0]))
+        assert y[0] == pytest.approx(0.5)
+
+
+class TestPercentilesAndImprovement:
+    def test_percentile(self):
+        result = result_with_rates([0.0, 0.2, 0.4, 0.6, 0.8])
+        assert cold_start_rate_percentile(result, 50.0) == pytest.approx(0.4)
+
+    def test_improvement_positive_when_candidate_better(self):
+        candidate = result_with_rates([0.1] * 10)
+        baseline = result_with_rates([0.2] * 10)
+        assert csr_improvement(candidate, baseline) == pytest.approx(0.5)
+
+    def test_improvement_zero_when_baseline_zero(self):
+        candidate = result_with_rates([0.1] * 10)
+        baseline = result_with_rates([0.0] * 10)
+        assert csr_improvement(candidate, baseline) == 0.0
+
+    def test_improvement_requires_same_percentile_direction(self):
+        candidate = result_with_rates([0.4] * 4)
+        baseline = result_with_rates([0.2] * 4)
+        assert csr_improvement(candidate, baseline) < 0
+
+
+class TestPerCategory:
+    def test_rates_grouped_by_category(self):
+        result = result_with_rates([0.0, 1.0, 0.5])
+        categories = {
+            "f0": FunctionCategory.REGULAR,
+            "f1": FunctionCategory.UNKNOWN,
+            "f2": FunctionCategory.REGULAR,
+        }
+        rates = per_category_cold_start_rate(result, categories)
+        assert rates[FunctionCategory.UNKNOWN] == pytest.approx(1.0)
+        assert rates[FunctionCategory.REGULAR] == pytest.approx(0.25)
+
+    def test_unlisted_functions_default_to_unknown(self):
+        result = result_with_rates([1.0])
+        rates = per_category_cold_start_rate(result, {})
+        assert FunctionCategory.UNKNOWN in rates

@@ -1,0 +1,121 @@
+"""Tests for memory metrics and the distribution/summary helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.categories import FunctionCategory
+from repro.metrics import (
+    ComparisonTable,
+    build_comparison,
+    empirical_cdf,
+    normalized_memory_usage,
+    normalized_wasted_memory_time,
+    per_category_wmt_ratio,
+    percentile_table,
+    wmt_reduction,
+)
+from repro.simulation.results import FunctionStats, SimulationResult
+
+
+def result_with_memory(avg_memory, wmt, name="p", per_function=None):
+    usage = np.full(10, avg_memory, dtype=np.int64)
+    return SimulationResult(
+        policy_name=name,
+        duration_minutes=10,
+        per_function=per_function or {},
+        memory_usage=usage,
+        total_wasted_memory_time=wmt,
+    )
+
+
+class TestNormalization:
+    def test_normalized_memory_usage(self):
+        results = {
+            "spes": result_with_memory(10, 100),
+            "other": result_with_memory(15, 100),
+        }
+        normalized = normalized_memory_usage(results, "spes")
+        assert normalized["spes"] == pytest.approx(1.0)
+        assert normalized["other"] == pytest.approx(1.5)
+
+    def test_normalized_wmt(self):
+        results = {
+            "spes": result_with_memory(10, 100),
+            "other": result_with_memory(10, 250),
+        }
+        normalized = normalized_wasted_memory_time(results, "spes")
+        assert normalized["other"] == pytest.approx(2.5)
+
+    def test_missing_reference_rejected(self):
+        with pytest.raises(KeyError):
+            normalized_memory_usage({"a": result_with_memory(1, 1)}, "spes")
+
+    def test_wmt_reduction(self):
+        candidate = result_with_memory(10, 50)
+        baseline = result_with_memory(10, 100)
+        assert wmt_reduction(candidate, baseline) == pytest.approx(0.5)
+
+
+class TestPerCategoryWmt:
+    def test_mean_ratio_per_category(self):
+        per_function = {
+            "a": FunctionStats("a", invocations=10, wasted_memory_time=20),
+            "b": FunctionStats("b", invocations=10, wasted_memory_time=40),
+            "c": FunctionStats("c", invocations=5, wasted_memory_time=50),
+        }
+        result = result_with_memory(5, 110, per_function=per_function)
+        categories = {
+            "a": FunctionCategory.REGULAR,
+            "b": FunctionCategory.REGULAR,
+            "c": FunctionCategory.POSSIBLE,
+        }
+        ratios = per_category_wmt_ratio(result, categories)
+        assert ratios[FunctionCategory.REGULAR] == pytest.approx(3.0)
+        assert ratios[FunctionCategory.POSSIBLE] == pytest.approx(10.0)
+
+    def test_idle_never_invoked_functions_skipped(self):
+        per_function = {"idle": FunctionStats("idle", invocations=0, wasted_memory_time=0)}
+        result = result_with_memory(5, 0, per_function=per_function)
+        assert per_category_wmt_ratio(result, {}) == {}
+
+
+class TestDistributionHelpers:
+    def test_empirical_cdf_default_grid(self):
+        x, y = empirical_cdf([1.0, 2.0, 2.0, 3.0])
+        assert list(x) == [1.0, 2.0, 3.0]
+        assert y[-1] == pytest.approx(1.0)
+
+    def test_empirical_cdf_empty(self):
+        x, y = empirical_cdf([])
+        assert x.size == 0 and y.size == 0
+
+    def test_percentile_table(self):
+        table = percentile_table(range(101), percentiles=(50.0, 90.0))
+        assert table[50.0] == pytest.approx(50.0)
+        assert table[90.0] == pytest.approx(90.0)
+
+    def test_percentile_table_empty(self):
+        assert percentile_table([], percentiles=(50.0,)) == {50.0: 0.0}
+
+
+class TestComparisonTable:
+    def test_render_alignment_and_values(self):
+        table = ComparisonTable(title="T", columns=("a", "b"))
+        table.add_row(a="x", b=1.5)
+        rendered = table.render()
+        assert "T" in rendered
+        assert "1.5000" in rendered
+
+    def test_missing_cells_render_empty(self):
+        table = ComparisonTable(title="T", columns=("a", "b"))
+        table.add_row(a="only-a")
+        assert "only-a" in table.render()
+
+    def test_build_comparison_contains_all_policies(self):
+        results = {
+            "spes": result_with_memory(10, 100),
+            "fixed": result_with_memory(12, 150),
+        }
+        table = build_comparison(results)
+        rendered = table.render()
+        assert "spes" in rendered and "fixed" in rendered

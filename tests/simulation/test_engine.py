@@ -1,0 +1,158 @@
+"""Tests for the simulation engine, including warm-up and degenerate policies."""
+
+import numpy as np
+import pytest
+
+from repro.simulation import (
+    AlwaysWarmPolicy,
+    NoKeepAlivePolicy,
+    Simulator,
+    simulate_policy,
+)
+from repro.simulation.policy_base import ProvisioningPolicy
+from repro.traces import FunctionRecord, Trace
+from repro.traces.schema import TraceMetadata
+
+
+def single_function_trace(counts, name="t"):
+    records = [FunctionRecord("f", "a", "o")]
+    return Trace(records, {"f": np.asarray(counts)}, TraceMetadata(name=name, duration_minutes=len(counts)))
+
+
+class TestDegeneratePolicies:
+    def test_no_keepalive_every_invocation_cold(self):
+        trace = single_function_trace([1, 0, 1, 0, 1])
+        result = simulate_policy(NoKeepAlivePolicy(), trace, warmup_minutes=0)
+        stats = result.per_function["f"]
+        assert stats.invocations == 3
+        assert stats.cold_starts == 3
+        assert result.total_wasted_memory_time == 0
+
+    def test_always_warm_only_first_invocation_cold(self):
+        trace = single_function_trace([1, 0, 1, 0, 1])
+        result = simulate_policy(AlwaysWarmPolicy(), trace, warmup_minutes=0)
+        stats = result.per_function["f"]
+        assert stats.cold_starts == 1
+        # Loaded every minute after the first, idle on minutes 1 and 3.
+        assert stats.wasted_memory_time == 2
+
+    def test_always_warm_memory_usage_counts_all_functions(self):
+        records = [FunctionRecord(f"f{i}", "a", "o") for i in range(3)]
+        counts = {"f0": [1, 0, 0], "f1": [0, 0, 0], "f2": [0, 1, 0]}
+        trace = Trace(records, counts, TraceMetadata(name="t", duration_minutes=3))
+        result = simulate_policy(AlwaysWarmPolicy(), trace, warmup_minutes=0)
+        assert result.peak_memory_usage == 3
+
+
+class TestAccountingRules:
+    def test_cold_start_charged_against_entering_resident_set(self):
+        # Function invoked at minutes 0 and 2; a 1-minute keep-alive policy
+        # evicts it before minute 2, so both invocations are cold.
+        class OneMinutePolicy(ProvisioningPolicy):
+            name = "one-minute"
+
+            def on_minute(self, minute, invocations):
+                return set(invocations)
+
+        trace = single_function_trace([1, 0, 1])
+        result = simulate_policy(OneMinutePolicy(), trace, warmup_minutes=0)
+        assert result.per_function["f"].cold_starts == 2
+
+    def test_warm_start_when_policy_keeps_resident(self):
+        class KeepForeverPolicy(ProvisioningPolicy):
+            name = "keep-forever"
+
+            def __init__(self):
+                self._seen = set()
+
+            def on_minute(self, minute, invocations):
+                self._seen |= set(invocations)
+                return set(self._seen)
+
+        trace = single_function_trace([1, 0, 1])
+        result = simulate_policy(KeepForeverPolicy(), trace, warmup_minutes=0)
+        assert result.per_function["f"].cold_starts == 1
+
+    def test_wmt_charged_for_resident_idle_minutes(self):
+        class KeepForeverPolicy(ProvisioningPolicy):
+            name = "keep-forever"
+
+            def __init__(self):
+                self._seen = set()
+
+            def on_minute(self, minute, invocations):
+                self._seen |= set(invocations)
+                return set(self._seen)
+
+        trace = single_function_trace([1, 0, 0, 0, 1])
+        result = simulate_policy(KeepForeverPolicy(), trace, warmup_minutes=0)
+        assert result.per_function["f"].wasted_memory_time == 3
+
+    def test_memory_usage_includes_on_demand_loads(self):
+        trace = single_function_trace([0, 1, 0])
+        result = simulate_policy(NoKeepAlivePolicy(), trace, warmup_minutes=0)
+        np.testing.assert_array_equal(result.memory_usage, [0, 1, 0])
+
+    def test_overhead_is_measured(self):
+        trace = single_function_trace([1, 1, 1])
+        result = simulate_policy(NoKeepAlivePolicy(), trace, warmup_minutes=0)
+        assert result.overhead_seconds >= 0.0
+        assert result.overhead_per_minute >= 0.0
+
+
+class TestWarmup:
+    def test_warmup_carries_residency_across_boundary(self):
+        # Training ends with an invocation at its last minute; a 10-minute
+        # keep-alive policy should still hold the instance when the
+        # simulation window starts, so the first invocation is warm.
+        from repro.baselines import FixedKeepAlivePolicy
+
+        training = single_function_trace([0] * 5 + [1], name="train")
+        simulation = single_function_trace([0, 0, 1], name="sim")
+        result = simulate_policy(
+            FixedKeepAlivePolicy(10), simulation, training, warmup_minutes=6
+        )
+        assert result.per_function["f"].cold_starts == 0
+
+    def test_zero_warmup_starts_cold(self):
+        from repro.baselines import FixedKeepAlivePolicy
+
+        training = single_function_trace([0] * 5 + [1], name="train")
+        simulation = single_function_trace([0, 0, 1], name="sim")
+        result = simulate_policy(
+            FixedKeepAlivePolicy(10), simulation, training, warmup_minutes=0
+        )
+        assert result.per_function["f"].cold_starts == 1
+
+    def test_warmup_minutes_validation(self):
+        trace = single_function_trace([1])
+        with pytest.raises(ValueError):
+            Simulator(trace, warmup_minutes=-1)
+
+    def test_warmup_does_not_charge_metrics(self):
+        from repro.baselines import FixedKeepAlivePolicy
+
+        training = single_function_trace([1] * 10, name="train")
+        simulation = single_function_trace([0, 0, 0], name="sim")
+        result = simulate_policy(
+            FixedKeepAlivePolicy(2), simulation, training, warmup_minutes=10
+        )
+        # The function was never invoked during the simulation window.
+        assert result.total_invocations == 0
+
+
+class TestSimulatorReuse:
+    def test_prepare_false_skips_offline_phase(self):
+        calls = []
+
+        class RecordingPolicy(NoKeepAlivePolicy):
+            def prepare(self, functions, training=None):
+                calls.append("prepare")
+                super().prepare(functions, training)
+
+        trace = single_function_trace([1, 0])
+        simulator = Simulator(trace, warmup_minutes=0)
+        policy = RecordingPolicy()
+        policy.prepare(trace.records(), None)
+        simulator.run(policy, prepare=False)
+        assert calls == ["prepare"]

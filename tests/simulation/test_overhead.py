@@ -1,0 +1,41 @@
+"""Tests for the overhead timer."""
+
+import time
+
+from repro.simulation import OverheadTimer
+
+
+class TestOverheadTimer:
+    def test_initial_state(self):
+        timer = OverheadTimer()
+        assert timer.total_seconds == 0.0
+        assert timer.call_count == 0
+        assert timer.mean_seconds == 0.0
+        assert timer.max_seconds == 0.0
+
+    def test_measure_accumulates(self):
+        timer = OverheadTimer()
+        for _ in range(3):
+            with timer.measure():
+                time.sleep(0.001)
+        assert timer.call_count == 3
+        assert timer.total_seconds >= 0.003
+        assert timer.mean_seconds >= 0.001
+        assert timer.max_seconds <= timer.total_seconds
+
+    def test_measure_records_even_on_exception(self):
+        timer = OverheadTimer()
+        try:
+            with timer.measure():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert timer.call_count == 1
+
+    def test_reset(self):
+        timer = OverheadTimer()
+        with timer.measure():
+            pass
+        timer.reset()
+        assert timer.call_count == 0
+        assert timer.total_seconds == 0.0

@@ -1,0 +1,36 @@
+"""Tests for the provisioning-policy base classes."""
+
+from repro.simulation import AlwaysWarmPolicy, NoKeepAlivePolicy
+from repro.traces import FunctionRecord
+
+
+class TestNoKeepAlive:
+    def test_returns_empty_set(self):
+        policy = NoKeepAlivePolicy()
+        policy.prepare([FunctionRecord("f", "a", "o")])
+        assert policy.on_minute(0, {"f": 1}) == set()
+
+    def test_known_functions_recorded(self):
+        policy = NoKeepAlivePolicy()
+        records = [FunctionRecord("f", "a", "o"), FunctionRecord("g", "a", "o")]
+        policy.prepare(records)
+        assert set(policy.known_functions) == {"f", "g"}
+
+
+class TestAlwaysWarm:
+    def test_all_known_functions_resident(self):
+        policy = AlwaysWarmPolicy()
+        policy.prepare([FunctionRecord("f", "a", "o"), FunctionRecord("g", "a", "o")])
+        assert policy.on_minute(0, {}) == {"f", "g"}
+
+    def test_explicit_subset(self):
+        policy = AlwaysWarmPolicy(function_ids=["f"])
+        policy.prepare([FunctionRecord("f", "a", "o"), FunctionRecord("g", "a", "o")])
+        assert policy.on_minute(0, {}) == {"f"}
+
+    def test_newly_seen_functions_added(self):
+        policy = AlwaysWarmPolicy(function_ids=["f"])
+        policy.prepare([FunctionRecord("f", "a", "o")])
+        resident = policy.on_minute(0, {"new": 1})
+        assert "new" in resident
+        assert "new" in policy.on_minute(1, {})

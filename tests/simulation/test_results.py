@@ -1,0 +1,100 @@
+"""Tests for simulation result aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.results import FunctionStats, SimulationResult, compare_results
+
+
+def make_result(stats, memory=None, wmt=0, emcr=0.0):
+    return SimulationResult(
+        policy_name="test",
+        duration_minutes=10,
+        per_function={s.function_id: s for s in stats},
+        memory_usage=np.asarray(memory if memory is not None else [], dtype=np.int64),
+        total_wasted_memory_time=wmt,
+        emcr=emcr,
+    )
+
+
+class TestFunctionStats:
+    def test_cold_start_rate(self):
+        stats = FunctionStats("f", invocations=4, cold_starts=1)
+        assert stats.cold_start_rate == pytest.approx(0.25)
+
+    def test_cold_start_rate_zero_invocations(self):
+        assert FunctionStats("f").cold_start_rate == 0.0
+
+    def test_always_and_never_cold(self):
+        assert FunctionStats("f", invocations=3, cold_starts=3).always_cold
+        assert FunctionStats("f", invocations=3, cold_starts=0).never_cold
+        assert not FunctionStats("f", invocations=0, cold_starts=0).always_cold
+
+    def test_wmt_ratio(self):
+        assert FunctionStats("f", invocations=2, wasted_memory_time=6).wmt_ratio == 3.0
+        assert FunctionStats("f", invocations=0, wasted_memory_time=6).wmt_ratio == 6.0
+
+
+class TestSimulationResult:
+    def test_totals(self):
+        result = make_result(
+            [
+                FunctionStats("a", invocations=10, cold_starts=2),
+                FunctionStats("b", invocations=5, cold_starts=5),
+            ]
+        )
+        assert result.total_invocations == 15
+        assert result.total_cold_starts == 7
+        assert result.overall_cold_start_rate == pytest.approx(7 / 15)
+
+    def test_percentiles_over_invoked_functions_only(self):
+        result = make_result(
+            [
+                FunctionStats("a", invocations=10, cold_starts=0),
+                FunctionStats("b", invocations=10, cold_starts=10),
+                FunctionStats("idle", invocations=0, cold_starts=0, wasted_memory_time=5),
+            ]
+        )
+        rates = result.cold_start_rates()
+        assert sorted(rates) == [0.0, 1.0]
+        assert result.cold_start_rate_percentile(50.0) == pytest.approx(0.5)
+
+    def test_q3_property_matches_percentile(self):
+        result = make_result(
+            [FunctionStats(f"f{i}", invocations=1, cold_starts=i % 2) for i in range(20)]
+        )
+        assert result.q3_cold_start_rate == result.cold_start_rate_percentile(75.0)
+
+    def test_always_and_never_cold_fractions(self):
+        result = make_result(
+            [
+                FunctionStats("a", invocations=4, cold_starts=4),
+                FunctionStats("b", invocations=4, cold_starts=0),
+                FunctionStats("c", invocations=4, cold_starts=2),
+            ]
+        )
+        assert result.always_cold_fraction == pytest.approx(1 / 3)
+        assert result.never_cold_fraction == pytest.approx(1 / 3)
+
+    def test_memory_aggregates(self):
+        result = make_result([], memory=[1, 2, 3])
+        assert result.average_memory_usage == pytest.approx(2.0)
+        assert result.peak_memory_usage == 3
+
+    def test_empty_result_safe(self):
+        result = make_result([])
+        assert result.overall_cold_start_rate == 0.0
+        assert result.q3_cold_start_rate == 0.0
+        assert result.always_cold_fraction == 0.0
+        assert result.average_memory_usage == 0.0
+
+    def test_summary_keys(self):
+        result = make_result([FunctionStats("a", invocations=1, cold_starts=1)])
+        summary = result.summary()
+        for key in ("policy", "q3_csr", "wasted_memory_time", "emcr"):
+            assert key in summary
+
+    def test_compare_results(self):
+        first = make_result([FunctionStats("a", invocations=1, cold_starts=0)])
+        comparison = compare_results({"one": first})
+        assert comparison["one"]["policy"] == "test"

@@ -1,0 +1,37 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    @pytest.mark.parametrize("command", ["compare", "analyze", "tradeoff", "ablation"])
+    def test_commands_accept_common_arguments(self, command):
+        parser = build_parser()
+        args = parser.parse_args([command, "--functions", "50", "--seed", "9"])
+        assert args.functions == 50
+        assert args.seed == 9
+        assert callable(args.handler)
+
+
+class TestExecution:
+    TINY = ["--functions", "30", "--seed", "5", "--days", "3", "--training-days", "2"]
+
+    def test_analyze_runs_on_tiny_workload(self, capsys):
+        exit_code = main(["analyze"] + self.TINY)
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Trigger proportions" in captured.out
+
+    def test_compare_runs_on_tiny_workload(self, capsys):
+        exit_code = main(["compare"] + self.TINY)
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "spes" in captured.out
+        assert "fixed-10min" in captured.out

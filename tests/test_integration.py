@@ -1,0 +1,116 @@
+"""End-to-end integration tests: full pipeline on a small synthetic workload.
+
+These tests assert the *comparative shape* of the paper's headline results on
+a small (fast) workload: SPES should beat the function-grained baselines on
+the 75th-percentile cold-start rate while using the least (or close to the
+least) memory.  Exact magnitudes are workload-dependent and are exercised by
+the benchmark harness instead.
+"""
+
+import pytest
+
+from repro.core import SpesConfig, SpesPolicy
+from repro.core.categories import FunctionCategory
+from repro.experiments import ExperimentConfig, ExperimentRunner
+from repro.simulation import simulate_policy
+
+
+@pytest.fixture(scope="module")
+def runner():
+    config = ExperimentConfig(
+        n_functions=150,
+        seed=2024,
+        duration_days=6.0,
+        training_days=5.0,
+        warmup_minutes=720,
+    )
+    return ExperimentRunner(config)
+
+
+@pytest.fixture(scope="module")
+def results(runner):
+    return runner.run_all()
+
+
+class TestHeadlineShape:
+    def test_spes_beats_fixed_keepalive_on_q3_csr(self, results):
+        assert results["spes"].q3_cold_start_rate < results["fixed-10min"].q3_cold_start_rate
+
+    def test_spes_competitive_with_function_grained_baselines(self, results):
+        spes_q3 = results["spes"].q3_cold_start_rate
+        assert spes_q3 <= results["hybrid-function"].q3_cold_start_rate * 1.1
+        assert spes_q3 <= results["faascache"].q3_cold_start_rate * 1.1
+
+    def test_spes_memory_close_to_fixed_keepalive(self, results):
+        spes_memory = results["spes"].average_memory_usage
+        fixed_memory = results["fixed-10min"].average_memory_usage
+        assert spes_memory <= fixed_memory * 1.3
+
+    def test_spes_wmt_among_the_lowest(self, results):
+        spes_wmt = results["spes"].total_wasted_memory_time
+        others = [
+            result.total_wasted_memory_time
+            for name, result in results.items()
+            if name != "spes"
+        ]
+        # SPES must not waste more than any baseline by a noticeable margin.
+        assert spes_wmt <= min(others) * 1.2
+
+    def test_hybrid_application_uses_much_more_memory_than_spes(self, results):
+        assert (
+            results["hybrid-application"].average_memory_usage
+            > results["spes"].average_memory_usage
+        )
+
+    def test_every_policy_produces_valid_metrics(self, results):
+        for result in results.values():
+            assert 0.0 <= result.overall_cold_start_rate <= 1.0
+            assert 0.0 <= result.emcr <= 1.0
+            assert result.total_wasted_memory_time >= 0
+
+
+class TestCategorizationCoverage:
+    def test_most_functions_categorized(self, runner):
+        runner.run_spes()
+        assignments = runner.spes_policy().category_assignments()
+        unknown = sum(
+            1 for category in assignments.values() if category is FunctionCategory.UNKNOWN
+        )
+        assert unknown / len(assignments) < 0.25
+
+    def test_multiple_categories_present(self, runner):
+        runner.run_spes()
+        categories = set(runner.spes_policy().category_assignments().values())
+        assert len(categories) >= 4
+
+
+class TestAblationShape:
+    def test_disabling_correlation_does_not_improve_cold_starts(self, runner):
+        full = runner.run_spes()
+        without = runner.run_spes_variant(
+            runner.config.spes_config.replace(
+                enable_correlation=False, enable_online_correlation=False
+            ),
+            cache_key="integration-no-corr",
+        )
+        assert full.q3_cold_start_rate <= without.q3_cold_start_rate + 0.05
+
+
+class TestTradeoffShape:
+    def test_larger_prewarm_window_trades_memory_for_cold_starts(self, runner):
+        small = runner.run_spes_variant(
+            runner.config.spes_config.replace(theta_prewarm=1), cache_key="integration-pre1"
+        )
+        large = runner.run_spes_variant(
+            runner.config.spes_config.replace(theta_prewarm=10), cache_key="integration-pre10"
+        )
+        assert large.average_memory_usage >= small.average_memory_usage
+        assert large.q3_cold_start_rate <= small.q3_cold_start_rate + 0.05
+
+
+class TestSmallScaleSanity:
+    def test_spes_runs_without_training_data(self, small_split):
+        result = simulate_policy(
+            SpesPolicy(SpesConfig()), small_split.simulation, None, warmup_minutes=0
+        )
+        assert result.total_invocations > 0

@@ -1,0 +1,167 @@
+"""Tests for the per-pattern invocation generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.sequences import extract_sequences
+from repro.traces import archetypes
+
+
+class TestAlwaysWarm:
+    def test_invoked_almost_every_minute(self, rng):
+        series = archetypes.generate_always_warm(rng, 1000)
+        assert (series > 0).mean() > 0.99
+
+    def test_length_and_dtype(self, rng):
+        series = archetypes.generate_always_warm(rng, 50)
+        assert series.shape == (50,)
+        assert series.dtype == np.int64
+
+    def test_rejects_bad_duration(self, rng):
+        with pytest.raises(ValueError):
+            archetypes.generate_always_warm(rng, 0)
+
+
+class TestPeriodic:
+    def test_exact_period_without_jitter(self, rng):
+        series = archetypes.generate_periodic(
+            rng, 600, period=60, jitter_probability=0.0, phase=0
+        )
+        minutes = np.nonzero(series)[0]
+        assert list(minutes) == list(range(0, 600, 60))
+
+    def test_miss_probability_drops_firings(self, rng):
+        full = archetypes.generate_periodic(
+            rng, 6000, period=10, jitter_probability=0.0, miss_probability=0.0, phase=0
+        )
+        sparse = archetypes.generate_periodic(
+            rng, 6000, period=10, jitter_probability=0.0, miss_probability=0.5, phase=0
+        )
+        assert sparse.sum() < full.sum()
+
+    def test_extra_noise_adds_invocations(self, rng):
+        noisy = archetypes.generate_periodic(
+            rng, 5000, period=100, jitter_probability=0.0, extra_noise_rate=0.05, phase=0
+        )
+        assert noisy.sum() > 5000 // 100
+
+    def test_rejects_invalid_period(self, rng):
+        with pytest.raises(ValueError):
+            archetypes.generate_periodic(rng, 100, period=0)
+
+    def test_rejects_invalid_miss_probability(self, rng):
+        with pytest.raises(ValueError):
+            archetypes.generate_periodic(rng, 100, miss_probability=1.5)
+
+
+class TestQuasiPeriodic:
+    def test_gaps_within_period_set(self, rng):
+        periods = (7, 8, 9)
+        series = archetypes.generate_quasi_periodic(rng, 2000, periods=periods)
+        gaps = np.diff(np.nonzero(series)[0])
+        assert set(gaps).issubset(set(periods))
+
+    def test_rejects_empty_periods(self, rng):
+        with pytest.raises(ValueError):
+            archetypes.generate_quasi_periodic(rng, 100, periods=())
+
+    def test_rejects_mismatched_weights(self, rng):
+        with pytest.raises(ValueError):
+            archetypes.generate_quasi_periodic(rng, 100, periods=(3, 4), weights=(1.0,))
+
+
+class TestDensePoisson:
+    def test_mean_rate_close_to_requested(self, rng):
+        series = archetypes.generate_dense_poisson(
+            rng, 20000, rate_per_minute=1.0, diurnal=False
+        )
+        assert series.mean() == pytest.approx(1.0, rel=0.1)
+
+    def test_diurnal_modulation_changes_variance(self, rng):
+        flat = archetypes.generate_dense_poisson(rng, 2880, rate_per_minute=2.0, diurnal=False)
+        diurnal = archetypes.generate_dense_poisson(
+            rng, 2880, rate_per_minute=2.0, diurnal=True, diurnal_amplitude=0.9
+        )
+        assert diurnal.std() > flat.std()
+
+    def test_rejects_non_positive_rate(self, rng):
+        with pytest.raises(ValueError):
+            archetypes.generate_dense_poisson(rng, 100, rate_per_minute=0.0)
+
+
+class TestBursty:
+    def test_invocations_concentrated_in_bursts(self, rng):
+        series = archetypes.generate_bursty(rng, 10000, burst_count=4, min_gap=800)
+        summary = extract_sequences(series)
+        # Few distinct activity periods, each several minutes long.
+        assert len(summary.active_times) <= 8
+        assert max(summary.active_times) >= 8
+
+    def test_rejects_bad_burst_length_range(self, rng):
+        with pytest.raises(ValueError):
+            archetypes.generate_bursty(rng, 100, burst_length_range=(10, 5))
+
+
+class TestPulsed:
+    def test_pulses_are_short(self, rng):
+        series = archetypes.generate_pulsed(rng, 10000, pulse_count=5, min_gap=1000)
+        summary = extract_sequences(series)
+        assert max(summary.active_times) <= 6
+
+    def test_gaps_are_long(self, rng):
+        series = archetypes.generate_pulsed(rng, 10000, pulse_count=5, min_gap=1000)
+        summary = extract_sequences(series)
+        if summary.waiting_times:
+            assert min(summary.waiting_times) >= 1000
+
+
+class TestChained:
+    def test_child_follows_parent_with_lag(self, rng):
+        parent = np.zeros(100, dtype=np.int64)
+        parent[[10, 40, 70]] = 1
+        child = archetypes.generate_chained(rng, parent, lag=3, trigger_probability=1.0)
+        assert list(np.nonzero(child)[0]) == [13, 43, 73]
+
+    def test_trigger_probability_thins_children(self, rng):
+        parent = np.ones(2000, dtype=np.int64)
+        child = archetypes.generate_chained(rng, parent, lag=1, trigger_probability=0.3)
+        assert 0 < child.sum() < parent.sum()
+
+    def test_lag_beyond_duration_dropped(self, rng):
+        parent = np.zeros(10, dtype=np.int64)
+        parent[9] = 1
+        child = archetypes.generate_chained(rng, parent, lag=5, trigger_probability=1.0)
+        assert child.sum() == 0
+
+    def test_rejects_negative_lag(self, rng):
+        with pytest.raises(ValueError):
+            archetypes.generate_chained(rng, np.ones(5, dtype=np.int64), lag=-1)
+
+
+class TestRare:
+    def test_invocation_count_without_gap(self, rng):
+        series = archetypes.generate_rare(rng, 5000, invocation_count=4)
+        assert int((series > 0).sum()) == 4
+
+    def test_repeated_gap_produces_repeated_waiting_times(self, rng):
+        series = archetypes.generate_rare(rng, 5000, invocation_count=5, repeated_gap=300)
+        gaps = np.diff(np.nonzero(series)[0])
+        assert set(gaps) == {300}
+
+    def test_rejects_bad_count(self, rng):
+        with pytest.raises(ValueError):
+            archetypes.generate_rare(rng, 100, invocation_count=0)
+
+
+class TestDrifting:
+    def test_behaviour_changes_at_change_point(self, rng):
+        series = archetypes.generate_drifting(
+            rng, 4000, first_period=50, second_rate=1.0, change_point_fraction=0.5
+        )
+        first_half_rate = (series[:2000] > 0).mean()
+        second_half_rate = (series[2000:] > 0).mean()
+        assert second_half_rate > first_half_rate * 5
+
+    def test_rejects_bad_change_point(self, rng):
+        with pytest.raises(ValueError):
+            archetypes.generate_drifting(rng, 100, change_point_fraction=1.5)

@@ -1,0 +1,110 @@
+"""Tests for the real Azure-trace CSV loader."""
+
+import numpy as np
+import pytest
+
+from repro.traces import load_azure_invocation_csv
+from repro.traces.azure_loader import parse_trigger
+from repro.traces.schema import MINUTES_PER_DAY, TriggerType
+
+
+def write_daily_csv(path, rows):
+    """Write a miniature daily invocation CSV in the Azure schema."""
+    header = ["HashOwner", "HashApp", "HashFunction", "Trigger"] + [
+        str(i) for i in range(1, MINUTES_PER_DAY + 1)
+    ]
+    lines = [",".join(header)]
+    for owner, app, func, trigger, minute_counts in rows:
+        counts = ["0"] * MINUTES_PER_DAY
+        for minute, value in minute_counts.items():
+            counts[minute] = str(value)
+        lines.append(",".join([owner, app, func, trigger] + counts))
+    path.write_text("\n".join(lines) + "\n")
+
+
+class TestParseTrigger:
+    @pytest.mark.parametrize(
+        "raw, expected",
+        [
+            ("http", TriggerType.HTTP),
+            ("HTTP", TriggerType.HTTP),
+            ("timer", TriggerType.TIMER),
+            ("queue", TriggerType.QUEUE),
+            ("blob", TriggerType.STORAGE),
+            ("eventhub", TriggerType.EVENT),
+            ("durable", TriggerType.ORCHESTRATION),
+            ("someNewTrigger", TriggerType.OTHERS),
+        ],
+    )
+    def test_mapping(self, raw, expected):
+        assert parse_trigger(raw) is expected
+
+
+class TestLoader:
+    def test_single_day(self, tmp_path):
+        csv_path = tmp_path / "d01.csv"
+        write_daily_csv(
+            csv_path,
+            [
+                ("o1", "a1", "f1", "http", {0: 3, 100: 1}),
+                ("o1", "a1", "f2", "timer", {50: 1}),
+            ],
+        )
+        trace = load_azure_invocation_csv([csv_path])
+        assert len(trace) == 2
+        assert trace.duration_minutes == MINUTES_PER_DAY
+        assert trace.total_invocations("o1:a1:f1") == 4
+        assert trace.record("o1:a1:f2").trigger is TriggerType.TIMER
+
+    def test_multiple_days_concatenated(self, tmp_path):
+        day1 = tmp_path / "d01.csv"
+        day2 = tmp_path / "d02.csv"
+        write_daily_csv(day1, [("o", "a", "f", "http", {10: 1})])
+        write_daily_csv(day2, [("o", "a", "f", "http", {20: 2})])
+        trace = load_azure_invocation_csv([day1, day2])
+        assert trace.duration_minutes == 2 * MINUTES_PER_DAY
+        series = trace.series("o:a:f")
+        assert series[10] == 1
+        assert series[MINUTES_PER_DAY + 20] == 2
+
+    def test_function_missing_on_one_day(self, tmp_path):
+        day1 = tmp_path / "d01.csv"
+        day2 = tmp_path / "d02.csv"
+        write_daily_csv(day1, [("o", "a", "f1", "http", {0: 1})])
+        write_daily_csv(day2, [("o", "a", "f2", "queue", {0: 1})])
+        trace = load_azure_invocation_csv([day1, day2])
+        assert trace.total_invocations("o:a:f1") == 1
+        assert trace.total_invocations("o:a:f2") == 1
+
+    def test_max_functions_cap(self, tmp_path):
+        csv_path = tmp_path / "d01.csv"
+        write_daily_csv(
+            csv_path,
+            [("o", "a", f"f{i}", "http", {i: 1}) for i in range(5)],
+        )
+        trace = load_azure_invocation_csv([csv_path], max_functions=2)
+        assert len(trace) == 2
+
+    def test_app_and_owner_grouping(self, tmp_path):
+        csv_path = tmp_path / "d01.csv"
+        write_daily_csv(
+            csv_path,
+            [
+                ("o1", "a1", "f1", "http", {0: 1}),
+                ("o1", "a1", "f2", "http", {1: 1}),
+                ("o2", "a2", "f3", "timer", {2: 1}),
+            ],
+        )
+        trace = load_azure_invocation_csv([csv_path])
+        assert len(trace.functions_by_app()["o1:a1"]) == 2
+        assert len(trace.functions_by_owner()["o2"]) == 1
+
+    def test_empty_path_list_rejected(self):
+        with pytest.raises(ValueError):
+            load_azure_invocation_csv([])
+
+    def test_empty_file_rejected(self, tmp_path):
+        empty = tmp_path / "d01.csv"
+        empty.write_text("HashOwner,HashApp,HashFunction,Trigger," + ",".join(map(str, range(1, 1441))) + "\n")
+        with pytest.raises(ValueError):
+            load_azure_invocation_csv([empty])

@@ -1,0 +1,59 @@
+"""Tests for repro.traces.schema."""
+
+import pytest
+
+from repro.traces.schema import MINUTES_PER_DAY, FunctionRecord, TraceMetadata, TriggerType
+
+
+class TestTriggerType:
+    def test_values_are_lowercase_strings(self):
+        for trigger in TriggerType:
+            assert trigger.value == trigger.value.lower()
+
+    def test_paper_proportions_cover_all_triggers(self):
+        proportions = TriggerType.paper_proportions()
+        assert set(proportions) == set(TriggerType)
+
+    def test_paper_proportions_sum_to_one(self):
+        total = sum(TriggerType.paper_proportions().values())
+        assert total == pytest.approx(1.0, abs=0.01)
+
+    def test_http_is_most_common(self):
+        proportions = TriggerType.paper_proportions()
+        assert max(proportions, key=proportions.get) is TriggerType.HTTP
+
+
+class TestFunctionRecord:
+    def test_construction_defaults(self):
+        record = FunctionRecord("f1", "a1", "o1")
+        assert record.trigger is TriggerType.HTTP
+        assert record.archetype is None
+
+    def test_is_frozen(self):
+        record = FunctionRecord("f1", "a1", "o1")
+        with pytest.raises(AttributeError):
+            record.function_id = "other"
+
+    @pytest.mark.parametrize("field", ["function_id", "app_id", "owner_id"])
+    def test_empty_identifier_rejected(self, field):
+        kwargs = {"function_id": "f", "app_id": "a", "owner_id": "o"}
+        kwargs[field] = ""
+        with pytest.raises(ValueError):
+            FunctionRecord(**kwargs)
+
+    def test_equality_by_value(self):
+        assert FunctionRecord("f", "a", "o") == FunctionRecord("f", "a", "o")
+
+
+class TestTraceMetadata:
+    def test_duration_days(self):
+        metadata = TraceMetadata(name="x", duration_minutes=2 * MINUTES_PER_DAY)
+        assert metadata.duration_days == pytest.approx(2.0)
+
+    def test_rejects_non_positive_duration(self):
+        with pytest.raises(ValueError):
+            TraceMetadata(name="x", duration_minutes=0)
+
+    def test_extra_defaults_to_empty_dict(self):
+        metadata = TraceMetadata(name="x", duration_minutes=10)
+        assert metadata.extra == {}

@@ -1,0 +1,128 @@
+"""Tests for the synthetic Azure-like workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.traces import AzureTraceGenerator, GeneratorProfile, TriggerType, split_trace
+from repro.traces.schema import MINUTES_PER_DAY
+
+
+class TestGeneratorProfile:
+    def test_default_mix_is_normalizable(self):
+        profile = GeneratorProfile()
+        assert sum(profile.archetype_mix.values()) == pytest.approx(1.0, abs=0.05)
+
+    def test_duration_minutes(self):
+        assert GeneratorProfile(duration_days=2.0, unseen_window_days=0.5).duration_minutes == 2 * MINUTES_PER_DAY
+
+    def test_small_profile_is_fast_sized(self):
+        profile = GeneratorProfile.small()
+        assert profile.n_functions <= 100
+        assert profile.duration_days <= 5
+
+    def test_paper_scale_matches_function_count(self):
+        assert GeneratorProfile.paper_scale().n_functions == 83137
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_functions": 0},
+            {"duration_days": 0},
+            {"archetype_mix": {}},
+            {"archetype_mix": {"periodic": -1.0}},
+            {"unseen_fraction": 1.5},
+            {"unseen_window_days": 20.0},
+            {"app_archetype_affinity": 1.5},
+            {"timer_miss_probability": 1.0},
+            {"timer_noise_fraction_range": (0.5, 0.1)},
+        ],
+    )
+    def test_invalid_profiles_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            GeneratorProfile(**kwargs)
+
+
+class TestGeneratedTrace:
+    def test_function_count_and_duration(self, small_trace):
+        assert len(small_trace) == 60
+        assert small_trace.duration_minutes == 3 * MINUTES_PER_DAY
+
+    def test_determinism_for_same_seed(self):
+        profile = GeneratorProfile(n_functions=30, duration_days=1.0, unseen_window_days=0.25, seed=5)
+        first = AzureTraceGenerator(profile).generate()
+        second = AzureTraceGenerator(profile).generate()
+        for function_id in first.function_ids:
+            np.testing.assert_array_equal(first.series(function_id), second.series(function_id))
+
+    def test_different_seeds_differ(self):
+        one = AzureTraceGenerator(GeneratorProfile(n_functions=30, duration_days=1.0, unseen_window_days=0.25, seed=1)).generate()
+        two = AzureTraceGenerator(GeneratorProfile(n_functions=30, duration_days=1.0, unseen_window_days=0.25, seed=2)).generate()
+        totals_one = [one.total_invocations(fid) for fid in one.function_ids]
+        totals_two = [two.total_invocations(fid) for fid in two.function_ids]
+        assert totals_one != totals_two
+
+    def test_every_function_has_metadata(self, small_trace):
+        for record in small_trace.records():
+            assert record.app_id.startswith("app-")
+            assert record.owner_id.startswith("owner-")
+            assert isinstance(record.trigger, TriggerType)
+            assert record.archetype is not None
+
+    def test_heavy_tail_most_functions_rare(self):
+        trace = AzureTraceGenerator(GeneratorProfile(n_functions=300, seed=11)).generate()
+        totals = np.array([trace.total_invocations(fid) for fid in trace.function_ids])
+        invoked = totals[totals > 0]
+        # The mean is far above the median: a heavy right tail (Fig. 3).
+        assert invoked.mean() > 3 * np.median(invoked)
+
+    def test_unseen_functions_only_in_tail_window(self):
+        profile = GeneratorProfile(n_functions=200, seed=13, unseen_fraction=0.05)
+        trace = AzureTraceGenerator(profile).generate()
+        unseen = [
+            record.function_id
+            for record in trace.records()
+            if record.archetype and record.archetype.startswith("unseen")
+        ]
+        assert unseen
+        boundary = trace.duration_minutes - int(profile.unseen_window_days * MINUTES_PER_DAY)
+        for function_id in unseen:
+            assert trace.series(function_id)[:boundary].sum() == 0
+
+    def test_never_invoked_functions_exist(self):
+        profile = GeneratorProfile(n_functions=200, seed=13, never_invoked_fraction=0.05)
+        trace = AzureTraceGenerator(profile).generate()
+        never = [fid for fid in trace.function_ids if trace.total_invocations(fid) == 0]
+        assert len(never) >= 5
+
+    def test_split_produces_unseen_functions(self):
+        profile = GeneratorProfile(n_functions=300, seed=17, unseen_fraction=0.03)
+        trace = AzureTraceGenerator(profile).generate()
+        split = split_trace(trace, training_days=12.0)
+        assert len(split.unseen_function_ids) >= 3
+
+    def test_apps_are_mostly_homogeneous(self):
+        trace = AzureTraceGenerator(GeneratorProfile(n_functions=300, seed=19)).generate()
+        multi_function_apps = {
+            app: members
+            for app, members in trace.functions_by_app().items()
+            if len(members) >= 3
+        }
+        assert multi_function_apps
+        dominant_shares = []
+        for members in multi_function_apps.values():
+            archetypes = [
+                (trace.record(fid).archetype or "").replace("unseen_", "").replace("drifting", "x")
+                for fid in members
+            ]
+            most_common = max(archetypes.count(a) for a in set(archetypes))
+            dominant_shares.append(most_common / len(members))
+        assert np.mean(dominant_shares) > 0.6
+
+    def test_chained_functions_follow_parents(self):
+        trace = AzureTraceGenerator(GeneratorProfile(n_functions=300, seed=23)).generate()
+        chained = [
+            record.function_id
+            for record in trace.records()
+            if record.archetype == "chained" and trace.total_invocations(record.function_id) > 10
+        ]
+        assert chained, "the default mix should produce active chained functions"
