@@ -1,0 +1,126 @@
+"""Engine throughput: simulated-minutes/second, before vs. after vectorization.
+
+The "before" is the ``reference`` engine — the original pure-Python
+minute loop over sets and dicts, which also re-scans the trace on every run.
+The "after" is the default ``vectorized`` engine, which runs residency and
+memory accounting on numpy masks over the trace's cached invocation index.
+
+Throughput is measured on the paper's default workload shape (400 functions,
+14 days, 2-day simulation window) with engine-bound policies, so the numbers
+isolate the engine's accounting cost rather than any policy's decision cost.
+A ≥3x speedup is asserted for the policy sweep scenario (several policies
+over one shared window — the shape the parallel experiment runner fans out).
+
+Also reported: wall-clock of a small policy suite executed serially vs.
+through the ``ParallelRunner`` process pool (informative only — the ratio
+depends on the machine's core count).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.experiments import ExperimentConfig, ExperimentSuite
+from repro.simulation import AlwaysWarmPolicy, NoKeepAlivePolicy, Simulator
+from repro.baselines import FixedKeepAlivePolicy
+
+from .conftest import save_and_print
+
+#: The default workload of the paper's evaluation (ISSUE/acceptance shape).
+THROUGHPUT_CONFIG = ExperimentConfig(
+    n_functions=400,
+    seed=2024,
+    duration_days=14.0,
+    training_days=12.0,
+    warmup_minutes=0,
+)
+
+#: Engine-bound policies: near-zero decision cost, so the measured time is
+#: dominated by the engine's own accounting work.
+ENGINE_BOUND_POLICIES = (
+    ("no-keepalive", NoKeepAlivePolicy),
+    ("always-warm", AlwaysWarmPolicy),
+    ("fixed-10min", lambda: FixedKeepAlivePolicy(10)),
+)
+
+
+@pytest.fixture(scope="module")
+def throughput_split():
+    from repro.experiments import ExperimentRunner
+
+    return ExperimentRunner(THROUGHPUT_CONFIG).split
+
+
+def _sweep_seconds(split, engine: str) -> float:
+    """Wall-clock of one policy sweep (all engine-bound policies) per engine."""
+    started = time.perf_counter()
+    for _, factory in ENGINE_BOUND_POLICIES:
+        simulator = Simulator(split.simulation, warmup_minutes=0, engine=engine)
+        simulator.run(factory())
+    return time.perf_counter() - started
+
+
+def test_engine_throughput_vectorized_vs_reference(throughput_split, output_dir):
+    split = throughput_split
+    minutes = split.simulation.duration_minutes
+    sweep_minutes = minutes * len(ENGINE_BOUND_POLICIES)
+
+    # Warm both paths once (imports, numpy, the trace's invocation index).
+    _sweep_seconds(split, "vectorized")
+    _sweep_seconds(split, "reference")
+
+    reference_seconds = min(_sweep_seconds(split, "reference") for _ in range(3))
+    vectorized_seconds = min(_sweep_seconds(split, "vectorized") for _ in range(3))
+    speedup = reference_seconds / vectorized_seconds
+
+    lines = [
+        "Engine throughput - 400 functions, 14-day workload, 2-day window",
+        f"policies per sweep: {', '.join(name for name, _ in ENGINE_BOUND_POLICIES)}",
+        f"reference engine:  {sweep_minutes / reference_seconds:>12.0f} sim-min/s"
+        f"  ({reference_seconds:.3f}s per sweep)",
+        f"vectorized engine: {sweep_minutes / vectorized_seconds:>12.0f} sim-min/s"
+        f"  ({vectorized_seconds:.3f}s per sweep)",
+        f"speedup: {speedup:.2f}x",
+    ]
+    save_and_print(output_dir, "engine_throughput", "\n".join(lines))
+    assert speedup >= 3.0, f"vectorized engine only {speedup:.2f}x over reference"
+
+
+def test_parallel_suite_vs_serial(output_dir):
+    """Wall-clock of the policy suite, serial vs. fanned out over workers.
+
+    On multi-core machines ``--workers 4`` beats serial; on constrained CI
+    boxes the pool overhead can dominate, so only result *equality* is
+    asserted here and the timings are recorded for inspection.
+    """
+    config = ExperimentConfig(
+        n_functions=60, seed=2024, duration_days=4.0, training_days=3.0,
+        warmup_minutes=360,
+    )
+    policies = ("spes", "fixed-10min", "hybrid-function", "defuse")
+
+    started = time.perf_counter()
+    serial = ExperimentSuite(config, policies=policies, workers=0).run()
+    serial_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = ExperimentSuite(config, policies=policies, workers=4).run()
+    parallel_seconds = time.perf_counter() - started
+
+    seed = config.seed
+    for name in policies:
+        assert (
+            serial.results[seed][name].deterministic_fingerprint()
+            == parallel.results[seed][name].deterministic_fingerprint()
+        ), name
+
+    lines = [
+        "Policy suite wall-clock - 60 functions, 4-day workload",
+        f"policies: {', '.join(policies)}",
+        f"serial:     {serial_seconds:8.2f}s",
+        f"workers=4:  {parallel_seconds:8.2f}s",
+        f"ratio: {serial_seconds / parallel_seconds:.2f}x",
+    ]
+    save_and_print(output_dir, "parallel_suite_wallclock", "\n".join(lines))

@@ -6,13 +6,21 @@ small custom policy -- "keep a function warm for twice its recently observed
 median gap" -- and benchmarks it against SPES and the fixed keep-alive
 baseline on the same workload.
 
-Run with:  python examples/custom_policy.py
+Run with:  PYTHONPATH=src python examples/custom_policy.py
+(or plain ``python`` after ``pip install -e .``)
 """
 
 from __future__ import annotations
 
 import statistics
+import sys
+from pathlib import Path
 from typing import Dict, Mapping, Set
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # clean checkout: put <repo>/src on the path
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro import AzureTraceGenerator, GeneratorProfile, SpesPolicy, simulate_policy, split_trace
 from repro.baselines import FixedKeepAlivePolicy

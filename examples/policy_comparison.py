@@ -1,41 +1,56 @@
-"""Compare SPES against every baseline of the paper on one workload.
+"""Compare SPES against every baseline of the paper on one or more workloads.
 
-This is the programmatic equivalent of ``spes-repro compare``: it builds an
-Azure-like workload, runs SPES plus the five baselines (fixed keep-alive,
-Hybrid-Function, Hybrid-Application, Defuse, FaaSCache), and prints the RQ1 /
-RQ2 tables (Q3-CSR reduction, normalized memory, WMT, EMCR and overhead).
+This is the programmatic equivalent of ``spes-repro sweep``: it builds one
+Azure-like workload per seed, runs SPES plus the five baselines (fixed
+keep-alive, Hybrid-Function, Hybrid-Application, Defuse, FaaSCache) through
+the parallel experiment suite, and prints the RQ1 / RQ2 tables (Q3-CSR
+reduction, normalized memory, WMT, EMCR and overhead).
 
-Run with:  python examples/policy_comparison.py [n_functions] [seed]
+Run from a clean checkout (no install needed)::
+
+    PYTHONPATH=src python examples/policy_comparison.py [n_functions] [seed] [workers]
+
+or, after an editable install (``pip install -e .``), simply::
+
+    python examples/policy_comparison.py 200 2024 4
 """
 
 import sys
+from pathlib import Path
 
-from repro.experiments import ExperimentConfig, ExperimentRunner, rq1_coldstart, rq2_memory
+try:
+    import repro  # noqa: F401
+except ImportError:  # clean checkout: put <repo>/src on the path
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments import ExperimentConfig, ExperimentSuite, rq1_coldstart, rq2_memory
 from repro.metrics import build_comparison
 
 
 def main() -> None:
     n_functions = int(sys.argv[1]) if len(sys.argv) > 1 else 200
     seed = int(sys.argv[2]) if len(sys.argv) > 2 else 2024
+    workers = int(sys.argv[3]) if len(sys.argv) > 3 else 0
 
     config = ExperimentConfig(n_functions=n_functions, seed=seed)
-    runner = ExperimentRunner(config)
+    suite = ExperimentSuite(config, seeds=[seed], workers=workers)
+    mode = f"{workers} workers" if workers > 1 else "serially"
     print(f"simulating {n_functions} functions over "
           f"{config.duration_days - config.training_days:.0f} days "
-          f"(training on {config.training_days:.0f} days)...")
+          f"(training on {config.training_days:.0f} days, {mode})...")
 
-    results = runner.run_all()
+    outcome = suite.run()
+    results = outcome.results[seed]
+    print(f"done in {outcome.wall_seconds:.1f}s")
 
     print()
     print(build_comparison(results, title="SPES vs. baselines").render())
-    print()
-    print(rq1_coldstart.headline_improvements(results).render())
-    print()
-    print(rq1_coldstart.memory_and_always_cold(results).render())
-    print()
-    print(rq2_memory.wmt_and_emcr_table(results).render())
-    print()
-    print(rq1_coldstart.per_category_csr_table(runner.spes_policy(), results["spes"]).render())
+    for table in rq1_coldstart.report(results):
+        print()
+        print(table.render())
+    for table in rq2_memory.report(results):
+        print()
+        print(table.render(float_format="{:.6f}"))
 
 
 if __name__ == "__main__":

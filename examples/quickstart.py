@@ -4,30 +4,45 @@ Generates a small 14-day workload, trains SPES on the first 12 days,
 simulates the final 2 days, and prints the headline metrics next to the
 fixed 10-minute keep-alive baseline.
 
-Run with:  python examples/quickstart.py
+Run from a clean checkout (no install needed)::
+
+    PYTHONPATH=src python examples/quickstart.py
+
+or, after an editable install (``pip install -e .``), simply::
+
+    python examples/quickstart.py
 """
 
-from repro import AzureTraceGenerator, GeneratorProfile, SpesPolicy, simulate_policy, split_trace
-from repro.baselines import FixedKeepAlivePolicy
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # clean checkout: put <repo>/src on the path
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments import ExperimentConfig, ExperimentRunner, PolicySpec
 
 
 def main() -> None:
-    # 1. Build a workload: 120 functions, 14 days of per-minute invocations.
-    profile = GeneratorProfile(n_functions=120, seed=7)
-    trace = AzureTraceGenerator(profile).generate()
+    # 1. Configure a workload: 120 functions, 14 days of per-minute
+    #    invocations, split into the paper's 12-day training / 2-day
+    #    simulation windows.  The runner generates and splits it lazily.
+    config = ExperimentConfig(n_functions=120, seed=7)
+    runner = ExperimentRunner(config)
+    trace = runner.trace
     print(f"workload: {len(trace)} functions, {trace.duration_days:.0f} days, "
           f"{trace.total_invocations():,} invocations")
 
-    # 2. Split into the paper's 12-day training / 2-day simulation windows.
-    split = split_trace(trace, training_days=12.0)
+    # 2. Simulate SPES and the fixed keep-alive baseline.  run_specs() takes
+    #    picklable policy descriptions, memoizes each result, and — with
+    #    ExperimentRunner(config, workers=N) — fans out across processes.
+    results = runner.run_specs({
+        "spes": PolicySpec.of("spes", config=config.spes_config),
+        "fixed-10min": PolicySpec.of("fixed-keepalive", keep_alive_minutes=10),
+    })
 
-    # 3. Simulate SPES and the fixed keep-alive baseline.
-    spes_result = simulate_policy(SpesPolicy(), split.simulation, split.training)
-    fixed_result = simulate_policy(
-        FixedKeepAlivePolicy(keep_alive_minutes=10), split.simulation, split.training
-    )
-
-    # 4. Compare the headline metrics.
+    # 3. Compare the headline metrics.
     print(f"\n{'metric':<32}{'SPES':>12}{'fixed-10min':>14}")
     rows = [
         ("75th-percentile cold-start rate", "q3_csr"),
@@ -37,7 +52,8 @@ def main() -> None:
         ("average memory (instances)", "avg_memory"),
         ("effective memory consumption", "emcr"),
     ]
-    spes_summary, fixed_summary = spes_result.summary(), fixed_result.summary()
+    spes_summary = results["spes"].summary()
+    fixed_summary = results["fixed-10min"].summary()
     for label, key in rows:
         print(f"{label:<32}{spes_summary[key]:>12.3f}{fixed_summary[key]:>14.3f}")
 

@@ -6,8 +6,17 @@ co-occurrence study (Sec. III-B2), temporal locality (Fig. 6) and concept
 drift (Fig. 4), then shows how SPES's offline categorizer labels the same
 population.
 
-Run with:  python examples/workload_analysis.py
+Run with:  PYTHONPATH=src python examples/workload_analysis.py
+(or plain ``python`` after ``pip install -e .``)
 """
+
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # clean checkout: put <repo>/src on the path
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro import AzureTraceGenerator, GeneratorProfile, split_trace
 from repro.analysis import (

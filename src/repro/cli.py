@@ -12,6 +12,11 @@ Commands
     Run the RQ3 parameter sweeps.
 ``ablation``
     Run the RQ4 ablations.
+``sweep``
+    Run the full policy suite over one or more workload seeds, fanning the
+    (policy × seed) cells out across worker processes with optional on-disk
+    result caching (``--workers``, ``--seeds``, ``--policies``,
+    ``--cache-dir``).
 """
 
 from __future__ import annotations
@@ -28,7 +33,14 @@ from repro.analysis import (
     timer_periodicity_test,
     trigger_proportions,
 )
-from repro.experiments import ExperimentConfig, ExperimentRunner, rq1_coldstart, rq2_memory
+from repro.experiments import (
+    DEFAULT_SUITE_POLICIES,
+    ExperimentConfig,
+    ExperimentRunner,
+    ExperimentSuite,
+    rq1_coldstart,
+    rq2_memory,
+)
 from repro.experiments.rq3_tradeoff import givenup_sweep, linear_fit, prewarm_sweep, sweep_table
 from repro.experiments.rq4_ablation import (
     ablation_table,
@@ -129,6 +141,54 @@ def _command_ablation(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_sweep(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(
+        n_functions=args.functions,
+        seed=args.seeds[0],
+        duration_days=args.days,
+        training_days=args.training_days,
+    )
+    try:
+        suite = ExperimentSuite(
+            config=config,
+            seeds=args.seeds,
+            policies=args.policies,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+        )
+    except (KeyError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        outcome = suite.run()
+    except (KeyError, ValueError) as error:
+        # Unknown policy names and invalid runner settings surface once the
+        # suite builds its parallel runner and resolves its specs.
+        print(f"error: {error.args[0] if error.args else error}", file=sys.stderr)
+        return 2
+    for seed in suite.seeds:
+        print(outcome.seed_table(seed).render())
+        print()
+        if args.rq_tables:
+            for table in rq1_coldstart.report(outcome.results[seed]):
+                print(table.render())
+                print()
+            for table in rq2_memory.report(outcome.results[seed]):
+                print(table.render(float_format="{:.6f}"))
+                print()
+    if len(suite.seeds) > 1:
+        print(outcome.aggregate_table().render())
+        print()
+    mode = f"{outcome.workers} workers" if outcome.workers > 1 else "serial"
+    print(
+        f"sweep: {len(suite.seeds)} seed(s) x {len(args.policies)} policies "
+        f"in {outcome.wall_seconds:.1f}s ({mode})"
+    )
+    if args.cache_dir:
+        print(f"cache: {outcome.cache_hits} hit(s), {outcome.cache_misses} miss(es)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -146,6 +206,50 @@ def build_parser() -> argparse.ArgumentParser:
         sub = subparsers.add_parser(name, help=help_text)
         _add_common_arguments(sub)
         sub.set_defaults(handler=handler)
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="run the policy suite over several seeds, in parallel",
+    )
+    sweep.add_argument(
+        "--functions", type=int, default=400, help="number of synthetic functions"
+    )
+    sweep.add_argument(
+        "--days", type=float, default=14.0, help="total workload duration in days"
+    )
+    sweep.add_argument(
+        "--training-days", type=float, default=12.0, help="days used for offline modelling"
+    )
+    sweep.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=[2024],
+        help="workload seeds; each seed is an independent workload",
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for the (policy x seed) fan-out (0 = serial)",
+    )
+    sweep.add_argument(
+        "--policies",
+        nargs="+",
+        default=list(DEFAULT_SUITE_POLICIES),
+        help="policy names to simulate (see repro.experiments.POLICY_REGISTRY)",
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for the on-disk result cache (re-runs skip cached cells)",
+    )
+    sweep.add_argument(
+        "--rq-tables",
+        action="store_true",
+        help="additionally print the per-seed RQ1/RQ2 tables",
+    )
+    sweep.set_defaults(handler=_command_sweep)
     return parser
 
 

@@ -1,17 +1,68 @@
 """End-to-end experiment harness reproducing the paper's evaluation (§V).
 
-:class:`ExperimentRunner` owns the workload (synthetic Azure-like trace or a
-loaded real trace), the train/simulation split and the policy suite; the
-``rq1``-``rq4`` modules turn simulation results into the numbers behind each
-figure of the paper.
+Layout
+------
+:class:`ExperimentRunner` (``runner``)
+    Owns one workload (synthetic Azure-like trace or a loaded real trace),
+    its train/simulation split and the policy suite, memoizing one result
+    per policy.  Constructed with ``workers > 1`` it fans independent
+    simulations out over a process pool.
+:mod:`~repro.experiments.parallel`
+    The fan-out machinery: :class:`PolicySpec` (picklable policy
+    descriptions resolved against :data:`POLICY_REGISTRY`),
+    :class:`SweepCell`, the on-disk :class:`ResultCache` and
+    :class:`ParallelRunner` itself.
+:class:`ExperimentSuite` (``suite``)
+    Multi-seed orchestration of the full policy comparison — the engine
+    behind the ``spes-repro sweep`` CLI subcommand.
+``rq1_coldstart`` … ``rq4_ablation``
+    Turn simulation results into the numbers behind each figure of the
+    paper.  The RQ3 sweeps and RQ4 ablations batch their variant runs
+    through :meth:`ExperimentRunner.run_spes_variants`, so they too
+    parallelize when the runner has workers.
+
+Typical use::
+
+    from repro.experiments import ExperimentConfig, ExperimentRunner
+
+    runner = ExperimentRunner(ExperimentConfig(n_functions=400), workers=4)
+    results = runner.run_all()          # {"spes": ..., "fixed-10min": ..., ...}
+
+or, for several seeds at once::
+
+    from repro.experiments import ExperimentSuite
+
+    suite = ExperimentSuite(seeds=[2024, 2025, 2026], workers=4)
+    outcome = suite.run()
+    print(outcome.aggregate_table().render())
 """
 
+from repro.experiments.parallel import (
+    POLICY_REGISTRY,
+    ParallelRunner,
+    PolicySpec,
+    ResultCache,
+    SweepCell,
+    default_policy_specs,
+    register_policy,
+)
 from repro.experiments.runner import ExperimentConfig, ExperimentRunner
+from repro.experiments.suite import DEFAULT_SUITE_POLICIES, ExperimentSuite, SuiteResult
 from repro.experiments import rq1_coldstart, rq2_memory, rq3_tradeoff, rq4_ablation
 
 __all__ = [
     "ExperimentConfig",
     "ExperimentRunner",
+    "ExperimentSuite",
+    "SuiteResult",
+    "DEFAULT_SUITE_POLICIES",
+    "ParallelRunner",
+    "PolicySpec",
+    "SweepCell",
+    "ResultCache",
+    "POLICY_REGISTRY",
+    "default_policy_specs",
+    "register_policy",
     "rq1_coldstart",
     "rq2_memory",
     "rq3_tradeoff",

@@ -1,0 +1,427 @@
+"""Parallel fan-out of simulation cells across worker processes.
+
+A *cell* is one ``(policy spec, trace, seed)`` combination; a sweep is a list
+of cells.  :class:`ParallelRunner` executes sweeps either serially in-process
+or across a :class:`concurrent.futures.ProcessPoolExecutor`, with three
+guarantees:
+
+* **Shared workload** — the training/simulation traces are pickled *once* in
+  the parent and shipped to every worker through the pool initializer, so a
+  sweep of N cells never re-generates or re-serializes the workload N times.
+* **Determinism** — every cell carries a seed derived stably (SHA-256) from
+  the sweep's base seed, its trace key and its policy spec, so serial and
+  parallel executions of the same sweep produce identical
+  :class:`~repro.simulation.results.SimulationResult`\\ s (modulo wall-clock
+  overhead timings, which are measurements, not simulation outputs; compare
+  with :meth:`SimulationResult.deterministic_fingerprint`).
+* **On-disk caching** — with a ``cache_dir``, each finished cell is persisted
+  keyed by a content hash of (engine version, trace fingerprints, warm-up,
+  policy spec, seed); re-running a sweep only simulates the missing cells.
+
+Policies are described by :class:`PolicySpec` — a picklable ``(name,
+parameters)`` pair resolved against :data:`POLICY_REGISTRY` inside the worker
+— rather than by policy *instances*, so a cell's payload stays tiny and
+factories with unpicklable closures are never shipped across processes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import inspect
+import json
+import pickle
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, Mapping, Sequence
+
+from repro.baselines import (
+    DefusePolicy,
+    FaasCachePolicy,
+    FixedKeepAlivePolicy,
+    HybridApplicationPolicy,
+    HybridFunctionPolicy,
+    LcsPolicy,
+)
+from repro.core import SpesConfig, SpesPolicy
+from repro.simulation import ProvisioningPolicy, SimulationResult, Simulator
+from repro.simulation.engine import ENGINE_VERSION
+from repro.simulation.policy_base import AlwaysWarmPolicy, NoKeepAlivePolicy
+from repro.traces import TraceSplit
+
+__all__ = [
+    "POLICY_REGISTRY",
+    "PolicySpec",
+    "SweepCell",
+    "ResultCache",
+    "ParallelRunner",
+    "register_policy",
+    "default_policy_specs",
+    "derive_cell_seed",
+]
+
+
+# --------------------------------------------------------------------- #
+# Policy registry and specs
+# --------------------------------------------------------------------- #
+#: Maps spec names to policy factories.  Factories are called with the spec's
+#: keyword parameters; a factory declaring a ``seed`` parameter additionally
+#: receives the cell's deterministic seed.
+POLICY_REGISTRY: Dict[str, Callable[..., ProvisioningPolicy]] = {
+    "spes": SpesPolicy,
+    "fixed-keepalive": FixedKeepAlivePolicy,
+    "fixed-10min": lambda: FixedKeepAlivePolicy(keep_alive_minutes=10),
+    "hybrid-function": HybridFunctionPolicy,
+    "hybrid-application": HybridApplicationPolicy,
+    "defuse": DefusePolicy,
+    "faascache": FaasCachePolicy,
+    "lcs": LcsPolicy,
+    "no-keepalive": NoKeepAlivePolicy,
+    "always-warm": AlwaysWarmPolicy,
+}
+
+
+def register_policy(name: str, factory: Callable[..., ProvisioningPolicy]) -> None:
+    """Register a policy factory under ``name`` for use in :class:`PolicySpec`.
+
+    Registration must happen at import time of a module available to worker
+    processes (cells are resolved against the registry *inside* the worker).
+    """
+    if name in POLICY_REGISTRY:
+        raise ValueError(f"policy {name!r} is already registered")
+    POLICY_REGISTRY[name] = factory
+
+
+def _canonical(value: Any) -> Any:
+    """Convert ``value`` into a JSON-serializable canonical form for hashing."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _canonical(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, Mapping):
+        items = {str(_canonical(key)): _canonical(item) for key, item in value.items()}
+        return dict(sorted(items.items()))
+    if isinstance(value, (list, tuple, set, frozenset)):
+        converted = [_canonical(item) for item in value]
+        return sorted(converted, key=repr) if isinstance(value, (set, frozenset)) else converted
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def _digest(*parts: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON encoding of ``parts``."""
+    payload = json.dumps([_canonical(part) for part in parts], sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """A picklable description of a provisioning policy.
+
+    Parameters are stored as a sorted tuple of ``(name, value)`` pairs so two
+    specs with the same semantics hash identically.
+    """
+
+    policy: str
+    params: tuple = ()
+
+    @classmethod
+    def of(cls, policy: str, **params: Any) -> "PolicySpec":
+        """Build a spec from keyword parameters (``PolicySpec.of("spes", config=...)``)."""
+        if policy not in POLICY_REGISTRY:
+            raise KeyError(
+                f"unknown policy {policy!r}; registered: {sorted(POLICY_REGISTRY)}"
+            )
+        return cls(policy=policy, params=tuple(sorted(params.items())))
+
+    def build(self, seed: int | None = None) -> ProvisioningPolicy:
+        """Instantiate the policy, injecting ``seed`` when the factory takes one."""
+        factory = POLICY_REGISTRY[self.policy]
+        kwargs = dict(self.params)
+        if seed is not None and "seed" not in kwargs and _accepts_seed(factory):
+            kwargs["seed"] = seed
+        return factory(**kwargs)
+
+
+def _accepts_seed(factory: Callable[..., ProvisioningPolicy]) -> bool:
+    # Only an explicitly declared ``seed`` parameter opts a factory in; a
+    # bare ``**kwargs`` does not, as the factory may forward keywords to a
+    # constructor that knows nothing about seeds.
+    try:
+        parameters = inspect.signature(factory).parameters
+    except (TypeError, ValueError):
+        return False
+    return "seed" in parameters
+
+
+def default_policy_specs(
+    include_lcs: bool = False, faascache_capacity: int | None = None
+) -> Dict[str, PolicySpec]:
+    """The paper's baseline suite as named specs (FaaSCache needs a capacity)."""
+    specs = {
+        "fixed-10min": PolicySpec.of("fixed-keepalive", keep_alive_minutes=10),
+        "hybrid-function": PolicySpec.of("hybrid-function"),
+        "hybrid-application": PolicySpec.of("hybrid-application"),
+        "defuse": PolicySpec.of("defuse"),
+    }
+    if faascache_capacity is not None:
+        specs["faascache"] = PolicySpec.of("faascache", capacity=faascache_capacity)
+    if include_lcs:
+        specs["lcs"] = PolicySpec.of("lcs")
+    return specs
+
+
+def derive_cell_seed(base_seed: int, spec: PolicySpec) -> int:
+    """Deterministic per-cell seed: stable across runs, machines and workers.
+
+    Derived only from content (the workload's base seed and the policy
+    spec), never from presentation details like trace-mapping keys, so
+    identical cells submitted through different entry points (e.g.
+    :class:`~repro.experiments.runner.ExperimentRunner` vs
+    :class:`~repro.experiments.suite.ExperimentSuite`) share one seed and
+    therefore one on-disk cache entry.  Bounded to 32 bits so it can feed
+    numpy's legacy RNG seeding directly.
+    """
+    return int(_digest(base_seed, spec)[:8], 16)
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One unit of work for the runner: a policy over one trace split.
+
+    Attributes
+    ----------
+    name:
+        Unique result key within the sweep (e.g. ``"seed2024/defuse"``).
+    trace_key:
+        Key into the runner's trace mapping.
+    spec:
+        The policy to build and simulate.
+    seed:
+        Deterministic per-cell seed, forwarded to seed-aware policy factories.
+    """
+
+    name: str
+    trace_key: str
+    spec: PolicySpec
+    seed: int = 0
+
+
+# --------------------------------------------------------------------- #
+# On-disk cache
+# --------------------------------------------------------------------- #
+class ResultCache:
+    """Pickle-per-key store of simulation results under a cache directory."""
+
+    def __init__(self, cache_dir: str | Path) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.pkl"
+
+    def get(self, key: str) -> SimulationResult | None:
+        """Return the cached result for ``key``, or None on a miss."""
+        path = self._path(key)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            with path.open("rb") as handle:
+                result = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: SimulationResult) -> None:
+        """Persist ``result`` under ``key`` (atomic rename, last writer wins).
+
+        The temporary file name is unique per writer, so concurrent sweeps
+        sharing one cache directory cannot tear each other's entries.
+        """
+        path = self._path(key)
+        descriptor, temporary = tempfile.mkstemp(
+            prefix=f"{key}.", suffix=".tmp", dir=self.cache_dir
+        )
+        try:
+            with open(descriptor, "wb") as handle:
+                pickle.dump(result, handle)
+            Path(temporary).replace(path)
+        except BaseException:
+            Path(temporary).unlink(missing_ok=True)
+            raise
+
+
+# --------------------------------------------------------------------- #
+# Worker-side execution
+# --------------------------------------------------------------------- #
+#: Traces installed into each worker by the pool initializer.
+_WORKER_TRACES: Dict[str, TraceSplit] = {}
+
+
+def _worker_initializer(payload: bytes) -> None:
+    """Unpickle the shared trace mapping once per worker process."""
+    _WORKER_TRACES.clear()
+    _WORKER_TRACES.update(pickle.loads(payload))
+
+
+def _execute_cell(
+    cell: SweepCell, traces: Mapping[str, TraceSplit], warmup_minutes: int
+) -> SimulationResult:
+    """Run one cell against ``traces`` (shared by serial and worker paths)."""
+    split = traces[cell.trace_key]
+    policy = cell.spec.build(seed=cell.seed)
+    simulator = Simulator(
+        simulation_trace=split.simulation,
+        training_trace=split.training,
+        warmup_minutes=warmup_minutes,
+    )
+    return simulator.run(policy)
+
+
+def _worker_run_cell(cell: SweepCell, warmup_minutes: int) -> tuple[str, SimulationResult]:
+    return cell.name, _execute_cell(cell, _WORKER_TRACES, warmup_minutes)
+
+
+# --------------------------------------------------------------------- #
+# The runner
+# --------------------------------------------------------------------- #
+class ParallelRunner:
+    """Executes sweeps of simulation cells, optionally across processes.
+
+    Parameters
+    ----------
+    traces:
+        Mapping from trace key to the :class:`~repro.traces.trace.TraceSplit`
+        each cell simulates against.  Prepared once; pickled once per pool.
+    workers:
+        Number of worker processes.  ``0`` or ``1`` runs cells serially
+        in-process (still using the cache), which is also the deterministic
+        baseline the parallel path is tested against.
+    cache_dir:
+        Optional directory for the on-disk :class:`ResultCache`.
+    warmup_minutes:
+        Warm-up horizon forwarded to every cell's :class:`Simulator`.
+    """
+
+    def __init__(
+        self,
+        traces: Mapping[str, TraceSplit],
+        workers: int = 0,
+        cache_dir: str | Path | None = None,
+        warmup_minutes: int = Simulator.DEFAULT_WARMUP_MINUTES,
+    ) -> None:
+        if workers < 0:
+            raise ValueError("workers must be non-negative")
+        self.traces = dict(traces)
+        self.workers = workers
+        self.warmup_minutes = warmup_minutes
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        # Computed lazily: hashing every trace's invocation matrix is only
+        # needed once cache keys are requested.
+        self._trace_fingerprints: Dict[str, tuple[str, str]] | None = None
+
+    # ------------------------------------------------------------------ #
+    def cell(self, name: str, spec: PolicySpec, trace_key: str, base_seed: int = 0) -> SweepCell:
+        """Build a cell with its deterministic seed for this runner's traces."""
+        if trace_key not in self.traces:
+            raise KeyError(f"unknown trace key {trace_key!r}; have {sorted(self.traces)}")
+        return SweepCell(
+            name=name,
+            trace_key=trace_key,
+            spec=spec,
+            seed=derive_cell_seed(base_seed, spec),
+        )
+
+    def cache_key(self, cell: SweepCell) -> str:
+        """Content hash identifying a cell's simulation output."""
+        if self._trace_fingerprints is None:
+            self._trace_fingerprints = {
+                key: (split.training.fingerprint(), split.simulation.fingerprint())
+                for key, split in self.traces.items()
+            }
+        return _digest(
+            ENGINE_VERSION,
+            self._trace_fingerprints[cell.trace_key],
+            self.warmup_minutes,
+            cell.spec,
+            cell.seed,
+        )
+
+    # ------------------------------------------------------------------ #
+    def run_cells(self, cells: Sequence[SweepCell]) -> Dict[str, SimulationResult]:
+        """Execute ``cells`` and return ``{cell.name: result}``.
+
+        Cached cells are loaded from disk; the rest run serially or across the
+        process pool depending on ``workers``.  Results preserve the input
+        cell order regardless of completion order.
+        """
+        names = [cell.name for cell in cells]
+        if len(set(names)) != len(names):
+            raise ValueError("cell names within a sweep must be unique")
+
+        results: Dict[str, SimulationResult] = {}
+        pending: list[SweepCell] = []
+        for cell in cells:
+            cached = self.cache.get(self.cache_key(cell)) if self.cache else None
+            if cached is not None:
+                results[cell.name] = cached
+            else:
+                pending.append(cell)
+
+        if pending:
+            if self.workers > 1 and len(pending) > 1:
+                computed = self._run_pool(pending)
+            else:
+                computed = {
+                    cell.name: _execute_cell(cell, self.traces, self.warmup_minutes)
+                    for cell in pending
+                }
+            for cell in pending:
+                result = computed[cell.name]
+                results[cell.name] = result
+                if self.cache:
+                    self.cache.put(self.cache_key(cell), result)
+
+        return {name: results[name] for name in names}
+
+    def run_policies(
+        self,
+        specs: Mapping[str, PolicySpec],
+        trace_key: str,
+        base_seed: int = 0,
+    ) -> Dict[str, SimulationResult]:
+        """Convenience sweep: every spec against one trace split."""
+        cells = [
+            self.cell(name, spec, trace_key, base_seed) for name, spec in specs.items()
+        ]
+        return self.run_cells(cells)
+
+    # ------------------------------------------------------------------ #
+    def _run_pool(self, cells: Iterable[SweepCell]) -> Dict[str, SimulationResult]:
+        payload = pickle.dumps(self.traces, protocol=pickle.HIGHEST_PROTOCOL)
+        computed: Dict[str, SimulationResult] = {}
+        with ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_worker_initializer,
+            initargs=(payload,),
+        ) as pool:
+            futures = [
+                pool.submit(_worker_run_cell, cell, self.warmup_minutes)
+                for cell in cells
+            ]
+            for future in futures:
+                name, result = future.result()
+                computed[name] = result
+        return computed

@@ -84,6 +84,21 @@ def memory_and_always_cold(
     return table
 
 
+def report(
+    results: Mapping[str, SimulationResult], candidate: str = "spes"
+) -> list[ComparisonTable]:
+    """The RQ1 tables derivable from a plain ``{policy: result}`` mapping.
+
+    Used by the ``spes-repro sweep`` command to render each seed's cold-start
+    findings; the category-level tables need a prepared SPES policy instance
+    and are therefore not part of this report.
+    """
+    return [
+        headline_improvements(results, candidate=candidate),
+        memory_and_always_cold(results, reference=candidate),
+    ]
+
+
 def per_category_csr(
     spes_policy: SpesPolicy, spes_result: SimulationResult
 ) -> Dict[FunctionCategory, float]:

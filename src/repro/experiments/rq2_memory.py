@@ -53,6 +53,20 @@ def wmt_ratio_per_type_table(
     return table
 
 
+def report(
+    results: Mapping[str, SimulationResult], reference: str = "spes"
+) -> list[ComparisonTable]:
+    """The RQ2 tables derivable from a plain ``{policy: result}`` mapping.
+
+    Used by the ``spes-repro sweep`` command to render each seed's memory
+    findings.
+    """
+    return [
+        wmt_and_emcr_table(results, reference=reference),
+        overhead_comparison(results),
+    ]
+
+
 def overhead_comparison(results: Mapping[str, SimulationResult]) -> ComparisonTable:
     """Scheduler decision overhead per simulated minute (RQ2 overhead discussion)."""
     table = ComparisonTable(

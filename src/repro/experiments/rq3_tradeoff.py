@@ -28,26 +28,46 @@ class TradeoffPoint:
     wasted_memory_time: int
 
 
+def _sweep_points(
+    runner: ExperimentRunner, variants: "dict[str, tuple[float, object]]"
+) -> List[TradeoffPoint]:
+    """Simulate ``{key: (parameter, config)}`` as one batch and build points.
+
+    The batch goes through :meth:`ExperimentRunner.run_spes_variants`, so a
+    runner constructed with ``workers > 1`` simulates every sweep point
+    concurrently.
+    """
+    reference = runner.run_spes()
+    reference_memory = reference.average_memory_usage or 1.0
+    results = runner.run_spes_variants(
+        {key: config for key, (_, config) in variants.items()}
+    )
+    return [
+        TradeoffPoint(
+            parameter=float(parameter),
+            normalized_memory=results[key].average_memory_usage / reference_memory,
+            q3_csr=results[key].q3_cold_start_rate,
+            wasted_memory_time=results[key].total_wasted_memory_time,
+        )
+        for key, (parameter, _) in variants.items()
+    ]
+
+
 def prewarm_sweep(
     runner: ExperimentRunner,
     values: Sequence[int] = (1, 2, 3, 5, 10),
 ) -> List[TradeoffPoint]:
     """Sweep ``theta_prewarm`` (Fig. 13a)."""
-    reference = runner.run_spes()
-    reference_memory = reference.average_memory_usage or 1.0
-    points: List[TradeoffPoint] = []
-    for value in values:
-        config = runner.config.spes_config.replace(theta_prewarm=int(value))
-        result = runner.run_spes_variant(config, cache_key=f"spes-prewarm-{value}")
-        points.append(
-            TradeoffPoint(
-                parameter=float(value),
-                normalized_memory=result.average_memory_usage / reference_memory,
-                q3_csr=result.q3_cold_start_rate,
-                wasted_memory_time=result.total_wasted_memory_time,
+    return _sweep_points(
+        runner,
+        {
+            f"spes-prewarm-{value}": (
+                float(value),
+                runner.config.spes_config.replace(theta_prewarm=int(value)),
             )
-        )
-    return points
+            for value in values
+        },
+    )
 
 
 def givenup_sweep(
@@ -55,21 +75,16 @@ def givenup_sweep(
     scales: Sequence[int] = (1, 2, 3, 4, 5),
 ) -> List[TradeoffPoint]:
     """Sweep the ``theta_givenup`` multiplier (Fig. 13b)."""
-    reference = runner.run_spes()
-    reference_memory = reference.average_memory_usage or 1.0
-    points: List[TradeoffPoint] = []
-    for scale in scales:
-        config = runner.config.spes_config.scaled_givenup(int(scale))
-        result = runner.run_spes_variant(config, cache_key=f"spes-givenup-x{scale}")
-        points.append(
-            TradeoffPoint(
-                parameter=float(scale),
-                normalized_memory=result.average_memory_usage / reference_memory,
-                q3_csr=result.q3_cold_start_rate,
-                wasted_memory_time=result.total_wasted_memory_time,
+    return _sweep_points(
+        runner,
+        {
+            f"spes-givenup-x{scale}": (
+                float(scale),
+                runner.config.spes_config.scaled_givenup(int(scale)),
             )
-        )
-    return points
+            for scale in scales
+        },
+    )
 
 
 def linear_fit(points: Sequence[TradeoffPoint]) -> tuple[float, float]:

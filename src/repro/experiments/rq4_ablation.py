@@ -18,34 +18,42 @@ from repro.simulation.results import SimulationResult
 
 
 def correlation_ablation(runner: ExperimentRunner) -> Dict[str, SimulationResult]:
-    """Run SPES with the correlation designs disabled (Fig. 14)."""
+    """Run SPES with the correlation designs disabled (Fig. 14).
+
+    The two ablated variants are simulated as one batch through
+    :meth:`ExperimentRunner.run_spes_variants`, so a parallel runner executes
+    them concurrently.
+    """
     base_config = runner.config.spes_config
+    variants = runner.run_spes_variants(
+        {
+            "spes-no-corr": base_config.replace(enable_correlation=False),
+            "spes-no-online-corr": base_config.replace(enable_online_correlation=False),
+        }
+    )
     return {
         "spes": runner.run_spes(),
-        "w/o-corr": runner.run_spes_variant(
-            base_config.replace(enable_correlation=False),
-            cache_key="spes-no-corr",
-        ),
-        "w/o-online-corr": runner.run_spes_variant(
-            base_config.replace(enable_online_correlation=False),
-            cache_key="spes-no-online-corr",
-        ),
+        "w/o-corr": variants["spes-no-corr"],
+        "w/o-online-corr": variants["spes-no-online-corr"],
     }
 
 
 def adaptivity_ablation(runner: ExperimentRunner) -> Dict[str, SimulationResult]:
-    """Run SPES with the concept-shift designs disabled (Fig. 15)."""
+    """Run SPES with the concept-shift designs disabled (Fig. 15).
+
+    Batched like :func:`correlation_ablation`.
+    """
     base_config = runner.config.spes_config
+    variants = runner.run_spes_variants(
+        {
+            "spes-no-forgetting": base_config.replace(enable_forgetting=False),
+            "spes-no-adjusting": base_config.replace(enable_adjusting=False),
+        }
+    )
     return {
         "spes": runner.run_spes(),
-        "w/o-forgetting": runner.run_spes_variant(
-            base_config.replace(enable_forgetting=False),
-            cache_key="spes-no-forgetting",
-        ),
-        "w/o-adjusting": runner.run_spes_variant(
-            base_config.replace(enable_adjusting=False),
-            cache_key="spes-no-adjusting",
-        ),
+        "w/o-forgetting": variants["spes-no-forgetting"],
+        "w/o-adjusting": variants["spes-no-adjusting"],
     }
 
 

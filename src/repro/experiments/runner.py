@@ -3,17 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict
+from pathlib import Path
+from typing import Callable, Dict, Mapping
 
-from repro.baselines import (
-    DefusePolicy,
-    FaasCachePolicy,
-    FixedKeepAlivePolicy,
-    HybridApplicationPolicy,
-    HybridFunctionPolicy,
-    LcsPolicy,
-)
 from repro.core import SpesConfig, SpesPolicy
+from repro.experiments.parallel import ParallelRunner, PolicySpec, default_policy_specs
 from repro.simulation import ProvisioningPolicy, SimulationResult, Simulator
 from repro.traces import AzureTraceGenerator, GeneratorProfile, Trace, TraceSplit, split_trace
 
@@ -69,14 +63,32 @@ class ExperimentRunner:
     trace:
         Optional pre-built trace (e.g. the real Azure trace); when omitted a
         synthetic trace is generated from the configuration.
+    workers:
+        Number of worker processes used to fan out baseline and SPES-variant
+        simulations (0 or 1 = serial, the default).  The main SPES run always
+        executes in-process so its prepared policy instance stays available
+        for category-level analyses.
+    cache_dir:
+        Optional directory for the on-disk result cache shared by all
+        simulations fanned out through the parallel runner.
     """
 
-    def __init__(self, config: ExperimentConfig | None = None, trace: Trace | None = None) -> None:
+    def __init__(
+        self,
+        config: ExperimentConfig | None = None,
+        trace: Trace | None = None,
+        workers: int = 0,
+        cache_dir: str | Path | None = None,
+    ) -> None:
         self.config = config or ExperimentConfig()
+        self.workers = workers
+        self.cache_dir = cache_dir
         self._trace = trace
         self._split: TraceSplit | None = None
         self._results: Dict[str, SimulationResult] = {}
+        self._result_specs: Dict[str, PolicySpec] = {}
         self._spes_policy: SpesPolicy | None = None
+        self._parallel: ParallelRunner | None = None
 
     # ------------------------------------------------------------------ #
     # Workload
@@ -107,26 +119,80 @@ class ExperimentRunner:
     def baseline_factories(self) -> Dict[str, Callable[[], ProvisioningPolicy]]:
         """Factories for every baseline policy of the paper's comparison.
 
-        FaaSCache needs a memory capacity; following the paper, it is set to
-        the peak memory SPES used during the simulation, so the SPES run is
-        executed first if needed.
+        Derived from :meth:`baseline_specs` so the suite is defined in one
+        place; kept for callers that want ready-to-run policy instances.
+        """
+        return {name: spec.build for name, spec in self.baseline_specs().items()}
+
+    def baseline_specs(self) -> Dict[str, PolicySpec]:
+        """The baseline suite as picklable :class:`PolicySpec`\\ s.
+
+        Used by the parallel execution path; equivalent to
+        :meth:`baseline_factories` (including the FaaSCache capacity rule).
         """
         spes_result = self.run_spes()
         capacity = max(1, int(spes_result.peak_memory_usage))
-        factories: Dict[str, Callable[[], ProvisioningPolicy]] = {
-            "fixed-10min": lambda: FixedKeepAlivePolicy(keep_alive_minutes=10),
-            "hybrid-function": HybridFunctionPolicy,
-            "hybrid-application": HybridApplicationPolicy,
-            "defuse": DefusePolicy,
-            "faascache": lambda: FaasCachePolicy(capacity=capacity),
-        }
-        if self.config.include_lcs:
-            factories["lcs"] = LcsPolicy
-        return factories
+        return default_policy_specs(
+            include_lcs=self.config.include_lcs, faascache_capacity=capacity
+        )
 
     # ------------------------------------------------------------------ #
     # Simulation
     # ------------------------------------------------------------------ #
+    def parallel_runner(self) -> ParallelRunner:
+        """The :class:`ParallelRunner` over this experiment's trace split."""
+        if self._parallel is None:
+            self._parallel = ParallelRunner(
+                traces={"main": self.split},
+                workers=self.workers,
+                cache_dir=self.cache_dir,
+                warmup_minutes=self.config.warmup_minutes,
+            )
+        return self._parallel
+
+    def run_specs(self, specs: Mapping[str, PolicySpec]) -> Dict[str, SimulationResult]:
+        """Simulate several policy specs, fanning out across workers when enabled.
+
+        Results are memoized under the spec names, so repeated calls (and
+        mixed calls with :meth:`simulate`) never re-simulate a policy.
+        Reusing a name that is already bound to a *different* spec — or to a
+        :meth:`simulate` result whose spec is unknown — is rejected rather
+        than silently served from the other policy's memoized result.
+        """
+        missing: Dict[str, PolicySpec] = {}
+        for name, spec in specs.items():
+            if name in self._results:
+                known = self._result_specs.get(name)
+                if known != spec:
+                    raise ValueError(
+                        f"result name {name!r} is already bound to "
+                        + ("a different policy spec" if known is not None
+                           else "a result with no recorded spec")
+                        + "; pick a distinct name"
+                    )
+            else:
+                missing[name] = spec
+        if missing:
+            runner = self.parallel_runner()
+            computed = runner.run_policies(missing, trace_key="main", base_seed=self.config.seed)
+            self._results.update(computed)
+            self._result_specs.update(missing)
+        return {name: self._results[name] for name in specs}
+
+    def run_spes_variants(
+        self, variants: Mapping[str, SpesConfig]
+    ) -> Dict[str, SimulationResult]:
+        """Simulate several SPES configurations (sweeps, ablations) as one batch.
+
+        With ``workers > 1`` the whole batch fans out across the process pool;
+        otherwise the cells run serially through the same code path, so both
+        modes produce identical results and share the on-disk cache.  Each
+        result is memoized under its variant key.
+        """
+        return self.run_specs(
+            {key: PolicySpec.of("spes", config=config) for key, config in variants.items()}
+        )
+
     def simulate(self, policy: ProvisioningPolicy, cache_key: str | None = None) -> SimulationResult:
         """Simulate one policy over the experiment's simulation window."""
         if cache_key is not None and cache_key in self._results:
@@ -145,14 +211,23 @@ class ExperimentRunner:
         """Run (or return the cached) main SPES simulation."""
         if "spes" not in self._results:
             self._results["spes"] = self.simulate(self.spes_policy())
+            # The main run's spec is known, so run_specs({"spes": ...}) with
+            # the same configuration is recognized instead of rejected.
+            self._result_specs["spes"] = PolicySpec.of(
+                "spes", config=self.config.spes_config
+            )
         return self._results["spes"]
 
     def run_baselines(self) -> Dict[str, SimulationResult]:
-        """Run (or return cached) simulations of every baseline."""
-        results: Dict[str, SimulationResult] = {}
-        for name, factory in self.baseline_factories().items():
-            results[name] = self.simulate(factory(), cache_key=name)
-        return results
+        """Run (or return cached) simulations of every baseline.
+
+        Serial and parallel modes share one code path (:meth:`run_specs` over
+        :meth:`baseline_specs`): with ``workers > 1`` the baselines fan out
+        across the process pool (after the in-process SPES run that fixes the
+        FaaSCache capacity), and in both modes results are memoized per
+        policy name and persisted to ``cache_dir`` when configured.
+        """
+        return self.run_specs(self.baseline_specs())
 
     def run_all(self) -> Dict[str, SimulationResult]:
         """Run SPES and every baseline; returns ``{policy_name: result}``."""
@@ -165,4 +240,6 @@ class ExperimentRunner:
         if cache_key is not None and cache_key in self._results:
             return self._results[cache_key]
         result = self.simulate(SpesPolicy(config), cache_key=cache_key)
+        if cache_key is not None:
+            self._result_specs[cache_key] = PolicySpec.of("spes", config=config)
         return result

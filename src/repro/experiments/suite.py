@@ -1,0 +1,282 @@
+"""Multi-seed experiment suite: the full policy comparison as one sweep.
+
+:class:`ExperimentSuite` scales the paper's evaluation from "one workload,
+one policy at a time" to "(policy × seed) cells fanned out over a process
+pool".  It prepares one workload per seed (generated and split once, shipped
+to the workers in pickled form by :class:`~repro.experiments.parallel
+.ParallelRunner`), then runs the sweep in two stages:
+
+1. every seed's SPES cell — these fix the FaaSCache capacity per seed
+   (the paper sets it to SPES's peak memory usage on the same workload);
+2. every remaining ``(baseline × seed)`` cell.
+
+Within each stage all cells are independent, so the wall-clock of a full
+RQ1/RQ2 sweep approaches ``serial time / workers`` plus the one-off workload
+preparation.  Results are keyed ``{seed: {policy: SimulationResult}}`` and,
+with a ``cache_dir``, persisted so repeated sweeps only simulate new cells.
+
+This module is the engine behind the ``spes-repro sweep`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, Mapping, Sequence
+
+from repro.experiments.parallel import (
+    POLICY_REGISTRY,
+    ParallelRunner,
+    PolicySpec,
+    default_policy_specs,
+)
+from repro.experiments.runner import ExperimentConfig
+from repro.metrics.summary import ComparisonTable
+from repro.simulation import SimulationResult
+from repro.traces import AzureTraceGenerator, TraceSplit, split_trace
+
+__all__ = ["ExperimentSuite", "SuiteResult", "DEFAULT_SUITE_POLICIES"]
+
+#: Policy names of the paper's comparison, in presentation order.
+DEFAULT_SUITE_POLICIES = (
+    "spes",
+    "fixed-10min",
+    "hybrid-function",
+    "hybrid-application",
+    "defuse",
+    "faascache",
+)
+
+
+@dataclass
+class SuiteResult:
+    """Outcome of one suite sweep.
+
+    Attributes
+    ----------
+    results:
+        ``{seed: {policy: SimulationResult}}`` for every simulated cell.
+    wall_seconds:
+        End-to-end sweep duration (workload preparation included).
+    workers:
+        Worker processes the sweep ran with (0/1 = serial).
+    cache_hits / cache_misses:
+        On-disk cache statistics (both 0 when caching is disabled).
+    """
+
+    results: Dict[int, Dict[str, SimulationResult]] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    workers: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def seed_table(self, seed: int) -> ComparisonTable:
+        """Headline metrics of every policy for one seed's workload."""
+        table = ComparisonTable(
+            title=f"Policy suite (seed {seed})",
+            columns=("policy", "q3_csr", "always_cold_pct", "avg_memory", "wmt", "emcr_pct"),
+        )
+        for name, result in self.results[seed].items():
+            table.add_row(
+                policy=name,
+                q3_csr=result.q3_cold_start_rate,
+                always_cold_pct=100.0 * result.always_cold_fraction,
+                avg_memory=result.average_memory_usage,
+                wmt=float(result.total_wasted_memory_time),
+                emcr_pct=100.0 * result.emcr,
+            )
+        return table
+
+    def aggregate_table(self) -> ComparisonTable:
+        """Mean (and spread) of each policy's Q3-CSR and memory across seeds."""
+        table = ComparisonTable(
+            title=f"Policy suite aggregated over {len(self.results)} seed(s)",
+            columns=("policy", "mean_q3_csr", "stdev_q3_csr", "mean_avg_memory", "mean_emcr_pct"),
+        )
+        policies: list[str] = []
+        for per_policy in self.results.values():
+            for name in per_policy:
+                if name not in policies:
+                    policies.append(name)
+        for name in policies:
+            q3 = [r[name].q3_cold_start_rate for r in self.results.values() if name in r]
+            memory = [r[name].average_memory_usage for r in self.results.values() if name in r]
+            emcr = [r[name].emcr for r in self.results.values() if name in r]
+            table.add_row(
+                policy=name,
+                mean_q3_csr=statistics.fmean(q3),
+                stdev_q3_csr=statistics.stdev(q3) if len(q3) > 1 else 0.0,
+                mean_avg_memory=statistics.fmean(memory),
+                mean_emcr_pct=100.0 * statistics.fmean(emcr),
+            )
+        return table
+
+
+class ExperimentSuite:
+    """Runs the policy comparison over several seeds with shared machinery.
+
+    Parameters
+    ----------
+    config:
+        Base experiment configuration; its ``seed`` field is overridden by
+        each entry of ``seeds``.
+    seeds:
+        Workload seeds to sweep.  Each seed yields an independent synthetic
+        workload, so multiple seeds quantify the variance of every headline
+        metric.
+    policies:
+        Policy names to simulate (see
+        :data:`~repro.experiments.parallel.POLICY_REGISTRY` and
+        :data:`DEFAULT_SUITE_POLICIES`).  ``"faascache"`` requires ``"spes"``
+        to also be listed, since its capacity is derived from SPES's peak
+        memory usage on the same workload.
+    workers:
+        Worker processes for the fan-out (0/1 = serial).
+    cache_dir:
+        Optional on-disk result cache shared across sweeps.
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig | None = None,
+        seeds: Sequence[int] | None = None,
+        policies: Sequence[str] = DEFAULT_SUITE_POLICIES,
+        workers: int = 0,
+        cache_dir: str | Path | None = None,
+    ) -> None:
+        self.config = config or ExperimentConfig()
+        # Deduplicate while preserving order: a repeated seed is the same
+        # workload and would otherwise produce colliding sweep cells.
+        self.seeds = tuple(dict.fromkeys(seeds)) if seeds else (self.config.seed,)
+        self.policies = tuple(policies)
+        if "faascache" in self.policies and "spes" not in self.policies:
+            raise ValueError("the faascache policy requires spes in the suite")
+        self.workers = workers
+        self.cache_dir = cache_dir
+        self._traces: Dict[str, TraceSplit] | None = None
+        self._runner: ParallelRunner | None = None
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def trace_key(seed: int) -> str:
+        """Trace-mapping key of one seed's workload."""
+        return f"seed{seed}"
+
+    def seed_config(self, seed: int) -> ExperimentConfig:
+        """The base configuration with its workload seed replaced."""
+        return replace(self.config, seed=seed)
+
+    def traces(self) -> Dict[str, TraceSplit]:
+        """Per-seed train/simulation splits (each workload generated once)."""
+        if self._traces is None:
+            self._traces = {}
+            for seed in self.seeds:
+                config = self.seed_config(seed)
+                trace = AzureTraceGenerator(config.generator_profile()).generate()
+                self._traces[self.trace_key(seed)] = split_trace(
+                    trace, training_days=config.training_days
+                )
+        return self._traces
+
+    def parallel_runner(self) -> ParallelRunner:
+        """The shared :class:`ParallelRunner` over every seed's split."""
+        if self._runner is None:
+            self._runner = ParallelRunner(
+                traces=self.traces(),
+                workers=self.workers,
+                cache_dir=self.cache_dir,
+                warmup_minutes=self.config.warmup_minutes,
+            )
+        return self._runner
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> SuiteResult:
+        """Execute the full (policy × seed) sweep and collect the results."""
+        started = time.perf_counter()
+        runner = self.parallel_runner()
+        # Snapshot the cache counters so a reused suite reports per-sweep
+        # statistics rather than the runner's lifetime totals.
+        hits_before = runner.cache.hits if runner.cache else 0
+        misses_before = runner.cache.misses if runner.cache else 0
+
+        results: Dict[int, Dict[str, SimulationResult]] = {seed: {} for seed in self.seeds}
+
+        # Stage 1: SPES on every seed (fixes the per-seed FaaSCache capacity).
+        if "spes" in self.policies:
+            spes_cells = [
+                runner.cell(
+                    f"{self.trace_key(seed)}/spes",
+                    PolicySpec.of("spes", config=self.config.spes_config),
+                    self.trace_key(seed),
+                    base_seed=seed,
+                )
+                for seed in self.seeds
+            ]
+            for seed, (_, result) in zip(self.seeds, runner.run_cells(spes_cells).items()):
+                results[seed]["spes"] = result
+
+        # Stage 2: every remaining (policy × seed) cell in one fan-out.
+        cells = []
+        for seed in self.seeds:
+            specs = self._baseline_specs(seed, results[seed].get("spes"))
+            for name, spec in specs.items():
+                cells.append(
+                    runner.cell(
+                        f"{self.trace_key(seed)}/{name}",
+                        spec,
+                        self.trace_key(seed),
+                        base_seed=seed,
+                    )
+                )
+        for cell_name, result in runner.run_cells(cells).items():
+            trace_key, policy_name = cell_name.split("/", 1)
+            seed = int(trace_key.removeprefix("seed"))
+            results[seed][policy_name] = result
+
+        # Present policies in the requested order.
+        ordered = {
+            seed: {
+                name: results[seed][name]
+                for name in self.policies
+                if name in results[seed]
+            }
+            for seed in self.seeds
+        }
+        return SuiteResult(
+            results=ordered,
+            wall_seconds=time.perf_counter() - started,
+            workers=self.workers,
+            cache_hits=(runner.cache.hits - hits_before) if runner.cache else 0,
+            cache_misses=(runner.cache.misses - misses_before) if runner.cache else 0,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _baseline_specs(
+        self, seed: int, spes_result: SimulationResult | None
+    ) -> Mapping[str, PolicySpec]:
+        """Specs for every non-SPES policy requested for ``seed``."""
+        capacity = (
+            max(1, int(spes_result.peak_memory_usage)) if spes_result is not None else None
+        )
+        available = default_policy_specs(include_lcs=True, faascache_capacity=capacity)
+        available["no-keepalive"] = PolicySpec.of("no-keepalive")
+        available["always-warm"] = PolicySpec.of("always-warm")
+        specs = {}
+        for name in self.policies:
+            if name == "spes":
+                continue
+            if name in available:
+                specs[name] = available[name]
+                continue
+            # Any other registered policy is accepted with its factory
+            # defaults, so the CLI's --policies flag honours the registry.
+            try:
+                specs[name] = PolicySpec.of(name)
+            except KeyError:
+                raise KeyError(
+                    f"unknown suite policy {name!r}; available: "
+                    f"{sorted({*available, *POLICY_REGISTRY, 'spes'})}"
+                ) from None
+        return specs

@@ -12,11 +12,30 @@ The engine iterates the simulation trace minute by minute.  For each minute it
 This matches the accounting of §II-B/§V-A: one memory unit per loaded
 instance-minute, one WMT unit per loaded-but-idle instance-minute, one cold
 start per invoked-while-absent minute.
+
+Two interchangeable implementations of this contract exist:
+
+``vectorized`` (the default)
+    Residency and accounting run on numpy boolean masks over function
+    *indices*, using the trace's cached
+    :meth:`~repro.traces.trace.Trace.invocation_index`.  Memory charges are
+    accumulated in arrays and handed to the
+    :class:`~repro.simulation.memory.MemoryAccountant` in one batch.  Only
+    the policy still sees per-minute ``{function_id: count}`` mappings — the
+    :class:`~repro.simulation.policy_base.ProvisioningPolicy` API is
+    unchanged.
+
+``reference``
+    The original pure-Python loop over sets and dicts, kept as the executable
+    specification of the accounting rules.  The regression tests assert that
+    both implementations produce identical statistics; use it when auditing a
+    change to the accounting semantics.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Set
+import time
+from typing import Dict, Set
 
 import numpy as np
 
@@ -25,6 +44,13 @@ from repro.simulation.overhead import OverheadTimer
 from repro.simulation.policy_base import ProvisioningPolicy
 from repro.simulation.results import FunctionStats, SimulationResult
 from repro.traces.trace import Trace
+
+#: Names of the available engine implementations.
+ENGINE_IMPLEMENTATIONS = ("vectorized", "reference")
+
+#: Bumped whenever a change alters simulation *output*; part of on-disk
+#: result-cache keys so stale cached results are never served.
+ENGINE_VERSION = 2
 
 
 class Simulator:
@@ -47,6 +73,9 @@ class Simulator:
         the simulation with the memory state and recency information its own
         rules produce; replaying one day of history reproduces that boundary
         condition.  Set to 0 to start from a completely cold platform.
+    engine:
+        Which implementation runs the minute loop: ``"vectorized"`` (default)
+        or ``"reference"`` (see the module docstring).
     """
 
     #: Default warm-up horizon: one day covers the longest keep-alive and
@@ -59,13 +88,19 @@ class Simulator:
         training_trace: Trace | None = None,
         initially_resident: Set[str] | None = None,
         warmup_minutes: int = DEFAULT_WARMUP_MINUTES,
+        engine: str = "vectorized",
     ) -> None:
         if warmup_minutes < 0:
             raise ValueError("warmup_minutes must be non-negative")
+        if engine not in ENGINE_IMPLEMENTATIONS:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {ENGINE_IMPLEMENTATIONS}"
+            )
         self.simulation_trace = simulation_trace
         self.training_trace = training_trace
         self.initially_resident = set(initially_resident or set())
         self.warmup_minutes = warmup_minutes
+        self.engine = engine
 
     def run(self, policy: ProvisioningPolicy, prepare: bool = True) -> SimulationResult:
         """Simulate ``policy`` over the configured trace and return its result.
@@ -81,16 +116,168 @@ class Simulator:
             expensive offline phase across parameter sweeps) can pass False.
         """
         trace = self.simulation_trace
-        duration = trace.duration_minutes
 
         if prepare:
             policy.prepare(trace.records(), self.training_trace)
 
+        resident: Set[str] = set(self.initially_resident)
+        resident |= self._warm_up(policy)
+
+        if self.engine == "reference":
+            return self._run_reference(policy, resident)
+        return self._run_vectorized(policy, resident)
+
+    # ------------------------------------------------------------------ #
+    # Vectorized implementation (default)
+    # ------------------------------------------------------------------ #
+    def _run_vectorized(
+        self, policy: ProvisioningPolicy, initial_resident: Set[str]
+    ) -> SimulationResult:
+        """Minute loop on numpy masks over the trace's invocation index.
+
+        Three invariants keep the per-minute Python work minimal:
+
+        * the per-minute ``{function_id: count}`` mappings are prebuilt once
+          per trace (:meth:`InvocationIndex.minute_invocations`) and shared by
+          every run over that trace;
+        * every invoked function is loaded during its minute, so wasted
+          memory time needs no per-minute mask: per function it equals
+          (minutes loaded) - (minutes invoked), and per minute the idle count
+          equals (instances loaded) - (functions invoked);
+        * the resident mask is updated from the *difference* between the
+          policy's consecutive declarations (two C-level set operations),
+          so a steady-state policy costs nothing and a churning policy costs
+          only its churn, never a full rebuild.
+        """
+        trace = self.simulation_trace
+        duration = trace.duration_minutes
+        index = trace.invocation_index()
+        function_ids = index.function_ids
+        index_of = index.index_of
+        indptr, inv_indices = index.indptr, index.indices
+        minute_invocations = index.minute_invocations()
+        n_functions = index.n_functions
+
+        timer = OverheadTimer()
+        clock = time.perf_counter
+
+        resident = np.zeros(n_functions, dtype=bool)
+        # Resident ids unknown to the trace (possible when a policy was
+        # prepared against different metadata); kept out of the masks but
+        # charged exactly like the reference implementation charges them.
+        extra_resident: Set[str] = set()
+        for function_id in initial_resident:
+            position = index_of.get(function_id)
+            if position is None:
+                extra_resident.add(function_id)
+            else:
+                resident[position] = True
+
+        invoked_minutes = np.zeros(n_functions, dtype=np.int64)
+        cold_starts = np.zeros(n_functions, dtype=np.int64)
+        loaded_minutes = np.zeros(n_functions, dtype=np.int64)
+        usage = np.zeros(duration, dtype=np.int64)
+        idle = np.zeros(duration, dtype=np.int64)
+        extra_wmt: Dict[str, int] = {}
+
+        # The resident set most recently declared by the policy, kept as a
+        # private copy so mask updates can be computed as set differences.
+        declared_resident: Set[str] = set(initial_resident)
+
+        for minute in range(duration):
+            invoked = inv_indices[indptr[minute] : indptr[minute + 1]]
+            invocations = minute_invocations[minute]
+
+            if invoked.size:
+                # 1-2. charge cold starts against the entering resident set.
+                invoked_minutes[invoked] += 1
+                cold = invoked[~resident[invoked]]
+                cold_starts[cold] += 1
+                # 3. invoked functions are loaded on demand for this minute.
+                resident[invoked] = True
+            else:
+                cold = invoked
+
+            # 5. charge memory for this minute (batched at the end of the
+            # run).  Invoked functions are always loaded, so the idle count
+            # is simply loaded minus invoked.
+            loaded = np.count_nonzero(resident) + len(extra_resident)
+            usage[minute] = loaded
+            idle[minute] = loaded - invoked.size
+            loaded_minutes += resident
+            for function_id in extra_resident:
+                extra_wmt[function_id] = extra_wmt.get(function_id, 0) + 1
+
+            # 4. policy decides the resident set for the next minute.
+            started = clock()
+            next_resident = policy.on_minute(minute, invocations)
+            timer.add(clock() - started)
+
+            # Undo this minute's on-demand loads (exactly the cold
+            # positions): the mask now matches declared_resident again.
+            if cold.size:
+                resident[cold] = False
+            if next_resident != declared_resident:
+                if not isinstance(next_resident, (set, frozenset)):
+                    next_resident = set(next_resident)
+                added = next_resident - declared_resident
+                removed = declared_resident - next_resident
+                if removed:
+                    try:
+                        resident[[index_of[f] for f in removed]] = False
+                    except KeyError:
+                        for function_id in removed:
+                            position = index_of.get(function_id)
+                            if position is None:
+                                extra_resident.discard(function_id)
+                            else:
+                                resident[position] = False
+                if added:
+                    try:
+                        resident[[index_of[f] for f in added]] = True
+                    except KeyError:
+                        for function_id in added:
+                            position = index_of.get(function_id)
+                            if position is None:
+                                extra_resident.add(function_id)
+                            else:
+                                resident[position] = True
+                declared_resident = set(next_resident)
+
+        wmt = loaded_minutes - invoked_minutes
+        wmt_per_function: Dict[str, int] = {
+            function_ids[f]: int(wmt[f]) for f in np.flatnonzero(wmt)
+        }
+        for function_id, wasted in extra_wmt.items():
+            wmt_per_function[function_id] = wmt_per_function.get(function_id, 0) + wasted
+
+        accountant = MemoryAccountant(duration)
+        accountant.observe_batch(usage, idle, wmt_per_function)
+
+        stats: Dict[str, FunctionStats] = {}
+        for position in np.flatnonzero(invoked_minutes):
+            function_id = function_ids[position]
+            stats[function_id] = FunctionStats(
+                function_id=function_id,
+                invocations=int(invoked_minutes[position]),
+                cold_starts=int(cold_starts[position]),
+            )
+        return self._finalize(policy, duration, stats, accountant, timer)
+
+    # ------------------------------------------------------------------ #
+    # Reference implementation (executable specification)
+    # ------------------------------------------------------------------ #
+    def _run_reference(
+        self, policy: ProvisioningPolicy, initial_resident: Set[str]
+    ) -> SimulationResult:
+        """The original per-minute loop over Python sets and dicts."""
+        trace = self.simulation_trace
+        duration = trace.duration_minutes
+
         accountant = MemoryAccountant(duration)
         timer = OverheadTimer()
         stats: Dict[str, FunctionStats] = {}
-        resident: Set[str] = set(self.initially_resident)
-        resident |= self._warm_up(policy)
+        resident: Set[str] = set(initial_resident)
 
         for minute, invocations in trace.iter_minutes():
             # 1-2. charge cold starts against the resident set entering the minute.
@@ -114,6 +301,18 @@ class Simulator:
             accountant.observe_minute(minute, loaded_this_minute, invocations)
             resident = next_resident
 
+        return self._finalize(policy, duration, stats, accountant, timer)
+
+    # ------------------------------------------------------------------ #
+    def _finalize(
+        self,
+        policy: ProvisioningPolicy,
+        duration: int,
+        stats: Dict[str, FunctionStats],
+        accountant: MemoryAccountant,
+        timer: OverheadTimer,
+    ) -> SimulationResult:
+        """Merge accountant aggregates into the per-function statistics."""
         for function_id, wasted in accountant.wmt_per_function.items():
             function_stats = stats.get(function_id)
             if function_stats is None:
@@ -157,6 +356,7 @@ def simulate_policy(
     training_trace: Trace | None = None,
     initially_resident: Set[str] | None = None,
     warmup_minutes: int = Simulator.DEFAULT_WARMUP_MINUTES,
+    engine: str = "vectorized",
 ) -> SimulationResult:
     """Convenience wrapper: build a :class:`Simulator` and run one policy."""
     simulator = Simulator(
@@ -164,5 +364,6 @@ def simulate_policy(
         training_trace=training_trace,
         initially_resident=initially_resident,
         warmup_minutes=warmup_minutes,
+        engine=engine,
     )
     return simulator.run(policy)

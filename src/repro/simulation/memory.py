@@ -71,6 +71,51 @@ class MemoryAccountant:
                     self._wmt_per_function.get(function_id, 0) + 1
                 )
 
+    def observe_batch(
+        self,
+        usage: np.ndarray,
+        idle: np.ndarray,
+        wmt_per_function: Mapping[str, int],
+    ) -> None:
+        """Charge a whole run's memory statistics in one call.
+
+        The vectorized simulation engine accumulates per-minute usage/idle
+        series and per-function wasted memory time as numpy arrays and hands
+        them over once, instead of paying a Python-level ``observe_minute``
+        call (set construction, per-function dict increments) for every
+        simulated minute.  The two entry points are equivalent: charging the
+        same run minute-by-minute or as one batch yields identical aggregates.
+
+        Parameters
+        ----------
+        usage:
+            Per-minute number of loaded instances, length ``duration``.
+        idle:
+            Per-minute number of loaded-but-idle instances, length
+            ``duration``.
+        wmt_per_function:
+            Total idle minutes attributed to each function; must sum to
+            ``idle.sum()``.
+        """
+        usage = np.asarray(usage, dtype=np.int64)
+        idle = np.asarray(idle, dtype=np.int64)
+        if usage.shape != (self._duration,) or idle.shape != (self._duration,):
+            raise ValueError(
+                f"usage/idle series must have length {self._duration}, "
+                f"got {usage.shape} and {idle.shape}"
+            )
+        if (idle > usage).any():
+            raise ValueError("idle instances cannot exceed loaded instances")
+        self._usage += usage
+        self._idle += idle
+        self._loaded_instance_minutes += int(usage.sum())
+        self._active_instance_minutes += int((usage - idle).sum())
+        for function_id, wasted in wmt_per_function.items():
+            if wasted:
+                self._wmt_per_function[function_id] = (
+                    self._wmt_per_function.get(function_id, 0) + int(wasted)
+                )
+
     # ------------------------------------------------------------------ #
     # Aggregates
     # ------------------------------------------------------------------ #

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Mapping
 
@@ -174,6 +175,29 @@ class SimulationResult:
             function_id: stats.wasted_memory_time
             for function_id, stats in self.per_function.items()
         }
+
+    # ------------------------------------------------------------------ #
+    def deterministic_fingerprint(self) -> str:
+        """Content hash over every *simulation-determined* field.
+
+        Two runs of the same policy over the same trace with the same seed
+        produce the same fingerprint, whether they ran serially, in a worker
+        process, or came from the on-disk cache.  The wall-clock overhead
+        fields are excluded: they measure the host, not the simulation.
+        """
+        digest = hashlib.sha256()
+        digest.update(self.policy_name.encode())
+        digest.update(str(self.duration_minutes).encode())
+        for function_id in sorted(self.per_function):
+            stats = self.per_function[function_id]
+            digest.update(
+                f"{function_id}:{stats.invocations}:{stats.cold_starts}:"
+                f"{stats.wasted_memory_time};".encode()
+            )
+        digest.update(np.ascontiguousarray(self.memory_usage, dtype=np.int64).tobytes())
+        digest.update(str(self.total_wasted_memory_time).encode())
+        digest.update(repr(self.emcr).encode())
+        return digest.hexdigest()
 
     # ------------------------------------------------------------------ #
     def summary(self) -> Dict[str, float]:

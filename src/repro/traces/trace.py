@@ -10,12 +10,80 @@ training ("unseen" functions).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
 from repro.traces.schema import MINUTES_PER_DAY, FunctionRecord, TraceMetadata
+
+
+@dataclass(frozen=True)
+class InvocationIndex:
+    """Column-compressed (per-minute) view of a trace's invocation matrix.
+
+    The simulator's hot loop needs, for every minute, the set of invoked
+    functions as *integer indices* so residency, cold-start and memory
+    accounting can run on numpy boolean masks instead of Python dicts.  The
+    index is the CSR layout of the ``counts[function, minute]`` matrix
+    compressed along the minute axis:
+
+    ``indices[indptr[m]:indptr[m + 1]]`` are the function indices invoked at
+    minute ``m`` (ordered by function insertion order), and ``counts`` holds
+    the matching invocation counts.
+    """
+
+    #: Function ids, position ``i`` corresponds to function index ``i``.
+    function_ids: tuple[str, ...]
+    #: Reverse mapping ``function_id -> function index``.
+    index_of: Dict[str, int]
+    #: CSR row pointer over minutes, length ``duration + 1``.
+    indptr: np.ndarray
+    #: Function indices invoked per minute, grouped by ``indptr``.
+    indices: np.ndarray
+    #: Invocation counts aligned with ``indices``.
+    counts: np.ndarray
+
+    @property
+    def n_functions(self) -> int:
+        """Number of functions covered by the index."""
+        return len(self.function_ids)
+
+    @property
+    def duration_minutes(self) -> int:
+        """Number of minutes covered by the index."""
+        return len(self.indptr) - 1
+
+    def minute_invocations(self) -> tuple:
+        """Read-only ``{function_id: count}`` mappings, one per minute.
+
+        Built lazily and cached on the index, so every simulation run over the
+        same trace (a policy sweep, every cell of a parallel sweep worker)
+        shares one set of mappings instead of rebuilding 1440+ dicts per run.
+        The mappings are :class:`types.MappingProxyType` views: policies
+        receive them directly, and any accidental mutation raises instead of
+        corrupting the shared cache.
+        """
+        cached = getattr(self, "_minute_invocations", None)
+        if cached is None:
+            from types import MappingProxyType
+
+            ids = self.function_ids
+            indices = self.indices.tolist()
+            counts = self.counts.tolist()
+            indptr = self.indptr.tolist()
+            cached = tuple(
+                MappingProxyType(
+                    {
+                        ids[indices[position]]: counts[position]
+                        for position in range(indptr[minute], indptr[minute + 1])
+                    }
+                )
+                for minute in range(self.duration_minutes)
+            )
+            object.__setattr__(self, "_minute_invocations", cached)
+        return cached
 
 
 class Trace:
@@ -70,6 +138,8 @@ class Trace:
             raise ValueError("a trace must contain at least one function")
 
         self._duration = int(duration)
+        self._invocation_index: InvocationIndex | None = None
+        self._fingerprint: str | None = None
         self.metadata = metadata or TraceMetadata(
             name="unnamed", duration_minutes=self._duration
         )
@@ -128,6 +198,80 @@ class Trace:
     def invoked_function_ids(self) -> list[str]:
         """Ids of functions with at least one invocation in this trace."""
         return [fid for fid, series in self._counts.items() if series.any()]
+
+    # ------------------------------------------------------------------ #
+    # Identity and vectorized access
+    # ------------------------------------------------------------------ #
+    def fingerprint(self) -> str:
+        """Stable content hash of the trace (records + invocation matrix).
+
+        Used to key on-disk result caches: two traces with the same
+        fingerprint produce identical simulation results for the same policy
+        and simulator settings.  The per-function metadata is included
+        because policies condition on it (application grouping, trigger
+        type); the trace-level metadata name is deliberately excluded so
+        renaming a slice does not invalidate cached results.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            digest.update(str(self._duration).encode())
+            for function_id, series in self._counts.items():
+                record = self._records[function_id]
+                digest.update(
+                    f"{function_id}\x1f{record.app_id}\x1f{record.owner_id}"
+                    f"\x1f{record.trigger.value}\x1e".encode()
+                )
+                digest.update(series.tobytes())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
+
+    def invocation_index(self) -> InvocationIndex:
+        """The cached :class:`InvocationIndex` of this trace.
+
+        Built once per trace and shared across simulation runs, so sweeping
+        many policies over the same window pays the trace scan only once.
+        """
+        if self._invocation_index is None:
+            function_ids = tuple(self._counts)
+            chunks_minutes: list[np.ndarray] = []
+            chunks_findex: list[np.ndarray] = []
+            chunks_counts: list[np.ndarray] = []
+            for position, series in enumerate(self._counts.values()):
+                nonzero = np.flatnonzero(series)
+                if nonzero.size == 0:
+                    continue
+                chunks_minutes.append(nonzero)
+                chunks_findex.append(np.full(nonzero.size, position, dtype=np.int64))
+                chunks_counts.append(series[nonzero])
+            if chunks_minutes:
+                minutes = np.concatenate(chunks_minutes)
+                findex = np.concatenate(chunks_findex)
+                counts = np.concatenate(chunks_counts)
+                # Stable sort keeps function insertion order within a minute,
+                # matching the dict order produced by iter_minutes().
+                order = np.argsort(minutes, kind="stable")
+                minutes, findex, counts = minutes[order], findex[order], counts[order]
+            else:
+                minutes = np.zeros(0, dtype=np.int64)
+                findex = np.zeros(0, dtype=np.int64)
+                counts = np.zeros(0, dtype=np.int64)
+            indptr = np.zeros(self._duration + 1, dtype=np.int64)
+            np.cumsum(np.bincount(minutes, minlength=self._duration), out=indptr[1:])
+            self._invocation_index = InvocationIndex(
+                function_ids=function_ids,
+                index_of={fid: i for i, fid in enumerate(function_ids)},
+                indptr=indptr,
+                indices=findex,
+                counts=counts,
+            )
+        return self._invocation_index
+
+    def __getstate__(self) -> Dict[str, object]:
+        # The invocation index is cheap to rebuild and can triple the pickle
+        # size; drop it so traces shipped to worker processes stay lean.
+        state = dict(self.__dict__)
+        state["_invocation_index"] = None
+        return state
 
     # ------------------------------------------------------------------ #
     # Per-minute access used by the simulator

@@ -1,0 +1,228 @@
+"""Tests for the parallel experiment subsystem: specs, caching, determinism."""
+
+import pickle
+
+import pytest
+
+from repro.core import SpesConfig
+from repro.experiments import ExperimentConfig, ExperimentRunner
+from repro.experiments.parallel import (
+    POLICY_REGISTRY,
+    ParallelRunner,
+    PolicySpec,
+    ResultCache,
+    derive_cell_seed,
+    register_policy,
+)
+from repro.experiments.suite import ExperimentSuite
+from repro.traces import AzureTraceGenerator, GeneratorProfile, split_trace
+
+
+@pytest.fixture(scope="module")
+def split():
+    profile = GeneratorProfile(
+        n_functions=30, duration_days=2.0, unseen_window_days=0.5, seed=13
+    )
+    return split_trace(AzureTraceGenerator(profile).generate(), training_days=1.5)
+
+
+@pytest.fixture(scope="module")
+def suite_specs():
+    return {
+        "no-keepalive": PolicySpec.of("no-keepalive"),
+        "fixed-5min": PolicySpec.of("fixed-keepalive", keep_alive_minutes=5),
+        "hybrid-function": PolicySpec.of("hybrid-function"),
+    }
+
+
+class TestPolicySpec:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(KeyError):
+            PolicySpec.of("definitely-not-registered")
+
+    def test_build_applies_params(self):
+        policy = PolicySpec.of("fixed-keepalive", keep_alive_minutes=7).build()
+        assert policy.keep_alive_minutes == 7
+
+    def test_spes_spec_carries_config(self):
+        config = SpesConfig(theta_prewarm=4)
+        policy = PolicySpec.of("spes", config=config).build()
+        assert policy.config.theta_prewarm == 4
+
+    def test_specs_are_picklable(self):
+        spec = PolicySpec.of("spes", config=SpesConfig())
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_register_policy_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            register_policy("spes", POLICY_REGISTRY["spes"])
+
+
+class TestCellSeeds:
+    def test_seeds_are_deterministic(self):
+        spec = PolicySpec.of("no-keepalive")
+        assert derive_cell_seed(1, spec) == derive_cell_seed(1, spec)
+
+    def test_seeds_differ_per_base_seed_and_spec(self):
+        spec_a = PolicySpec.of("no-keepalive")
+        spec_b = PolicySpec.of("always-warm")
+        seeds = {
+            derive_cell_seed(1, spec_a),
+            derive_cell_seed(2, spec_a),
+            derive_cell_seed(1, spec_b),
+        }
+        assert len(seeds) == 3
+
+    def test_seeds_fit_legacy_numpy_range(self):
+        seed = derive_cell_seed(2024, PolicySpec.of("spes"))
+        assert 0 <= seed < 2**32
+
+
+class TestParallelRunner:
+    def test_serial_and_parallel_results_identical(self, split, suite_specs):
+        serial = ParallelRunner({"w": split}, workers=0, warmup_minutes=60)
+        parallel = ParallelRunner({"w": split}, workers=2, warmup_minutes=60)
+        serial_results = serial.run_policies(suite_specs, trace_key="w", base_seed=3)
+        parallel_results = parallel.run_policies(suite_specs, trace_key="w", base_seed=3)
+        assert list(serial_results) == list(parallel_results) == list(suite_specs)
+        for name in suite_specs:
+            assert (
+                serial_results[name].deterministic_fingerprint()
+                == parallel_results[name].deterministic_fingerprint()
+            ), name
+
+    def test_cache_miss_then_hit(self, split, suite_specs, tmp_path):
+        first = ParallelRunner({"w": split}, cache_dir=tmp_path, warmup_minutes=60)
+        first_results = first.run_policies(suite_specs, trace_key="w")
+        assert first.cache.hits == 0
+        assert first.cache.misses == len(suite_specs)
+
+        second = ParallelRunner({"w": split}, cache_dir=tmp_path, warmup_minutes=60)
+        second_results = second.run_policies(suite_specs, trace_key="w")
+        assert second.cache.hits == len(suite_specs)
+        assert second.cache.misses == 0
+        for name in suite_specs:
+            assert (
+                first_results[name].deterministic_fingerprint()
+                == second_results[name].deterministic_fingerprint()
+            )
+
+    def test_cache_keys_depend_on_simulator_settings(self, split, suite_specs, tmp_path):
+        spec = suite_specs["no-keepalive"]
+        short = ParallelRunner({"w": split}, cache_dir=tmp_path, warmup_minutes=30)
+        long = ParallelRunner({"w": split}, cache_dir=tmp_path, warmup_minutes=90)
+        key_short = short.cache_key(short.cell("c", spec, "w"))
+        key_long = long.cache_key(long.cell("c", spec, "w"))
+        assert key_short != key_long
+
+    def test_corrupt_cache_entry_is_a_miss(self, split, suite_specs, tmp_path):
+        runner = ParallelRunner({"w": split}, cache_dir=tmp_path, warmup_minutes=60)
+        cell = runner.cell("c", suite_specs["no-keepalive"], "w")
+        runner.run_cells([cell])
+        (tmp_path / f"{runner.cache_key(cell)}.pkl").write_bytes(b"not a pickle")
+        rerun = ParallelRunner({"w": split}, cache_dir=tmp_path, warmup_minutes=60)
+        results = rerun.run_cells([cell])
+        assert rerun.cache.misses == 1
+        assert results["c"].total_invocations > 0
+
+    def test_duplicate_cell_names_rejected(self, split, suite_specs):
+        runner = ParallelRunner({"w": split}, warmup_minutes=60)
+        cell = runner.cell("same", suite_specs["no-keepalive"], "w")
+        with pytest.raises(ValueError):
+            runner.run_cells([cell, cell])
+
+    def test_unknown_trace_key_rejected(self, split, suite_specs):
+        runner = ParallelRunner({"w": split})
+        with pytest.raises(KeyError):
+            runner.cell("c", suite_specs["no-keepalive"], "nope")
+
+
+class TestResultCache:
+    def test_get_on_empty_directory_is_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("missing") is None
+        assert cache.misses == 1
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return ExperimentConfig(
+        n_functions=30, seed=17, duration_days=2.0, training_days=1.5, warmup_minutes=60
+    )
+
+
+class TestExperimentRunnerParallel:
+    def test_parallel_run_all_matches_serial(self, tiny_config):
+        serial = ExperimentRunner(tiny_config).run_all()
+        parallel = ExperimentRunner(tiny_config, workers=2).run_all()
+        assert set(serial) == set(parallel)
+        for name, result in serial.items():
+            assert (
+                result.deterministic_fingerprint()
+                == parallel[name].deterministic_fingerprint()
+            ), name
+
+    def test_run_spes_variants_batch_is_memoized(self, tiny_config):
+        runner = ExperimentRunner(tiny_config)
+        variants = {"variant-a": SpesConfig(theta_prewarm=1)}
+        first = runner.run_spes_variants(variants)
+        second = runner.run_spes_variants(variants)
+        assert first["variant-a"] is second["variant-a"]
+
+    def test_run_specs_rejects_name_reuse_with_different_spec(self, tiny_config):
+        runner = ExperimentRunner(tiny_config)
+        runner.run_specs({"x": PolicySpec.of("fixed-keepalive", keep_alive_minutes=10)})
+        with pytest.raises(ValueError):
+            runner.run_specs({"x": PolicySpec.of("fixed-keepalive", keep_alive_minutes=60)})
+
+    def test_baseline_factories_match_specs(self, tiny_config):
+        runner = ExperimentRunner(tiny_config)
+        factories = runner.baseline_factories()
+        assert set(factories) == set(runner.baseline_specs())
+        assert factories["fixed-10min"]().keep_alive_minutes == 10
+
+    def test_runner_disk_cache(self, tiny_config, tmp_path):
+        first = ExperimentRunner(tiny_config, cache_dir=tmp_path)
+        first.run_spes_variants({"v": SpesConfig(theta_prewarm=1)})
+        second = ExperimentRunner(tiny_config, cache_dir=tmp_path)
+        second.run_spes_variants({"v": SpesConfig(theta_prewarm=1)})
+        assert second.parallel_runner().cache.hits == 1
+
+
+class TestExperimentSuite:
+    def test_serial_and_parallel_suite_identical(self, tiny_config):
+        serial = ExperimentSuite(
+            tiny_config, seeds=[21], policies=("spes", "fixed-10min", "faascache")
+        ).run()
+        parallel = ExperimentSuite(
+            tiny_config,
+            seeds=[21],
+            policies=("spes", "fixed-10min", "faascache"),
+            workers=2,
+        ).run()
+        for name, result in serial.results[21].items():
+            assert (
+                result.deterministic_fingerprint()
+                == parallel.results[21][name].deterministic_fingerprint()
+            ), name
+
+    def test_policy_order_preserved(self, tiny_config):
+        policies = ("spes", "defuse", "fixed-10min")
+        outcome = ExperimentSuite(tiny_config, seeds=[21], policies=policies).run()
+        assert tuple(outcome.results[21]) == policies
+
+    def test_faascache_requires_spes(self, tiny_config):
+        with pytest.raises(ValueError):
+            ExperimentSuite(tiny_config, policies=("faascache",))
+
+    def test_duplicate_seeds_deduplicated(self, tiny_config):
+        suite = ExperimentSuite(tiny_config, seeds=[21, 21, 22])
+        assert suite.seeds == (21, 22)
+
+    def test_tables_render(self, tiny_config):
+        outcome = ExperimentSuite(
+            tiny_config, seeds=[21, 22], policies=("spes", "fixed-10min")
+        ).run()
+        assert "seed 21" in outcome.seed_table(21).render()
+        aggregate = outcome.aggregate_table()
+        assert {row["policy"] for row in aggregate.rows} == {"spes", "fixed-10min"}

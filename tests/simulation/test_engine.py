@@ -141,6 +141,100 @@ class TestWarmup:
         assert result.total_invocations == 0
 
 
+class TestEngineEquivalence:
+    """The vectorized engine must reproduce the reference engine exactly."""
+
+    @staticmethod
+    def assert_identical(policy_factory, simulation, training=None, warmup=0, resident=None):
+        results = {}
+        for engine in ("reference", "vectorized"):
+            simulator = Simulator(
+                simulation,
+                training,
+                initially_resident=resident,
+                warmup_minutes=warmup,
+                engine=engine,
+            )
+            results[engine] = simulator.run(policy_factory())
+        reference, vectorized = results["reference"], results["vectorized"]
+        assert set(reference.per_function) == set(vectorized.per_function)
+        for function_id, expected in reference.per_function.items():
+            actual = vectorized.per_function[function_id]
+            assert actual.invocations == expected.invocations, function_id
+            assert actual.cold_starts == expected.cold_starts, function_id
+            assert actual.wasted_memory_time == expected.wasted_memory_time, function_id
+        np.testing.assert_array_equal(reference.memory_usage, vectorized.memory_usage)
+        assert reference.total_wasted_memory_time == vectorized.total_wasted_memory_time
+        assert reference.emcr == vectorized.emcr
+        assert (
+            reference.deterministic_fingerprint()
+            == vectorized.deterministic_fingerprint()
+        )
+
+    def test_single_function_degenerate_policies(self):
+        trace = single_function_trace([1, 0, 1, 0, 1])
+        self.assert_identical(NoKeepAlivePolicy, trace)
+        self.assert_identical(AlwaysWarmPolicy, trace)
+
+    def test_small_fixed_trace_with_keepalive(self):
+        from repro.baselines import FixedKeepAlivePolicy
+
+        records = [FunctionRecord(f"f{i}", "a", "o") for i in range(4)]
+        counts = {
+            "f0": [1, 0, 0, 1, 0, 0, 0, 1],
+            "f1": [0, 2, 0, 0, 0, 0, 0, 0],
+            "f2": [0, 0, 0, 0, 0, 0, 0, 0],
+            "f3": [1, 1, 1, 1, 1, 1, 1, 1],
+        }
+        trace = Trace(records, counts, TraceMetadata(name="t", duration_minutes=8))
+        self.assert_identical(lambda: FixedKeepAlivePolicy(2), trace)
+
+    def test_with_warmup_and_training(self):
+        from repro.baselines import FixedKeepAlivePolicy
+
+        training = single_function_trace([0, 1, 0, 1, 1], name="train")
+        simulation = single_function_trace([1, 0, 1], name="sim")
+        self.assert_identical(
+            lambda: FixedKeepAlivePolicy(3), simulation, training, warmup=4
+        )
+
+    def test_initially_resident_unknown_to_trace(self):
+        # Ids never appearing in the trace must still be charged (usage, idle
+        # minutes, wasted memory time) identically by both implementations.
+        trace = single_function_trace([1, 0, 1])
+        self.assert_identical(NoKeepAlivePolicy, trace, resident={"ghost", "f"})
+
+    def test_synthetic_workload_suite(self):
+        from repro.baselines import FixedKeepAlivePolicy, HybridFunctionPolicy
+        from repro.traces import AzureTraceGenerator, GeneratorProfile, split_trace
+
+        profile = GeneratorProfile(n_functions=25, duration_days=2.0, seed=11,
+                                   unseen_window_days=0.5)
+        split = split_trace(AzureTraceGenerator(profile).generate(), training_days=1.5)
+        for factory in (NoKeepAlivePolicy, AlwaysWarmPolicy,
+                        lambda: FixedKeepAlivePolicy(10), HybridFunctionPolicy):
+            self.assert_identical(factory, split.simulation, split.training, warmup=120)
+
+    def test_synthetic_workload_paper_policies(self):
+        # The policies behind every headline number of the paper must also
+        # round-trip through the vectorized fast paths (shared read-only
+        # invocation mappings, set-diff residency updates) unchanged.
+        from repro.baselines import DefusePolicy, FaasCachePolicy
+        from repro.core import SpesPolicy
+        from repro.traces import AzureTraceGenerator, GeneratorProfile, split_trace
+
+        profile = GeneratorProfile(n_functions=20, duration_days=2.0, seed=23,
+                                   unseen_window_days=0.5)
+        split = split_trace(AzureTraceGenerator(profile).generate(), training_days=1.5)
+        for factory in (SpesPolicy, DefusePolicy, lambda: FaasCachePolicy(capacity=5)):
+            self.assert_identical(factory, split.simulation, split.training, warmup=120)
+
+    def test_unknown_engine_rejected(self):
+        trace = single_function_trace([1])
+        with pytest.raises(ValueError):
+            Simulator(trace, engine="warp-drive")
+
+
 class TestSimulatorReuse:
     def test_prepare_false_skips_offline_phase(self):
         calls = []

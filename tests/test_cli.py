@@ -20,6 +20,33 @@ class TestParser:
         assert callable(args.handler)
 
 
+class TestSweepParser:
+    def test_sweep_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["sweep"])
+        assert args.seeds == [2024]
+        assert args.workers == 0
+        assert args.cache_dir is None
+        assert "spes" in args.policies
+
+    def test_sweep_accepts_all_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            [
+                "sweep",
+                "--functions", "40",
+                "--seeds", "1", "2",
+                "--workers", "4",
+                "--policies", "spes", "defuse",
+                "--cache-dir", "/tmp/cache",
+            ]
+        )
+        assert args.seeds == [1, 2]
+        assert args.workers == 4
+        assert args.policies == ["spes", "defuse"]
+        assert args.cache_dir == "/tmp/cache"
+
+
 class TestExecution:
     TINY = ["--functions", "30", "--seed", "5", "--days", "3", "--training-days", "2"]
 
@@ -35,3 +62,45 @@ class TestExecution:
         assert exit_code == 0
         assert "spes" in captured.out
         assert "fixed-10min" in captured.out
+
+    def test_sweep_runs_on_tiny_workload(self, capsys, tmp_path):
+        arguments = [
+            "sweep",
+            "--functions", "25",
+            "--days", "2",
+            "--training-days", "1.5",
+            "--seeds", "5",
+            "--workers", "2",
+            "--policies", "spes", "fixed-10min",
+            "--cache-dir", str(tmp_path),
+        ]
+        exit_code = main(arguments)
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Policy suite (seed 5)" in captured.out
+        assert "2 workers" in captured.out
+        assert "0 hit(s)" in captured.out
+
+        # A second identical sweep is served from the on-disk cache.
+        exit_code = main(arguments)
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "2 hit(s), 0 miss(es)" in captured.out
+
+    def test_sweep_rejects_unknown_policy(self, capsys):
+        exit_code = main(
+            ["sweep", "--functions", "25", "--days", "2", "--training-days", "1.5",
+             "--policies", "spes", "warp-drive"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "unknown suite policy 'warp-drive'" in captured.err
+
+    def test_sweep_rejects_negative_workers(self, capsys):
+        exit_code = main(
+            ["sweep", "--functions", "25", "--days", "2", "--training-days", "1.5",
+             "--policies", "spes", "--workers", "-3"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "workers must be non-negative" in captured.err
