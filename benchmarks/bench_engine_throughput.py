@@ -18,13 +18,19 @@ depends on the machine's core count).
 
 from __future__ import annotations
 
+import json
 import time
 
 import pytest
 
 from repro.experiments import ExperimentConfig, ExperimentSuite
 from repro.simulation import AlwaysWarmPolicy, NoKeepAlivePolicy, Simulator
-from repro.baselines import FixedKeepAlivePolicy
+from repro.baselines import (
+    FixedKeepAlivePolicy,
+    HybridFunctionPolicy,
+    IndexedFixedKeepAlivePolicy,
+    IndexedHybridFunctionPolicy,
+)
 
 from .conftest import save_and_print
 
@@ -86,6 +92,70 @@ def test_engine_throughput_vectorized_vs_reference(throughput_split, output_dir)
     ]
     save_and_print(output_dir, "engine_throughput", "\n".join(lines))
     assert speedup >= 3.0, f"vectorized engine only {speedup:.2f}x over reference"
+
+
+#: (bench key, dict-API factory, index-native twin factory).  The pairs are
+#: decision-identical (fingerprint-equal, see
+#: tests/simulation/test_equivalence_random.py), so the ratio isolates the
+#: cost of the policy-stepping contract itself.
+INDEXED_POLICY_PAIRS = (
+    ("fixed-10min", lambda: FixedKeepAlivePolicy(10), lambda: IndexedFixedKeepAlivePolicy(10)),
+    ("hybrid-function", HybridFunctionPolicy, IndexedHybridFunctionPolicy),
+)
+
+
+def _end_to_end_seconds(split, factory, repeats: int) -> float:
+    """Best-of-N wall-clock of one full simulation (prepare + minute loop)."""
+    best = float("inf")
+    for _ in range(repeats):
+        simulator = Simulator(split.simulation, split.training, warmup_minutes=0)
+        started = time.perf_counter()
+        simulator.run(factory())
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_indexed_policy_speedup(throughput_split, output_dir):
+    """Indexed policy ports vs their dict twins, end to end (PR 2 criterion).
+
+    The acceptance bar is a >=1.5x end-to-end speedup for at least one ported
+    policy on the default workload.  The measured numbers are also published
+    as ``BENCH_pr2.json`` so CI can archive the perf trajectory per PR.
+    """
+    split = throughput_split
+    minutes = split.simulation.duration_minutes
+
+    lines = ["Indexed policy contract - 400 functions, 14-day workload, 2-day window"]
+    payload = {
+        "workload": {
+            "n_functions": THROUGHPUT_CONFIG.n_functions,
+            "duration_days": THROUGHPUT_CONFIG.duration_days,
+            "simulation_minutes": minutes,
+        },
+        "policies": {},
+    }
+    speedups = {}
+    for name, dict_factory, indexed_factory in INDEXED_POLICY_PAIRS:
+        repeats = 3 if name == "fixed-10min" else 1  # hybrid runs are heavy
+        dict_seconds = _end_to_end_seconds(split, dict_factory, repeats)
+        indexed_seconds = _end_to_end_seconds(split, indexed_factory, repeats)
+        speedup = dict_seconds / indexed_seconds
+        speedups[name] = speedup
+        payload["policies"][name] = {
+            "dict_seconds": round(dict_seconds, 4),
+            "indexed_seconds": round(indexed_seconds, 4),
+            "speedup": round(speedup, 3),
+            "indexed_sim_minutes_per_second": round(minutes / indexed_seconds, 1),
+        }
+        lines.append(
+            f"{name:16s} dict {dict_seconds:8.3f}s   indexed {indexed_seconds:8.3f}s"
+            f"   speedup {speedup:5.2f}x"
+        )
+
+    save_and_print(output_dir, "indexed_policy_speedup", "\n".join(lines))
+    (output_dir / "BENCH_pr2.json").write_text(json.dumps(payload, indent=2) + "\n")
+    best = max(speedups.values())
+    assert best >= 1.5, f"no ported policy reached 1.5x (best {best:.2f}x): {speedups}"
 
 
 def test_parallel_suite_vs_serial(output_dir):

@@ -11,7 +11,7 @@ different-trigger candidates (0.2710 vs 0.1307).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
 import numpy as np
 

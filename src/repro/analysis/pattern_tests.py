@@ -19,7 +19,7 @@ excludes 6.65% / 36.20% of functions for insufficient counts).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict
 
 import numpy as np
 from scipy import stats as scipy_stats

@@ -20,6 +20,11 @@ from repro.baselines.hybrid_application import HybridApplicationPolicy
 from repro.baselines.defuse import DefusePolicy
 from repro.baselines.faascache import FaasCachePolicy
 from repro.baselines.lcs import LcsPolicy
+from repro.baselines.vectorized import (
+    IndexedFixedKeepAlivePolicy,
+    IndexedHybridApplicationPolicy,
+    IndexedHybridFunctionPolicy,
+)
 
 __all__ = [
     "FixedKeepAlivePolicy",
@@ -29,4 +34,7 @@ __all__ = [
     "DefusePolicy",
     "FaasCachePolicy",
     "LcsPolicy",
+    "IndexedFixedKeepAlivePolicy",
+    "IndexedHybridFunctionPolicy",
+    "IndexedHybridApplicationPolicy",
 ]

@@ -1,0 +1,181 @@
+"""Index-native ports of the baseline policies.
+
+Each class here is the :class:`~repro.simulation.vector_policy
+.VectorizedPolicy` twin of a dict-based baseline: same offline phase, same
+decision rules, same *name* (so
+:meth:`~repro.simulation.results.SimulationResult.deterministic_fingerprint`
+of a run is identical to its dict counterpart's — the equivalence tests rely
+on this), but the per-minute stepping runs on numpy arrays over the trace's
+function-index space instead of Python dict/set churn.
+
+* :class:`IndexedFixedKeepAlivePolicy` — the whole online state is one
+  expiry array; a minute costs one scatter and one vectorized comparison.
+* :class:`IndexedHybridFunctionPolicy` / :class:`IndexedHybridApplicationPolicy`
+  — reuse the histogram machinery of
+  :class:`~repro.baselines.hybrid_base.HybridHistogramPolicyBase` (offline
+  seeding included) but cache each unit's pre-warm/keep-alive windows in
+  arrays, refreshing a unit only when its histogram observes a new idle time.
+  The per-minute scan over *all* units (the dominant cost of the dict
+  version) becomes a handful of vectorized comparisons plus a gather from
+  unit space to function space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.hybrid_base import HybridHistogramPolicyBase
+from repro.simulation.vector_policy import VectorizedPolicy
+from repro.traces.schema import FunctionRecord
+from repro.traces.trace import InvocationIndex
+
+__all__ = [
+    "IndexedFixedKeepAlivePolicy",
+    "IndexedHybridFunctionPolicy",
+    "IndexedHybridApplicationPolicy",
+]
+
+#: "Never invoked" sentinel: far below any warm-up minute, but safely away
+#: from int64 overflow when minutes are subtracted from it.
+_NEVER = -(2**62)
+
+
+class IndexedFixedKeepAlivePolicy(VectorizedPolicy):
+    """Index-native fixed keep-alive (twin of :class:`FixedKeepAlivePolicy`).
+
+    Parameters
+    ----------
+    keep_alive_minutes:
+        Number of minutes an instance stays resident after its last
+        invocation.  The paper's fixed baseline uses 10 minutes.
+    """
+
+    def __init__(self, keep_alive_minutes: int = 10) -> None:
+        if keep_alive_minutes < 0:
+            raise ValueError("keep_alive_minutes must be non-negative")
+        self.keep_alive_minutes = keep_alive_minutes
+        self.name = f"fixed-{keep_alive_minutes}min"
+
+    def on_bind(self, index: InvocationIndex) -> None:
+        self._expiry = np.full(index.n_functions, _NEVER, dtype=np.int64)
+        self._mask = np.zeros(index.n_functions, dtype=bool)
+
+    def reset(self) -> None:
+        if self.is_bound:
+            self._expiry.fill(_NEVER)
+            self._mask.fill(False)
+
+    def on_minute_indexed(
+        self, minute: int, invoked: np.ndarray, counts: np.ndarray
+    ) -> np.ndarray:
+        if invoked.size:
+            self._expiry[invoked] = minute + self.keep_alive_minutes
+        np.greater(self._expiry, minute, out=self._mask)
+        return self._mask
+
+
+class _IndexedHybridBase(VectorizedPolicy, HybridHistogramPolicyBase):
+    """Shared indexed implementation of the hybrid histogram policies.
+
+    The offline phase (unit mapping, histogram seeding from the training
+    trace) is inherited unchanged from :class:`HybridHistogramPolicyBase`.
+    Binding compiles the unit structure into arrays:
+
+    * ``_function_unit`` maps every function index to a unit index;
+    * per-unit arrays hold the last invocation minute and the *cached*
+      decision inputs (representative flag, pre-warm and keep-alive windows),
+      refreshed only when a unit's histogram changes.
+
+    A minute then costs: a Python loop over the (few) invoked units to
+    observe idle times, one vectorized residency decision over unit space,
+    and one gather from unit space to function space.
+    """
+
+    def on_bind(self, index: InvocationIndex) -> None:
+        # Deterministic unit indexing: first appearance order over the
+        # trace's function-index space.
+        unit_index: dict[str, int] = {}
+        function_unit = np.zeros(index.n_functions, dtype=np.int64)
+        unit_states = []
+        for position, function_id in enumerate(index.function_ids):
+            unit = self._unit_of_function.get(function_id)
+            if unit is None:
+                # Function unseen at prepare time: its own unit (mirrors
+                # ``_unit_for_id``).
+                unit = function_id
+                self._unit_of_function[function_id] = unit
+            u = unit_index.get(unit)
+            if u is None:
+                u = len(unit_index)
+                unit_index[unit] = u
+                unit_states.append(self._state_for(unit))
+            function_unit[position] = u
+
+        n_units = len(unit_states)
+        self._function_unit = function_unit
+        self._unit_states = unit_states
+        self._unit_last = np.full(n_units, _NEVER, dtype=np.int64)
+        self._unit_representative = np.zeros(n_units, dtype=bool)
+        self._unit_prewarm = np.zeros(n_units, dtype=np.int64)
+        self._unit_keepalive = np.zeros(n_units, dtype=np.int64)
+        for u in range(n_units):
+            self._refresh_unit(u)
+
+    def _refresh_unit(self, u: int) -> None:
+        """Re-derive one unit's cached decision inputs from its histogram."""
+        histogram = self._unit_states[u].histogram
+        representative = histogram.is_representative
+        self._unit_representative[u] = representative
+        if representative:
+            self._unit_prewarm[u] = histogram.prewarm_window
+            self._unit_keepalive[u] = histogram.keep_alive_window
+
+    def reset(self) -> None:
+        super().reset()
+        if self.is_bound:
+            self._unit_last.fill(_NEVER)
+
+    # ------------------------------------------------------------------ #
+    def on_minute_indexed(
+        self, minute: int, invoked: np.ndarray, counts: np.ndarray
+    ) -> np.ndarray:
+        if invoked.size:
+            invoked_units = np.unique(self._function_unit[invoked])
+            for u in invoked_units.tolist():
+                last = self._unit_last[u]
+                if last != _NEVER:
+                    idle = minute - last
+                    if idle > 0:
+                        self._unit_states[u].histogram.observe(int(idle))
+                        self._refresh_unit(u)
+                self._unit_last[u] = minute
+
+        # Vectorized form of ``_unit_resident_next_minute`` over all units.
+        elapsed_next = (minute + 1) - self._unit_last
+        keep_alive_ok = elapsed_next <= self._unit_keepalive
+        prewarm_blocked = (self._unit_prewarm > 1) & (elapsed_next < self._unit_prewarm)
+        resident_units = np.where(
+            self._unit_representative,
+            keep_alive_ok & ~prewarm_blocked,
+            elapsed_next <= self.uncertain_keep_alive_minutes,
+        )
+        resident_units &= self._unit_last != _NEVER
+        return resident_units[self._function_unit]
+
+
+class IndexedHybridFunctionPolicy(_IndexedHybridBase):
+    """Index-native hybrid histogram policy, one unit per function."""
+
+    name = "hybrid-function"
+
+    def unit_of(self, record: FunctionRecord) -> str:
+        return record.function_id
+
+
+class IndexedHybridApplicationPolicy(_IndexedHybridBase):
+    """Index-native hybrid histogram policy, one unit per application."""
+
+    name = "hybrid-application"
+
+    def unit_of(self, record: FunctionRecord) -> str:
+        return record.app_id

@@ -16,7 +16,12 @@ Commands
     Run the full policy suite over one or more workload seeds, fanning the
     (policy × seed) cells out across worker processes with optional on-disk
     result caching (``--workers``, ``--seeds``, ``--policies``,
-    ``--cache-dir``).
+    ``--cache-dir``, ``--no-cache``).  With ``--scenario`` the workloads come
+    from the scenario registry (``capacity-squeeze`` runs the whole sweep in
+    capacity-constrained cluster mode and reports evictions and
+    capacity-induced cold starts).
+``scenarios``
+    List the scenario registry: names, descriptions, parameters.
 """
 
 from __future__ import annotations
@@ -141,6 +146,44 @@ def _command_ablation(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_scenario_params(pairs: Sequence[str]) -> dict:
+    """Parse ``name=value`` scenario overrides (numbers become numeric)."""
+    params: dict = {}
+    for pair in pairs:
+        name, separator, raw = pair.partition("=")
+        if not separator or not name:
+            raise ValueError(f"expected name=value, got {pair!r}")
+        try:
+            value: object = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                value = raw
+        params[name] = value
+    return params
+
+
+def _command_scenarios(args: argparse.Namespace) -> int:
+    from repro.scenarios import SCENARIO_REGISTRY, scenario_names
+
+    print("Registered scenarios (use with `spes-repro sweep --scenario NAME`):\n")
+    for name in scenario_names():
+        scenario = SCENARIO_REGISTRY[name]
+        print(f"  {name}")
+        print(f"      {scenario.description}")
+        if scenario.defaults:
+            rendered = ", ".join(
+                f"{key}={value}" for key, value in sorted(scenario.defaults.items())
+            )
+            print(f"      parameters: {rendered}")
+    print(
+        "\nCommon knobs --functions/--seed(s)/--days/--training-days apply to every\n"
+        "scenario; scenario parameters are overridden with --scenario-param name=value."
+    )
+    return 0
+
+
 def _command_sweep(args: argparse.Namespace) -> int:
     config = ExperimentConfig(
         n_functions=args.functions,
@@ -148,13 +191,16 @@ def _command_sweep(args: argparse.Namespace) -> int:
         duration_days=args.days,
         training_days=args.training_days,
     )
+    cache_dir = None if args.no_cache else args.cache_dir
     try:
         suite = ExperimentSuite(
             config=config,
             seeds=args.seeds,
             policies=args.policies,
             workers=args.workers,
-            cache_dir=args.cache_dir,
+            cache_dir=cache_dir,
+            scenario=args.scenario,
+            scenario_params=_parse_scenario_params(args.scenario_param),
         )
     except (KeyError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
@@ -169,6 +215,10 @@ def _command_sweep(args: argparse.Namespace) -> int:
     for seed in suite.seeds:
         print(outcome.seed_table(seed).render())
         print()
+        cluster_table = outcome.cluster_table(seed)
+        if cluster_table is not None:
+            print(cluster_table.render())
+            print()
         if args.rq_tables:
             for table in rq1_coldstart.report(outcome.results[seed]):
                 print(table.render())
@@ -180,11 +230,12 @@ def _command_sweep(args: argparse.Namespace) -> int:
         print(outcome.aggregate_table().render())
         print()
     mode = f"{outcome.workers} workers" if outcome.workers > 1 else "serial"
+    scenario = f", scenario {args.scenario}" if args.scenario else ""
     print(
         f"sweep: {len(suite.seeds)} seed(s) x {len(args.policies)} policies "
-        f"in {outcome.wall_seconds:.1f}s ({mode})"
+        f"in {outcome.wall_seconds:.1f}s ({mode}{scenario})"
     )
-    if args.cache_dir:
+    if cache_dir:
         print(f"cache: {outcome.cache_hits} hit(s), {outcome.cache_misses} miss(es)")
     return 0
 
@@ -245,11 +296,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for the on-disk result cache (re-runs skip cached cells)",
     )
     sweep.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk result cache even when --cache-dir is given",
+    )
+    sweep.add_argument(
+        "--scenario",
+        default=None,
+        help="workload scenario name (see `spes-repro scenarios`)",
+    )
+    sweep.add_argument(
+        "--scenario-param",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="override a scenario parameter (repeatable)",
+    )
+    sweep.add_argument(
         "--rq-tables",
         action="store_true",
         help="additionally print the per-seed RQ1/RQ2 tables",
     )
     sweep.set_defaults(handler=_command_sweep)
+
+    scenarios = subparsers.add_parser(
+        "scenarios",
+        help="list the registered workload scenarios",
+    )
+    scenarios.set_defaults(handler=_command_scenarios)
     return parser
 
 

@@ -45,23 +45,30 @@ class AdjustingStrategy:
         self.promoted_functions: Set[str] = set()
 
     # ------------------------------------------------------------------ #
-    def maybe_update(self, state: FunctionState) -> None:
-        """Apply S2 (adjust values) and S3 (promote unknown/unseen) to ``state``."""
+    def maybe_update(self, state: FunctionState) -> bool:
+        """Apply S2 (adjust values) and S3 (promote unknown/unseen) to ``state``.
+
+        Returns True when the state was modified (predictive values adjusted
+        or the category promoted), so callers caching derived per-function
+        data — e.g. the indexed SPES port's threshold arrays — can refresh
+        only when something actually changed.
+        """
         if len(state.online_waiting_times) < self.config.adjusting_min_new_wts:
-            return
+            return False
         if state.category in self.ADJUSTABLE:
-            self._adjust_predictive_values(state)
-        elif state.category == FunctionCategory.UNKNOWN or not state.seen_in_training:
-            self._maybe_promote(state)
+            return self._adjust_predictive_values(state)
+        if state.category == FunctionCategory.UNKNOWN or not state.seen_in_training:
+            return self._maybe_promote(state)
+        return False
 
     # ------------------------------------------------------------------ #
-    def _adjust_predictive_values(self, state: FunctionState) -> None:
+    def _adjust_predictive_values(self, state: FunctionState) -> bool:
         online = np.asarray(state.online_waiting_times, dtype=float)
         new_median = float(np.median(online))
         drift = abs(new_median - state.offline_wt_median)
         tolerance = max(state.offline_wt_std, 1.0)
         if drift <= tolerance:
-            return
+            return False
 
         blended = max(1, int(round((state.offline_wt_median + new_median) / 2.0)))
         if state.predictive.window is not None:
@@ -81,8 +88,9 @@ class AdjustingStrategy:
         state.offline_wt_std = float(online.std(ddof=0))
         state.adjusted = True
         self.adjusted_functions.add(state.function_id)
+        return True
 
-    def _maybe_promote(self, state: FunctionState) -> None:
+    def _maybe_promote(self, state: FunctionState) -> bool:
         counter = Counter(state.online_waiting_times)
         repeated = [
             value
@@ -90,7 +98,7 @@ class AdjustingStrategy:
             if count >= self.config.possible_min_mode_count
         ]
         if not repeated:
-            return
+            return False
         state.category = FunctionCategory.NEWLY_POSSIBLE
         state.predictive = PredictiveValues.from_values_with_spread_rule(
             sorted(repeated), self.config.possible_range_threshold
@@ -100,6 +108,7 @@ class AdjustingStrategy:
         state.offline_wt_median = float(np.median(online))
         state.offline_wt_std = float(online.std(ddof=0))
         self.promoted_functions.add(state.function_id)
+        return True
 
 
 # --------------------------------------------------------------------------- #

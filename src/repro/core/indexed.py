@@ -1,0 +1,238 @@
+"""Index-native port of the SPES online provisioning loop (Algorithm 1).
+
+:class:`IndexedSpesPolicy` is the
+:class:`~repro.simulation.vector_policy.VectorizedPolicy` twin of
+:class:`~repro.core.policy.SpesPolicy`: the offline phase
+(:class:`~repro.core.offline.OfflineCategorizer`), the per-invocation state
+machine (:class:`~repro.core.state.FunctionState`), the adaptive strategies
+and the pre-warm calendar are all reused unchanged — only the per-minute
+*bookkeeping* moves from Python sets and dicts to numpy arrays over the
+trace's function-index space:
+
+* residency is a boolean mask (no ``set(self._resident)`` copy per minute);
+* the give-up thresholds, hold-until horizons (prediction, offline
+  correlation, online correlation) and always-warm flags live in per-function
+  arrays, refreshed only when a state actually changes (the
+  :meth:`~repro.core.adaptive.AdjustingStrategy.maybe_update` change flag);
+* the eviction scan — the dominant per-minute cost of the dict
+  implementation, which walks the whole resident set — becomes a handful of
+  vectorized comparisons; only candidates with live predictive values fall
+  back to a per-function ``preload_due`` check.
+
+The port is *decision-identical* to the dict implementation: the randomized
+equivalence tests assert fingerprint equality against ``SpesPolicy`` under
+both engines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.categories import FunctionCategory
+from repro.core.config import SpesConfig
+from repro.core.policy import SpesPolicy
+from repro.core.state import FunctionState
+from repro.simulation.vector_policy import VectorizedPolicy
+from repro.traces.trace import InvocationIndex
+
+__all__ = ["IndexedSpesPolicy"]
+
+#: "Never invoked" marker for the last-invocation array.  Chosen as ``-1`` so
+#: the vectorized idle time ``minute - last`` equals the dict
+#: implementation's ``idle_minutes`` for never-invoked functions
+#: (``minute + 1``) — including during negatively-numbered warm-up minutes.
+_NEVER_INVOKED = -1
+
+
+class IndexedSpesPolicy(VectorizedPolicy, SpesPolicy):
+    """SPES with array-based per-minute bookkeeping.
+
+    Parameters
+    ----------
+    config:
+        SPES configuration; the paper's defaults are used when omitted.
+    """
+
+    name = "spes"
+
+    def __init__(self, config: SpesConfig | None = None) -> None:
+        SpesPolicy.__init__(self, config)
+
+    # ------------------------------------------------------------------ #
+    # Binding
+    # ------------------------------------------------------------------ #
+    def on_bind(self, index: InvocationIndex) -> None:
+        n = index.n_functions
+        self._mask = np.zeros(n, dtype=bool)
+        self._invoked_scratch = np.zeros(n, dtype=bool)
+        self._last_arr = np.full(n, _NEVER_INVOKED, dtype=np.int64)
+        self._theta_arr = np.full(n, self.config.theta_givenup_default, dtype=np.int64)
+        self._always_arr = np.zeros(n, dtype=bool)
+        self._haspred_arr = np.zeros(n, dtype=bool)
+        self._pred_hold_arr = np.zeros(n, dtype=np.int64)
+        self._corr_hold_arr = np.zeros(n, dtype=np.int64)
+        self._online_hold_arr = np.zeros(n, dtype=np.int64)
+        for position, function_id in enumerate(index.function_ids):
+            state = self._states.get(function_id)
+            if state is None:
+                state = self._ensure_state(function_id)
+            self._sync_state_arrays(position, state)
+
+    def _sync_state_arrays(self, position: int, state: FunctionState) -> None:
+        """Refresh the cached decision inputs of one function."""
+        self._theta_arr[position] = state.theta_givenup
+        self._always_arr[position] = state.category == FunctionCategory.ALWAYS_WARM
+        self._haspred_arr[position] = not state.predictive.is_empty
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def resident_functions(self):
+        """Functions currently kept resident by the policy."""
+        if self.is_bound:
+            return {
+                self._function_ids[position]
+                for position in np.flatnonzero(self._mask)
+            }
+        return set(self._resident)
+
+    # ------------------------------------------------------------------ #
+    # Online phase (Algorithm 1, indexed form)
+    # ------------------------------------------------------------------ #
+    def on_minute_indexed(
+        self, minute: int, invoked: np.ndarray, counts: np.ndarray
+    ) -> np.ndarray:
+        mask = self._mask
+        scratch = self._invoked_scratch
+        ids = self._function_ids
+        states = self._states
+        adjusting = self._adjusting
+
+        if invoked.size:
+            scratch[invoked] = True
+        for position in invoked.tolist():
+            function_id = ids[position]
+            state = states.get(function_id)
+            if state is None:
+                state = self._ensure_state(function_id)
+                self._sync_state_arrays(position, state)
+            cold = not mask[position]
+            state.record_invocation(minute, cold)
+            if adjusting is not None and adjusting.maybe_update(state):
+                self._sync_state_arrays(position, state)
+            mask[position] = True
+            self._last_arr[position] = minute
+            self._schedule_prediction_prewarm(state, minute)
+            self._fire_correlated_links_indexed(function_id, minute)
+            self._update_online_correlation_indexed(state, minute)
+
+        self._apply_due_prewarm_indexed(minute)
+        self._evict_idle_indexed(minute)
+        if invoked.size:
+            scratch[invoked] = False
+        return mask
+
+    # ------------------------------------------------------------------ #
+    # Pre-warming helpers (array-backed twins of the dict versions)
+    # ------------------------------------------------------------------ #
+    def _fire_correlated_links_indexed(self, predictor_id: str, minute: int) -> None:
+        links = self._predictor_index.get(predictor_id)
+        if not links:
+            return
+        config = self.config
+        index_of = self._index_of
+        for target_id, lag in links:
+            position = index_of.get(target_id)
+            if position is None:
+                # A target outside the trace's function space cannot be
+                # invoked in this simulation; skipping it cannot change any
+                # charged metric.
+                continue
+            load_at = minute + max(0, lag - config.theta_prewarm)
+            keep_until = minute + lag + config.theta_prewarm + 1
+            if keep_until > self._corr_hold_arr[position]:
+                self._corr_hold_arr[position] = keep_until
+            if load_at <= minute:
+                self._mask[position] = True
+                if target_id not in self._states:
+                    self._sync_state_arrays(position, self._ensure_state(target_id))
+            else:
+                entries = self._prewarm_calendar.setdefault(load_at, {})
+                if keep_until > entries.get(target_id, 0):
+                    entries[target_id] = keep_until
+
+    def _update_online_correlation_indexed(
+        self, state: FunctionState, minute: int
+    ) -> None:
+        if self._online_corr is None:
+            return
+        function_id = state.function_id
+        if not state.seen_in_training:
+            if not self._online_corr.is_tracked(function_id):
+                self._online_corr.register_target(
+                    function_id, self._candidate_ids_for(function_id)
+                )
+            self._online_corr.on_target_invoked(function_id, minute)
+
+        targets = self._online_corr.on_candidate_invoked(function_id, minute)
+        for target_id in targets:
+            position = self._index_of.get(target_id)
+            if position is None:
+                continue
+            keep_until = minute + self.config.correlated_prewarm_window + 1
+            if keep_until > self._online_hold_arr[position]:
+                self._online_hold_arr[position] = keep_until
+            self._mask[position] = True
+            if target_id not in self._states:
+                self._sync_state_arrays(position, self._ensure_state(target_id))
+
+    def _apply_due_prewarm_indexed(self, minute: int) -> None:
+        due = self._prewarm_calendar.pop(minute, None)
+        if not due:
+            return
+        index_of = self._index_of
+        for function_id, hold_until in due.items():
+            if function_id not in self._states:
+                continue
+            position = index_of.get(function_id)
+            if position is None:
+                continue
+            if hold_until > self._pred_hold_arr[position]:
+                self._pred_hold_arr[position] = hold_until
+            if not self._invoked_scratch[position]:
+                self._mask[position] = True
+
+    # ------------------------------------------------------------------ #
+    # Eviction (vectorized)
+    # ------------------------------------------------------------------ #
+    def _evict_idle_indexed(self, minute: int) -> None:
+        """Vectorized twin of ``SpesPolicy._evict_idle``.
+
+        A resident, non-invoked, non-always-warm function is evicted when its
+        idle time has reached its give-up threshold and neither a hold-until
+        horizon nor a live prediction justifies keeping it.
+        """
+        mask = self._mask
+        candidates = mask & ~self._invoked_scratch & ~self._always_arr
+        if not candidates.any():
+            return
+        next_minute = minute + 1
+        idle = minute - self._last_arr
+        held = (
+            (self._pred_hold_arr > next_minute)
+            | (self._corr_hold_arr > next_minute)
+            | (self._online_hold_arr > next_minute)
+        )
+        evict = candidates & (idle >= self._theta_arr) & ~held
+
+        # Only functions with live predictive values need the per-function
+        # prediction check; everything else was decided by pure array math.
+        check = np.flatnonzero(evict & self._haspred_arr)
+        if check.size:
+            ids = self._function_ids
+            states = self._states
+            for position in check.tolist():
+                if states[ids[position]].preload_due(next_minute):
+                    evict[position] = False
+        mask[evict] = False

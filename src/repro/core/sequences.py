@@ -16,7 +16,7 @@ yields ``WT = (1, 3)``, ``AT = (1, 2, 1)`` and ``AN = (28, 13, 7)``.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np

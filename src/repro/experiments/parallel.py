@@ -31,8 +31,11 @@ import enum
 import hashlib
 import inspect
 import json
+import os
 import pickle
 import tempfile
+import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
@@ -44,10 +47,13 @@ from repro.baselines import (
     FixedKeepAlivePolicy,
     HybridApplicationPolicy,
     HybridFunctionPolicy,
+    IndexedFixedKeepAlivePolicy,
+    IndexedHybridApplicationPolicy,
+    IndexedHybridFunctionPolicy,
     LcsPolicy,
 )
-from repro.core import SpesConfig, SpesPolicy
-from repro.simulation import ProvisioningPolicy, SimulationResult, Simulator
+from repro.core import IndexedSpesPolicy, SpesPolicy
+from repro.simulation import ClusterModel, ProvisioningPolicy, SimulationResult, Simulator
 from repro.simulation.engine import ENGINE_VERSION
 from repro.simulation.policy_base import AlwaysWarmPolicy, NoKeepAlivePolicy
 from repro.traces import TraceSplit
@@ -81,6 +87,14 @@ POLICY_REGISTRY: Dict[str, Callable[..., ProvisioningPolicy]] = {
     "lcs": LcsPolicy,
     "no-keepalive": NoKeepAlivePolicy,
     "always-warm": AlwaysWarmPolicy,
+    # Index-native (vectorized) ports.  Each shares its dict twin's policy
+    # *name* — results are decision-identical (fingerprint-equal) — while the
+    # registry key selects the faster implementation.
+    "spes-indexed": IndexedSpesPolicy,
+    "fixed-keepalive-indexed": IndexedFixedKeepAlivePolicy,
+    "fixed-10min-indexed": lambda: IndexedFixedKeepAlivePolicy(keep_alive_minutes=10),
+    "hybrid-function-indexed": IndexedHybridFunctionPolicy,
+    "hybrid-application-indexed": IndexedHybridApplicationPolicy,
 }
 
 
@@ -262,6 +276,31 @@ class ResultCache:
             Path(temporary).unlink(missing_ok=True)
             raise
 
+    def prune(self, max_age_days: float) -> int:
+        """Delete cache entries older than ``max_age_days``; return the count.
+
+        Cache keys are content hashes, so entries never become *wrong* — but
+        engine-version bumps and abandoned experiment shapes leave orphans
+        that nothing will ever read again.  Age is judged by file
+        modification time; stray temporary files from crashed writers are
+        swept on the same pass.  Files that vanish mid-scan (a concurrent
+        prune or sweep) are skipped, not errors.
+        """
+        if max_age_days < 0:
+            raise ValueError("max_age_days must be non-negative")
+        cutoff = time.time() - max_age_days * 86400.0
+        removed = 0
+        for path in list(self.cache_dir.glob("*.pkl")) + list(
+            self.cache_dir.glob("*.tmp")
+        ):
+            try:
+                if path.stat().st_mtime < cutoff:
+                    path.unlink()
+                    removed += 1
+            except OSError:
+                continue
+        return removed
+
 
 # --------------------------------------------------------------------- #
 # Worker-side execution
@@ -277,7 +316,10 @@ def _worker_initializer(payload: bytes) -> None:
 
 
 def _execute_cell(
-    cell: SweepCell, traces: Mapping[str, TraceSplit], warmup_minutes: int
+    cell: SweepCell,
+    traces: Mapping[str, TraceSplit],
+    warmup_minutes: int,
+    cluster: ClusterModel | None = None,
 ) -> SimulationResult:
     """Run one cell against ``traces`` (shared by serial and worker paths)."""
     split = traces[cell.trace_key]
@@ -286,12 +328,15 @@ def _execute_cell(
         simulation_trace=split.simulation,
         training_trace=split.training,
         warmup_minutes=warmup_minutes,
+        cluster=cluster,
     )
     return simulator.run(policy)
 
 
-def _worker_run_cell(cell: SweepCell, warmup_minutes: int) -> tuple[str, SimulationResult]:
-    return cell.name, _execute_cell(cell, _WORKER_TRACES, warmup_minutes)
+def _worker_run_cell(
+    cell: SweepCell, warmup_minutes: int, cluster: ClusterModel | None
+) -> tuple[str, SimulationResult]:
+    return cell.name, _execute_cell(cell, _WORKER_TRACES, warmup_minutes, cluster)
 
 
 # --------------------------------------------------------------------- #
@@ -313,6 +358,11 @@ class ParallelRunner:
         Optional directory for the on-disk :class:`ResultCache`.
     warmup_minutes:
         Warm-up horizon forwarded to every cell's :class:`Simulator`.
+    clusters:
+        Optional per-trace-key :class:`~repro.simulation.cluster.ClusterModel`
+        mapping.  Cells simulating a trace key with a cluster run in
+        capacity-constrained mode; the cluster configuration is part of the
+        cell's cache key.
     """
 
     def __init__(
@@ -321,12 +371,25 @@ class ParallelRunner:
         workers: int = 0,
         cache_dir: str | Path | None = None,
         warmup_minutes: int = Simulator.DEFAULT_WARMUP_MINUTES,
+        clusters: Mapping[str, ClusterModel | None] | None = None,
     ) -> None:
         if workers < 0:
             raise ValueError("workers must be non-negative")
+        available = os.cpu_count() or 1
+        if workers > available:
+            warnings.warn(
+                f"workers={workers} exceeds the {available} available CPU(s); "
+                "the extra processes will only add scheduling overhead",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         self.traces = dict(traces)
         self.workers = workers
         self.warmup_minutes = warmup_minutes
+        self.clusters = dict(clusters) if clusters else {}
+        unknown = set(self.clusters) - set(self.traces)
+        if unknown:
+            raise KeyError(f"clusters reference unknown trace key(s): {sorted(unknown)}")
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         # Computed lazily: hashing every trace's invocation matrix is only
         # needed once cache keys are requested.
@@ -355,6 +418,7 @@ class ParallelRunner:
             ENGINE_VERSION,
             self._trace_fingerprints[cell.trace_key],
             self.warmup_minutes,
+            self.clusters.get(cell.trace_key),
             cell.spec,
             cell.seed,
         )
@@ -385,7 +449,12 @@ class ParallelRunner:
                 computed = self._run_pool(pending)
             else:
                 computed = {
-                    cell.name: _execute_cell(cell, self.traces, self.warmup_minutes)
+                    cell.name: _execute_cell(
+                        cell,
+                        self.traces,
+                        self.warmup_minutes,
+                        self.clusters.get(cell.trace_key),
+                    )
                     for cell in pending
                 }
             for cell in pending:
@@ -418,7 +487,12 @@ class ParallelRunner:
             initargs=(payload,),
         ) as pool:
             futures = [
-                pool.submit(_worker_run_cell, cell, self.warmup_minutes)
+                pool.submit(
+                    _worker_run_cell,
+                    cell,
+                    self.warmup_minutes,
+                    self.clusters.get(cell.trace_key),
+                )
                 for cell in cells
             ]
             for future in futures:

@@ -73,19 +73,69 @@ class SuiteResult:
     cache_misses: int = 0
 
     def seed_table(self, seed: int) -> ComparisonTable:
-        """Headline metrics of every policy for one seed's workload."""
+        """Headline metrics of every policy for one seed's workload.
+
+        Capacity-constrained sweeps (scenario with a cluster model) get two
+        extra columns: arbiter evictions and capacity-induced cold starts.
+        """
+        capacity_run = any(
+            result.cluster is not None for result in self.results[seed].values()
+        )
+        columns = ["policy", "q3_csr", "always_cold_pct", "avg_memory", "wmt", "emcr_pct"]
+        if capacity_run:
+            columns += ["evictions", "cap_cold_starts"]
         table = ComparisonTable(
             title=f"Policy suite (seed {seed})",
-            columns=("policy", "q3_csr", "always_cold_pct", "avg_memory", "wmt", "emcr_pct"),
+            columns=tuple(columns),
         )
         for name, result in self.results[seed].items():
-            table.add_row(
+            row = dict(
                 policy=name,
                 q3_csr=result.q3_cold_start_rate,
                 always_cold_pct=100.0 * result.always_cold_fraction,
                 avg_memory=result.average_memory_usage,
                 wmt=float(result.total_wasted_memory_time),
                 emcr_pct=100.0 * result.emcr,
+            )
+            if capacity_run:
+                cluster = result.cluster
+                row["evictions"] = float(cluster.evictions) if cluster else 0.0
+                row["cap_cold_starts"] = (
+                    float(cluster.capacity_cold_starts) if cluster else 0.0
+                )
+            table.add_row(**row)
+        return table
+
+    def cluster_table(self, seed: int) -> ComparisonTable | None:
+        """Capacity effects per policy, or ``None`` for uncapped sweeps."""
+        rows = {
+            name: result.cluster
+            for name, result in self.results[seed].items()
+            if result.cluster is not None
+        }
+        if not rows:
+            return None
+        first = next(iter(rows.values()))
+        table = ComparisonTable(
+            title=(
+                f"Capacity effects (seed {seed}; cap {first.memory_capacity} units "
+                f"over {first.n_nodes} node(s))"
+            ),
+            columns=(
+                "policy",
+                "evictions",
+                "cap_cold_starts",
+                "mean_util_pct",
+                "peak_node_usage",
+            ),
+        )
+        for name, cluster in rows.items():
+            table.add_row(
+                policy=name,
+                evictions=float(cluster.evictions),
+                cap_cold_starts=float(cluster.capacity_cold_starts),
+                mean_util_pct=100.0 * float(cluster.mean_node_utilization.mean()),
+                peak_node_usage=float(cluster.peak_node_usage),
             )
         return table
 
@@ -136,6 +186,14 @@ class ExperimentSuite:
         Worker processes for the fan-out (0/1 = serial).
     cache_dir:
         Optional on-disk result cache shared across sweeps.
+    scenario:
+        Optional name from :data:`repro.scenarios.SCENARIO_REGISTRY`.  Each
+        seed's workload is then built by the scenario instead of the plain
+        synthetic generator, and a scenario-prescribed cluster model (e.g.
+        ``capacity-squeeze``) puts every cell into capacity-constrained mode.
+    scenario_params:
+        Overrides for the scenario's parameters (see each scenario's
+        ``defaults``).
     """
 
     def __init__(
@@ -145,6 +203,8 @@ class ExperimentSuite:
         policies: Sequence[str] = DEFAULT_SUITE_POLICIES,
         workers: int = 0,
         cache_dir: str | Path | None = None,
+        scenario: str | None = None,
+        scenario_params: Mapping[str, object] | None = None,
     ) -> None:
         self.config = config or ExperimentConfig()
         # Deduplicate while preserving order: a repeated seed is the same
@@ -155,7 +215,23 @@ class ExperimentSuite:
             raise ValueError("the faascache policy requires spes in the suite")
         self.workers = workers
         self.cache_dir = cache_dir
+        self.scenario = scenario
+        self.scenario_params = dict(scenario_params or {})
+        if scenario is not None:
+            # Fail fast on unknown names/parameters, before any workload is built.
+            from repro.scenarios import get_scenario
+
+            registered = get_scenario(scenario)
+            unknown = set(self.scenario_params) - set(registered.defaults)
+            if unknown:
+                raise KeyError(
+                    f"unknown parameter(s) {sorted(unknown)} for scenario "
+                    f"{scenario!r}; accepted: {sorted(registered.defaults)}"
+                )
+        elif self.scenario_params:
+            raise ValueError("scenario_params requires a scenario")
         self._traces: Dict[str, TraceSplit] | None = None
+        self._clusters: Dict[str, object] = {}
         self._runner: ParallelRunner | None = None
 
     # ------------------------------------------------------------------ #
@@ -169,25 +245,47 @@ class ExperimentSuite:
         return replace(self.config, seed=seed)
 
     def traces(self) -> Dict[str, TraceSplit]:
-        """Per-seed train/simulation splits (each workload generated once)."""
+        """Per-seed train/simulation splits (each workload generated once).
+
+        With a scenario, workloads (and any cluster model) come from the
+        scenario registry; otherwise from the plain synthetic generator.
+        """
         if self._traces is None:
             self._traces = {}
             for seed in self.seeds:
                 config = self.seed_config(seed)
-                trace = AzureTraceGenerator(config.generator_profile()).generate()
-                self._traces[self.trace_key(seed)] = split_trace(
-                    trace, training_days=config.training_days
-                )
+                key = self.trace_key(seed)
+                if self.scenario is not None:
+                    from repro.scenarios import build_scenario
+
+                    workload = build_scenario(
+                        self.scenario,
+                        seed=seed,
+                        n_functions=config.n_functions,
+                        days=config.duration_days,
+                        training_days=config.training_days,
+                        **self.scenario_params,
+                    )
+                    self._traces[key] = workload.split
+                    if workload.cluster is not None:
+                        self._clusters[key] = workload.cluster
+                else:
+                    trace = AzureTraceGenerator(config.generator_profile()).generate()
+                    self._traces[key] = split_trace(
+                        trace, training_days=config.training_days
+                    )
         return self._traces
 
     def parallel_runner(self) -> ParallelRunner:
         """The shared :class:`ParallelRunner` over every seed's split."""
         if self._runner is None:
+            traces = self.traces()  # also populates the cluster mapping
             self._runner = ParallelRunner(
-                traces=self.traces(),
+                traces=traces,
                 workers=self.workers,
                 cache_dir=self.cache_dir,
                 warmup_minutes=self.config.warmup_minutes,
+                clusters=self._clusters or None,
             )
         return self._runner
 

@@ -1,0 +1,438 @@
+"""Named, parameterized workload scenarios.
+
+Experiments used to construct workloads ad hoc: every script assembled its
+own :class:`~repro.traces.synthetic.GeneratorProfile` or archetype soup.
+This module replaces that with a single registry of *scenarios* — named,
+seeded, parameterized workload builders that every entry point
+(:class:`~repro.experiments.suite.ExperimentSuite`, the ``spes-repro sweep
+--scenario`` CLI, tests, benchmarks) addresses the same way:
+
+>>> from repro.scenarios import build_scenario
+>>> workload = build_scenario("bursty", seed=7, n_functions=60, days=3.0,
+...                           training_days=2.0)
+>>> workload.split.simulation.duration_minutes
+1440
+
+A scenario yields a :class:`ScenarioWorkload`: a train/simulation
+:class:`~repro.traces.trace.TraceSplit` plus an optional
+:class:`~repro.simulation.cluster.ClusterModel` when the scenario is
+meaningful only under capacity pressure (``capacity-squeeze``).  Builders are
+deterministic in ``(seed, parameters)``: the same call always produces the
+same trace fingerprints, so sweep cells built from scenarios cache cleanly.
+
+Built-in catalog
+----------------
+``azure``
+    The default synthetic Azure-like population (the paper's setting).
+``diurnal``
+    Human-facing traffic: strongly day/night-modulated Poisson HTTP
+    functions over a timer/rare background.
+``bursty``
+    Temporal-locality heavy: most functions idle for hours, then fire in
+    dense bursts (the hardest shape for histogram keep-alives).
+``drift``
+    A large slice of the population changes behaviour mid-trace, stressing
+    the adjusting/forgetting strategies.
+``flash-crowd``
+    An azure-like base population where a subset of functions is hit by a
+    sudden, unpredictable crowd inside the *simulation* window.
+``capacity-squeeze``
+    A dense population on a sharded cluster whose memory cap is derived
+    from the workload itself (a multiple of the mean per-minute active set),
+    guaranteeing sustained eviction pressure.
+
+Custom scenarios register with :func:`register_scenario`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping
+
+import numpy as np
+
+from repro.simulation.cluster import ClusterModel
+from repro.traces import (
+    AzureTraceGenerator,
+    FunctionRecord,
+    GeneratorProfile,
+    Trace,
+    TraceSplit,
+    TriggerType,
+    generate_dense_poisson,
+    generate_flash_crowd,
+    generate_periodic,
+    generate_rare,
+    split_trace,
+)
+from repro.traces.schema import MINUTES_PER_DAY, TraceMetadata
+
+__all__ = [
+    "Scenario",
+    "ScenarioWorkload",
+    "SCENARIO_REGISTRY",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+    "build_scenario",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioWorkload:
+    """The materialized outcome of building one scenario.
+
+    Attributes
+    ----------
+    scenario:
+        Name of the scenario that produced this workload.
+    split:
+        Training/simulation trace split.
+    cluster:
+        Cluster model the scenario prescribes, or ``None`` for the paper's
+        uncapped single-host setting.
+    """
+
+    scenario: str
+    split: TraceSplit
+    cluster: ClusterModel | None = None
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, parameterized workload builder.
+
+    Attributes
+    ----------
+    name:
+        Registry key (also the CLI spelling).
+    description:
+        One-line human description shown by ``spes-repro scenarios``.
+    builder:
+        Callable producing the :class:`ScenarioWorkload`.  Receives
+        ``seed``, ``n_functions``, ``days``, ``training_days`` plus the
+        scenario parameters (defaults merged with caller overrides).
+    defaults:
+        Scenario-specific parameters and their default values; overridable
+        per :meth:`build` call and enumerated by the CLI.
+    """
+
+    name: str
+    description: str
+    builder: Callable[..., ScenarioWorkload]
+    defaults: Mapping[str, Any] = field(default_factory=dict)
+
+    def build(
+        self,
+        seed: int = 2024,
+        n_functions: int = 400,
+        days: float = 14.0,
+        training_days: float = 12.0,
+        **overrides: Any,
+    ) -> ScenarioWorkload:
+        """Materialize the scenario's workload deterministically."""
+        unknown = set(overrides) - set(self.defaults)
+        if unknown:
+            raise KeyError(
+                f"unknown parameter(s) {sorted(unknown)} for scenario "
+                f"{self.name!r}; accepted: {sorted(self.defaults)}"
+            )
+        params = {**self.defaults, **overrides}
+        return self.builder(
+            seed=seed,
+            n_functions=n_functions,
+            days=days,
+            training_days=training_days,
+            **params,
+        )
+
+
+#: The global scenario registry, keyed by scenario name.
+SCENARIO_REGISTRY: Dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    """Add a scenario to the registry (names must be unique)."""
+    if scenario.name in SCENARIO_REGISTRY:
+        raise ValueError(f"scenario {scenario.name!r} is already registered")
+    SCENARIO_REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario by name."""
+    try:
+        return SCENARIO_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; registered: {scenario_names()}"
+        ) from None
+
+
+def scenario_names() -> List[str]:
+    """Names of every registered scenario, sorted."""
+    return sorted(SCENARIO_REGISTRY)
+
+
+def build_scenario(name: str, **kwargs: Any) -> ScenarioWorkload:
+    """Shorthand for ``get_scenario(name).build(**kwargs)``."""
+    return get_scenario(name).build(**kwargs)
+
+
+# --------------------------------------------------------------------- #
+# Builder helpers
+# --------------------------------------------------------------------- #
+def _profile(
+    seed: int, n_functions: int, days: float, **changes: Any
+) -> GeneratorProfile:
+    """A generator profile with the unseen window clamped to short traces."""
+    return GeneratorProfile(
+        n_functions=n_functions,
+        duration_days=days,
+        unseen_window_days=min(2.0, days / 4.0),
+        seed=seed,
+        **changes,
+    )
+
+
+def _assemble(
+    name: str,
+    seed: int,
+    records: List[FunctionRecord],
+    counts: Dict[str, np.ndarray],
+    duration: int,
+    training_days: float,
+) -> TraceSplit:
+    metadata = TraceMetadata(
+        name=f"{name}-{len(records)}f",
+        duration_minutes=duration,
+        seed=seed,
+        extra={"scenario": name},
+    )
+    return split_trace(Trace(records, counts, metadata), training_days=training_days)
+
+
+# --------------------------------------------------------------------- #
+# Built-in builders
+# --------------------------------------------------------------------- #
+def _build_azure(
+    seed: int, n_functions: int, days: float, training_days: float
+) -> ScenarioWorkload:
+    trace = AzureTraceGenerator(_profile(seed, n_functions, days)).generate()
+    return ScenarioWorkload(
+        scenario="azure", split=split_trace(trace, training_days=training_days)
+    )
+
+
+def _build_diurnal(
+    seed: int,
+    n_functions: int,
+    days: float,
+    training_days: float,
+    diurnal_fraction: float,
+    amplitude: float,
+) -> ScenarioWorkload:
+    rng = np.random.default_rng(seed)
+    duration = int(round(days * MINUTES_PER_DAY))
+    n_diurnal = max(1, int(round(diurnal_fraction * n_functions)))
+    records: List[FunctionRecord] = []
+    counts: Dict[str, np.ndarray] = {}
+    for i in range(n_functions):
+        function_id = f"func-{i:05d}"
+        app_id = f"app-{i // 3:05d}"
+        owner_id = f"owner-{i // 6:05d}"
+        if i < n_diurnal:
+            rate = float(rng.uniform(0.05, 1.2))
+            series = generate_dense_poisson(
+                rng, duration, rate_per_minute=rate,
+                diurnal=True, diurnal_amplitude=amplitude,
+            )
+            trigger = TriggerType.HTTP
+            archetype = "diurnal_poisson"
+        elif i < n_diurnal + max(1, n_functions // 5):
+            series = generate_periodic(rng, duration, period=int(rng.integers(15, 240)))
+            trigger = TriggerType.TIMER
+            archetype = "periodic"
+        else:
+            series = generate_rare(rng, duration, invocation_count=int(rng.integers(2, 8)))
+            trigger = TriggerType.OTHERS
+            archetype = "rare"
+        records.append(
+            FunctionRecord(function_id, app_id, owner_id, trigger, archetype=archetype)
+        )
+        counts[function_id] = series
+    return ScenarioWorkload(
+        scenario="diurnal",
+        split=_assemble("diurnal", seed, records, counts, duration, training_days),
+    )
+
+
+def _build_bursty(
+    seed: int, n_functions: int, days: float, training_days: float
+) -> ScenarioWorkload:
+    profile = _profile(
+        seed,
+        n_functions,
+        days,
+        archetype_mix={
+            "bursty": 0.40,
+            "pulsed": 0.28,
+            "rare_possible": 0.12,
+            "rare_unknown": 0.10,
+            "dense_poisson": 0.06,
+            "chained": 0.04,
+        },
+    )
+    trace = AzureTraceGenerator(profile).generate()
+    return ScenarioWorkload(
+        scenario="bursty", split=split_trace(trace, training_days=training_days)
+    )
+
+
+def _build_drift(
+    seed: int,
+    n_functions: int,
+    days: float,
+    training_days: float,
+    drifting_fraction: float,
+) -> ScenarioWorkload:
+    profile = _profile(
+        seed,
+        n_functions,
+        days,
+        drifting_fraction=drifting_fraction,
+        archetype_mix={
+            "periodic": 0.35,
+            "dense_poisson": 0.25,
+            "quasi_periodic": 0.15,
+            "bursty": 0.08,
+            "pulsed": 0.07,
+            "rare_possible": 0.05,
+            "rare_unknown": 0.05,
+        },
+    )
+    trace = AzureTraceGenerator(profile).generate()
+    return ScenarioWorkload(
+        scenario="drift", split=split_trace(trace, training_days=training_days)
+    )
+
+
+def _build_flash_crowd(
+    seed: int,
+    n_functions: int,
+    days: float,
+    training_days: float,
+    crowd_fraction: float,
+    crowd_minutes: int,
+    peak_rate: float,
+) -> ScenarioWorkload:
+    base = AzureTraceGenerator(_profile(seed, n_functions, days)).generate()
+    rng = np.random.default_rng(seed + 0x5EED)
+    duration = base.duration_minutes
+    sim_start = int(round(training_days * MINUTES_PER_DAY))
+    function_ids = base.function_ids
+    n_crowd = max(1, int(round(crowd_fraction * len(function_ids))))
+    crowd_ids = rng.choice(len(function_ids), size=n_crowd, replace=False)
+
+    counts = {fid: np.array(base.series(fid)) for fid in function_ids}
+    # All crowds land inside the simulation window — the point is to hit the
+    # evaluated policies with traffic their training window never showed.
+    latest_start = max(sim_start, duration - crowd_minutes - 1)
+    for position in sorted(int(i) for i in crowd_ids):
+        function_id = function_ids[position]
+        start = int(rng.integers(sim_start, max(sim_start + 1, latest_start)))
+        counts[function_id] = counts[function_id] + generate_flash_crowd(
+            rng, duration,
+            crowd_start=start, crowd_minutes=crowd_minutes,
+            peak_rate=peak_rate, base_rate=0.0,
+        )
+    return ScenarioWorkload(
+        scenario="flash-crowd",
+        split=_assemble(
+            "flash-crowd", seed, base.records(), counts, duration, training_days
+        ),
+    )
+
+
+def _build_capacity_squeeze(
+    seed: int,
+    n_functions: int,
+    days: float,
+    training_days: float,
+    squeeze: float,
+    n_nodes: int,
+) -> ScenarioWorkload:
+    profile = _profile(
+        seed,
+        n_functions,
+        days,
+        archetype_mix={
+            "always_warm": 0.05,
+            "periodic": 0.20,
+            "quasi_periodic": 0.15,
+            "dense_poisson": 0.30,
+            "bursty": 0.10,
+            "pulsed": 0.10,
+            "rare_possible": 0.05,
+            "rare_unknown": 0.05,
+        },
+    )
+    trace = AzureTraceGenerator(profile).generate()
+    split = split_trace(trace, training_days=training_days)
+    # Capacity derived from the workload itself: a small multiple of the mean
+    # per-minute active set.  Keep-alive policies want an order of magnitude
+    # more than that, so eviction pressure is sustained, not incidental.
+    index = split.simulation.invocation_index()
+    active_per_minute = np.diff(index.indptr)
+    mean_active = float(active_per_minute.mean()) if active_per_minute.size else 1.0
+    capacity = max(n_nodes, int(round(mean_active * squeeze)))
+    cluster = ClusterModel(memory_capacity=capacity, n_nodes=n_nodes)
+    return ScenarioWorkload(scenario="capacity-squeeze", split=split, cluster=cluster)
+
+
+register_scenario(
+    Scenario(
+        name="azure",
+        description="default synthetic Azure-like population (the paper's setting)",
+        builder=_build_azure,
+    )
+)
+register_scenario(
+    Scenario(
+        name="diurnal",
+        description="day/night-modulated Poisson HTTP traffic over a timer/rare background",
+        builder=_build_diurnal,
+        defaults={"diurnal_fraction": 0.6, "amplitude": 0.9},
+    )
+)
+register_scenario(
+    Scenario(
+        name="bursty",
+        description="temporal-locality heavy: hours idle, then dense bursts",
+        builder=_build_bursty,
+    )
+)
+register_scenario(
+    Scenario(
+        name="drift",
+        description="a large population slice changes behaviour mid-trace",
+        builder=_build_drift,
+        defaults={"drifting_fraction": 0.35},
+    )
+)
+register_scenario(
+    Scenario(
+        name="flash-crowd",
+        description="azure base + sudden unpredictable crowds inside the simulation window",
+        builder=_build_flash_crowd,
+        defaults={"crowd_fraction": 0.12, "crowd_minutes": 120, "peak_rate": 15.0},
+    )
+)
+register_scenario(
+    Scenario(
+        name="capacity-squeeze",
+        description="dense population on a sharded cluster with a workload-derived memory cap",
+        builder=_build_capacity_squeeze,
+        defaults={"squeeze": 2.5, "n_nodes": 4},
+    )
+)

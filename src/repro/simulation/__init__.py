@@ -16,15 +16,22 @@ usage, and effective memory consumption exactly as defined in the paper.
 """
 
 from repro.simulation.policy_base import AlwaysWarmPolicy, NoKeepAlivePolicy, ProvisioningPolicy
+from repro.simulation.vector_policy import DictPolicyAdapter, VectorizedPolicy
+from repro.simulation.cluster import ClusterArbiter, ClusterModel
 from repro.simulation.memory import MemoryAccountant
-from repro.simulation.results import FunctionStats, SimulationResult
+from repro.simulation.results import ClusterStats, FunctionStats, SimulationResult
 from repro.simulation.engine import Simulator, simulate_policy
 from repro.simulation.overhead import OverheadTimer
 
 __all__ = [
     "ProvisioningPolicy",
+    "VectorizedPolicy",
+    "DictPolicyAdapter",
     "AlwaysWarmPolicy",
     "NoKeepAlivePolicy",
+    "ClusterModel",
+    "ClusterArbiter",
+    "ClusterStats",
     "MemoryAccountant",
     "FunctionStats",
     "SimulationResult",

@@ -1,0 +1,176 @@
+"""Capacity-constrained cluster simulation: memory caps, eviction, sharding.
+
+The paper's simulation assumes a single host large enough to hold every
+loaded instance, so no policy decision is ever overridden by the platform.
+Real clusters are not like that: memory is finite and is partitioned across
+nodes.  This module adds an optional *cluster model* to the simulator:
+
+* a **global memory cap** — the cluster holds at most ``memory_capacity``
+  instance units at the start of any minute;
+* an **eviction arbiter** — the policy *proposes* a resident set, and the
+  arbiter *admits* it; under pressure the arbiter evicts the
+  least-recently-invoked proposed instances first (deterministic tie-break on
+  function index), mirroring the controller/invoker split of cluster
+  schedulers where per-function policies run below a cluster-level admission
+  layer;
+* optional **N-node sharding** — functions are assigned to nodes by a stable
+  hash of their id, each node holding ``ceil(memory_capacity / n_nodes)``
+  units, so hot shards feel pressure before the cluster average does.
+
+Accounting additions (reported via
+:class:`~repro.simulation.results.ClusterStats`):
+
+* *evictions* — instances that were admitted-resident and that the policy
+  proposed to keep, but that the arbiter forced out;
+* *capacity-induced cold starts* — cold starts for functions the policy had
+  declared resident (they would have been warm on an uncapped host);
+* *per-node utilization* — per-minute loaded units per node.
+
+On-demand loads are not capped: an invoked function is always loaded for its
+minute (the request must be served somewhere), so transient usage may exceed
+the cap during traffic spikes; the cap constrains what *stays* resident.
+
+:class:`ClusterModel` is an immutable, picklable configuration; the mutable
+per-run state lives in the :class:`ClusterArbiter` the engine creates for
+each simulation, so one model can be shared across sweep cells and worker
+processes.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ClusterModel", "ClusterArbiter"]
+
+
+@dataclass(frozen=True)
+class ClusterModel:
+    """Immutable description of the cluster the simulation runs on.
+
+    Parameters
+    ----------
+    memory_capacity:
+        Total instance units the cluster can keep resident between minutes.
+    n_nodes:
+        Number of nodes the capacity is sharded over.  Functions map to nodes
+        by a stable hash of their id; each node holds at most
+        ``ceil(memory_capacity / n_nodes)`` units, and the cluster-wide total
+        never exceeds ``memory_capacity`` (both bounds are enforced).
+    """
+
+    memory_capacity: int
+    n_nodes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.memory_capacity < 1:
+            raise ValueError("memory_capacity must be >= 1")
+        if self.n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        if self.n_nodes > self.memory_capacity:
+            raise ValueError("n_nodes cannot exceed memory_capacity")
+
+    @property
+    def node_capacity(self) -> int:
+        """Instance units each node can keep resident."""
+        return math.ceil(self.memory_capacity / self.n_nodes)
+
+    def node_of(self, function_id: str) -> int:
+        """Stable node assignment for one function id.
+
+        Uses CRC-32 rather than Python's ``hash`` so the sharding is
+        deterministic across processes and interpreter runs (``PYTHONHASHSEED``
+        does not leak into simulation results).
+        """
+        return zlib.crc32(function_id.encode()) % self.n_nodes
+
+    def arbiter(self, function_ids: tuple[str, ...]) -> "ClusterArbiter":
+        """Build the per-run arbiter over a trace's function-index space."""
+        return ClusterArbiter(self, function_ids)
+
+
+class ClusterArbiter:
+    """Per-run admission/eviction state for one :class:`ClusterModel`.
+
+    The arbiter works in the trace's function-index space: the engine calls
+    :meth:`observe_invocations` with each minute's invoked indices (recency
+    bookkeeping) and :meth:`admit` with the policy's proposed residency mask;
+    ``admit`` returns the admitted mask and counts forced evictions.
+    """
+
+    #: Recency sentinel: "never invoked" sorts before any real minute
+    #: (warm-up minutes are negative, so the sentinel must be far below).
+    _NEVER = -(2**62)
+
+    def __init__(self, model: ClusterModel, function_ids: tuple[str, ...]) -> None:
+        self.model = model
+        n = len(function_ids)
+        self.node_of = np.asarray(
+            [model.node_of(function_id) for function_id in function_ids],
+            dtype=np.int64,
+        )
+        self._last_invocation = np.full(n, self._NEVER, dtype=np.int64)
+        self._admitted = np.zeros(n, dtype=bool)
+        #: Total instances evicted under capacity pressure.
+        self.evictions = 0
+
+    # ------------------------------------------------------------------ #
+    def observe_invocations(self, minute: int, invoked: np.ndarray) -> None:
+        """Record this minute's invocations (drives the LRU eviction order)."""
+        if invoked.size:
+            self._last_invocation[invoked] = minute
+
+    def node_usage(self, resident: np.ndarray) -> np.ndarray:
+        """Per-node loaded-unit counts for a residency mask."""
+        return np.bincount(
+            self.node_of[np.flatnonzero(resident)], minlength=self.model.n_nodes
+        )
+
+    # ------------------------------------------------------------------ #
+    def admit(self, proposed: np.ndarray) -> tuple[np.ndarray, int]:
+        """Admit a proposed residency mask under the per-node capacity.
+
+        Parameters
+        ----------
+        proposed:
+            The policy's declared residency mask for the next minute.
+
+        Returns
+        -------
+        (admitted, evicted)
+            ``admitted`` is the mask actually kept resident — a fresh array
+            the caller owns and may mutate freely; ``evicted`` counts
+            instances that were admitted-resident, proposed to stay, and
+            forced out — capacity evictions, not first-time admission
+            denials.
+        """
+        admitted = proposed.copy()
+        node_capacity = self.model.node_capacity
+        positions = np.flatnonzero(proposed)
+        if positions.size > node_capacity:
+            nodes = self.node_of[positions]
+            usage = np.bincount(nodes, minlength=self.model.n_nodes)
+            for node in np.flatnonzero(usage > node_capacity):
+                members = positions[nodes == node]
+                # Keep the most recently invoked; ties broken on the lower
+                # function index (stable sort over (-recency, index)).
+                order = np.lexsort((members, -self._last_invocation[members]))
+                admitted[members[order[node_capacity:]]] = False
+
+        # Per-node caps round up (ceil), so their sum can exceed the global
+        # cap when memory_capacity is not divisible by n_nodes; enforce the
+        # cluster-wide bound with the same keep-the-most-recent priority.
+        kept = np.flatnonzero(admitted)
+        if kept.size > self.model.memory_capacity:
+            order = np.lexsort((kept, -self._last_invocation[kept]))
+            admitted[kept[order[self.model.memory_capacity :]]] = False
+
+        evicted = int(np.count_nonzero(self._admitted & proposed & ~admitted))
+        self.evictions += evicted
+        # Keep a private copy: the caller's on-demand loads must not leak
+        # into the admitted-state that distinguishes evictions from denials.
+        self._admitted = admitted.copy()
+        return admitted, evicted

@@ -18,18 +18,28 @@ Two interchangeable implementations of this contract exist:
 ``vectorized`` (the default)
     Residency and accounting run on numpy boolean masks over function
     *indices*, using the trace's cached
-    :meth:`~repro.traces.trace.Trace.invocation_index`.  Memory charges are
-    accumulated in arrays and handed to the
-    :class:`~repro.simulation.memory.MemoryAccountant` in one batch.  Only
-    the policy still sees per-minute ``{function_id: count}`` mappings — the
-    :class:`~repro.simulation.policy_base.ProvisioningPolicy` API is
-    unchanged.
+    :meth:`~repro.traces.trace.Trace.invocation_index`.  The engine drives
+    **only** the indexed policy contract
+    (:class:`~repro.simulation.vector_policy.VectorizedPolicy`): index-native
+    policies are stepped directly with invoked-index arrays, while unchanged
+    dict-based policies are wrapped in a
+    :class:`~repro.simulation.vector_policy.DictPolicyAdapter` that feeds
+    them the prebuilt per-minute ``{function_id: count}`` mappings and diffs
+    their declarations into a mask.  Memory charges are accumulated in
+    arrays and handed to the
+    :class:`~repro.simulation.memory.MemoryAccountant` in one batch.
+
+    Only this engine supports the optional capacity-constrained mode: with a
+    :class:`~repro.simulation.cluster.ClusterModel`, the policy's declared
+    residency is *proposed* to an eviction arbiter that admits it under a
+    (possibly sharded) memory cap, counting forced evictions and
+    capacity-induced cold starts.
 
 ``reference``
     The original pure-Python loop over sets and dicts, kept as the executable
-    specification of the accounting rules.  The regression tests assert that
-    both implementations produce identical statistics; use it when auditing a
-    change to the accounting semantics.
+    specification of the uncapped accounting rules.  The regression tests
+    assert that both implementations produce identical statistics; use it
+    when auditing a change to the accounting semantics.
 """
 
 from __future__ import annotations
@@ -39,10 +49,12 @@ from typing import Dict, Set
 
 import numpy as np
 
+from repro.simulation.cluster import ClusterModel
 from repro.simulation.memory import MemoryAccountant
 from repro.simulation.overhead import OverheadTimer
 from repro.simulation.policy_base import ProvisioningPolicy
-from repro.simulation.results import FunctionStats, SimulationResult
+from repro.simulation.results import ClusterStats, FunctionStats, SimulationResult
+from repro.simulation.vector_policy import DictPolicyAdapter, VectorizedPolicy
 from repro.traces.trace import Trace
 
 #: Names of the available engine implementations.
@@ -50,7 +62,7 @@ ENGINE_IMPLEMENTATIONS = ("vectorized", "reference")
 
 #: Bumped whenever a change alters simulation *output*; part of on-disk
 #: result-cache keys so stale cached results are never served.
-ENGINE_VERSION = 2
+ENGINE_VERSION = 3
 
 
 class Simulator:
@@ -76,6 +88,11 @@ class Simulator:
     engine:
         Which implementation runs the minute loop: ``"vectorized"`` (default)
         or ``"reference"`` (see the module docstring).
+    cluster:
+        Optional :class:`~repro.simulation.cluster.ClusterModel` imposing a
+        (possibly sharded) memory cap on the resident set.  Requires the
+        vectorized engine; the reference engine remains the executable
+        specification of the paper's *uncapped* setting.
     """
 
     #: Default warm-up horizon: one day covers the longest keep-alive and
@@ -89,6 +106,7 @@ class Simulator:
         initially_resident: Set[str] | None = None,
         warmup_minutes: int = DEFAULT_WARMUP_MINUTES,
         engine: str = "vectorized",
+        cluster: ClusterModel | None = None,
     ) -> None:
         if warmup_minutes < 0:
             raise ValueError("warmup_minutes must be non-negative")
@@ -96,11 +114,16 @@ class Simulator:
             raise ValueError(
                 f"unknown engine {engine!r}; expected one of {ENGINE_IMPLEMENTATIONS}"
             )
+        if cluster is not None and engine != "vectorized":
+            raise ValueError(
+                "the capacity-constrained cluster mode requires the vectorized engine"
+            )
         self.simulation_trace = simulation_trace
         self.training_trace = training_trace
         self.initially_resident = set(initially_resident or set())
         self.warmup_minutes = warmup_minutes
         self.engine = engine
+        self.cluster = cluster
 
     def run(self, policy: ProvisioningPolicy, prepare: bool = True) -> SimulationResult:
         """Simulate ``policy`` over the configured trace and return its result.
@@ -120,6 +143,13 @@ class Simulator:
         if prepare:
             policy.prepare(trace.records(), self.training_trace)
 
+        # Index-native policies are bound to the simulation trace's function
+        # space before any stepping: the warm-up replay reaches them through
+        # the dict bridge, which needs the index.  (Training and simulation
+        # windows are slices of one trace, so they share one id ordering.)
+        if isinstance(policy, VectorizedPolicy):
+            policy.bind_index(trace.invocation_index())
+
         resident: Set[str] = set(self.initially_resident)
         resident |= self._warm_up(policy)
 
@@ -135,43 +165,73 @@ class Simulator:
     ) -> SimulationResult:
         """Minute loop on numpy masks over the trace's invocation index.
 
-        Three invariants keep the per-minute Python work minimal:
+        The loop drives the indexed policy contract exclusively:
+        :class:`VectorizedPolicy` instances are stepped with invoked-index
+        arrays and answer with residency masks; dict-based policies are
+        wrapped in a :class:`DictPolicyAdapter` which preserves their exact
+        semantics (prebuilt read-only per-minute mappings in, declared-set
+        diffs out).  Three invariants keep the per-minute Python work small:
 
-        * the per-minute ``{function_id: count}`` mappings are prebuilt once
-          per trace (:meth:`InvocationIndex.minute_invocations`) and shared by
-          every run over that trace;
+        * the per-minute mappings and the CSR invocation index are prebuilt
+          once per trace and shared by every run over that trace;
         * every invoked function is loaded during its minute, so wasted
           memory time needs no per-minute mask: per function it equals
           (minutes loaded) - (minutes invoked), and per minute the idle count
           equals (instances loaded) - (functions invoked);
-        * the resident mask is updated from the *difference* between the
-          policy's consecutive declarations (two C-level set operations),
-          so a steady-state policy costs nothing and a churning policy costs
-          only its churn, never a full rebuild.
+        * the adapter updates its mask from the *difference* between the
+          policy's consecutive declarations, so a steady-state dict policy
+          costs nothing and a churning one costs only its churn.
         """
         trace = self.simulation_trace
         duration = trace.duration_minutes
         index = trace.invocation_index()
         function_ids = index.function_ids
         index_of = index.index_of
-        indptr, inv_indices = index.indptr, index.indices
-        minute_invocations = index.minute_invocations()
+        indptr, inv_indices, inv_counts = index.indptr, index.indices, index.counts
         n_functions = index.n_functions
 
         timer = OverheadTimer()
         clock = time.perf_counter
 
+        if isinstance(policy, VectorizedPolicy):
+            driver: VectorizedPolicy = policy  # bound in run()
+            # Index-native policies do all their decision work inside
+            # on_minute_indexed, so the engine times the call directly.
+            externally_timed = True
+        else:
+            driver = DictPolicyAdapter(policy)
+            driver.bind_index(index)
+            driver.seed_resident(initial_resident)
+            # The adapter times only the wrapped policy's on_minute — its
+            # own mapping/diff bookkeeping is engine machinery and stays out
+            # of the RQ2 overhead metric, matching the reference engine.
+            driver.overhead_timer = timer
+            externally_timed = False
+
         resident = np.zeros(n_functions, dtype=bool)
         # Resident ids unknown to the trace (possible when a policy was
         # prepared against different metadata); kept out of the masks but
         # charged exactly like the reference implementation charges them.
-        extra_resident: Set[str] = set()
+        extra: Set[str] = set()
         for function_id in initial_resident:
             position = index_of.get(function_id)
             if position is None:
-                extra_resident.add(function_id)
+                extra.add(function_id)
             else:
                 resident[position] = True
+
+        cluster = self.cluster
+        arbiter = None
+        node_usage: np.ndarray | None = None
+        capacity_cold_starts = 0
+        declared_entering: np.ndarray | None = None
+        if cluster is not None:
+            arbiter = cluster.arbiter(function_ids)
+            node_usage = np.zeros((duration, cluster.n_nodes), dtype=np.int64)
+            # The entering resident set is itself subject to the cap; the
+            # policy's "declaration" for minute 0 is the uncapped entering set.
+            declared_entering = resident.copy()
+            resident, _ = arbiter.admit(resident)
 
         invoked_minutes = np.zeros(n_functions, dtype=np.int64)
         cold_starts = np.zeros(n_functions, dtype=np.int64)
@@ -180,69 +240,52 @@ class Simulator:
         idle = np.zeros(duration, dtype=np.int64)
         extra_wmt: Dict[str, int] = {}
 
-        # The resident set most recently declared by the policy, kept as a
-        # private copy so mask updates can be computed as set differences.
-        declared_resident: Set[str] = set(initial_resident)
-
         for minute in range(duration):
-            invoked = inv_indices[indptr[minute] : indptr[minute + 1]]
-            invocations = minute_invocations[minute]
+            start, stop = indptr[minute], indptr[minute + 1]
+            invoked = inv_indices[start:stop]
+            counts = inv_counts[start:stop]
 
             if invoked.size:
                 # 1-2. charge cold starts against the entering resident set.
                 invoked_minutes[invoked] += 1
                 cold = invoked[~resident[invoked]]
                 cold_starts[cold] += 1
+                if arbiter is not None and cold.size:
+                    # Cold starts the policy had provisioned against: they
+                    # exist only because the arbiter trimmed the declaration.
+                    capacity_cold_starts += int(
+                        np.count_nonzero(declared_entering[cold])
+                    )
                 # 3. invoked functions are loaded on demand for this minute.
                 resident[invoked] = True
-            else:
-                cold = invoked
 
             # 5. charge memory for this minute (batched at the end of the
             # run).  Invoked functions are always loaded, so the idle count
             # is simply loaded minus invoked.
-            loaded = np.count_nonzero(resident) + len(extra_resident)
+            loaded = np.count_nonzero(resident) + len(extra)
             usage[minute] = loaded
             idle[minute] = loaded - invoked.size
             loaded_minutes += resident
-            for function_id in extra_resident:
+            for function_id in extra:
                 extra_wmt[function_id] = extra_wmt.get(function_id, 0) + 1
+            if arbiter is not None:
+                node_usage[minute] = arbiter.node_usage(resident)
+                arbiter.observe_invocations(minute, invoked)
 
             # 4. policy decides the resident set for the next minute.
-            started = clock()
-            next_resident = policy.on_minute(minute, invocations)
-            timer.add(clock() - started)
+            if externally_timed:
+                started = clock()
+                declared = driver.on_minute_indexed(minute, invoked, counts)
+                timer.add(clock() - started)
+            else:
+                declared = driver.on_minute_indexed(minute, invoked, counts)
+            extra = driver.extra_resident
 
-            # Undo this minute's on-demand loads (exactly the cold
-            # positions): the mask now matches declared_resident again.
-            if cold.size:
-                resident[cold] = False
-            if next_resident != declared_resident:
-                if not isinstance(next_resident, (set, frozenset)):
-                    next_resident = set(next_resident)
-                added = next_resident - declared_resident
-                removed = declared_resident - next_resident
-                if removed:
-                    try:
-                        resident[[index_of[f] for f in removed]] = False
-                    except KeyError:
-                        for function_id in removed:
-                            position = index_of.get(function_id)
-                            if position is None:
-                                extra_resident.discard(function_id)
-                            else:
-                                resident[position] = False
-                if added:
-                    try:
-                        resident[[index_of[f] for f in added]] = True
-                    except KeyError:
-                        for function_id in added:
-                            position = index_of.get(function_id)
-                            if position is None:
-                                extra_resident.add(function_id)
-                            else:
-                                resident[position] = True
-                declared_resident = set(next_resident)
+            if arbiter is not None:
+                declared_entering = declared.copy()
+                resident, _ = arbiter.admit(declared)
+            else:
+                np.copyto(resident, declared)
 
         wmt = loaded_minutes - invoked_minutes
         wmt_per_function: Dict[str, int] = {
@@ -252,7 +295,18 @@ class Simulator:
             wmt_per_function[function_id] = wmt_per_function.get(function_id, 0) + wasted
 
         accountant = MemoryAccountant(duration)
-        accountant.observe_batch(usage, idle, wmt_per_function)
+        accountant.observe_batch(usage, idle, wmt_per_function, node_usage=node_usage)
+
+        cluster_stats: ClusterStats | None = None
+        if cluster is not None and arbiter is not None and node_usage is not None:
+            cluster_stats = ClusterStats(
+                n_nodes=cluster.n_nodes,
+                memory_capacity=cluster.memory_capacity,
+                node_capacity=cluster.node_capacity,
+                evictions=arbiter.evictions,
+                capacity_cold_starts=capacity_cold_starts,
+                node_usage=node_usage,
+            )
 
         stats: Dict[str, FunctionStats] = {}
         for position in np.flatnonzero(invoked_minutes):
@@ -262,7 +316,7 @@ class Simulator:
                 invocations=int(invoked_minutes[position]),
                 cold_starts=int(cold_starts[position]),
             )
-        return self._finalize(policy, duration, stats, accountant, timer)
+        return self._finalize(policy, duration, stats, accountant, timer, cluster_stats)
 
     # ------------------------------------------------------------------ #
     # Reference implementation (executable specification)
@@ -311,6 +365,7 @@ class Simulator:
         stats: Dict[str, FunctionStats],
         accountant: MemoryAccountant,
         timer: OverheadTimer,
+        cluster_stats: ClusterStats | None = None,
     ) -> SimulationResult:
         """Merge accountant aggregates into the per-function statistics."""
         for function_id, wasted in accountant.wmt_per_function.items():
@@ -329,6 +384,7 @@ class Simulator:
             emcr=accountant.effective_memory_consumption_ratio,
             overhead_seconds=timer.total_seconds,
             overhead_per_minute=timer.mean_seconds,
+            cluster=cluster_stats,
         )
 
     # ------------------------------------------------------------------ #
@@ -357,6 +413,7 @@ def simulate_policy(
     initially_resident: Set[str] | None = None,
     warmup_minutes: int = Simulator.DEFAULT_WARMUP_MINUTES,
     engine: str = "vectorized",
+    cluster: ClusterModel | None = None,
 ) -> SimulationResult:
     """Convenience wrapper: build a :class:`Simulator` and run one policy."""
     simulator = Simulator(
@@ -365,5 +422,6 @@ def simulate_policy(
         initially_resident=initially_resident,
         warmup_minutes=warmup_minutes,
         engine=engine,
+        cluster=cluster,
     )
     return simulator.run(policy)

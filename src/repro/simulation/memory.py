@@ -32,6 +32,7 @@ class MemoryAccountant:
         self._duration = duration
         self._usage = np.zeros(duration, dtype=np.int64)
         self._idle = np.zeros(duration, dtype=np.int64)
+        self._node_usage: np.ndarray | None = None
         self._wmt_per_function: Dict[str, int] = {}
         self._loaded_instance_minutes = 0
         self._active_instance_minutes = 0
@@ -76,6 +77,7 @@ class MemoryAccountant:
         usage: np.ndarray,
         idle: np.ndarray,
         wmt_per_function: Mapping[str, int],
+        node_usage: np.ndarray | None = None,
     ) -> None:
         """Charge a whole run's memory statistics in one call.
 
@@ -96,6 +98,10 @@ class MemoryAccountant:
         wmt_per_function:
             Total idle minutes attributed to each function; must sum to
             ``idle.sum()``.
+        node_usage:
+            Optional per-minute loaded units per node, shape
+            ``(duration, n_nodes)`` — recorded by capacity-constrained runs
+            (see :mod:`repro.simulation.cluster`).
         """
         usage = np.asarray(usage, dtype=np.int64)
         idle = np.asarray(idle, dtype=np.int64)
@@ -106,6 +112,13 @@ class MemoryAccountant:
             )
         if (idle > usage).any():
             raise ValueError("idle instances cannot exceed loaded instances")
+        if node_usage is not None:
+            node_usage = np.asarray(node_usage, dtype=np.int64)
+            if node_usage.ndim != 2 or node_usage.shape[0] != self._duration:
+                raise ValueError(
+                    f"node_usage must have shape (duration, n_nodes), got {node_usage.shape}"
+                )
+            self._node_usage = node_usage
         self._usage += usage
         self._idle += idle
         self._loaded_instance_minutes += int(usage.sum())
@@ -130,6 +143,15 @@ class MemoryAccountant:
     def idle_series(self) -> np.ndarray:
         """Per-minute number of loaded-but-idle instances."""
         view = self._idle.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def node_usage_series(self) -> np.ndarray | None:
+        """Per-minute loaded units per node, or ``None`` for uncapped runs."""
+        if self._node_usage is None:
+            return None
+        view = self._node_usage.view()
         view.flags.writeable = False
         return view
 

@@ -59,6 +59,56 @@ class FunctionStats:
 
 
 @dataclass
+class ClusterStats:
+    """Capacity-constrained outcomes of a run under a cluster model.
+
+    Only present on results produced with a
+    :class:`~repro.simulation.cluster.ClusterModel`; the paper's uncapped
+    single-host setting leaves :attr:`SimulationResult.cluster` as ``None``.
+
+    Attributes
+    ----------
+    n_nodes:
+        Number of nodes the capacity was sharded over.
+    memory_capacity:
+        Total instance units the cluster could keep resident.
+    node_capacity:
+        Instance units per node (``ceil(memory_capacity / n_nodes)``).
+    evictions:
+        Instances the arbiter forced out of memory under capacity pressure
+        while the policy proposed to keep them.
+    capacity_cold_starts:
+        Cold starts charged to functions the policy had declared resident —
+        they would have been warm starts on an uncapped host.
+    node_usage:
+        Per-minute loaded units per node, shape ``(duration, n_nodes)``.
+        Includes on-demand loads, so a minute may exceed ``node_capacity``
+        transiently; the cap applies to what stays resident between minutes.
+    """
+
+    n_nodes: int
+    memory_capacity: int
+    node_capacity: int
+    evictions: int
+    capacity_cold_starts: int
+    node_usage: np.ndarray
+
+    @property
+    def mean_node_utilization(self) -> np.ndarray:
+        """Mean per-node utilization (loaded units / node capacity)."""
+        if self.node_usage.size == 0:
+            return np.zeros(self.n_nodes, dtype=float)
+        return self.node_usage.mean(axis=0) / float(self.node_capacity)
+
+    @property
+    def peak_node_usage(self) -> int:
+        """Highest loaded-unit count observed on any node in any minute."""
+        if self.node_usage.size == 0:
+            return 0
+        return int(self.node_usage.max())
+
+
+@dataclass
 class SimulationResult:
     """Aggregated outcome of one policy simulated over one trace window.
 
@@ -80,6 +130,10 @@ class SimulationResult:
         Total wall-clock time spent inside the policy's decision code.
     overhead_per_minute:
         Mean policy decision time per simulated minute, in seconds.
+    cluster:
+        Capacity-constrained statistics when the run used a
+        :class:`~repro.simulation.cluster.ClusterModel`; ``None`` in the
+        paper's uncapped setting.
     """
 
     policy_name: str
@@ -90,6 +144,7 @@ class SimulationResult:
     emcr: float = 0.0
     overhead_seconds: float = 0.0
     overhead_per_minute: float = 0.0
+    cluster: ClusterStats | None = None
 
     # ------------------------------------------------------------------ #
     # Cold-start aggregates
@@ -197,11 +252,33 @@ class SimulationResult:
         digest.update(np.ascontiguousarray(self.memory_usage, dtype=np.int64).tobytes())
         digest.update(str(self.total_wasted_memory_time).encode())
         digest.update(repr(self.emcr).encode())
+        # Results from uncapped runs hash exactly as before this field existed
+        # (getattr guards results unpickled from older cache entries).
+        cluster = getattr(self, "cluster", None)
+        if cluster is not None:
+            digest.update(
+                f"cluster:{cluster.n_nodes}:{cluster.memory_capacity}:"
+                f"{cluster.evictions}:{cluster.capacity_cold_starts};".encode()
+            )
+            digest.update(
+                np.ascontiguousarray(cluster.node_usage, dtype=np.int64).tobytes()
+            )
         return digest.hexdigest()
 
     # ------------------------------------------------------------------ #
     def summary(self) -> Dict[str, float]:
         """A flat dictionary of headline metrics, handy for tables and tests."""
+        cluster = getattr(self, "cluster", None)
+        if cluster is not None:
+            return {
+                **self._base_summary(),
+                "evictions": float(cluster.evictions),
+                "capacity_cold_starts": float(cluster.capacity_cold_starts),
+                "mean_node_utilization": float(cluster.mean_node_utilization.mean()),
+            }
+        return self._base_summary()
+
+    def _base_summary(self) -> Dict[str, float]:
         return {
             "policy": self.policy_name,
             "invocations": float(self.total_invocations),

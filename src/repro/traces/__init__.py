@@ -31,6 +31,7 @@ from repro.traces.archetypes import (
     generate_chained,
     generate_dense_poisson,
     generate_drifting,
+    generate_flash_crowd,
     generate_periodic,
     generate_pulsed,
     generate_quasi_periodic,
@@ -57,6 +58,7 @@ __all__ = [
     "generate_chained",
     "generate_rare",
     "generate_drifting",
+    "generate_flash_crowd",
     "AzureTraceGenerator",
     "GeneratorProfile",
     "load_azure_invocation_csv",

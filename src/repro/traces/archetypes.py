@@ -37,6 +37,7 @@ ArchetypeName = Literal[
     "chained",
     "rare",
     "drifting",
+    "flash_crowd",
     "unknown",
 ]
 
@@ -298,6 +299,42 @@ def generate_rare(
     minutes = rng.choice(duration, size=min(invocation_count, duration), replace=False)
     for minute in minutes:
         series[int(minute)] += 1
+    return series
+
+
+def generate_flash_crowd(
+    rng: np.random.Generator,
+    duration: int,
+    crowd_start: int,
+    crowd_minutes: int = 120,
+    peak_rate: float = 20.0,
+    base_rate: float = 0.02,
+) -> np.ndarray:
+    """Quiet background traffic hit by a sudden crowd.
+
+    Outside the crowd window the function sees sparse Poisson arrivals at
+    ``base_rate``; inside it the rate ramps linearly from ``base_rate`` to
+    ``peak_rate`` over the first fifth of the window and decays linearly back
+    over the rest — the classic news-spike shape that no history-based
+    provisioning policy can predict and that puts maximum pressure on a
+    capacity-constrained cluster.
+    """
+    if crowd_minutes < 1:
+        raise ValueError("crowd_minutes must be >= 1")
+    if peak_rate <= 0 or base_rate < 0:
+        raise ValueError("rates must be non-negative (peak positive)")
+    series = _empty(duration)
+    if base_rate > 0:
+        series += rng.poisson(base_rate, size=duration).astype(np.int64)
+    start = max(0, min(int(crowd_start), duration - 1))
+    stop = min(duration, start + crowd_minutes)
+    window = stop - start
+    if window > 0:
+        ramp = max(1, window // 5)
+        profile = np.empty(window, dtype=float)
+        profile[:ramp] = np.linspace(base_rate, peak_rate, ramp)
+        profile[ramp:] = np.linspace(peak_rate, base_rate, window - ramp + 1)[1:]
+        series[start:stop] += rng.poisson(profile).astype(np.int64)
     return series
 
 

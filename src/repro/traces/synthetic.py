@@ -20,7 +20,6 @@ the same code paths as the real trace would.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List
 

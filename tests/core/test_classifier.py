@@ -1,7 +1,6 @@
 """Tests for deterministic function categorization (Table I)."""
 
 import numpy as np
-import pytest
 
 from repro.core import DeterministicClassifier, SpesConfig
 from repro.core.categories import FunctionCategory

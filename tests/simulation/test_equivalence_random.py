@@ -1,0 +1,76 @@
+"""Randomized equivalence: engines x policy implementations (satellite #1).
+
+Seeded synthetic workloads are driven through every combination of
+
+* engine:   ``vectorized`` vs ``reference`` (the executable specification);
+* policy:   index-native :class:`VectorizedPolicy` ports vs their unchanged
+  dict-based twins (adapted transparently by the engine).
+
+All four runs of a (workload, policy pair) cell must produce identical
+``deterministic_fingerprint()``\\ s — the strongest equality the result type
+offers (per-function stats, the whole memory series, WMT, EMCR).
+"""
+
+import pytest
+
+from repro.baselines import (
+    FixedKeepAlivePolicy,
+    HybridApplicationPolicy,
+    HybridFunctionPolicy,
+    IndexedFixedKeepAlivePolicy,
+    IndexedHybridApplicationPolicy,
+    IndexedHybridFunctionPolicy,
+)
+from repro.core import IndexedSpesPolicy, SpesPolicy
+from repro.simulation import simulate_policy
+from repro.traces import AzureTraceGenerator, GeneratorProfile, split_trace
+
+SEEDS = (11, 23)
+
+PAIRS = [
+    pytest.param(
+        lambda: FixedKeepAlivePolicy(10),
+        lambda: IndexedFixedKeepAlivePolicy(10),
+        id="fixed-10min",
+    ),
+    pytest.param(HybridFunctionPolicy, IndexedHybridFunctionPolicy, id="hybrid-function"),
+    pytest.param(
+        HybridApplicationPolicy, IndexedHybridApplicationPolicy, id="hybrid-application"
+    ),
+    pytest.param(SpesPolicy, IndexedSpesPolicy, id="spes"),
+]
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def split(request):
+    trace = AzureTraceGenerator(GeneratorProfile.small(seed=request.param)).generate()
+    return split_trace(trace, training_days=2.0)
+
+
+@pytest.mark.parametrize("dict_factory, indexed_factory", PAIRS)
+def test_engines_and_implementations_are_fingerprint_identical(
+    split, dict_factory, indexed_factory
+):
+    fingerprints = {}
+    for label, factory, engine in (
+        ("dict/vectorized", dict_factory, "vectorized"),
+        ("dict/reference", dict_factory, "reference"),
+        ("indexed/vectorized", indexed_factory, "vectorized"),
+        ("indexed/reference", indexed_factory, "reference"),
+    ):
+        result = simulate_policy(
+            factory(),
+            split.simulation,
+            split.training,
+            warmup_minutes=360,
+            engine=engine,
+        )
+        fingerprints[label] = result.deterministic_fingerprint()
+    assert len(set(fingerprints.values())) == 1, fingerprints
+
+
+@pytest.mark.parametrize("dict_factory, indexed_factory", PAIRS)
+def test_twins_share_the_policy_name(split, dict_factory, indexed_factory):
+    # Fingerprints hash the policy name first, so twin pairs must agree on it
+    # for the equality above to be meaningful rather than vacuous.
+    assert dict_factory().name == indexed_factory().name

@@ -104,3 +104,62 @@ class TestExecution:
         captured = capsys.readouterr()
         assert exit_code == 2
         assert "workers must be non-negative" in captured.err
+
+
+class TestScenarioCommands:
+    TINY_SWEEP = [
+        "sweep", "--functions", "25", "--days", "2", "--training-days", "1.5",
+        "--seeds", "5",
+    ]
+
+    def test_scenarios_lists_the_catalog(self, capsys):
+        exit_code = main(["scenarios"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        for name in ("azure", "diurnal", "bursty", "drift", "flash-crowd",
+                     "capacity-squeeze"):
+            assert name in captured.out
+        assert "squeeze=2.5" in captured.out  # parameters are enumerated
+
+    def test_capacity_squeeze_sweep_reports_capacity_effects(self, capsys):
+        exit_code = main(
+            self.TINY_SWEEP
+            + ["--policies", "spes", "fixed-10min", "--scenario", "capacity-squeeze",
+               "--rq-tables"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "evictions" in captured.out
+        assert "cap_cold_starts" in captured.out
+        assert "Capacity effects" in captured.out
+        assert "scenario capacity-squeeze" in captured.out
+
+    def test_scenario_param_overrides_are_parsed(self, capsys):
+        exit_code = main(
+            self.TINY_SWEEP
+            + ["--policies", "fixed-10min", "--scenario", "capacity-squeeze",
+               "--scenario-param", "n_nodes=2", "--scenario-param", "squeeze=3.5"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "over 2 node(s)" in captured.out
+
+    def test_unknown_scenario_fails_with_exit_code_2(self, capsys):
+        exit_code = main(
+            self.TINY_SWEEP + ["--policies", "fixed-10min", "--scenario", "warp"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "unknown scenario" in captured.err
+
+    def test_no_cache_bypasses_the_cache_dir(self, capsys, tmp_path):
+        arguments = self.TINY_SWEEP + [
+            "--policies", "fixed-10min",
+            "--cache-dir", str(tmp_path),
+            "--no-cache",
+        ]
+        exit_code = main(arguments)
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "cache:" not in captured.out
+        assert not list(tmp_path.glob("*.pkl"))

@@ -1,0 +1,163 @@
+"""Tests for the scenario registry and its sweep/CLI integration."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentConfig, ExperimentSuite
+from repro.scenarios import (
+    SCENARIO_REGISTRY,
+    Scenario,
+    build_scenario,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+
+TINY = dict(seed=5, n_functions=40, days=3.0, training_days=2.0)
+
+EXPECTED = {"azure", "diurnal", "bursty", "drift", "flash-crowd", "capacity-squeeze"}
+
+
+class TestRegistry:
+    def test_builtin_catalog_is_registered(self):
+        assert EXPECTED <= set(scenario_names())
+
+    def test_unknown_scenario_raises_with_the_catalog(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            get_scenario("black-friday")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario(SCENARIO_REGISTRY["azure"])
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(KeyError, match="unknown parameter"):
+            build_scenario("drift", **TINY, gravity=9.81)
+
+    def test_custom_scenario_registration(self):
+        def build(seed, n_functions, days, training_days):
+            return build_scenario("azure", seed=seed, n_functions=n_functions,
+                                  days=days, training_days=training_days)
+
+        name = "test-custom-scenario"
+        register_scenario(Scenario(name=name, description="azure alias", builder=build))
+        try:
+            workload = build_scenario(name, **TINY)
+            assert workload.split.simulation.duration_minutes == 1440
+        finally:
+            del SCENARIO_REGISTRY[name]
+
+
+class TestBuiltinScenarios:
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_builds_are_deterministic(self, name):
+        first = build_scenario(name, **TINY)
+        second = build_scenario(name, **TINY)
+        assert (
+            first.split.simulation.fingerprint()
+            == second.split.simulation.fingerprint()
+        )
+        assert (
+            first.split.training.fingerprint() == second.split.training.fingerprint()
+        )
+        assert first.cluster == second.cluster
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_split_matches_the_requested_shape(self, name):
+        workload = build_scenario(name, **TINY)
+        assert workload.split.training.duration_minutes == 2 * 1440
+        assert workload.split.simulation.duration_minutes == 1440
+        assert len(workload.split.simulation) == TINY["n_functions"]
+
+    def test_seeds_produce_different_workloads(self):
+        a = build_scenario("bursty", **{**TINY, "seed": 1})
+        b = build_scenario("bursty", **{**TINY, "seed": 2})
+        assert a.split.simulation.fingerprint() != b.split.simulation.fingerprint()
+
+    def test_capacity_squeeze_prescribes_a_cluster(self):
+        workload = build_scenario("capacity-squeeze", **TINY)
+        assert workload.cluster is not None
+        assert workload.cluster.n_nodes == 4
+        assert workload.cluster.memory_capacity >= workload.cluster.n_nodes
+        # Other scenarios run the paper's uncapped setting.
+        assert build_scenario("azure", **TINY).cluster is None
+
+    def test_flash_crowd_spikes_land_in_the_simulation_window(self):
+        crowd = build_scenario("flash-crowd", **TINY)
+        base = build_scenario("azure", **TINY)
+        # The training windows are identical; only simulation traffic differs.
+        assert crowd.split.training.fingerprint() == base.split.training.fingerprint()
+        assert (
+            crowd.split.simulation.total_invocations()
+            > base.split.simulation.total_invocations()
+        )
+
+    def test_diurnal_traffic_is_day_night_modulated(self):
+        workload = build_scenario("diurnal", **TINY)
+        sim = workload.split.simulation
+        per_minute = np.zeros(sim.duration_minutes, dtype=np.int64)
+        for fid in sim.function_ids:
+            per_minute += sim.series(fid)
+        halves = per_minute.reshape(2, 720).sum(axis=1)
+        ratio = halves.max() / max(halves.min(), 1)
+        assert ratio > 1.5  # a pronounced daily swing, not flat Poisson
+
+
+class TestSuiteIntegration:
+    def test_capacity_squeeze_sweep_reports_evictions(self, tmp_path):
+        config = ExperimentConfig(
+            n_functions=30, seed=5, duration_days=2.0, training_days=1.5,
+            warmup_minutes=60,
+        )
+        suite = ExperimentSuite(
+            config=config,
+            seeds=[5],
+            policies=("spes", "fixed-10min"),
+            scenario="capacity-squeeze",
+        )
+        outcome = suite.run()
+        for result in outcome.results[5].values():
+            assert result.cluster is not None
+        table = outcome.seed_table(5).render()
+        assert "evictions" in table and "cap_cold_starts" in table
+        cluster_table = outcome.cluster_table(5)
+        assert cluster_table is not None
+        assert "Capacity effects" in cluster_table.render()
+
+    def test_uncapped_sweep_has_no_cluster_table(self):
+        config = ExperimentConfig(
+            n_functions=25, seed=5, duration_days=2.0, training_days=1.5,
+            warmup_minutes=60,
+        )
+        suite = ExperimentSuite(
+            config=config, seeds=[5], policies=("fixed-10min",), scenario="bursty"
+        )
+        outcome = suite.run()
+        assert outcome.cluster_table(5) is None
+        assert "evictions" not in outcome.seed_table(5).render()
+
+    def test_scenario_cells_hit_the_cache_across_sweeps(self, tmp_path):
+        config = ExperimentConfig(
+            n_functions=25, seed=5, duration_days=2.0, training_days=1.5,
+            warmup_minutes=60,
+        )
+        kwargs = dict(
+            config=config, seeds=[5], policies=("fixed-10min",),
+            scenario="capacity-squeeze", cache_dir=tmp_path,
+        )
+        first = ExperimentSuite(**kwargs).run()
+        second = ExperimentSuite(**kwargs).run()
+        assert first.cache_misses > 0
+        assert second.cache_misses == 0 and second.cache_hits > 0
+        assert (
+            first.results[5]["fixed-10min"].deterministic_fingerprint()
+            == second.results[5]["fixed-10min"].deterministic_fingerprint()
+        )
+
+    def test_unknown_scenario_fails_fast(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            ExperimentSuite(scenario="warp-speed")
+
+    def test_scenario_params_require_a_scenario(self):
+        with pytest.raises(ValueError, match="requires a scenario"):
+            ExperimentSuite(scenario_params={"squeeze": 2.0})

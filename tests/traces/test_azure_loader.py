@@ -1,6 +1,5 @@
 """Tests for the real Azure-trace CSV loader."""
 
-import numpy as np
 import pytest
 
 from repro.traces import load_azure_invocation_csv
@@ -108,3 +107,114 @@ class TestLoader:
         empty.write_text("HashOwner,HashApp,HashFunction,Trigger," + ",".join(map(str, range(1, 1441))) + "\n")
         with pytest.raises(ValueError):
             load_azure_invocation_csv([empty])
+
+
+class TestParsingFallbacks:
+    """The public trace is messy; parsing degrades gracefully, never silently wrong."""
+
+    def test_unknown_trigger_label_falls_back_to_others(self, tmp_path):
+        csv_path = tmp_path / "d01.csv"
+        write_daily_csv(csv_path, [("o", "a", "f", "cosmosDBTrigger", {0: 1})])
+        trace = load_azure_invocation_csv([csv_path])
+        assert trace.record("o:a:f").trigger is TriggerType.OTHERS
+
+    def test_float_formatted_counts_are_parsed(self, tmp_path):
+        # Some exports render counts as floats ("3.0"); the loader truncates
+        # through float() rather than crashing on int().
+        csv_path = tmp_path / "d01.csv"
+        write_daily_csv(csv_path, [("o", "a", "f", "http", {10: "3.0", 11: "2"})])
+        trace = load_azure_invocation_csv([csv_path])
+        series = trace.series("o:a:f")
+        assert series[10] == 3
+        assert series[11] == 2
+
+    def test_short_malformed_rows_are_skipped(self, tmp_path):
+        csv_path = tmp_path / "d01.csv"
+        write_daily_csv(csv_path, [("o", "a", "f", "http", {0: 1})])
+        with csv_path.open("a") as handle:
+            handle.write("truncated,row\n")
+        trace = load_azure_invocation_csv([csv_path])
+        assert len(trace) == 1
+
+    def test_duplicate_rows_for_one_function_are_summed(self, tmp_path):
+        csv_path = tmp_path / "d01.csv"
+        write_daily_csv(
+            csv_path,
+            [
+                ("o", "a", "f", "http", {5: 1}),
+                ("o", "a", "f", "http", {5: 2, 6: 1}),
+            ],
+        )
+        trace = load_azure_invocation_csv([csv_path])
+        series = trace.series("o:a:f")
+        assert series[5] == 3
+        assert series[6] == 1
+
+    def test_conflicting_trigger_across_days_keeps_the_first(self, tmp_path):
+        day1 = tmp_path / "d01.csv"
+        day2 = tmp_path / "d02.csv"
+        write_daily_csv(day1, [("o", "a", "f", "timer", {0: 1})])
+        write_daily_csv(day2, [("o", "a", "f", "http", {0: 1})])
+        trace = load_azure_invocation_csv([day1, day2])
+        assert trace.record("o:a:f").trigger is TriggerType.TIMER
+        assert trace.total_invocations("o:a:f") == 2
+
+
+class TestMultiDayStitching:
+    def test_three_days_stitch_into_one_timeline(self, tmp_path):
+        paths = []
+        for day in range(3):
+            path = tmp_path / f"d{day:02d}.csv"
+            write_daily_csv(path, [("o", "a", "f", "http", {day * 7: day + 1})])
+            paths.append(path)
+        trace = load_azure_invocation_csv(paths)
+        assert trace.duration_minutes == 3 * MINUTES_PER_DAY
+        series = trace.series("o:a:f")
+        for day in range(3):
+            assert series[day * MINUTES_PER_DAY + day * 7] == day + 1
+        assert trace.total_invocations() == 6
+
+    def test_empty_daily_file_contributes_a_silent_day(self, tmp_path):
+        # A day whose CSV holds only the header (an outage, a partial
+        # download) must not shift later days or drop functions.
+        day1 = tmp_path / "d01.csv"
+        empty = tmp_path / "d02.csv"
+        day3 = tmp_path / "d03.csv"
+        write_daily_csv(day1, [("o", "a", "f", "http", {10: 1})])
+        write_daily_csv(empty, [])
+        write_daily_csv(day3, [("o", "a", "f", "http", {20: 2})])
+        trace = load_azure_invocation_csv([day1, empty, day3])
+        assert trace.duration_minutes == 3 * MINUTES_PER_DAY
+        series = trace.series("o:a:f")
+        assert series[10] == 1
+        assert series[MINUTES_PER_DAY : 2 * MINUTES_PER_DAY].sum() == 0
+        assert series[2 * MINUTES_PER_DAY + 20] == 2
+
+    def test_headerless_day_is_treated_as_empty(self, tmp_path):
+        day1 = tmp_path / "d01.csv"
+        blank = tmp_path / "d02.csv"
+        write_daily_csv(day1, [("o", "a", "f", "http", {0: 1})])
+        blank.write_text("")
+        trace = load_azure_invocation_csv([day1, blank])
+        assert trace.duration_minutes == 2 * MINUTES_PER_DAY
+        assert trace.total_invocations("o:a:f") == 1
+
+    def test_short_day_rows_are_padded_not_wrapped(self, tmp_path):
+        # A daily file with fewer minute columns must never bleed counts into
+        # the following day's window.
+        short = tmp_path / "d01.csv"
+        header = ["HashOwner", "HashApp", "HashFunction", "Trigger"] + [
+            str(i) for i in range(1, 121)
+        ]
+        counts = ["0"] * 120
+        counts[100] = "4"
+        short.write_text(
+            ",".join(header) + "\n" + ",".join(["o", "a", "f", "http"] + counts) + "\n"
+        )
+        day2 = tmp_path / "d02.csv"
+        write_daily_csv(day2, [("o", "a", "f", "http", {30: 1})])
+        trace = load_azure_invocation_csv([short, day2])
+        series = trace.series("o:a:f")
+        assert series[100] == 4
+        assert series[MINUTES_PER_DAY + 30] == 1
+        assert trace.total_invocations("o:a:f") == 5
