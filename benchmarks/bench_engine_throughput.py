@@ -158,6 +158,77 @@ def test_indexed_policy_speedup(throughput_split, output_dir):
     assert best >= 1.5, f"no ported policy reached 1.5x (best {best:.2f}x): {speedups}"
 
 
+def test_event_engine_throughput(throughput_split, output_dir):
+    """Event engine vs the minute-granular engines (PR 3 criterion).
+
+    The event engine layers per-event expansion and latency tracking on top
+    of the vectorized minute loop, so it cannot be faster — the bench bounds
+    the *cost* of the extra temporal resolution and records it, per engine,
+    as the ``BENCH_pr3.json`` artifact.  Equivalence (identical deterministic
+    fingerprints, latency block present only on the event run) is asserted on
+    the same workload the timings come from.
+    """
+    split = throughput_split
+    minutes = split.simulation.duration_minutes
+    sweep_minutes = minutes * len(ENGINE_BOUND_POLICIES)
+
+    engines = ("vectorized", "event", "reference")
+    for engine in engines:  # warm imports, index, jitter machinery
+        _sweep_seconds(split, engine)
+    seconds = {
+        engine: min(_sweep_seconds(split, engine) for _ in range(3))
+        for engine in engines
+    }
+
+    vectorized = Simulator(split.simulation, warmup_minutes=0).run(
+        FixedKeepAlivePolicy(10)
+    )
+    event = Simulator(split.simulation, warmup_minutes=0, engine="event").run(
+        FixedKeepAlivePolicy(10)
+    )
+    assert vectorized.deterministic_fingerprint() == event.deterministic_fingerprint()
+    assert vectorized.latency is None and event.latency is not None
+    assert event.latency.cold_start_events == event.total_cold_starts
+
+    payload = {
+        "workload": {
+            "n_functions": THROUGHPUT_CONFIG.n_functions,
+            "duration_days": THROUGHPUT_CONFIG.duration_days,
+            "simulation_minutes": minutes,
+        },
+        "engines": {
+            engine: {
+                "sweep_seconds": round(seconds[engine], 4),
+                "sim_minutes_per_second": round(sweep_minutes / seconds[engine], 1),
+            }
+            for engine in engines
+        },
+        "event_overhead_vs_vectorized": round(
+            seconds["event"] / seconds["vectorized"], 3
+        ),
+        "latency_events": {
+            "total": event.latency.total_events,
+            "cold_start": event.latency.cold_start_events,
+            "p99_ms": round(event.latency.p99_ms, 2),
+        },
+    }
+    lines = [
+        "Engine throughput with the event layer - 400 functions, 2-day window",
+    ] + [
+        f"{engine:11s} {sweep_minutes / seconds[engine]:>12.0f} sim-min/s"
+        f"  ({seconds[engine]:.3f}s per sweep)"
+        for engine in engines
+    ] + [
+        f"event-layer overhead: {payload['event_overhead_vs_vectorized']:.2f}x"
+        " over vectorized",
+    ]
+    save_and_print(output_dir, "event_engine_throughput", "\n".join(lines))
+    (output_dir / "BENCH_pr3.json").write_text(json.dumps(payload, indent=2) + "\n")
+    # The event layer must stay cheaper than falling back to the reference
+    # loop: sub-minute resolution may not cost more than losing vectorization.
+    assert seconds["event"] < seconds["reference"], payload
+
+
 def test_parallel_suite_vs_serial(output_dir):
     """Wall-clock of the policy suite, serial vs. fanned out over workers.
 

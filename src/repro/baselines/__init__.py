@@ -21,6 +21,7 @@ from repro.baselines.defuse import DefusePolicy
 from repro.baselines.faascache import FaasCachePolicy
 from repro.baselines.lcs import LcsPolicy
 from repro.baselines.vectorized import (
+    IndexedFaasCachePolicy,
     IndexedFixedKeepAlivePolicy,
     IndexedHybridApplicationPolicy,
     IndexedHybridFunctionPolicy,
@@ -37,4 +38,5 @@ __all__ = [
     "IndexedFixedKeepAlivePolicy",
     "IndexedHybridFunctionPolicy",
     "IndexedHybridApplicationPolicy",
+    "IndexedFaasCachePolicy",
 ]

@@ -18,21 +18,29 @@ function-index space instead of Python dict/set churn.
   The per-minute scan over *all* units (the dominant cost of the dict
   version) becomes a handful of vectorized comparisons plus a gather from
   unit space to function space.
+* :class:`IndexedFaasCachePolicy` — Greedy-Dual-Size-Frequency caching
+  (:class:`~repro.baselines.faascache.FaasCachePolicy`) with the priority
+  heap replaced by vectorized scoring over function arrays: one scatter per
+  minute to refresh invoked priorities, and a single lexsort over the
+  resident set on the (rare) minutes the capacity is exceeded.
 """
 
 from __future__ import annotations
+
+from typing import Mapping, Sequence
 
 import numpy as np
 
 from repro.baselines.hybrid_base import HybridHistogramPolicyBase
 from repro.simulation.vector_policy import VectorizedPolicy
 from repro.traces.schema import FunctionRecord
-from repro.traces.trace import InvocationIndex
+from repro.traces.trace import InvocationIndex, Trace
 
 __all__ = [
     "IndexedFixedKeepAlivePolicy",
     "IndexedHybridFunctionPolicy",
     "IndexedHybridApplicationPolicy",
+    "IndexedFaasCachePolicy",
 ]
 
 #: "Never invoked" sentinel: far below any warm-up minute, but safely away
@@ -161,6 +169,132 @@ class _IndexedHybridBase(VectorizedPolicy, HybridHistogramPolicyBase):
         )
         resident_units &= self._unit_last != _NEVER
         return resident_units[self._function_unit]
+
+
+class IndexedFaasCachePolicy(VectorizedPolicy):
+    """Index-native FaaSCache (twin of :class:`FaasCachePolicy`).
+
+    The dict version keeps a lazy priority heap with stale-entry skipping;
+    here the whole cache state is four arrays over the trace's function-index
+    space (frequency, GDSF priority, residency, last-update sequence) plus
+    the scalar eviction clock.  A minute costs one scatter to refresh the
+    invoked functions' priorities; eviction — only on minutes the capacity is
+    actually exceeded — is one lexsort of the resident set by
+    ``(priority, last-update sequence)``, which reproduces the heap's exact
+    pop order: GDSF priorities are strictly increasing per function update
+    (frequency grows on every invocation), so the heap's only *valid* entry
+    for a function is its most recent push, and ties between functions break
+    on push order.  The equivalence tests assert fingerprint-identity against
+    the dict twin under every engine.
+
+    Parameters
+    ----------
+    capacity / sizes / costs:
+        As for :class:`FaasCachePolicy`.  ``sizes`` must be positive (the
+        GDSF priority divides by them, exactly as the dict twin does).
+    """
+
+    name = "faascache"
+
+    def __init__(
+        self,
+        capacity: int | None = None,
+        sizes: Mapping[str, float] | None = None,
+        costs: Mapping[str, float] | None = None,
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 when given")
+        self.capacity = capacity
+        self._size_overrides = dict(sizes or {})
+        self._cost_overrides = dict(costs or {})
+        self._clock = 0.0
+        self._sequence = 0
+
+    # ------------------------------------------------------------------ #
+    def prepare(
+        self,
+        functions: Sequence[FunctionRecord],
+        training: Trace | None = None,
+    ) -> None:
+        super().prepare(functions, training)
+        if self.capacity is None:
+            self.capacity = max(1, len(functions) // 10)
+        self.reset()
+
+    def on_bind(self, index: InvocationIndex) -> None:
+        n = index.n_functions
+        self._sizes = np.ones(n, dtype=float)
+        self._costs = np.ones(n, dtype=float)
+        for function_id, size in self._size_overrides.items():
+            position = index.index_of.get(function_id)
+            if position is not None:
+                self._sizes[position] = float(size)
+        for function_id, cost in self._cost_overrides.items():
+            position = index.index_of.get(function_id)
+            if position is not None:
+                self._costs[position] = float(cost)
+        self._frequency = np.zeros(n, dtype=np.int64)
+        self._priority = np.zeros(n, dtype=float)
+        self._resident = np.zeros(n, dtype=bool)
+        self._updated = np.zeros(n, dtype=np.int64)
+        self._clock = 0.0
+        self._sequence = 0
+
+    def reset(self) -> None:
+        self._clock = 0.0
+        self._sequence = 0
+        if self.is_bound:
+            self._frequency.fill(0)
+            self._priority.fill(0.0)
+            self._resident.fill(False)
+            self._updated.fill(0)
+
+    # ------------------------------------------------------------------ #
+    def on_minute_indexed(
+        self, minute: int, invoked: np.ndarray, counts: np.ndarray
+    ) -> np.ndarray:
+        if invoked.size:
+            self._frequency[invoked] += counts
+            # Same operation order as the dict twin's `clock + freq * cost /
+            # size`: multiplying by a precomputed cost/size ratio rounds
+            # differently for non-dyadic ratios and can flip eviction order.
+            self._priority[invoked] = (
+                self._clock
+                + self._frequency[invoked] * self._costs[invoked] / self._sizes[invoked]
+            )
+            self._resident[invoked] = True
+            self._updated[invoked] = np.arange(
+                self._sequence, self._sequence + invoked.size, dtype=np.int64
+            )
+            self._sequence += invoked.size
+        self._evict_if_needed()
+        return self._resident
+
+    def _evict_if_needed(self) -> None:
+        resident = np.flatnonzero(self._resident)
+        if resident.size == 0:
+            return
+        capacity = float(self.capacity) if self.capacity is not None else resident.size
+        used = float(self._sizes[resident].sum())
+        if used <= capacity:
+            return
+        # Heap pop order: lowest priority first, push order breaking ties.
+        order = np.lexsort((self._updated[resident], self._priority[resident]))
+        victims = resident[order]
+        freed = np.cumsum(self._sizes[victims])
+        evict_count = int(np.searchsorted(freed, used - capacity, side="left")) + 1
+        evicted = victims[:evict_count]
+        self._resident[evicted] = False
+        self._clock = max(self._clock, float(self._priority[evicted].max()))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def resident_functions(self) -> set[str]:
+        """Currently warm function ids (for inspection and tests)."""
+        if not self.is_bound:
+            return set()
+        ids = self._function_ids
+        return {ids[position] for position in np.flatnonzero(self._resident)}
 
 
 class IndexedHybridFunctionPolicy(_IndexedHybridBase):

@@ -19,7 +19,9 @@ Commands
     ``--cache-dir``, ``--no-cache``).  With ``--scenario`` the workloads come
     from the scenario registry (``capacity-squeeze`` runs the whole sweep in
     capacity-constrained cluster mode and reports evictions and
-    capacity-induced cold starts).
+    capacity-induced cold starts).  With ``--engine event`` every cell runs
+    on the sub-minute event engine and the tables report p50/p95/p99
+    cold-start latency alongside the paper's count-based metrics.
 ``scenarios``
     List the scenario registry: names, descriptions, parameters.
 """
@@ -201,6 +203,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
             cache_dir=cache_dir,
             scenario=args.scenario,
             scenario_params=_parse_scenario_params(args.scenario_param),
+            engine=args.engine,
         )
     except (KeyError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
@@ -219,6 +222,10 @@ def _command_sweep(args: argparse.Namespace) -> int:
         if cluster_table is not None:
             print(cluster_table.render())
             print()
+        latency_table = outcome.latency_table(seed)
+        if latency_table is not None:
+            print(latency_table.render(float_format="{:.1f}"))
+            print()
         if args.rq_tables:
             for table in rq1_coldstart.report(outcome.results[seed]):
                 print(table.render())
@@ -231,9 +238,10 @@ def _command_sweep(args: argparse.Namespace) -> int:
         print()
     mode = f"{outcome.workers} workers" if outcome.workers > 1 else "serial"
     scenario = f", scenario {args.scenario}" if args.scenario else ""
+    engine = f", engine {args.engine}" if args.engine != "vectorized" else ""
     print(
         f"sweep: {len(suite.seeds)} seed(s) x {len(args.policies)} policies "
-        f"in {outcome.wall_seconds:.1f}s ({mode}{scenario})"
+        f"in {outcome.wall_seconds:.1f}s ({mode}{scenario}{engine})"
     )
     if cache_dir:
         print(f"cache: {outcome.cache_hits} hit(s), {outcome.cache_misses} miss(es)")
@@ -299,6 +307,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="bypass the on-disk result cache even when --cache-dir is given",
+    )
+    sweep.add_argument(
+        "--engine",
+        choices=("vectorized", "reference", "event"),
+        default="vectorized",
+        help=(
+            "simulation engine; 'event' expands minutes into timestamped "
+            "invocation events and reports cold-start latency percentiles"
+        ),
     )
     sweep.add_argument(
         "--scenario",

@@ -47,14 +47,21 @@ from repro.baselines import (
     FixedKeepAlivePolicy,
     HybridApplicationPolicy,
     HybridFunctionPolicy,
+    IndexedFaasCachePolicy,
     IndexedFixedKeepAlivePolicy,
     IndexedHybridApplicationPolicy,
     IndexedHybridFunctionPolicy,
     LcsPolicy,
 )
 from repro.core import IndexedSpesPolicy, SpesPolicy
-from repro.simulation import ClusterModel, ProvisioningPolicy, SimulationResult, Simulator
-from repro.simulation.engine import ENGINE_VERSION
+from repro.simulation import (
+    ClusterModel,
+    EventConfig,
+    ProvisioningPolicy,
+    SimulationResult,
+    Simulator,
+)
+from repro.simulation.engine import ENGINE_IMPLEMENTATIONS, ENGINE_VERSION
 from repro.simulation.policy_base import AlwaysWarmPolicy, NoKeepAlivePolicy
 from repro.traces import TraceSplit
 
@@ -95,6 +102,7 @@ POLICY_REGISTRY: Dict[str, Callable[..., ProvisioningPolicy]] = {
     "fixed-10min-indexed": lambda: IndexedFixedKeepAlivePolicy(keep_alive_minutes=10),
     "hybrid-function-indexed": IndexedHybridFunctionPolicy,
     "hybrid-application-indexed": IndexedHybridApplicationPolicy,
+    "faascache-indexed": IndexedFaasCachePolicy,
 }
 
 
@@ -320,6 +328,8 @@ def _execute_cell(
     traces: Mapping[str, TraceSplit],
     warmup_minutes: int,
     cluster: ClusterModel | None = None,
+    engine: str = "vectorized",
+    events: EventConfig | None = None,
 ) -> SimulationResult:
     """Run one cell against ``traces`` (shared by serial and worker paths)."""
     split = traces[cell.trace_key]
@@ -329,14 +339,22 @@ def _execute_cell(
         training_trace=split.training,
         warmup_minutes=warmup_minutes,
         cluster=cluster,
+        engine=engine,
+        events=events,
     )
     return simulator.run(policy)
 
 
 def _worker_run_cell(
-    cell: SweepCell, warmup_minutes: int, cluster: ClusterModel | None
+    cell: SweepCell,
+    warmup_minutes: int,
+    cluster: ClusterModel | None,
+    engine: str,
+    events: EventConfig | None,
 ) -> tuple[str, SimulationResult]:
-    return cell.name, _execute_cell(cell, _WORKER_TRACES, warmup_minutes, cluster)
+    return cell.name, _execute_cell(
+        cell, _WORKER_TRACES, warmup_minutes, cluster, engine, events
+    )
 
 
 # --------------------------------------------------------------------- #
@@ -363,6 +381,17 @@ class ParallelRunner:
         mapping.  Cells simulating a trace key with a cluster run in
         capacity-constrained mode; the cluster configuration is part of the
         cell's cache key.
+    engine:
+        Engine implementation every cell runs on (``"vectorized"`` default;
+        ``"event"`` additionally collects per-event latency distributions).
+        Part of every cell's cache key: the engines are fingerprint-
+        equivalent, but cached event results carry latency blocks that
+        vectorized runs must not serve and vice versa.
+    events:
+        Optional per-trace-key :class:`~repro.simulation.events.EventConfig`
+        mapping for the ``event`` engine (e.g. scenario-prescribed duration
+        scaling, per-seed jitter seeds).  Keys without an entry use the
+        defaults.  Ignored unless ``engine="event"``.
     """
 
     def __init__(
@@ -372,9 +401,15 @@ class ParallelRunner:
         cache_dir: str | Path | None = None,
         warmup_minutes: int = Simulator.DEFAULT_WARMUP_MINUTES,
         clusters: Mapping[str, ClusterModel | None] | None = None,
+        engine: str = "vectorized",
+        events: Mapping[str, EventConfig] | None = None,
     ) -> None:
         if workers < 0:
             raise ValueError("workers must be non-negative")
+        if engine not in ENGINE_IMPLEMENTATIONS:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {ENGINE_IMPLEMENTATIONS}"
+            )
         available = os.cpu_count() or 1
         if workers > available:
             warnings.warn(
@@ -386,10 +421,15 @@ class ParallelRunner:
         self.traces = dict(traces)
         self.workers = workers
         self.warmup_minutes = warmup_minutes
+        self.engine = engine
         self.clusters = dict(clusters) if clusters else {}
         unknown = set(self.clusters) - set(self.traces)
         if unknown:
             raise KeyError(f"clusters reference unknown trace key(s): {sorted(unknown)}")
+        self.events = dict(events) if events else {}
+        unknown = set(self.events) - set(self.traces)
+        if unknown:
+            raise KeyError(f"events reference unknown trace key(s): {sorted(unknown)}")
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         # Computed lazily: hashing every trace's invocation matrix is only
         # needed once cache keys are requested.
@@ -416,12 +456,20 @@ class ParallelRunner:
             }
         return _digest(
             ENGINE_VERSION,
+            self.engine,
             self._trace_fingerprints[cell.trace_key],
             self.warmup_minutes,
             self.clusters.get(cell.trace_key),
+            self._cell_events(cell.trace_key),
             cell.spec,
             cell.seed,
         )
+
+    def _cell_events(self, trace_key: str) -> EventConfig | None:
+        """The event config a cell runs with (None off the event engine)."""
+        if self.engine != "event":
+            return None
+        return self.events.get(trace_key) or EventConfig()
 
     # ------------------------------------------------------------------ #
     def run_cells(self, cells: Sequence[SweepCell]) -> Dict[str, SimulationResult]:
@@ -454,6 +502,8 @@ class ParallelRunner:
                         self.traces,
                         self.warmup_minutes,
                         self.clusters.get(cell.trace_key),
+                        self.engine,
+                        self._cell_events(cell.trace_key),
                     )
                     for cell in pending
                 }
@@ -492,6 +542,8 @@ class ParallelRunner:
                     cell,
                     self.warmup_minutes,
                     self.clusters.get(cell.trace_key),
+                    self.engine,
+                    self._cell_events(cell.trace_key),
                 )
                 for cell in cells
             ]

@@ -34,7 +34,8 @@ from repro.experiments.parallel import (
 )
 from repro.experiments.runner import ExperimentConfig
 from repro.metrics.summary import ComparisonTable
-from repro.simulation import SimulationResult
+from repro.simulation import EventConfig, LatencyStats, SimulationResult
+from repro.simulation.engine import ENGINE_IMPLEMENTATIONS
 from repro.traces import AzureTraceGenerator, TraceSplit, split_trace
 
 __all__ = ["ExperimentSuite", "SuiteResult", "DEFAULT_SUITE_POLICIES"]
@@ -77,13 +78,20 @@ class SuiteResult:
 
         Capacity-constrained sweeps (scenario with a cluster model) get two
         extra columns: arbiter evictions and capacity-induced cold starts.
+        Event-engine sweeps get the cold-start latency percentiles
+        (p50/p95/p99 over latency-affected events).
         """
         capacity_run = any(
             result.cluster is not None for result in self.results[seed].values()
         )
+        latency_run = any(
+            result.latency is not None for result in self.results[seed].values()
+        )
         columns = ["policy", "q3_csr", "always_cold_pct", "avg_memory", "wmt", "emcr_pct"]
         if capacity_run:
             columns += ["evictions", "cap_cold_starts"]
+        if latency_run:
+            columns += ["lat_p50_ms", "lat_p95_ms", "lat_p99_ms"]
         table = ComparisonTable(
             title=f"Policy suite (seed {seed})",
             columns=tuple(columns),
@@ -103,8 +111,62 @@ class SuiteResult:
                 row["cap_cold_starts"] = (
                     float(cluster.capacity_cold_starts) if cluster else 0.0
                 )
+            if latency_run:
+                latency = result.latency
+                row["lat_p50_ms"] = latency.p50_ms if latency else 0.0
+                row["lat_p95_ms"] = latency.p95_ms if latency else 0.0
+                row["lat_p99_ms"] = latency.p99_ms if latency else 0.0
             table.add_row(**row)
         return table
+
+    def latency_table(self, seed: int) -> ComparisonTable | None:
+        """Cold-start latency distribution per policy, or ``None`` off the
+        event engine."""
+        rows = {
+            name: result.latency
+            for name, result in self.results[seed].items()
+            if result.latency is not None
+        }
+        if not rows:
+            return None
+        table = ComparisonTable(
+            title=f"Cold-start latency (seed {seed}; event engine)",
+            columns=(
+                "policy",
+                "events",
+                "cold_pct",
+                "p50_ms",
+                "p95_ms",
+                "p99_ms",
+                "max_ms",
+            ),
+        )
+        for name, latency in rows.items():
+            table.add_row(
+                policy=name,
+                events=float(latency.total_events),
+                cold_pct=100.0 * latency.cold_event_fraction,
+                p50_ms=latency.p50_ms,
+                p95_ms=latency.p95_ms,
+                p99_ms=latency.p99_ms,
+                max_ms=latency.max_ms,
+            )
+        return table
+
+    def merged_latency(self, policy: str) -> LatencyStats | None:
+        """One policy's latency distribution pooled across every seed.
+
+        Uses :meth:`LatencyStats.merge` (associative sample pooling), so the
+        result is independent of seed order.  ``None`` off the event engine.
+        """
+        stats = [
+            per_policy[policy].latency
+            for per_policy in self.results.values()
+            if policy in per_policy and per_policy[policy].latency is not None
+        ]
+        if not stats:
+            return None
+        return LatencyStats.merge(stats)
 
     def cluster_table(self, seed: int) -> ComparisonTable | None:
         """Capacity effects per policy, or ``None`` for uncapped sweeps."""
@@ -194,6 +256,12 @@ class ExperimentSuite:
     scenario_params:
         Overrides for the scenario's parameters (see each scenario's
         ``defaults``).
+    engine:
+        Engine implementation every cell runs on.  ``"event"`` turns cold
+        starts into latency distributions: each seed's workload gets an
+        :class:`~repro.simulation.events.EventConfig` (the scenario's when a
+        scenario is set, defaults keyed to the seed otherwise) and the
+        result tables grow p50/p95/p99 cold-start latency columns.
     """
 
     def __init__(
@@ -205,8 +273,14 @@ class ExperimentSuite:
         cache_dir: str | Path | None = None,
         scenario: str | None = None,
         scenario_params: Mapping[str, object] | None = None,
+        engine: str = "vectorized",
     ) -> None:
         self.config = config or ExperimentConfig()
+        if engine not in ENGINE_IMPLEMENTATIONS:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {ENGINE_IMPLEMENTATIONS}"
+            )
+        self.engine = engine
         # Deduplicate while preserving order: a repeated seed is the same
         # workload and would otherwise produce colliding sweep cells.
         self.seeds = tuple(dict.fromkeys(seeds)) if seeds else (self.config.seed,)
@@ -232,6 +306,7 @@ class ExperimentSuite:
             raise ValueError("scenario_params requires a scenario")
         self._traces: Dict[str, TraceSplit] | None = None
         self._clusters: Dict[str, object] = {}
+        self._events: Dict[str, EventConfig] = {}
         self._runner: ParallelRunner | None = None
 
     # ------------------------------------------------------------------ #
@@ -269,11 +344,13 @@ class ExperimentSuite:
                     self._traces[key] = workload.split
                     if workload.cluster is not None:
                         self._clusters[key] = workload.cluster
+                    self._events[key] = workload.events
                 else:
                     trace = AzureTraceGenerator(config.generator_profile()).generate()
                     self._traces[key] = split_trace(
                         trace, training_days=config.training_days
                     )
+                    self._events[key] = EventConfig(seed=seed)
         return self._traces
 
     def parallel_runner(self) -> ParallelRunner:
@@ -286,6 +363,8 @@ class ExperimentSuite:
                 cache_dir=self.cache_dir,
                 warmup_minutes=self.config.warmup_minutes,
                 clusters=self._clusters or None,
+                engine=self.engine,
+                events=self._events if self.engine == "event" else None,
             )
         return self._runner
 

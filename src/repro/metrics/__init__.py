@@ -21,7 +21,14 @@ from repro.metrics.memory import (
     per_category_wmt_ratio,
     wmt_reduction,
 )
-from repro.metrics.distribution import empirical_cdf, percentile_table
+from repro.metrics.distribution import (
+    LATENCY_PERCENTILES,
+    empirical_cdf,
+    merge_samples,
+    percentile_summary,
+    percentile_table,
+    tail_by_key,
+)
 from repro.metrics.summary import ComparisonTable, build_comparison
 
 __all__ = [
@@ -37,6 +44,10 @@ __all__ = [
     "wmt_reduction",
     "empirical_cdf",
     "percentile_table",
+    "percentile_summary",
+    "merge_samples",
+    "tail_by_key",
+    "LATENCY_PERCENTILES",
     "ComparisonTable",
     "build_comparison",
 ]

@@ -1,10 +1,13 @@
-"""Distribution helpers: empirical CDFs and percentile tables."""
+"""Distribution helpers: empirical CDFs, percentile tables and aggregation."""
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
+
+#: Headline latency percentiles reported by the event engine's RQ tables.
+LATENCY_PERCENTILES = (50.0, 95.0, 99.0)
 
 
 def empirical_cdf(
@@ -47,3 +50,62 @@ def percentile_table(
     if samples.size == 0:
         return {float(p): 0.0 for p in percentiles}
     return {float(p): float(np.percentile(samples, p)) for p in percentiles}
+
+
+def percentile_summary(
+    values: Sequence[float] | np.ndarray,
+    percentiles: Sequence[float] = LATENCY_PERCENTILES,
+) -> dict[str, float]:
+    """Return ``{"p50": ..., "p95": ...}`` for the requested percentiles.
+
+    Empty samples yield 0.0 for every percentile (an empty latency
+    distribution means no event ever waited, not "undefined"), matching the
+    conventions of :class:`~repro.simulation.results.SimulationResult`'s
+    other aggregates.  Percentile labels drop a trailing ``.0`` so the usual
+    grid renders as ``p50/p95/p99`` while fractional percentiles (``p99.9``)
+    remain expressible.
+    """
+
+    def label(p: float) -> str:
+        return f"p{p:g}"
+
+    samples = np.asarray(values, dtype=float)
+    if samples.size == 0:
+        return {label(float(p)): 0.0 for p in percentiles}
+    return {
+        label(float(p)): float(np.percentile(samples, p)) for p in percentiles
+    }
+
+
+def merge_samples(groups: Iterable[Sequence[float] | np.ndarray]) -> np.ndarray:
+    """Concatenate sample groups into one array (the percentile merge rule).
+
+    Percentiles do not compose from per-group percentiles, but they *do*
+    compose from pooled samples, and pooling is associative and commutative:
+    merging per-seed latency samples in any grouping yields identical
+    percentiles.  :meth:`~repro.simulation.results.LatencyStats.merge` pools
+    both its global and per-function sample sets through this function.
+    """
+    arrays = [np.asarray(group, dtype=float).ravel() for group in groups]
+    arrays = [array for array in arrays if array.size]
+    if not arrays:
+        return np.zeros(0, dtype=float)
+    return np.concatenate(arrays)
+
+
+def tail_by_key(
+    samples_by_key: Mapping[str, Sequence[float] | np.ndarray],
+    percentile: float = 99.0,
+) -> dict[str, float]:
+    """Per-key tail percentile of a ``{key: samples}`` mapping.
+
+    Keys with no samples are omitted — a function that never waited has no
+    tail, and reporting 0.0 for it would drag aggregate views of the
+    per-function tail distribution toward zero.
+    """
+    result: dict[str, float] = {}
+    for key, values in samples_by_key.items():
+        samples = np.asarray(values, dtype=float)
+        if samples.size:
+            result[key] = float(np.percentile(samples, percentile))
+    return result

@@ -14,11 +14,14 @@ seeded, parameterized workload builders that every entry point
 1440
 
 A scenario yields a :class:`ScenarioWorkload`: a train/simulation
-:class:`~repro.traces.trace.TraceSplit` plus an optional
+:class:`~repro.traces.trace.TraceSplit`, an optional
 :class:`~repro.simulation.cluster.ClusterModel` when the scenario is
-meaningful only under capacity pressure (``capacity-squeeze``).  Builders are
-deterministic in ``(seed, parameters)``: the same call always produces the
-same trace fingerprints, so sweep cells built from scenarios cache cleanly.
+meaningful only under capacity pressure (``capacity-squeeze``), and an
+:class:`~repro.simulation.events.EventConfig` carrying the scenario's
+duration/jitter parameters for the sub-minute event engine (``sweep --engine
+event``).  Builders are deterministic in ``(seed, parameters)``: the same
+call always produces the same trace fingerprints (and the same event-jitter
+seed), so sweep cells built from scenarios cache cleanly.
 
 Built-in catalog
 ----------------
@@ -46,12 +49,14 @@ Custom scenarios register with :func:`register_scenario`.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping
 
 import numpy as np
 
 from repro.simulation.cluster import ClusterModel
+from repro.simulation.events import EventConfig
 from repro.traces import (
     AzureTraceGenerator,
     FunctionRecord,
@@ -91,11 +96,17 @@ class ScenarioWorkload:
     cluster:
         Cluster model the scenario prescribes, or ``None`` for the paper's
         uncapped single-host setting.
+    events:
+        Sub-minute event-engine configuration (arrival-jitter seed, duration
+        scaling) the scenario prescribes.  :meth:`Scenario.build` rebases the
+        jitter seed on the workload seed, so event-engine runs are as
+        deterministic in ``(seed, parameters)`` as the traces themselves.
     """
 
     scenario: str
     split: TraceSplit
     cluster: ClusterModel | None = None
+    events: EventConfig = EventConfig()
 
 
 @dataclass(frozen=True)
@@ -115,12 +126,20 @@ class Scenario:
     defaults:
         Scenario-specific parameters and their default values; overridable
         per :meth:`build` call and enumerated by the CLI.
+    events:
+        Duration/jitter parameters of the sub-minute event engine for this
+        scenario's workloads — e.g. ``capacity-squeeze`` models a congested
+        image registry with slower provisioning, ``bursty`` ships the heavy
+        batch runtimes its archetype mix implies.  Attached to every built
+        :class:`ScenarioWorkload` with the jitter seed rebased on the
+        workload seed.
     """
 
     name: str
     description: str
     builder: Callable[..., ScenarioWorkload]
     defaults: Mapping[str, Any] = field(default_factory=dict)
+    events: EventConfig = EventConfig()
 
     def build(
         self,
@@ -138,12 +157,21 @@ class Scenario:
                 f"{self.name!r}; accepted: {sorted(self.defaults)}"
             )
         params = {**self.defaults, **overrides}
-        return self.builder(
+        workload = self.builder(
             seed=seed,
             n_functions=n_functions,
             days=days,
             training_days=training_days,
             **params,
+        )
+        # The event layer rides along on every workload.  A builder that set
+        # its own (e.g. parameter-dependent) event config keeps it; otherwise
+        # the scenario-level duration model applies.  Either way the jitter
+        # stream is keyed to this workload's seed, so event runs cache as
+        # deterministically as the traces themselves.
+        events = workload.events if workload.events != EventConfig() else self.events
+        return dataclasses.replace(
+            workload, events=dataclasses.replace(events, seed=seed)
         )
 
 
@@ -395,6 +423,7 @@ register_scenario(
         name="azure",
         description="default synthetic Azure-like population (the paper's setting)",
         builder=_build_azure,
+        events=EventConfig(),
     )
 )
 register_scenario(
@@ -403,6 +432,8 @@ register_scenario(
         description="day/night-modulated Poisson HTTP traffic over a timer/rare background",
         builder=_build_diurnal,
         defaults={"diurnal_fraction": 0.6, "amplitude": 0.9},
+        # Human-facing request/response traffic: light handlers, quick boots.
+        events=EventConfig(cold_start_scale=0.8, execution_scale=0.7),
     )
 )
 register_scenario(
@@ -410,6 +441,8 @@ register_scenario(
         name="bursty",
         description="temporal-locality heavy: hours idle, then dense bursts",
         builder=_build_bursty,
+        # Batch-shaped population: heavier runtimes, slower provisioning.
+        events=EventConfig(cold_start_scale=1.5, execution_scale=2.0),
     )
 )
 register_scenario(
@@ -418,6 +451,7 @@ register_scenario(
         description="a large population slice changes behaviour mid-trace",
         builder=_build_drift,
         defaults={"drifting_fraction": 0.35},
+        events=EventConfig(),
     )
 )
 register_scenario(
@@ -426,6 +460,8 @@ register_scenario(
         description="azure base + sudden unpredictable crowds inside the simulation window",
         builder=_build_flash_crowd,
         defaults={"crowd_fraction": 0.12, "crowd_minutes": 120, "peak_rate": 15.0},
+        # Crowds pull cold images through an already-busy registry.
+        events=EventConfig(cold_start_scale=1.3),
     )
 )
 register_scenario(
@@ -434,5 +470,8 @@ register_scenario(
         description="dense population on a sharded cluster with a workload-derived memory cap",
         builder=_build_capacity_squeeze,
         defaults={"squeeze": 2.5, "n_nodes": 4},
+        # Under sustained eviction pressure node-local image caches thrash,
+        # so re-provisioning costs more than a cold-cache boot.
+        events=EventConfig(cold_start_scale=2.0),
     )
 )

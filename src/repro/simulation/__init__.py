@@ -18,8 +18,14 @@ usage, and effective memory consumption exactly as defined in the paper.
 from repro.simulation.policy_base import AlwaysWarmPolicy, NoKeepAlivePolicy, ProvisioningPolicy
 from repro.simulation.vector_policy import DictPolicyAdapter, VectorizedPolicy
 from repro.simulation.cluster import ClusterArbiter, ClusterModel
+from repro.simulation.events import EventConfig, EventTracker
 from repro.simulation.memory import MemoryAccountant
-from repro.simulation.results import ClusterStats, FunctionStats, SimulationResult
+from repro.simulation.results import (
+    ClusterStats,
+    FunctionStats,
+    LatencyStats,
+    SimulationResult,
+)
 from repro.simulation.engine import Simulator, simulate_policy
 from repro.simulation.overhead import OverheadTimer
 
@@ -32,6 +38,9 @@ __all__ = [
     "ClusterModel",
     "ClusterArbiter",
     "ClusterStats",
+    "EventConfig",
+    "EventTracker",
+    "LatencyStats",
     "MemoryAccountant",
     "FunctionStats",
     "SimulationResult",

@@ -40,6 +40,17 @@ Two interchangeable implementations of this contract exist:
     specification of the uncapped accounting rules.  The regression tests
     assert that both implementations produce identical statistics; use it
     when auditing a change to the accounting semantics.
+
+``event``
+    The vectorized minute loop with the sub-minute event layer of
+    :mod:`repro.simulation.events` hooked in: every minute bucket is
+    expanded into timestamped invocation events (seeded arrival jitter,
+    per-function duration profiles) and per-event cold-start waits are
+    recorded into :class:`~repro.simulation.results.LatencyStats`.  Because
+    the event layer only *observes* the vectorized loop, an event run's
+    minute-granular outputs — and therefore its deterministic fingerprint —
+    are identical to a vectorized run's; it adds the latency distribution on
+    top.  Supports the cluster mode.
 """
 
 from __future__ import annotations
@@ -50,19 +61,25 @@ from typing import Dict, Set
 import numpy as np
 
 from repro.simulation.cluster import ClusterModel
+from repro.simulation.events import EventConfig, EventTracker
 from repro.simulation.memory import MemoryAccountant
 from repro.simulation.overhead import OverheadTimer
 from repro.simulation.policy_base import ProvisioningPolicy
-from repro.simulation.results import ClusterStats, FunctionStats, SimulationResult
+from repro.simulation.results import (
+    ClusterStats,
+    FunctionStats,
+    LatencyStats,
+    SimulationResult,
+)
 from repro.simulation.vector_policy import DictPolicyAdapter, VectorizedPolicy
 from repro.traces.trace import Trace
 
 #: Names of the available engine implementations.
-ENGINE_IMPLEMENTATIONS = ("vectorized", "reference")
+ENGINE_IMPLEMENTATIONS = ("vectorized", "reference", "event")
 
 #: Bumped whenever a change alters simulation *output*; part of on-disk
 #: result-cache keys so stale cached results are never served.
-ENGINE_VERSION = 3
+ENGINE_VERSION = 4
 
 
 class Simulator:
@@ -86,13 +103,19 @@ class Simulator:
         rules produce; replaying one day of history reproduces that boundary
         condition.  Set to 0 to start from a completely cold platform.
     engine:
-        Which implementation runs the minute loop: ``"vectorized"`` (default)
-        or ``"reference"`` (see the module docstring).
+        Which implementation runs the minute loop: ``"vectorized"``
+        (default), ``"reference"`` or ``"event"`` (see the module docstring).
     cluster:
         Optional :class:`~repro.simulation.cluster.ClusterModel` imposing a
-        (possibly sharded) memory cap on the resident set.  Requires the
-        vectorized engine; the reference engine remains the executable
-        specification of the paper's *uncapped* setting.
+        (possibly sharded) memory cap on the resident set.  Requires a
+        mask-based engine (``vectorized`` or ``event``); the reference
+        engine remains the executable specification of the paper's
+        *uncapped* setting.
+    events:
+        Optional :class:`~repro.simulation.events.EventConfig` for the
+        ``event`` engine (jitter seed, duration scaling).  Defaults are used
+        when the engine is ``"event"`` and no config is given; passing a
+        config with a minute-granular engine is an error.
     """
 
     #: Default warm-up horizon: one day covers the longest keep-alive and
@@ -107,6 +130,7 @@ class Simulator:
         warmup_minutes: int = DEFAULT_WARMUP_MINUTES,
         engine: str = "vectorized",
         cluster: ClusterModel | None = None,
+        events: EventConfig | None = None,
     ) -> None:
         if warmup_minutes < 0:
             raise ValueError("warmup_minutes must be non-negative")
@@ -114,16 +138,20 @@ class Simulator:
             raise ValueError(
                 f"unknown engine {engine!r}; expected one of {ENGINE_IMPLEMENTATIONS}"
             )
-        if cluster is not None and engine != "vectorized":
+        if cluster is not None and engine == "reference":
             raise ValueError(
-                "the capacity-constrained cluster mode requires the vectorized engine"
+                "the capacity-constrained cluster mode requires a mask-based "
+                "engine (vectorized or event)"
             )
+        if events is not None and engine != "event":
+            raise ValueError("an EventConfig requires engine='event'")
         self.simulation_trace = simulation_trace
         self.training_trace = training_trace
         self.initially_resident = set(initially_resident or set())
         self.warmup_minutes = warmup_minutes
         self.engine = engine
         self.cluster = cluster
+        self.events = events
 
     def run(self, policy: ProvisioningPolicy, prepare: bool = True) -> SimulationResult:
         """Simulate ``policy`` over the configured trace and return its result.
@@ -155,13 +183,19 @@ class Simulator:
 
         if self.engine == "reference":
             return self._run_reference(policy, resident)
-        return self._run_vectorized(policy, resident)
+        tracker = None
+        if self.engine == "event":
+            tracker = EventTracker(trace, self.events)
+        return self._run_vectorized(policy, resident, tracker)
 
     # ------------------------------------------------------------------ #
     # Vectorized implementation (default)
     # ------------------------------------------------------------------ #
     def _run_vectorized(
-        self, policy: ProvisioningPolicy, initial_resident: Set[str]
+        self,
+        policy: ProvisioningPolicy,
+        initial_resident: Set[str],
+        tracker: EventTracker | None = None,
     ) -> SimulationResult:
         """Minute loop on numpy masks over the trace's invocation index.
 
@@ -181,6 +215,12 @@ class Simulator:
         * the adapter updates its mask from the *difference* between the
           policy's consecutive declarations, so a steady-state dict policy
           costs nothing and a churning one costs only its churn.
+
+        With an :class:`~repro.simulation.events.EventTracker` (the
+        ``event`` engine), each minute is additionally expanded into
+        timestamped invocation events after cold starts are charged; the
+        tracker is a pure observer, so every minute-granular output is
+        unchanged.
         """
         trace = self.simulation_trace
         duration = trace.duration_minutes
@@ -248,13 +288,20 @@ class Simulator:
             if invoked.size:
                 # 1-2. charge cold starts against the entering resident set.
                 invoked_minutes[invoked] += 1
-                cold = invoked[~resident[invoked]]
+                cold_mask = ~resident[invoked]
+                cold = invoked[cold_mask]
                 cold_starts[cold] += 1
                 if arbiter is not None and cold.size:
                     # Cold starts the policy had provisioned against: they
                     # exist only because the arbiter trimmed the declaration.
                     capacity_cold_starts += int(
                         np.count_nonzero(declared_entering[cold])
+                    )
+                if tracker is not None:
+                    # Sub-minute observation layer: expand this minute into
+                    # timestamped events and record per-event waits.
+                    tracker.observe_minute(
+                        minute, invoked, counts, cold_mask, declared_entering
                     )
                 # 3. invoked functions are loaded on demand for this minute.
                 resident[invoked] = True
@@ -316,7 +363,10 @@ class Simulator:
                 invocations=int(invoked_minutes[position]),
                 cold_starts=int(cold_starts[position]),
             )
-        return self._finalize(policy, duration, stats, accountant, timer, cluster_stats)
+        latency = tracker.finalize() if tracker is not None else None
+        return self._finalize(
+            policy, duration, stats, accountant, timer, cluster_stats, latency
+        )
 
     # ------------------------------------------------------------------ #
     # Reference implementation (executable specification)
@@ -366,6 +416,7 @@ class Simulator:
         accountant: MemoryAccountant,
         timer: OverheadTimer,
         cluster_stats: ClusterStats | None = None,
+        latency: LatencyStats | None = None,
     ) -> SimulationResult:
         """Merge accountant aggregates into the per-function statistics."""
         for function_id, wasted in accountant.wmt_per_function.items():
@@ -385,6 +436,7 @@ class Simulator:
             overhead_seconds=timer.total_seconds,
             overhead_per_minute=timer.mean_seconds,
             cluster=cluster_stats,
+            latency=latency,
         )
 
     # ------------------------------------------------------------------ #
@@ -414,6 +466,7 @@ def simulate_policy(
     warmup_minutes: int = Simulator.DEFAULT_WARMUP_MINUTES,
     engine: str = "vectorized",
     cluster: ClusterModel | None = None,
+    events: EventConfig | None = None,
 ) -> SimulationResult:
     """Convenience wrapper: build a :class:`Simulator` and run one policy."""
     simulator = Simulator(
@@ -423,5 +476,6 @@ def simulate_policy(
         warmup_minutes=warmup_minutes,
         engine=engine,
         cluster=cluster,
+        events=events,
     )
     return simulator.run(policy)

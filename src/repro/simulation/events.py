@@ -1,0 +1,288 @@
+"""Sub-minute event layer: arrival timestamps, durations, latency tracking.
+
+The paper's simulation (and the ``vectorized``/``reference`` engines) is
+minute-bucketed: a cold start is a *count*, charged once per invoked minute a
+function is not resident.  A production serving system optimizes a latency
+*distribution* — how long requests actually waited on provisioning.  This
+module supplies the engine's third temporal resolution:
+
+* each minute bucket is expanded into timestamped **invocation events**
+  (deterministic seeded arrival jitter inside the minute);
+* every function carries a :class:`~repro.traces.schema.DurationProfile`
+  (provisioning latency + execution duration), derived deterministically per
+  function via :func:`~repro.traces.archetypes.duration_profile_for`;
+* the first event of a non-resident function *initiates* provisioning and
+  waits the full cold-start latency; events arriving while that provisioning
+  is still in flight queue behind it and wait the residual; everything else
+  is a warm hit.
+
+The event layer is deliberately an **observer**, not a second accounting
+implementation: :class:`EventTracker` hooks into the vectorized engine's
+minute loop *after* cold starts are charged and *before* the policy decides
+the next resident set.  Policies still run the unchanged
+:class:`~repro.simulation.vector_policy.VectorizedPolicy` contract at minute
+boundaries, and residency/memory/cluster accounting is byte-for-byte the
+vectorized engine's — which is why an event run's
+:meth:`~repro.simulation.results.SimulationResult.deterministic_fingerprint`
+is *identical* to a vectorized run's.  What the event engine adds is the
+:class:`~repro.simulation.results.LatencyStats` block: per-event cold-start
+waits, capacity-attributed cold events (mid-minute arrivals hitting a slot
+the cluster arbiter evicted at the previous boundary), and busy time.
+
+Determinism: arrival jitter comes from one :class:`numpy.random.Generator`
+seeded by :attr:`EventConfig.seed` and consumed in a fixed order (minute
+-major, CSR function order), so a run is a pure function of ``(trace, policy,
+config)``.  Changing the jitter seed changes *latencies only* — never counts,
+never the fingerprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.simulation.results import LatencyStats
+from repro.traces.archetypes import duration_profile_for
+from repro.traces.schema import DEFAULT_DURATION_PROFILE, DurationProfile
+from repro.traces.trace import InvocationIndex, Trace
+
+__all__ = ["EventConfig", "EventTracker", "expand_minute_offsets"]
+
+#: Seconds per simulated minute bucket.
+SECONDS_PER_MINUTE = 60.0
+
+
+@dataclass(frozen=True)
+class EventConfig:
+    """Immutable configuration of the sub-minute event layer.
+
+    Picklable and hashable-by-content (it participates in sweep cache keys),
+    so one config can be shared across sweep cells and worker processes.
+
+    Attributes
+    ----------
+    seed:
+        Seed of the arrival-jitter stream.  Scenario builds derive it from
+        the workload seed so event runs cache deterministically.
+    cold_start_scale / execution_scale:
+        Scenario-level multipliers applied on top of every function's
+        duration profile (e.g. a flash-crowd scenario modelling a congested
+        image registry scales provisioning up without touching the
+        per-function spread).
+    default_profile:
+        Profile used when a function's record yields none.
+    derive_profiles:
+        When True (default), per-function profiles are derived from each
+        function's archetype/trigger metadata via
+        :func:`~repro.traces.archetypes.duration_profile_for`; when False,
+        every function uses ``default_profile`` unchanged — the paper's
+        uniform-latency assumption, useful for controlled tests.
+    """
+
+    seed: int = 0
+    cold_start_scale: float = 1.0
+    execution_scale: float = 1.0
+    default_profile: DurationProfile = DEFAULT_DURATION_PROFILE
+    derive_profiles: bool = True
+
+    def __post_init__(self) -> None:
+        if self.cold_start_scale < 0 or self.execution_scale < 0:
+            raise ValueError("scale factors must be non-negative")
+
+    def profile_for(self, record) -> DurationProfile:
+        """The effective duration profile of one function."""
+        if self.derive_profiles:
+            profile = duration_profile_for(record, base=self.default_profile)
+        else:
+            profile = self.default_profile
+        if self.cold_start_scale != 1.0 or self.execution_scale != 1.0:
+            profile = profile.scaled(
+                cold_start=self.cold_start_scale, execution=self.execution_scale
+            )
+        return profile
+
+
+def expand_minute_offsets(
+    rng: np.random.Generator, count: int
+) -> np.ndarray:
+    """Arrival offsets (seconds into the minute) for ``count`` events, sorted.
+
+    Arrivals are uniform over the minute — the maximum-entropy choice given
+    that the trace only records per-minute counts, and consistent with the
+    Poisson arrival processes the paper observes for HTTP traffic (§III-B1):
+    conditioned on the count, Poisson arrival times are uniform order
+    statistics.
+
+    This is the *single-function reference form* of the expansion, kept for
+    tests and external callers.  :meth:`EventTracker.observe_minute` applies
+    the same construction — uniform draws, sorted per function — but batched
+    over all of a minute's cold functions with one draw and one segment sort,
+    so the two consume the jitter stream in different orders; only the
+    tracker's order defines an event run's latencies.
+    """
+    if count <= 0:
+        return np.zeros(0, dtype=float)
+    offsets = rng.random(count) * SECONDS_PER_MINUTE
+    offsets.sort()
+    return offsets
+
+
+class EventTracker:
+    """Per-run event expansion and latency bookkeeping.
+
+    The vectorized minute loop calls :meth:`observe_minute` once per minute
+    with the invoked indices, their counts, the subset charged a cold start,
+    and (under a cluster) the policy's pre-arbiter declaration — everything
+    needed to expand events and attribute waits without re-deriving any
+    residency state.  :meth:`finalize` packages the observations into a
+    :class:`~repro.simulation.results.LatencyStats`.
+    """
+
+    def __init__(self, trace: Trace, config: EventConfig | None = None) -> None:
+        self.config = config or EventConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+        index: InvocationIndex = trace.invocation_index()
+        self._function_ids = index.function_ids
+        n = index.n_functions
+        cold_ms = np.empty(n, dtype=float)
+        exec_ms = np.empty(n, dtype=float)
+        for position, function_id in enumerate(index.function_ids):
+            profile = self.config.profile_for(trace.record(function_id))
+            cold_ms[position] = profile.cold_start_ms
+            exec_ms[position] = profile.execution_ms
+        self._cold_ms = cold_ms
+        self._exec_ms = exec_ms
+
+        self._total_events = 0
+        self._warm_events = 0
+        self._cold_start_events = 0
+        self._delayed_events = 0
+        self._capacity_cold_events = 0
+        self._total_execution_ms = 0.0
+        # Per-minute wait/function-index chunks, concatenated once at
+        # finalize; appending arrays keeps the hot path free of per-event
+        # Python work.
+        self._wait_chunks: List[np.ndarray] = []
+        self._position_chunks: List[np.ndarray] = []
+
+    # ------------------------------------------------------------------ #
+    def observe_minute(
+        self,
+        minute: int,
+        invoked: np.ndarray,
+        counts: np.ndarray,
+        cold_mask: np.ndarray,
+        declared_entering: np.ndarray | None,
+    ) -> None:
+        """Expand one minute's invocations into events and record waits.
+
+        The expansion is fully vectorized: one jitter draw for all of the
+        minute's cold events, one segment-keyed sort to order each cold
+        function's arrivals, and mask arithmetic for the initiation/queued
+        split — so even an always-cold policy (every event latency-affected)
+        costs a handful of numpy calls per minute.
+
+        Parameters
+        ----------
+        minute:
+            The simulated minute (unused in the wait arithmetic — events are
+            timed relative to their minute — but kept for extensions).
+        invoked / counts:
+            The minute's CSR slice: invoked function indices and counts.
+        cold_mask:
+            Boolean mask over ``invoked``: True where the function was not
+            resident when the minute began.  Exactly these functions initiate
+            provisioning.
+        declared_entering:
+            Under a cluster, the policy's pre-arbiter declaration for this
+            minute; initiations the policy had declared resident are
+            capacity-attributed.  ``None`` for uncapped runs.
+        """
+        if invoked.size == 0:
+            return
+        total = int(counts.sum())
+        self._total_events += total
+        self._total_execution_ms += float(
+            (counts * self._exec_ms[invoked]).sum()
+        )
+
+        cold = invoked[cold_mask]
+        n_cold = cold.size
+        if n_cold == 0:
+            self._warm_events += total
+            return
+        if declared_entering is not None:
+            self._capacity_cold_events += int(
+                np.count_nonzero(declared_entering[cold])
+            )
+
+        # Expand the cold functions' events.  Warm functions contribute
+        # counts without timestamps (their waits are all zero).
+        counts_cold = counts[cold_mask]
+        total_cold = int(counts_cold.sum())
+        cold_ms = self._cold_ms[cold]
+        # segment[i] is the index into `cold` of event i.
+        segment = np.repeat(np.arange(n_cold), counts_cold)
+        offsets = self._rng.random(total_cold) * SECONDS_PER_MINUTE
+        if total_cold > n_cold:
+            # Sort arrivals within each function's segment (offsets < 60, so
+            # one key orders by (segment, offset) in a single pass).
+            order = np.argsort(segment * SECONDS_PER_MINUTE + offsets, kind="stable")
+            offsets = offsets[order]
+        starts = np.zeros(n_cold, dtype=np.int64)
+        np.cumsum(counts_cold[:-1], out=starts[1:])
+        # The first arrival initiates provisioning and waits all of it;
+        # arrivals before the instance is ready queue for the residual.
+        ready = offsets[starts] + cold_ms / 1000.0
+        wait_seconds = ready[segment] - offsets
+        is_first = np.zeros(total_cold, dtype=bool)
+        is_first[starts] = True
+        delayed = ~is_first & (wait_seconds > 0.0)
+        n_delayed = int(np.count_nonzero(delayed))
+
+        if n_delayed:
+            waits_ms = np.concatenate([cold_ms, wait_seconds[delayed] * 1000.0])
+            positions = np.concatenate([cold, cold[segment[delayed]]])
+        else:
+            waits_ms = cold_ms.astype(float, copy=True)
+            positions = cold
+        self._wait_chunks.append(waits_ms)
+        self._position_chunks.append(positions)
+        self._cold_start_events += n_cold
+        self._delayed_events += n_delayed
+        self._warm_events += total - n_cold - n_delayed
+
+    # ------------------------------------------------------------------ #
+    def finalize(self) -> LatencyStats:
+        """Package the run's observations into a :class:`LatencyStats`."""
+        if self._wait_chunks:
+            waits = np.concatenate(self._wait_chunks)
+            positions = np.concatenate(self._position_chunks)
+        else:
+            waits = np.zeros(0, dtype=float)
+            positions = np.zeros(0, dtype=np.int64)
+
+        ids = self._function_ids
+        per_function: Dict[str, np.ndarray] = {}
+        if positions.size:
+            order = np.argsort(positions, kind="stable")  # chronology kept
+            sorted_positions = positions[order]
+            sorted_waits = waits[order]
+            unique, group_starts = np.unique(sorted_positions, return_index=True)
+            bounds = np.append(group_starts, sorted_positions.size)
+            per_function = {
+                ids[position]: sorted_waits[bounds[i] : bounds[i + 1]]
+                for i, position in enumerate(unique.tolist())
+            }
+        return LatencyStats(
+            total_events=self._total_events,
+            warm_events=self._warm_events,
+            cold_start_events=self._cold_start_events,
+            delayed_events=self._delayed_events,
+            capacity_cold_events=self._capacity_cold_events,
+            cold_wait_ms=waits,
+            per_function_wait_ms=per_function,
+            total_execution_ms=self._total_execution_ms,
+        )

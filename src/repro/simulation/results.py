@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, Mapping
+from typing import Dict, Iterable, Mapping
 
 import numpy as np
 
@@ -109,6 +109,160 @@ class ClusterStats:
 
 
 @dataclass
+class LatencyStats:
+    """Per-event cold-start latency distribution of an event-granular run.
+
+    Only present on results produced by the ``event`` engine
+    (:mod:`repro.simulation.events`); the minute-granular engines count cold
+    starts but cannot attribute latency, so they leave
+    :attr:`SimulationResult.latency` as ``None``.
+
+    Latency is attributed to two kinds of events:
+
+    * *initiations* — the first invocation of a non-resident function in a
+      minute, which triggers provisioning and waits the function's full
+      ``cold_start_ms``.  Initiations correspond one-to-one with the
+      minute-granular cold-start count.
+    * *delayed events* — invocations arriving while that provisioning is
+      still in flight; they queue and wait the residual time.
+
+    All other events are *warm hits* with zero cold-start latency.  The raw
+    per-event waits are retained (cold events are a small fraction of
+    traffic), so percentiles are exact and merging across seeds is simply
+    sample pooling — associative and commutative, see :meth:`merge`.
+
+    Like the wall-clock overhead fields, latency is an *observation layered
+    on top of* the minute-granular simulation state: it never feeds back into
+    residency decisions, and it is deliberately excluded from
+    :meth:`SimulationResult.deterministic_fingerprint` so event-engine
+    results remain fingerprint-comparable with the vectorized engine's.
+    """
+
+    #: All invocation events in the simulation window (sum of trace counts).
+    total_events: int = 0
+    #: Events served warm, with zero cold-start latency.
+    warm_events: int = 0
+    #: Events that triggered provisioning (== minute-granular cold starts).
+    cold_start_events: int = 0
+    #: Events that queued behind an in-flight provisioning.
+    delayed_events: int = 0
+    #: Initiations attributable to a capacity trim by the cluster arbiter
+    #: (== :attr:`ClusterStats.capacity_cold_starts`; 0 for uncapped runs).
+    capacity_cold_events: int = 0
+    #: Per-event cold-start waits in milliseconds (initiations + delayed).
+    cold_wait_ms: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=float)
+    )
+    #: The same waits, grouped by function id (functions with none omitted).
+    per_function_wait_ms: Dict[str, np.ndarray] = field(default_factory=dict)
+    #: Total execution time of all events (busy milliseconds), from the
+    #: per-function :class:`~repro.traces.schema.DurationProfile`.
+    total_execution_ms: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    def _percentile(self, percentile: float) -> float:
+        if self.cold_wait_ms.size == 0:
+            return 0.0
+        return float(np.percentile(self.cold_wait_ms, percentile))
+
+    @property
+    def p50_ms(self) -> float:
+        """Median cold-start wait over all latency-affected events."""
+        return self._percentile(50.0)
+
+    @property
+    def p95_ms(self) -> float:
+        """95th-percentile cold-start wait."""
+        return self._percentile(95.0)
+
+    @property
+    def p99_ms(self) -> float:
+        """99th-percentile cold-start wait."""
+        return self._percentile(99.0)
+
+    @property
+    def mean_ms(self) -> float:
+        """Mean cold-start wait over latency-affected events (0 when none)."""
+        if self.cold_wait_ms.size == 0:
+            return 0.0
+        return float(self.cold_wait_ms.mean())
+
+    @property
+    def max_ms(self) -> float:
+        """Worst cold-start wait observed."""
+        if self.cold_wait_ms.size == 0:
+            return 0.0
+        return float(self.cold_wait_ms.max())
+
+    @property
+    def cold_event_fraction(self) -> float:
+        """Fraction of events that experienced any cold-start latency."""
+        if self.total_events == 0:
+            return 0.0
+        return (self.cold_start_events + self.delayed_events) / self.total_events
+
+    def function_tail(self, percentile: float = 99.0) -> Dict[str, float]:
+        """Per-function tail latency: ``{function_id: percentile wait}``.
+
+        Only functions that experienced at least one latency-affected event
+        appear; a function served entirely warm has no tail to report.
+        """
+        # Imported lazily: repro.metrics renders tables *of* results, so a
+        # module-level import here would be circular.
+        from repro.metrics.distribution import tail_by_key
+
+        return tail_by_key(self.per_function_wait_ms, percentile)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def merge(cls, stats: Iterable["LatencyStats"]) -> "LatencyStats":
+        """Pool several runs' latency observations into one distribution.
+
+        Counts add and raw samples concatenate, so the merge is associative
+        and commutative (up to sample order, which no percentile observes):
+        merging per-seed statistics in any grouping yields identical
+        aggregates.  This is the multi-seed aggregation the experiment suite
+        uses for its latency tables.
+        """
+        from repro.metrics.distribution import merge_samples
+
+        stats = list(stats)
+        merged = cls()
+        per_function: Dict[str, list[np.ndarray]] = {}
+        for item in stats:
+            merged.total_events += item.total_events
+            merged.warm_events += item.warm_events
+            merged.cold_start_events += item.cold_start_events
+            merged.delayed_events += item.delayed_events
+            merged.capacity_cold_events += item.capacity_cold_events
+            merged.total_execution_ms += item.total_execution_ms
+            for function_id, samples in item.per_function_wait_ms.items():
+                per_function.setdefault(function_id, []).append(
+                    np.asarray(samples, dtype=float)
+                )
+        merged.cold_wait_ms = merge_samples(item.cold_wait_ms for item in stats)
+        merged.per_function_wait_ms = {
+            function_id: merge_samples(groups)
+            for function_id, groups in sorted(per_function.items())
+        }
+        return merged
+
+    # ------------------------------------------------------------------ #
+    def summary(self) -> Dict[str, float]:
+        """Flat headline numbers, merged into the result-level summary."""
+        from repro.metrics.distribution import percentile_summary
+
+        percentiles = percentile_summary(self.cold_wait_ms)
+        return {
+            "events": float(self.total_events),
+            "cold_event_fraction": self.cold_event_fraction,
+            **{f"lat_{label}_ms": value for label, value in percentiles.items()},
+            "lat_mean_ms": self.mean_ms,
+            "lat_max_ms": self.max_ms,
+        }
+
+
+@dataclass
 class SimulationResult:
     """Aggregated outcome of one policy simulated over one trace window.
 
@@ -134,6 +288,9 @@ class SimulationResult:
         Capacity-constrained statistics when the run used a
         :class:`~repro.simulation.cluster.ClusterModel`; ``None`` in the
         paper's uncapped setting.
+    latency:
+        Per-event cold-start latency distribution when the run used the
+        ``event`` engine; ``None`` for the minute-granular engines.
     """
 
     policy_name: str
@@ -145,6 +302,7 @@ class SimulationResult:
     overhead_seconds: float = 0.0
     overhead_per_minute: float = 0.0
     cluster: ClusterStats | None = None
+    latency: LatencyStats | None = None
 
     # ------------------------------------------------------------------ #
     # Cold-start aggregates
@@ -238,7 +396,12 @@ class SimulationResult:
         Two runs of the same policy over the same trace with the same seed
         produce the same fingerprint, whether they ran serially, in a worker
         process, or came from the on-disk cache.  The wall-clock overhead
-        fields are excluded: they measure the host, not the simulation.
+        fields are excluded: they measure the host, not the simulation.  The
+        optional :attr:`latency` block is also excluded: it is a sub-minute
+        observation layered on top of the minute-granular state, and keeping
+        it out is what lets the equivalence tests assert that the event
+        engine's minute aggregates are *fingerprint-identical* to the
+        vectorized engine's.
         """
         digest = hashlib.sha256()
         digest.update(self.policy_name.encode())
@@ -268,15 +431,18 @@ class SimulationResult:
     # ------------------------------------------------------------------ #
     def summary(self) -> Dict[str, float]:
         """A flat dictionary of headline metrics, handy for tables and tests."""
+        summary = self._base_summary()
         cluster = getattr(self, "cluster", None)
         if cluster is not None:
-            return {
-                **self._base_summary(),
-                "evictions": float(cluster.evictions),
-                "capacity_cold_starts": float(cluster.capacity_cold_starts),
-                "mean_node_utilization": float(cluster.mean_node_utilization.mean()),
-            }
-        return self._base_summary()
+            summary.update(
+                evictions=float(cluster.evictions),
+                capacity_cold_starts=float(cluster.capacity_cold_starts),
+                mean_node_utilization=float(cluster.mean_node_utilization.mean()),
+            )
+        latency = getattr(self, "latency", None)
+        if latency is not None:
+            summary.update(latency.summary())
+        return summary
 
     def _base_summary(self) -> Dict[str, float]:
         return {

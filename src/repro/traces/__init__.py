@@ -18,14 +18,19 @@ invocation counts for every function over 14 days, together with owner
 """
 
 from repro.traces.schema import (
+    DEFAULT_DURATION_PROFILE,
     MINUTES_PER_DAY,
+    DurationProfile,
     FunctionRecord,
     TraceMetadata,
     TriggerType,
 )
 from repro.traces.trace import Trace, TraceSplit, split_trace
 from repro.traces.archetypes import (
+    ARCHETYPE_DURATION_PROFILES,
+    TRIGGER_DURATION_PROFILES,
     ArchetypeName,
+    duration_profile_for,
     generate_always_warm,
     generate_bursty,
     generate_chained,
@@ -42,6 +47,11 @@ from repro.traces.azure_loader import load_azure_invocation_csv
 
 __all__ = [
     "MINUTES_PER_DAY",
+    "DEFAULT_DURATION_PROFILE",
+    "DurationProfile",
+    "ARCHETYPE_DURATION_PROFILES",
+    "TRIGGER_DURATION_PROFILES",
+    "duration_profile_for",
     "TriggerType",
     "FunctionRecord",
     "TraceMetadata",

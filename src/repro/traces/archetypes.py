@@ -23,9 +23,12 @@ determinism, and all return arrays of exactly ``duration`` minutes.
 
 from __future__ import annotations
 
+import zlib
 from typing import Literal
 
 import numpy as np
+
+from repro.traces.schema import DEFAULT_DURATION_PROFILE, DurationProfile, FunctionRecord
 
 ArchetypeName = Literal[
     "always_warm",
@@ -40,6 +43,75 @@ ArchetypeName = Literal[
     "flash_crowd",
     "unknown",
 ]
+
+
+#: Baseline duration profiles per archetype, in milliseconds.  Provisioning
+#: cost tracks the heaviness of the runtime the pattern implies (orchestration
+#: chains and bursty batch jobs ship bigger images than HTTP ping handlers);
+#: execution time tracks how much work one invocation does.  Absolute values
+#: follow the cold-start measurements published for the major FaaS platforms
+#: (hundreds of milliseconds to a few seconds).
+ARCHETYPE_DURATION_PROFILES: dict[str, DurationProfile] = {
+    "always_warm": DurationProfile(cold_start_ms=220.0, execution_ms=60.0),
+    "periodic": DurationProfile(cold_start_ms=300.0, execution_ms=150.0),
+    "quasi_periodic": DurationProfile(cold_start_ms=300.0, execution_ms=150.0),
+    "dense_poisson": DurationProfile(cold_start_ms=250.0, execution_ms=80.0),
+    "diurnal_poisson": DurationProfile(cold_start_ms=250.0, execution_ms=80.0),
+    "bursty": DurationProfile(cold_start_ms=450.0, execution_ms=250.0),
+    "pulsed": DurationProfile(cold_start_ms=400.0, execution_ms=200.0),
+    "chained": DurationProfile(cold_start_ms=350.0, execution_ms=180.0),
+    "rare_possible": DurationProfile(cold_start_ms=500.0, execution_ms=120.0),
+    "rare_unknown": DurationProfile(cold_start_ms=500.0, execution_ms=120.0),
+    "rare": DurationProfile(cold_start_ms=500.0, execution_ms=120.0),
+    "drifting": DurationProfile(cold_start_ms=320.0, execution_ms=140.0),
+    "flash_crowd": DurationProfile(cold_start_ms=280.0, execution_ms=90.0),
+    "unknown": DurationProfile(cold_start_ms=400.0, execution_ms=120.0),
+}
+
+#: Fallback profiles by trigger type for functions without an archetype
+#: annotation (e.g. real-trace loads), keyed by ``TriggerType.value``.
+TRIGGER_DURATION_PROFILES: dict[str, DurationProfile] = {
+    "http": DurationProfile(cold_start_ms=250.0, execution_ms=80.0),
+    "timer": DurationProfile(cold_start_ms=300.0, execution_ms=150.0),
+    "queue": DurationProfile(cold_start_ms=350.0, execution_ms=200.0),
+    "storage": DurationProfile(cold_start_ms=350.0, execution_ms=220.0),
+    "event": DurationProfile(cold_start_ms=300.0, execution_ms=120.0),
+    "orchestration": DurationProfile(cold_start_ms=600.0, execution_ms=300.0),
+    "others": DurationProfile(cold_start_ms=400.0, execution_ms=150.0),
+    "combination": DurationProfile(cold_start_ms=400.0, execution_ms=150.0),
+}
+
+
+def duration_profile_for(
+    record: FunctionRecord, base: DurationProfile | None = None
+) -> DurationProfile:
+    """Derive a deterministic per-function :class:`DurationProfile`.
+
+    The base profile comes from the function's archetype annotation when
+    present, else from its trigger type, else ``base`` (default: the paper's
+    uniform profile).  On top of the base, a per-function spread factor in
+    ``[0.6, 1.8)`` is derived from a CRC-32 hash of the function id — stable
+    across processes and interpreter runs (like
+    :meth:`~repro.simulation.cluster.ClusterModel.node_of`, Python's ``hash``
+    is deliberately avoided so ``PYTHONHASHSEED`` never leaks into latency
+    results) — so a population of functions yields a latency *distribution*
+    rather than a single spike, without any random state to thread around.
+    """
+    profile = None
+    if record.archetype is not None:
+        profile = ARCHETYPE_DURATION_PROFILES.get(record.archetype)
+    if profile is None:
+        profile = TRIGGER_DURATION_PROFILES.get(record.trigger.value)
+    if profile is None:
+        profile = base or DEFAULT_DURATION_PROFILE
+    # Two independent spread draws so provisioning and execution don't move
+    # in lock-step for a given function.
+    unit_cold = (zlib.crc32(f"cold:{record.function_id}".encode()) % 2**32) / 2**32
+    unit_exec = (zlib.crc32(f"exec:{record.function_id}".encode()) % 2**32) / 2**32
+    return profile.scaled(
+        cold_start=0.6 + 1.2 * unit_cold,
+        execution=0.6 + 1.2 * unit_exec,
+    )
 
 
 def _empty(duration: int) -> np.ndarray:

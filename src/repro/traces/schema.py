@@ -51,6 +51,52 @@ class TriggerType(str, enum.Enum):
 
 
 @dataclass(frozen=True)
+class DurationProfile:
+    """Latency model of one function: provisioning cost and execution time.
+
+    The paper's minute-granular simulation assumes uniform cold-start latency
+    across functions, so cold starts are a *count*.  The sub-minute event
+    engine (:mod:`repro.simulation.events`) needs actual durations to turn
+    cold starts into a latency *distribution*: every cold start charges
+    ``cold_start_ms`` of provisioning latency, and invocations arriving while
+    that provisioning is still in flight queue behind it.
+
+    Attributes
+    ----------
+    cold_start_ms:
+        Provisioning latency of a cold start (container fetch + runtime boot
+        + application init), in milliseconds.
+    execution_ms:
+        Typical execution duration of one invocation, in milliseconds.
+        Consistent with the paper's simulation principle, executions always
+        finish within their minute; the value feeds busy-time accounting,
+        never residency decisions.
+    """
+
+    cold_start_ms: float = 250.0
+    execution_ms: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.cold_start_ms < 0:
+            raise ValueError("cold_start_ms must be non-negative")
+        if self.execution_ms < 0:
+            raise ValueError("execution_ms must be non-negative")
+
+    def scaled(self, cold_start: float = 1.0, execution: float = 1.0) -> "DurationProfile":
+        """Return a copy with both durations scaled by the given factors."""
+        if cold_start < 0 or execution < 0:
+            raise ValueError("scale factors must be non-negative")
+        return DurationProfile(
+            cold_start_ms=self.cold_start_ms * cold_start,
+            execution_ms=self.execution_ms * execution,
+        )
+
+
+#: The uniform latency model of the paper's setting (one "cold-start unit").
+DEFAULT_DURATION_PROFILE = DurationProfile()
+
+
+@dataclass(frozen=True)
 class FunctionRecord:
     """Static metadata about a single serverless function.
 

@@ -1,0 +1,193 @@
+"""Tests for the distribution helpers and the LatencyStats block."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.distribution import (
+    empirical_cdf,
+    merge_samples,
+    percentile_summary,
+    percentile_table,
+    tail_by_key,
+)
+from repro.simulation import LatencyStats
+
+
+class TestPercentileSummary:
+    def test_empty_samples_report_zero_for_every_percentile(self):
+        summary = percentile_summary([])
+        assert summary == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_single_sample_is_every_percentile(self):
+        summary = percentile_summary([42.0])
+        assert summary == {"p50": 42.0, "p95": 42.0, "p99": 42.0}
+
+    def test_constant_samples_are_flat(self):
+        summary = percentile_summary([7.0] * 100)
+        assert set(summary.values()) == {7.0}
+
+    def test_percentiles_are_monotone(self):
+        rng = np.random.default_rng(3)
+        summary = percentile_summary(rng.exponential(100.0, size=500))
+        assert summary["p50"] <= summary["p95"] <= summary["p99"]
+
+    def test_fractional_percentile_labels(self):
+        summary = percentile_summary([1.0, 2.0], percentiles=(99.9,))
+        assert list(summary) == ["p99.9"]
+
+
+class TestMergeSamples:
+    def test_merge_of_nothing_is_empty(self):
+        assert merge_samples([]).size == 0
+        assert merge_samples([[], np.zeros(0)]).size == 0
+
+    def test_merge_is_associative_for_percentiles(self):
+        rng = np.random.default_rng(17)
+        a, b, c = (rng.gamma(2.0, 50.0, size=n) for n in (40, 1, 200))
+        left = merge_samples([merge_samples([a, b]), c])
+        right = merge_samples([a, merge_samples([b, c])])
+        assert percentile_summary(left) == percentile_summary(right)
+        assert left.size == right.size == 241
+
+    def test_merge_skips_empty_groups(self):
+        merged = merge_samples([[1.0], [], [2.0]])
+        assert sorted(merged.tolist()) == [1.0, 2.0]
+
+
+class TestTailByKey:
+    def test_keys_without_samples_are_omitted(self):
+        tails = tail_by_key({"a": [5.0, 10.0], "b": []})
+        assert set(tails) == {"a"}
+
+    def test_tail_is_the_requested_percentile(self):
+        tails = tail_by_key({"a": [1.0, 100.0]}, percentile=50.0)
+        assert tails["a"] == pytest.approx(50.5)
+
+
+class TestExistingHelpersStillWork:
+    def test_empirical_cdf_reaches_one(self):
+        x, y = empirical_cdf([1.0, 2.0, 3.0])
+        assert y[-1] == 1.0 and x.size == 3
+
+    def test_percentile_table_empty(self):
+        table = percentile_table([])
+        assert all(value == 0.0 for value in table.values())
+
+
+# --------------------------------------------------------------------- #
+# LatencyStats
+# --------------------------------------------------------------------- #
+def _stats(waits, per_function=None, **counts):
+    waits = np.asarray(waits, dtype=float)
+    defaults = dict(
+        total_events=max(10, waits.size),
+        warm_events=max(10, waits.size) - waits.size,
+        cold_start_events=waits.size,
+        delayed_events=0,
+    )
+    defaults.update(counts)
+    return LatencyStats(
+        cold_wait_ms=waits,
+        per_function_wait_ms={
+            key: np.asarray(values, dtype=float)
+            for key, values in (per_function or {}).items()
+        },
+        **defaults,
+    )
+
+
+class TestLatencyStats:
+    def test_empty_distribution_reports_zeros(self):
+        stats = LatencyStats()
+        assert stats.p50_ms == stats.p95_ms == stats.p99_ms == 0.0
+        assert stats.mean_ms == stats.max_ms == 0.0
+        assert stats.cold_event_fraction == 0.0
+        assert stats.function_tail() == {}
+
+    def test_single_event_is_every_percentile(self):
+        stats = _stats([321.0])
+        assert stats.p50_ms == stats.p99_ms == stats.max_ms == 321.0
+
+    def test_all_warm_run_has_empty_distribution(self):
+        stats = LatencyStats(total_events=500, warm_events=500)
+        assert stats.cold_event_fraction == 0.0
+        assert stats.p99_ms == 0.0
+        assert stats.summary()["lat_p99_ms"] == 0.0
+
+    def test_percentiles_are_monotone(self):
+        rng = np.random.default_rng(5)
+        stats = _stats(rng.exponential(250.0, size=400))
+        assert stats.p50_ms <= stats.p95_ms <= stats.p99_ms <= stats.max_ms
+
+    def test_function_tail_skips_functions_without_waits(self):
+        stats = _stats(
+            [100.0, 200.0],
+            per_function={"f1": [100.0, 200.0], "f2": []},
+        )
+        tail = stats.function_tail(percentile=100.0)
+        assert tail == {"f1": 200.0}
+
+    def test_summary_keys(self):
+        summary = _stats([50.0]).summary()
+        assert {
+            "events",
+            "cold_event_fraction",
+            "lat_p50_ms",
+            "lat_p95_ms",
+            "lat_p99_ms",
+            "lat_mean_ms",
+            "lat_max_ms",
+        } <= set(summary)
+
+
+class TestLatencyStatsMerge:
+    def _random_stats(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(0, 30))
+        waits = rng.gamma(2.0, 120.0, size=n)
+        split = n // 2
+        per_function = {}
+        if split:
+            per_function["f-a"] = waits[:split]
+        if n - split:
+            per_function["f-b"] = waits[split:]
+        return LatencyStats(
+            total_events=n + int(rng.integers(0, 50)),
+            warm_events=int(rng.integers(0, 50)),
+            cold_start_events=n,
+            delayed_events=int(rng.integers(0, 5)),
+            capacity_cold_events=int(rng.integers(0, 3)),
+            cold_wait_ms=waits,
+            per_function_wait_ms=per_function,
+            total_execution_ms=float(rng.uniform(0, 1e4)),
+        )
+
+    def test_merge_across_seeds_is_associative(self):
+        a, b, c = (self._random_stats(seed) for seed in (1, 2, 3))
+        left = LatencyStats.merge([LatencyStats.merge([a, b]), c])
+        right = LatencyStats.merge([a, LatencyStats.merge([b, c])])
+        for attribute in (
+            "total_events",
+            "warm_events",
+            "cold_start_events",
+            "delayed_events",
+            "capacity_cold_events",
+        ):
+            assert getattr(left, attribute) == getattr(right, attribute)
+        assert left.total_execution_ms == pytest.approx(right.total_execution_ms)
+        assert left.p50_ms == pytest.approx(right.p50_ms)
+        assert left.p95_ms == pytest.approx(right.p95_ms)
+        assert left.p99_ms == pytest.approx(right.p99_ms)
+        assert left.function_tail() == pytest.approx(right.function_tail())
+
+    def test_merge_with_empty_stats_is_identity_on_percentiles(self):
+        stats = self._random_stats(7)
+        merged = LatencyStats.merge([stats, LatencyStats()])
+        assert merged.p99_ms == pytest.approx(stats.p99_ms)
+        assert merged.cold_start_events == stats.cold_start_events
+
+    def test_merge_counts_add(self):
+        a, b = self._random_stats(11), self._random_stats(12)
+        merged = LatencyStats.merge([a, b])
+        assert merged.total_events == a.total_events + b.total_events
+        assert merged.cold_wait_ms.size == a.cold_wait_ms.size + b.cold_wait_ms.size

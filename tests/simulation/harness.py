@@ -1,0 +1,192 @@
+"""Property-based equivalence harness for the engine/policy matrix.
+
+The repository now carries three engines (``vectorized``, ``reference``,
+``event``) and a growing family of index-native policy ports that must be
+*decision-identical* to their dict-based twins.  Rather than each test file
+hand-rolling its own workload and comparison loop, this module centralizes:
+
+* **randomized workload generation** — seeded, structurally diverse
+  train/simulation splits drawn from randomized generator profiles
+  (:func:`random_split`), plus seeded capacity models derived from the
+  workload itself (:func:`random_cluster`);
+* **the policy-pair catalog** — every dict policy with an index-native twin
+  (:data:`POLICY_PAIRS`), which new ports extend with one line;
+* **fingerprint comparison** — :func:`collect_fingerprints` /
+  :func:`assert_cross_engine_equivalence` run one policy through every
+  (implementation × engine) combination and compare
+  :meth:`~repro.simulation.results.SimulationResult.deterministic_fingerprint`,
+  the strongest equality the result type offers (per-function statistics,
+  the full memory series, WMT, EMCR, cluster stats).
+
+The property under test: for any seeded workload, any registered policy pair
+and any capacity model, all engine/implementation combinations produce one
+fingerprint — the event engine's sub-minute expansion changes *observations*
+(latency), never minute-granular *state*.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    FaasCachePolicy,
+    FixedKeepAlivePolicy,
+    HybridApplicationPolicy,
+    HybridFunctionPolicy,
+    IndexedFaasCachePolicy,
+    IndexedFixedKeepAlivePolicy,
+    IndexedHybridApplicationPolicy,
+    IndexedHybridFunctionPolicy,
+)
+from repro.core import IndexedSpesPolicy, SpesPolicy
+from repro.simulation import ClusterModel, EventConfig, simulate_policy
+from repro.traces import AzureTraceGenerator, GeneratorProfile, TraceSplit, split_trace
+
+#: Engines that support the uncapped setting (all of them).
+ALL_ENGINES = ("vectorized", "reference", "event")
+#: Engines that support the capacity-constrained cluster mode.
+MASK_ENGINES = ("vectorized", "event")
+
+#: Every dict policy with an index-native twin, as ``pytest.param`` entries of
+#: ``(dict_factory, indexed_factory)``.  New ports join the whole equivalence
+#: matrix by adding one line here.
+POLICY_PAIRS = [
+    pytest.param(
+        lambda: FixedKeepAlivePolicy(10),
+        lambda: IndexedFixedKeepAlivePolicy(10),
+        id="fixed-10min",
+    ),
+    pytest.param(HybridFunctionPolicy, IndexedHybridFunctionPolicy, id="hybrid-function"),
+    pytest.param(
+        HybridApplicationPolicy, IndexedHybridApplicationPolicy, id="hybrid-application"
+    ),
+    pytest.param(SpesPolicy, IndexedSpesPolicy, id="spes"),
+    pytest.param(
+        lambda: FaasCachePolicy(capacity=15),
+        lambda: IndexedFaasCachePolicy(capacity=15),
+        id="faascache",
+    ),
+]
+
+#: Archetypes the randomized mixes draw from (chained archetypes need parent
+#: wiring that the generator handles internally).
+_MIX_ARCHETYPES = (
+    "always_warm",
+    "periodic",
+    "quasi_periodic",
+    "dense_poisson",
+    "bursty",
+    "pulsed",
+    "chained",
+    "rare_possible",
+    "rare_unknown",
+)
+
+
+def random_profile(seed: int) -> GeneratorProfile:
+    """A randomized (but seed-deterministic) synthetic workload profile.
+
+    Population size, trace length, the archetype mix and the drifting
+    fraction all vary with the seed, so repeated draws explore structurally
+    different workloads — dense vs sparse, periodic-heavy vs bursty-heavy —
+    instead of re-testing one shape with different noise.
+    """
+    rng = np.random.default_rng(seed)
+    weights = rng.dirichlet(np.ones(len(_MIX_ARCHETYPES)))
+    mix = {name: float(weight) for name, weight in zip(_MIX_ARCHETYPES, weights)}
+    return GeneratorProfile(
+        n_functions=int(rng.integers(24, 56)),
+        duration_days=float(rng.uniform(1.5, 3.0)),
+        archetype_mix=mix,
+        drifting_fraction=float(rng.uniform(0.0, 0.25)),
+        unseen_fraction=float(rng.uniform(0.0, 0.08)),
+        unseen_window_days=0.5,
+        seed=seed,
+    )
+
+
+def random_split(seed: int, training_fraction: float = 0.5) -> TraceSplit:
+    """Generate a randomized workload and split it for simulation."""
+    profile = random_profile(seed)
+    trace = AzureTraceGenerator(profile).generate()
+    training_days = max(0.25, profile.duration_days * training_fraction)
+    return split_trace(trace, training_days=training_days)
+
+
+def random_cluster(seed: int, split: TraceSplit) -> ClusterModel:
+    """A seeded capacity model that actually pressures the given workload.
+
+    Capacity is a small random multiple of the simulation window's mean
+    per-minute active set (the ``capacity-squeeze`` recipe), sharded over a
+    random number of nodes, so the arbiter evicts for real instead of
+    rubber-stamping every declaration.
+    """
+    rng = np.random.default_rng(seed ^ 0xC1A5)
+    index = split.simulation.invocation_index()
+    active_per_minute = np.diff(index.indptr)
+    mean_active = float(active_per_minute.mean()) if active_per_minute.size else 1.0
+    n_nodes = int(rng.integers(1, 5))
+    squeeze = float(rng.uniform(1.5, 4.0))
+    capacity = max(n_nodes, int(round(mean_active * squeeze)))
+    return ClusterModel(memory_capacity=capacity, n_nodes=n_nodes)
+
+
+def collect_fingerprints(
+    factories: Dict[str, Callable[[], object]],
+    split: TraceSplit,
+    engines: Iterable[str] = ALL_ENGINES,
+    cluster: ClusterModel | None = None,
+    events: EventConfig | None = None,
+    warmup_minutes: int = 180,
+) -> Dict[str, str]:
+    """Fingerprints of every (implementation × engine) combination.
+
+    ``factories`` maps an implementation label to a zero-argument policy
+    factory; each build is fresh, so no state leaks between runs.  The event
+    config only applies to ``event`` runs (the other engines reject it).
+    """
+    fingerprints: Dict[str, str] = {}
+    for impl, factory in factories.items():
+        for engine in engines:
+            result = simulate_policy(
+                factory(),
+                split.simulation,
+                split.training,
+                warmup_minutes=warmup_minutes,
+                engine=engine,
+                cluster=cluster,
+                events=events if engine == "event" else None,
+            )
+            fingerprints[f"{impl}/{engine}"] = result.deterministic_fingerprint()
+    return fingerprints
+
+
+def assert_cross_engine_equivalence(
+    dict_factory: Callable[[], object],
+    indexed_factory: Callable[[], object],
+    split: TraceSplit,
+    cluster: ClusterModel | None = None,
+    events: EventConfig | None = None,
+    warmup_minutes: int = 180,
+) -> str:
+    """Assert one fingerprint across twins × engines; return it.
+
+    The reference engine is exercised only in the uncapped setting (it is
+    the executable specification of exactly that), so capped comparisons run
+    over the mask-based engines.
+    """
+    engines = ALL_ENGINES if cluster is None else MASK_ENGINES
+    fingerprints = collect_fingerprints(
+        {"dict": dict_factory, "indexed": indexed_factory},
+        split,
+        engines=engines,
+        cluster=cluster,
+        events=events,
+        warmup_minutes=warmup_minutes,
+    )
+    distinct = set(fingerprints.values())
+    assert len(distinct) == 1, f"fingerprints diverged: {fingerprints}"
+    return distinct.pop()

@@ -47,8 +47,13 @@ class TestClusterModel:
 
     def test_reference_engine_rejects_cluster_mode(self):
         trace = small_trace({"f": [1, 0, 1]})
-        with pytest.raises(ValueError, match="vectorized engine"):
+        with pytest.raises(ValueError, match="mask-based"):
             Simulator(trace, engine="reference", cluster=ClusterModel(memory_capacity=4))
+
+    def test_mask_based_engines_accept_cluster_mode(self):
+        trace = small_trace({"f": [1, 0, 1]})
+        for engine in ("vectorized", "event"):
+            Simulator(trace, engine=engine, cluster=ClusterModel(memory_capacity=4))
 
 
 class TestArbiter:

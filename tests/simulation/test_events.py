@@ -1,0 +1,264 @@
+"""Tests for the sub-minute event engine (config, tracker, engine wiring)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import FixedKeepAlivePolicy, IndexedFixedKeepAlivePolicy
+from repro.simulation import (
+    AlwaysWarmPolicy,
+    ClusterModel,
+    EventConfig,
+    NoKeepAlivePolicy,
+    Simulator,
+    simulate_policy,
+)
+from repro.simulation.events import SECONDS_PER_MINUTE, expand_minute_offsets
+from repro.traces import (
+    DEFAULT_DURATION_PROFILE,
+    DurationProfile,
+    FunctionRecord,
+    Trace,
+    TriggerType,
+    duration_profile_for,
+)
+from repro.traces.schema import TraceMetadata
+
+
+# --------------------------------------------------------------------- #
+# Duration model
+# --------------------------------------------------------------------- #
+class TestDurationProfile:
+    def test_negative_durations_rejected(self):
+        with pytest.raises(ValueError):
+            DurationProfile(cold_start_ms=-1.0)
+        with pytest.raises(ValueError):
+            DurationProfile(execution_ms=-1.0)
+
+    def test_scaled(self):
+        profile = DurationProfile(cold_start_ms=100.0, execution_ms=50.0)
+        scaled = profile.scaled(cold_start=2.0, execution=0.5)
+        assert scaled.cold_start_ms == 200.0
+        assert scaled.execution_ms == 25.0
+        with pytest.raises(ValueError):
+            profile.scaled(cold_start=-1.0)
+
+    def test_derivation_is_deterministic_per_function(self):
+        record = FunctionRecord("f-1", "app", "owner", TriggerType.HTTP)
+        assert duration_profile_for(record) == duration_profile_for(record)
+
+    def test_derivation_spreads_across_functions(self):
+        profiles = {
+            duration_profile_for(
+                FunctionRecord(f"f-{i}", "app", "owner", TriggerType.HTTP)
+            ).cold_start_ms
+            for i in range(20)
+        }
+        assert len(profiles) > 10  # a distribution, not a spike
+
+    def test_archetype_beats_trigger_fallback(self):
+        bursty = FunctionRecord(
+            "f-x", "app", "owner", TriggerType.HTTP, archetype="bursty"
+        )
+        plain = FunctionRecord("f-x", "app", "owner", TriggerType.HTTP)
+        # Same function id -> same spread factor, so the base must differ.
+        assert duration_profile_for(bursty) != duration_profile_for(plain)
+
+
+class TestEventConfig:
+    def test_negative_scales_rejected(self):
+        with pytest.raises(ValueError):
+            EventConfig(cold_start_scale=-0.1)
+
+    def test_uniform_profiles_when_derivation_disabled(self):
+        config = EventConfig(derive_profiles=False)
+        record = FunctionRecord("f-1", "app", "owner", TriggerType.HTTP)
+        assert config.profile_for(record) == DEFAULT_DURATION_PROFILE
+
+    def test_scales_apply_on_top_of_profiles(self):
+        config = EventConfig(derive_profiles=False, cold_start_scale=2.0)
+        record = FunctionRecord("f-1", "app", "owner", TriggerType.HTTP)
+        profile = config.profile_for(record)
+        assert profile.cold_start_ms == 2 * DEFAULT_DURATION_PROFILE.cold_start_ms
+
+
+def test_expand_minute_offsets_sorted_within_minute():
+    rng = np.random.default_rng(9)
+    offsets = expand_minute_offsets(rng, 50)
+    assert offsets.size == 50
+    assert (np.diff(offsets) >= 0).all()
+    assert (offsets >= 0).all() and (offsets < SECONDS_PER_MINUTE).all()
+    assert expand_minute_offsets(rng, 0).size == 0
+
+
+# --------------------------------------------------------------------- #
+# Engine wiring
+# --------------------------------------------------------------------- #
+def _dense_trace(count_per_minute: int = 20, duration: int = 30) -> Trace:
+    series = np.full(duration, count_per_minute, dtype=np.int64)
+    records = [FunctionRecord("dense", "app-1", "owner-1", TriggerType.HTTP)]
+    metadata = TraceMetadata(name="dense", duration_minutes=duration)
+    return Trace(records, {"dense": series}, metadata)
+
+
+class TestEventEngine:
+    def test_event_config_requires_event_engine(self, small_split):
+        with pytest.raises(ValueError, match="requires engine='event'"):
+            Simulator(small_split.simulation, events=EventConfig())
+
+    def test_reference_engine_rejects_cluster(self, small_split):
+        with pytest.raises(ValueError, match="mask-based"):
+            Simulator(
+                small_split.simulation,
+                engine="reference",
+                cluster=ClusterModel(memory_capacity=10),
+            )
+
+    def test_minute_engines_carry_no_latency_block(self, small_split):
+        result = simulate_policy(
+            FixedKeepAlivePolicy(10), small_split.simulation, warmup_minutes=0
+        )
+        assert result.latency is None
+
+    def test_event_totals_match_the_trace(self, small_split):
+        result = simulate_policy(
+            FixedKeepAlivePolicy(10),
+            small_split.simulation,
+            warmup_minutes=0,
+            engine="event",
+        )
+        latency = result.latency
+        assert latency.total_events == small_split.simulation.total_invocations()
+        assert (
+            latency.warm_events + latency.cold_start_events + latency.delayed_events
+            == latency.total_events
+        )
+        assert latency.cold_start_events == result.total_cold_starts
+
+    def test_same_config_reproduces_latencies_exactly(self, small_split):
+        runs = [
+            simulate_policy(
+                IndexedFixedKeepAlivePolicy(10),
+                small_split.simulation,
+                warmup_minutes=0,
+                engine="event",
+                events=EventConfig(seed=13),
+            ).latency
+            for _ in range(2)
+        ]
+        np.testing.assert_array_equal(runs[0].cold_wait_ms, runs[1].cold_wait_ms)
+        assert runs[0].delayed_events == runs[1].delayed_events
+
+    def test_different_jitter_seeds_change_latencies_not_counts(self, small_split):
+        results = [
+            simulate_policy(
+                IndexedFixedKeepAlivePolicy(10),
+                small_split.simulation,
+                warmup_minutes=0,
+                engine="event",
+                events=EventConfig(seed=seed, cold_start_scale=40.0),
+            )
+            for seed in (1, 2)
+        ]
+        assert (
+            results[0].deterministic_fingerprint()
+            == results[1].deterministic_fingerprint()
+        )
+        assert (
+            results[0].latency.cold_start_events
+            == results[1].latency.cold_start_events
+        )
+
+    def test_delayed_events_queue_behind_provisioning(self):
+        # One function, 20 invocations per minute, never kept alive: every
+        # minute is an initiation, and with a 30-second provisioning latency
+        # most of the minute's arrivals land inside the provisioning window.
+        trace = _dense_trace()
+        result = simulate_policy(
+            NoKeepAlivePolicy(),
+            trace,
+            warmup_minutes=0,
+            engine="event",
+            events=EventConfig(
+                seed=3,
+                derive_profiles=False,
+                default_profile=DurationProfile(cold_start_ms=30_000.0),
+            ),
+        )
+        latency = result.latency
+        assert latency.cold_start_events == trace.duration_minutes
+        assert latency.delayed_events > 0
+        # Queued waits are residuals: strictly below the full provisioning
+        # latency, and the initiation wait is the distribution's maximum.
+        assert latency.max_ms == pytest.approx(30_000.0)
+        assert latency.p50_ms <= 30_000.0
+        delayed_waits = np.sort(latency.cold_wait_ms)[: latency.delayed_events]
+        assert (delayed_waits < 30_000.0).all()
+        assert (delayed_waits > 0.0).all()
+
+    def test_always_warm_policy_pays_only_the_cold_platform_start(self, small_split):
+        # Always-warm declares everything resident from its first decision,
+        # so on a cold platform only the functions invoked during minute 0
+        # ever cold-start.
+        result = simulate_policy(
+            AlwaysWarmPolicy(),
+            small_split.simulation,
+            warmup_minutes=0,
+            engine="event",
+        )
+        latency = result.latency
+        minute_zero = set(small_split.simulation.invocations_at(0))
+        assert latency.cold_start_events == len(minute_zero)
+        assert set(latency.per_function_wait_ms) == minute_zero
+
+    def test_per_function_waits_partition_the_global_distribution(self, small_split):
+        latency = simulate_policy(
+            FixedKeepAlivePolicy(10),
+            small_split.simulation,
+            warmup_minutes=0,
+            engine="event",
+        ).latency
+        pooled = np.concatenate(list(latency.per_function_wait_ms.values()))
+        assert pooled.size == latency.cold_wait_ms.size
+        np.testing.assert_allclose(
+            np.sort(pooled), np.sort(latency.cold_wait_ms)
+        )
+
+    def test_execution_time_accumulates(self, small_split):
+        latency = simulate_policy(
+            FixedKeepAlivePolicy(10),
+            small_split.simulation,
+            warmup_minutes=0,
+            engine="event",
+            events=EventConfig(derive_profiles=False),
+        ).latency
+        expected = latency.total_events * DEFAULT_DURATION_PROFILE.execution_ms
+        assert latency.total_execution_ms == pytest.approx(expected)
+
+
+class TestEventEngineWithCluster:
+    def test_capacity_cold_events_match_cluster_stats(self, small_split):
+        cluster = ClusterModel(memory_capacity=15, n_nodes=3)
+        result = simulate_policy(
+            IndexedFixedKeepAlivePolicy(30),
+            small_split.simulation,
+            small_split.training,
+            warmup_minutes=180,
+            engine="event",
+            cluster=cluster,
+        )
+        assert result.cluster is not None
+        assert result.cluster.capacity_cold_starts > 0  # the cap bites
+        assert (
+            result.latency.capacity_cold_events
+            == result.cluster.capacity_cold_starts
+        )
+        assert result.latency.capacity_cold_events <= result.latency.cold_start_events
+
+    def test_uncapped_runs_attribute_nothing_to_capacity(self, small_split):
+        result = simulate_policy(
+            IndexedFixedKeepAlivePolicy(10),
+            small_split.simulation,
+            warmup_minutes=0,
+            engine="event",
+        )
+        assert result.latency.capacity_cold_events == 0

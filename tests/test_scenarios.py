@@ -103,6 +103,117 @@ class TestBuiltinScenarios:
         assert ratio > 1.5  # a pronounced daily swing, not flat Poisson
 
 
+class TestEventEngineRegression:
+    """Every registered scenario must run under the sub-minute event engine.
+
+    The shape is tiny (16 functions, one day) so the whole catalog stays
+    cheap; the golden fingerprints pin the *minute-granular* outputs of an
+    event run — equal to the vectorized engine's by construction — so any
+    accidental semantic change to a scenario builder, the duration model's
+    wiring, or the event layer's observer property fails loudly here.
+    """
+
+    SHAPE = dict(seed=9, n_functions=16, days=1.0, training_days=0.5)
+
+    GOLDEN_FINGERPRINTS = {
+        "azure": "06c3895a0cb14917d5a6055aa5765fa783533159d8bf99c513d88062d9374e04",
+        "bursty": "58b3a617bf0fa2ea9a1e69c1d9f44f06bd6bc7bfe99bbd0cda8edb969425f8f8",
+        "capacity-squeeze": "be901884c517a240d7a23b2d042c0b8fb6d993176e29e728aed946330e79e626",
+        "diurnal": "b2d5aaa21c97b0822a54f8e7863e38008e52c512d7fd573ae2169e343a5c2c8d",
+        "drift": "52fbd6ed56397f97127213783b8bf6e1190096fce351c145a7ab2377406f608c",
+        "flash-crowd": "cc6ecbbeca57c973a5d14b1c1aa2aa57a80d7da119ea9d70a1c01f16bd59ff8d",
+    }
+
+    def _run(self, name, engine="event"):
+        from repro.baselines import IndexedFixedKeepAlivePolicy
+        from repro.simulation import simulate_policy
+
+        workload = build_scenario(name, **self.SHAPE)
+        return simulate_policy(
+            IndexedFixedKeepAlivePolicy(10),
+            workload.split.simulation,
+            workload.split.training,
+            warmup_minutes=60,
+            engine=engine,
+            cluster=workload.cluster,
+            events=workload.events if engine == "event" else None,
+        )
+
+    def test_every_builtin_scenario_has_a_golden(self):
+        assert set(self.GOLDEN_FINGERPRINTS) == EXPECTED
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_event_run_matches_the_golden_fingerprint(self, name):
+        result = self._run(name)
+        assert result.deterministic_fingerprint() == self.GOLDEN_FINGERPRINTS[name]
+        assert result.latency is not None
+        assert result.latency.cold_start_events == result.total_cold_starts
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_event_and_vectorized_runs_are_fingerprint_identical(self, name):
+        assert (
+            self._run(name, engine="event").deterministic_fingerprint()
+            == self._run(name, engine="vectorized").deterministic_fingerprint()
+        )
+
+    def test_event_latencies_are_reproducible(self):
+        first = self._run("bursty").latency
+        second = self._run("bursty").latency
+        np.testing.assert_array_equal(first.cold_wait_ms, second.cold_wait_ms)
+
+    def test_workload_events_are_seeded_by_the_build(self):
+        workload = build_scenario("azure", **self.SHAPE)
+        assert workload.events.seed == self.SHAPE["seed"]
+
+    def test_builder_provided_event_config_is_preserved(self):
+        from repro.simulation import EventConfig
+
+        def build(seed, n_functions, days, training_days, boot_scale):
+            base = build_scenario("azure", seed=seed, n_functions=n_functions,
+                                  days=days, training_days=training_days)
+            # A parameter-dependent duration model set by the builder itself.
+            import dataclasses
+            return dataclasses.replace(
+                base, events=EventConfig(cold_start_scale=boot_scale)
+            )
+
+        name = "test-builder-events"
+        register_scenario(Scenario(
+            name=name, description="builder-owned event config", builder=build,
+            defaults={"boot_scale": 3.5},
+            events=EventConfig(cold_start_scale=9.9),  # must NOT win
+        ))
+        try:
+            workload = build_scenario(name, **self.SHAPE)
+            assert workload.events.cold_start_scale == 3.5
+            assert workload.events.seed == self.SHAPE["seed"]  # still rebased
+        finally:
+            del SCENARIO_REGISTRY[name]
+
+    def test_scenarios_prescribe_their_duration_models(self):
+        squeeze = build_scenario("capacity-squeeze", **self.SHAPE)
+        diurnal = build_scenario("diurnal", **self.SHAPE)
+        # Thrashing image caches vs light request/response handlers.
+        assert squeeze.events.cold_start_scale > 1.0 > diurnal.events.cold_start_scale
+
+    def test_scenario_duration_model_shifts_the_latency_distribution(self):
+        scaled = self._run("capacity-squeeze").latency  # cold_start_scale 2.0
+        base = build_scenario("capacity-squeeze", **self.SHAPE)
+        from repro.baselines import IndexedFixedKeepAlivePolicy
+        from repro.simulation import EventConfig, simulate_policy
+
+        unscaled = simulate_policy(
+            IndexedFixedKeepAlivePolicy(10),
+            base.split.simulation,
+            base.split.training,
+            warmup_minutes=60,
+            engine="event",
+            cluster=base.cluster,
+            events=EventConfig(seed=self.SHAPE["seed"]),
+        ).latency
+        assert scaled.p50_ms > unscaled.p50_ms
+
+
 class TestSuiteIntegration:
     def test_capacity_squeeze_sweep_reports_evictions(self, tmp_path):
         config = ExperimentConfig(
@@ -153,6 +264,56 @@ class TestSuiteIntegration:
             first.results[5]["fixed-10min"].deterministic_fingerprint()
             == second.results[5]["fixed-10min"].deterministic_fingerprint()
         )
+
+    def test_event_engine_sweep_reports_latency_tables(self):
+        config = ExperimentConfig(
+            n_functions=25, seed=5, duration_days=2.0, training_days=1.5,
+            warmup_minutes=60,
+        )
+        suite = ExperimentSuite(
+            config=config, seeds=[5], policies=("fixed-10min",),
+            scenario="bursty", engine="event",
+        )
+        outcome = suite.run()
+        result = outcome.results[5]["fixed-10min"]
+        assert result.latency is not None
+        table = outcome.seed_table(5).render()
+        assert "lat_p50_ms" in table and "lat_p99_ms" in table
+        latency_table = outcome.latency_table(5)
+        assert latency_table is not None
+        assert "Cold-start latency" in latency_table.render()
+        merged = outcome.merged_latency("fixed-10min")
+        assert merged is not None
+        assert merged.total_events == result.latency.total_events
+
+    def test_event_engine_cells_cache_separately_from_vectorized(self, tmp_path):
+        config = ExperimentConfig(
+            n_functions=25, seed=5, duration_days=2.0, training_days=1.5,
+            warmup_minutes=60,
+        )
+        kwargs = dict(
+            config=config, seeds=[5], policies=("fixed-10min",),
+            cache_dir=tmp_path,
+        )
+        vectorized = ExperimentSuite(**kwargs, engine="vectorized").run()
+        event = ExperimentSuite(**kwargs, engine="event").run()
+        # Different engines never share cache entries (the event result must
+        # carry its latency block) ...
+        assert event.cache_misses > 0
+        assert event.results[5]["fixed-10min"].latency is not None
+        # ... yet their minute aggregates are fingerprint-identical, and a
+        # re-run of the event sweep is served from cache latency included.
+        assert (
+            vectorized.results[5]["fixed-10min"].deterministic_fingerprint()
+            == event.results[5]["fixed-10min"].deterministic_fingerprint()
+        )
+        cached = ExperimentSuite(**kwargs, engine="event").run()
+        assert cached.cache_hits > 0 and cached.cache_misses == 0
+        assert cached.results[5]["fixed-10min"].latency is not None
+
+    def test_unknown_engine_fails_fast(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            ExperimentSuite(engine="quantum")
 
     def test_unknown_scenario_fails_fast(self):
         with pytest.raises(KeyError, match="unknown scenario"):
