@@ -229,6 +229,114 @@ def test_event_engine_throughput(throughput_split, output_dir):
     assert seconds["event"] < seconds["reference"], payload
 
 
+#: Placement strategies measured by the cluster-mode overhead bench.
+PLACEMENTS = ("hash", "least-loaded", "correlation-aware")
+
+
+def test_placement_overhead(throughput_split, output_dir):
+    """Cluster-mode cost per placement strategy, vs. the uncapped engine.
+
+    The placement subsystem sits on the per-minute hot path (per-node trim
+    passes, lazy assignment, migration checks), so its overhead is measured
+    end to end on the default workload and published — together with a fresh
+    engine-throughput row — as the consolidated ``BENCH_pr4.json`` artifact
+    that ``benchmarks/compare_bench.py`` gates against
+    ``benchmarks/baselines.json``.
+    """
+    from repro.simulation import ClusterModel
+    import numpy as np
+
+    split = throughput_split
+    minutes = split.simulation.duration_minutes
+
+    # The capacity-squeeze recipe: real eviction pressure, not a no-op cap.
+    index = split.simulation.invocation_index()
+    mean_active = float(np.diff(index.indptr).mean())
+    capacity = max(8, int(round(mean_active * 2.5)))
+
+    def run_seconds(cluster) -> float:
+        best = float("inf")
+        for _ in range(2):
+            simulator = Simulator(
+                split.simulation, warmup_minutes=0, cluster=cluster
+            )
+            started = time.perf_counter()
+            simulator.run(IndexedFixedKeepAlivePolicy(10))
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    uncapped = run_seconds(None)
+    placements = {}
+    for name in PLACEMENTS:
+        cluster = ClusterModel(memory_capacity=capacity, n_nodes=4, placement=name)
+        placements[name] = run_seconds(cluster)
+    migrating = run_seconds(
+        ClusterModel(
+            memory_capacity=capacity, n_nodes=4, placement="least-loaded",
+            pressure_threshold=0.8, pressure_minutes=3,
+        )
+    )
+
+    # One quick engine-throughput row per engine, so BENCH_pr4 is a
+    # self-contained snapshot (single sweep each; the dedicated tests above
+    # publish the best-of-3 numbers).
+    sweep_minutes = minutes * len(ENGINE_BOUND_POLICIES)
+    engine_seconds = {
+        engine: _sweep_seconds(split, engine)
+        for engine in ("vectorized", "event", "reference")
+    }
+
+    payload = {
+        "workload": {
+            "n_functions": THROUGHPUT_CONFIG.n_functions,
+            "duration_days": THROUGHPUT_CONFIG.duration_days,
+            "simulation_minutes": minutes,
+            "cluster": {"memory_capacity": capacity, "n_nodes": 4},
+        },
+        "engines": {
+            engine: {
+                "sweep_seconds": round(seconds, 4),
+                "sim_minutes_per_second": round(sweep_minutes / seconds, 1),
+            }
+            for engine, seconds in engine_seconds.items()
+        },
+        "placement": {
+            "uncapped": {
+                "seconds": round(uncapped, 4),
+                "sim_minutes_per_second": round(minutes / uncapped, 1),
+            },
+            **{
+                name: {
+                    "seconds": round(seconds, 4),
+                    "sim_minutes_per_second": round(minutes / seconds, 1),
+                    "overhead_vs_uncapped": round(seconds / uncapped, 3),
+                }
+                for name, seconds in placements.items()
+            },
+            "least-loaded+migration": {
+                "seconds": round(migrating, 4),
+                "sim_minutes_per_second": round(minutes / migrating, 1),
+                "overhead_vs_uncapped": round(migrating / uncapped, 3),
+            },
+        },
+    }
+    lines = [
+        "Placement overhead - 400 functions, 2-day window, cap "
+        f"{capacity} units over 4 nodes",
+        f"uncapped                 {minutes / uncapped:>10.0f} sim-min/s",
+    ] + [
+        f"{name:24s} {minutes / seconds:>10.0f} sim-min/s"
+        f"  ({seconds / uncapped:.2f}x uncapped)"
+        for name, seconds in {**placements, "least-loaded+migration": migrating}.items()
+    ]
+    save_and_print(output_dir, "placement_overhead", "\n".join(lines))
+    (output_dir / "BENCH_pr4.json").write_text(json.dumps(payload, indent=2) + "\n")
+    # The placement machinery may not dominate the engine: even the most
+    # expensive strategy must stay within an order of magnitude of uncapped.
+    worst = max(*placements.values(), migrating)
+    assert worst / uncapped < 10.0, payload["placement"]
+
+
 def test_parallel_suite_vs_serial(output_dir):
     """Wall-clock of the policy suite, serial vs. fanned out over workers.
 

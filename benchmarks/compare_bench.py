@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""CI benchmark-regression gate: compare BENCH_pr*.json against floors.
+
+Usage (exactly what the CI step runs)::
+
+    python benchmarks/compare_bench.py \
+        --bench-dir benchmarks/output --baselines benchmarks/baselines.json
+
+The script collects every throughput metric published by the benchmark runs
+(``BENCH_pr2.json`` indexed-policy rows, ``BENCH_pr3.json``/``BENCH_pr4.json``
+engine rows, ``BENCH_pr4.json`` placement rows) and compares each against the
+checked-in floor in ``baselines.json``.  A metric FAILS when its measured
+throughput drops more than ``--tolerance`` (default 30%) below its floor; the
+exit code is 1 if anything failed, which the workflow surfaces as a distinct
+``continue-on-error`` annotated step — shared-runner noise can dip below a
+floor without any regression in the code, so the gate warns loudly instead of
+blocking merges.
+
+Floors are deliberately conservative (roughly a fifth of the throughput a
+quiet development machine reaches): tripping the gate means the engine got
+*several times* slower, not that a noisy neighbor stole a core.  When a
+legitimate change shifts the performance envelope, re-run the benches and
+refresh the floors with ``--update``.
+
+Metric naming: ``engine/<name>``, ``policy/<name>`` and ``placement/<name>``.
+When several BENCH files publish the same engine metric, the best value wins
+(the dedicated best-of-3 runs vs. the consolidated single-sweep snapshot).
+Metrics present in ``baselines.json`` but missing from the run are reported
+as MISSING (a warning, not a failure — partial bench runs stay usable);
+metrics measured but not yet in the baselines are listed as UNTRACKED hints.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict
+
+
+def collect_metrics(bench_dir: Path) -> Dict[str, float]:
+    """Throughput metrics of every ``BENCH_pr*.json`` under ``bench_dir``."""
+    metrics: Dict[str, float] = {}
+
+    def offer(name: str, value: object) -> None:
+        if isinstance(value, (int, float)) and value > 0:
+            metrics[name] = max(metrics.get(name, 0.0), float(value))
+
+    for path in sorted(bench_dir.glob("BENCH_pr*.json")):
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"warning: skipping unreadable {path.name}: {error}", file=sys.stderr)
+            continue
+        for engine, row in payload.get("engines", {}).items():
+            offer(f"engine/{engine}", row.get("sim_minutes_per_second"))
+        for policy, row in payload.get("policies", {}).items():
+            offer(f"policy/{policy}", row.get("indexed_sim_minutes_per_second"))
+        for placement, row in payload.get("placement", {}).items():
+            offer(f"placement/{placement}", row.get("sim_minutes_per_second"))
+    return metrics
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--bench-dir",
+        type=Path,
+        default=Path("benchmarks/output"),
+        help="directory holding the run's BENCH_pr*.json files",
+    )
+    parser.add_argument(
+        "--baselines",
+        type=Path,
+        default=Path("benchmarks/baselines.json"),
+        help="checked-in floor throughputs (sim-minutes/second)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed drop below the floor before failing (0.30 = 30%%)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baselines file from the current run's metrics",
+    )
+    args = parser.parse_args(argv)
+
+    metrics = collect_metrics(args.bench_dir)
+    if not metrics:
+        print(f"warning: no BENCH_pr*.json metrics found under {args.bench_dir}")
+        return 0
+
+    if args.update:
+        # Merge into the existing floors: a partial bench run (one BENCH
+        # file) must not silently delete the floors of unmeasured metrics.
+        try:
+            floors = dict(json.loads(args.baselines.read_text()))
+        except (OSError, json.JSONDecodeError):
+            floors = {}
+        floors.update(
+            {name: round(value / 5.0, 1) for name, value in metrics.items()}
+        )
+        floors = dict(sorted(floors.items()))
+        args.baselines.write_text(json.dumps(floors, indent=2) + "\n")
+        print(
+            f"updated {args.baselines}: {len(metrics)} floor(s) refreshed "
+            f"(current/5), {len(floors) - len(metrics)} kept"
+        )
+        return 0
+
+    try:
+        floors = json.loads(args.baselines.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: cannot read baselines {args.baselines}: {error}", file=sys.stderr)
+        return 1
+
+    width = max(len(name) for name in {*floors, *metrics})
+    failed = []
+    print(f"benchmark regression gate (tolerance {args.tolerance:.0%} below floor)")
+    for name in sorted(floors):
+        floor = float(floors[name])
+        cutoff = floor * (1.0 - args.tolerance)
+        value = metrics.get(name)
+        if value is None:
+            print(f"  {name:<{width}}  MISSING   (floor {floor:,.0f} sim-min/s)")
+            continue
+        verdict = "ok" if value >= cutoff else "FAIL"
+        if verdict == "FAIL":
+            failed.append(name)
+        print(
+            f"  {name:<{width}}  {verdict:<7} {value:>12,.0f} sim-min/s"
+            f"  (floor {floor:,.0f}, cutoff {cutoff:,.0f})"
+        )
+    for name in sorted(set(metrics) - set(floors)):
+        print(f"  {name:<{width}}  UNTRACKED {metrics[name]:>11,.0f} sim-min/s")
+
+    if failed:
+        print(
+            f"\nFAIL: {len(failed)} metric(s) dropped >{args.tolerance:.0%} below "
+            f"their floor: {', '.join(failed)}"
+        )
+        return 1
+    print("\nall tracked metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

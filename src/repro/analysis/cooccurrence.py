@@ -51,6 +51,102 @@ class CooccurrenceReport:
         return self.candidate_cor / self.negative_cor
 
 
+def correlated_groups(
+    trace: Trace,
+    min_cor: float = 0.5,
+    min_invocations: int = 2,
+) -> List[List[str]]:
+    """Groups of functions whose invocations fire together (§III-B2 signal).
+
+    Candidate pairs are functions sharing an application or owner — the
+    relation the co-occurrence study shows carries a ~4.6x COR gap over
+    unrelated pairs.  A pair joins a group when the co-occurrence rate in
+    *either* direction reaches ``min_cor``; groups are the connected
+    components of the resulting pair graph, so transitively correlated
+    functions land in one group.
+
+    The output is deterministic in the trace: groups are ordered by their
+    first member's position in ``trace.function_ids`` and members are listed
+    in that same trace order.  This is the signal the ``correlation-aware``
+    placement strategy co-locates by, so determinism here is what keeps
+    placed simulations cacheable and fingerprint-stable.
+
+    Parameters
+    ----------
+    trace:
+        Trace supplying both the grouping metadata and the series the CORs
+        are measured on (placement uses the *training* window: no oracle
+        knowledge of the simulated traffic).
+    min_cor:
+        Minimum co-occurrence rate for a pair to be linked.
+    min_invocations:
+        Minimum invoked minutes for a function to participate at all.
+    """
+    order = {fid: position for position, fid in enumerate(trace.function_ids)}
+    series_cache: dict[str, np.ndarray] = {}
+
+    def series(function_id: str) -> np.ndarray:
+        cached = series_cache.get(function_id)
+        if cached is None:
+            cached = np.asarray(trace.series(function_id))
+            series_cache[function_id] = cached
+        return cached
+
+    eligible = [
+        fid
+        for fid in trace.function_ids
+        if int((series(fid) > 0).sum()) >= min_invocations
+    ]
+    eligible_set = set(eligible)
+
+    # Union-find over candidate pairs that clear the COR bar.
+    parent: dict[str, str] = {fid: fid for fid in eligible}
+
+    def find(fid: str) -> str:
+        while parent[fid] != fid:
+            parent[fid] = parent[parent[fid]]
+            fid = parent[fid]
+        return fid
+
+    def union(a: str, b: str) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            # Deterministic root: the earlier trace position wins.
+            if order[ra] <= order[rb]:
+                parent[rb] = ra
+            else:
+                parent[ra] = rb
+
+    # Pairs sharing both an app and an owner appear in both groupings; the
+    # seen set keeps each pair's COR from being measured twice.
+    seen_pairs: set[tuple[str, str]] = set()
+    for grouping in (trace.functions_by_app(), trace.functions_by_owner()):
+        for members in grouping.values():
+            members = [fid for fid in members if fid in eligible_set]
+            if len(members) < 2:
+                continue
+            members.sort(key=order.__getitem__)
+            for i, target_id in enumerate(members):
+                target_series = series(target_id)
+                for candidate_id in members[i + 1 :]:
+                    pair = (target_id, candidate_id)
+                    if pair in seen_pairs or find(target_id) == find(candidate_id):
+                        continue
+                    seen_pairs.add(pair)
+                    forward = co_occurrence_rate(target_series, series(candidate_id))
+                    backward = co_occurrence_rate(series(candidate_id), target_series)
+                    if max(forward, backward) >= min_cor:
+                        union(target_id, candidate_id)
+
+    components: dict[str, List[str]] = {}
+    for fid in eligible:
+        components.setdefault(find(fid), []).append(fid)
+    groups = [sorted(members, key=order.__getitem__) for members in components.values()]
+    groups = [members for members in groups if len(members) >= 2]
+    groups.sort(key=lambda members: order[members[0]])
+    return groups
+
+
 def cooccurrence_study(
     trace: Trace,
     negative_samples_per_function: int = 50,

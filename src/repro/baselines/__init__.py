@@ -21,6 +21,7 @@ from repro.baselines.defuse import DefusePolicy
 from repro.baselines.faascache import FaasCachePolicy
 from repro.baselines.lcs import LcsPolicy
 from repro.baselines.vectorized import (
+    IndexedDefusePolicy,
     IndexedFaasCachePolicy,
     IndexedFixedKeepAlivePolicy,
     IndexedHybridApplicationPolicy,
@@ -39,4 +40,5 @@ __all__ = [
     "IndexedHybridFunctionPolicy",
     "IndexedHybridApplicationPolicy",
     "IndexedFaasCachePolicy",
+    "IndexedDefusePolicy",
 ]

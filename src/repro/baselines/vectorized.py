@@ -23,14 +23,21 @@ function-index space instead of Python dict/set churn.
   heap replaced by vectorized scoring over function arrays: one scatter per
   minute to refresh invoked priorities, and a single lexsort over the
   resident set on the (rare) minutes the capacity is exceeded.
+* :class:`IndexedDefusePolicy` — dependency-guided pre-warming
+  (:class:`~repro.baselines.defuse.DefusePolicy`) on top of the indexed
+  hybrid histogram base: the mined dependency graph is compiled into a CSR
+  successor table at bind time, and a minute costs one ``np.maximum.at``
+  scatter of pre-warm horizons plus one mask comparison — no per-minute
+  Python over the dependency dict.
 """
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Dict, List, Mapping, Sequence
 
 import numpy as np
 
+from repro.baselines.defuse import Dependency, mine_dependencies
 from repro.baselines.hybrid_base import HybridHistogramPolicyBase
 from repro.simulation.vector_policy import VectorizedPolicy
 from repro.traces.schema import FunctionRecord
@@ -41,6 +48,7 @@ __all__ = [
     "IndexedHybridFunctionPolicy",
     "IndexedHybridApplicationPolicy",
     "IndexedFaasCachePolicy",
+    "IndexedDefusePolicy",
 ]
 
 #: "Never invoked" sentinel: far below any warm-up minute, but safely away
@@ -313,3 +321,143 @@ class IndexedHybridApplicationPolicy(_IndexedHybridBase):
 
     def unit_of(self, record: FunctionRecord) -> str:
         return record.app_id
+
+
+class IndexedDefusePolicy(IndexedHybridFunctionPolicy):
+    """Index-native Defuse (twin of :class:`~repro.baselines.defuse.DefusePolicy`).
+
+    The offline phase is identical to the dict twin's: histogram seeding via
+    the hybrid base, then :func:`~repro.baselines.defuse.mine_dependencies`
+    over the same app-scoped candidate groups, so both twins derive the same
+    dependency set.  Binding compiles that set into a CSR successor table
+    (``indptr`` over predecessor positions, successor positions + pre-warm
+    lags as data); a minute then costs the hybrid base's vectorized decision
+    plus one ``np.maximum.at`` scatter pushing ``minute + lag`` horizons to
+    the invoked predecessors' successors and one ``horizon > minute``
+    comparison OR-ed into the residency mask — exactly the dict twin's
+    "extend, expire, union" semantics without its per-minute dict churn.
+
+    Parameters are those of :class:`~repro.baselines.defuse.DefusePolicy`.
+    """
+
+    name = "defuse"
+
+    def __init__(
+        self,
+        histogram_range_minutes: int = 240,
+        head_percentile: float = 5.0,
+        tail_percentile: float = 99.0,
+        uncertain_keep_alive_minutes: int = 10,
+        min_samples: int = 10,
+        strong_lag: int = 2,
+        weak_lag: int = 10,
+        strong_confidence: float = 0.8,
+        weak_confidence: float = 0.5,
+        min_support: int = 3,
+    ) -> None:
+        super().__init__(
+            histogram_range_minutes=histogram_range_minutes,
+            head_percentile=head_percentile,
+            tail_percentile=tail_percentile,
+            uncertain_keep_alive_minutes=uncertain_keep_alive_minutes,
+            min_samples=min_samples,
+        )
+        self.strong_lag = strong_lag
+        self.weak_lag = weak_lag
+        self.strong_confidence = strong_confidence
+        self.weak_confidence = weak_confidence
+        self.min_support = min_support
+        self._mined: List[Dependency] = []
+
+    # ------------------------------------------------------------------ #
+    def prepare(
+        self,
+        functions: Sequence[FunctionRecord],
+        training: Trace | None = None,
+    ) -> None:
+        super().prepare(functions, training)
+        self._mined = []
+        if training is None:
+            return
+        groups: Dict[str, List[str]] = {}
+        for record in functions:
+            groups.setdefault(record.app_id, []).append(record.function_id)
+        self._mined = mine_dependencies(
+            training,
+            groups,
+            strong_lag=self.strong_lag,
+            weak_lag=self.weak_lag,
+            strong_confidence=self.strong_confidence,
+            weak_confidence=self.weak_confidence,
+            min_support=self.min_support,
+        )
+
+    @property
+    def dependencies(self) -> List[Dependency]:
+        """All mined dependencies (same introspection as the dict twin)."""
+        return list(self._mined)
+
+    # ------------------------------------------------------------------ #
+    def on_bind(self, index: InvocationIndex) -> None:
+        super().on_bind(index)
+        n = index.n_functions
+        by_predecessor: Dict[int, List[tuple[int, int]]] = {}
+        for dependency in self._mined:
+            predecessor = index.index_of.get(dependency.predecessor)
+            successor = index.index_of.get(dependency.successor)
+            if predecessor is None or successor is None:
+                # Mined against metadata the simulated trace doesn't carry;
+                # the dict twin's pre-warm of such ids would surface as
+                # extra_resident, which a training/simulation split of one
+                # trace never produces.
+                continue
+            by_predecessor.setdefault(predecessor, []).append(
+                (successor, dependency.lag_window)
+            )
+        counts = np.zeros(n, dtype=np.int64)
+        predecessors: List[int] = []
+        successors: List[int] = []
+        lags: List[int] = []
+        for predecessor in range(n):
+            for successor, lag in by_predecessor.get(predecessor, ()):
+                predecessors.append(predecessor)
+                successors.append(successor)
+                lags.append(lag)
+            counts[predecessor] = len(by_predecessor.get(predecessor, ()))
+        self._edge_predecessors = np.asarray(predecessors, dtype=np.int64)
+        self._succ_positions = np.asarray(successors, dtype=np.int64)
+        self._succ_lags = np.asarray(lags, dtype=np.int64)
+        self._succ_counts = counts
+        self._has_dependencies = bool(self._succ_positions.size)
+        # Scratch flags over predecessor positions, reused every minute so
+        # edge selection is one vectorized gather, no per-edge Python.
+        self._predecessor_invoked = np.zeros(n, dtype=bool)
+        self._prewarm_until = np.full(n, _NEVER, dtype=np.int64)
+
+    def reset(self) -> None:
+        super().reset()
+        if self.is_bound:
+            self._prewarm_until.fill(_NEVER)
+
+    # ------------------------------------------------------------------ #
+    def on_minute_indexed(
+        self, minute: int, invoked: np.ndarray, counts: np.ndarray
+    ) -> np.ndarray:
+        mask = super().on_minute_indexed(minute, invoked, counts)
+        if self._has_dependencies and invoked.size:
+            with_successors = invoked[self._succ_counts[invoked] > 0]
+            if with_successors.size:
+                flags = self._predecessor_invoked
+                flags[with_successors] = True
+                edges = np.flatnonzero(flags[self._edge_predecessors])
+                flags[with_successors] = False
+                np.maximum.at(
+                    self._prewarm_until,
+                    self._succ_positions[edges],
+                    minute + self._succ_lags[edges],
+                )
+        if self._has_dependencies:
+            # Same expiry rule as the dict twin: a horizon of `minute` is
+            # already expired, strictly-later horizons pre-warm.
+            mask |= self._prewarm_until > minute
+        return mask

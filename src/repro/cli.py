@@ -17,9 +17,11 @@ Commands
     (policy × seed) cells out across worker processes with optional on-disk
     result caching (``--workers``, ``--seeds``, ``--policies``,
     ``--cache-dir``, ``--no-cache``).  With ``--scenario`` the workloads come
-    from the scenario registry (``capacity-squeeze`` runs the whole sweep in
-    capacity-constrained cluster mode and reports evictions and
-    capacity-induced cold starts).  With ``--engine event`` every cell runs
+    from the scenario registry (``capacity-squeeze`` and ``hot-shard`` run
+    the whole sweep in capacity-constrained cluster mode and report
+    evictions, migrations and capacity-induced cold starts; ``--placement``
+    swaps the cluster's function-to-node strategy).  With ``--engine event``
+    every cell runs
     on the sub-minute event engine and the tables report p50/p95/p99
     cold-start latency alongside the paper's count-based metrics.
 ``scenarios``
@@ -203,6 +205,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
             cache_dir=cache_dir,
             scenario=args.scenario,
             scenario_params=_parse_scenario_params(args.scenario_param),
+            placement=args.placement,
             engine=args.engine,
         )
     except (KeyError, ValueError) as error:
@@ -238,10 +241,11 @@ def _command_sweep(args: argparse.Namespace) -> int:
         print()
     mode = f"{outcome.workers} workers" if outcome.workers > 1 else "serial"
     scenario = f", scenario {args.scenario}" if args.scenario else ""
+    placement = f", placement {args.placement}" if args.placement else ""
     engine = f", engine {args.engine}" if args.engine != "vectorized" else ""
     print(
         f"sweep: {len(suite.seeds)} seed(s) x {len(args.policies)} policies "
-        f"in {outcome.wall_seconds:.1f}s ({mode}{scenario}{engine})"
+        f"in {outcome.wall_seconds:.1f}s ({mode}{scenario}{placement}{engine})"
     )
     if cache_dir:
         print(f"cache: {outcome.cache_hits} hit(s), {outcome.cache_misses} miss(es)")
@@ -328,6 +332,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=[],
         metavar="NAME=VALUE",
         help="override a scenario parameter (repeatable)",
+    )
+    sweep.add_argument(
+        "--placement",
+        default=None,
+        help=(
+            "placement strategy for the scenario's cluster (hash, "
+            "least-loaded, correlation-aware); requires a cluster scenario "
+            "such as capacity-squeeze or hot-shard"
+        ),
     )
     sweep.add_argument(
         "--rq-tables",

@@ -47,6 +47,7 @@ from repro.baselines import (
     FixedKeepAlivePolicy,
     HybridApplicationPolicy,
     HybridFunctionPolicy,
+    IndexedDefusePolicy,
     IndexedFaasCachePolicy,
     IndexedFixedKeepAlivePolicy,
     IndexedHybridApplicationPolicy,
@@ -103,6 +104,7 @@ POLICY_REGISTRY: Dict[str, Callable[..., ProvisioningPolicy]] = {
     "hybrid-function-indexed": IndexedHybridFunctionPolicy,
     "hybrid-application-indexed": IndexedHybridApplicationPolicy,
     "faascache-indexed": IndexedFaasCachePolicy,
+    "defuse-indexed": IndexedDefusePolicy,
 }
 
 

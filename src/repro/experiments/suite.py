@@ -178,16 +178,19 @@ class SuiteResult:
         if not rows:
             return None
         first = next(iter(rows.values()))
+        placement = getattr(first, "placement", "hash")
         table = ComparisonTable(
             title=(
                 f"Capacity effects (seed {seed}; cap {first.memory_capacity} units "
-                f"over {first.n_nodes} node(s))"
+                f"over {first.n_nodes} node(s); placement {placement})"
             ),
             columns=(
                 "policy",
                 "evictions",
                 "cap_cold_starts",
+                "migrations",
                 "mean_util_pct",
+                "imbalance",
                 "peak_node_usage",
             ),
         )
@@ -196,7 +199,9 @@ class SuiteResult:
                 policy=name,
                 evictions=float(cluster.evictions),
                 cap_cold_starts=float(cluster.capacity_cold_starts),
+                migrations=float(getattr(cluster, "migrations", 0)),
                 mean_util_pct=100.0 * float(cluster.mean_node_utilization.mean()),
+                imbalance=float(getattr(cluster, "load_imbalance", 0.0)),
                 peak_node_usage=float(cluster.peak_node_usage),
             )
         return table
@@ -256,6 +261,13 @@ class ExperimentSuite:
     scenario_params:
         Overrides for the scenario's parameters (see each scenario's
         ``defaults``).
+    placement:
+        Optional placement-strategy override (a name from
+        :data:`repro.simulation.placement.PLACEMENT_REGISTRY`) applied to
+        the scenario-prescribed cluster model of every seed's workload.
+        Requires a scenario that actually prescribes a cluster (e.g.
+        ``capacity-squeeze`` or ``hot-shard``); ``None`` keeps each
+        scenario's own configuration (the ``hash`` default).
     engine:
         Engine implementation every cell runs on.  ``"event"`` turns cold
         starts into latency distributions: each seed's workload gets an
@@ -273,6 +285,7 @@ class ExperimentSuite:
         cache_dir: str | Path | None = None,
         scenario: str | None = None,
         scenario_params: Mapping[str, object] | None = None,
+        placement: str | None = None,
         engine: str = "vectorized",
     ) -> None:
         self.config = config or ExperimentConfig()
@@ -304,6 +317,20 @@ class ExperimentSuite:
                 )
         elif self.scenario_params:
             raise ValueError("scenario_params requires a scenario")
+        self.placement = placement
+        if placement is not None:
+            from repro.simulation.placement import placement_names
+
+            if placement not in placement_names():
+                raise ValueError(
+                    f"unknown placement {placement!r}; registered: "
+                    f"{placement_names()}"
+                )
+            if scenario is None:
+                raise ValueError(
+                    "placement requires a scenario that prescribes a cluster "
+                    "(e.g. capacity-squeeze, hot-shard)"
+                )
         self._traces: Dict[str, TraceSplit] | None = None
         self._clusters: Dict[str, object] = {}
         self._events: Dict[str, EventConfig] = {}
@@ -342,8 +369,17 @@ class ExperimentSuite:
                         **self.scenario_params,
                     )
                     self._traces[key] = workload.split
-                    if workload.cluster is not None:
-                        self._clusters[key] = workload.cluster
+                    cluster = workload.cluster
+                    if self.placement is not None:
+                        if cluster is None:
+                            raise ValueError(
+                                f"scenario {self.scenario!r} prescribes no "
+                                "cluster; placement requires a cluster "
+                                "scenario (e.g. capacity-squeeze, hot-shard)"
+                            )
+                        cluster = replace(cluster, placement=self.placement)
+                    if cluster is not None:
+                        self._clusters[key] = cluster
                     self._events[key] = workload.events
                 else:
                     trace = AzureTraceGenerator(config.generator_profile()).generate()

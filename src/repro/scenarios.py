@@ -43,6 +43,12 @@ Built-in catalog
     A dense population on a sharded cluster whose memory cap is derived
     from the workload itself (a multiple of the mean per-minute active set),
     guaranteeing sustained eviction pressure.
+``hot-shard``
+    An adversarial placement workload: the function ids of the hottest
+    functions are crafted so the default CRC-32 hash placement lands all of
+    them on node 0, which melts while the other nodes idle.  The scenario
+    exists to measure what ``sweep --placement least-loaded`` (or
+    ``correlation-aware``) buys over static sharding.
 
 Custom scenarios register with :func:`register_scenario`.
 """
@@ -418,6 +424,81 @@ def _build_capacity_squeeze(
     return ScenarioWorkload(scenario="capacity-squeeze", split=split, cluster=cluster)
 
 
+def _hot_shard_id(prefix: str, i: int, n_nodes: int) -> str:
+    """A function id the CRC-32 shard deterministically maps to node 0.
+
+    Ids are salted until the hash lands on node 0 — the adversarial shape
+    real deployments hit when correlated tenants share an id prefix that
+    happens to collide.  The salt search is deterministic, so the scenario's
+    traces fingerprint stably.
+    """
+    import zlib
+
+    salt = 0
+    while True:
+        function_id = f"{prefix}-{i:05d}" if salt == 0 else f"{prefix}-{i:05d}x{salt}"
+        if zlib.crc32(function_id.encode()) % n_nodes == 0:
+            return function_id
+        salt += 1
+
+
+def _build_hot_shard(
+    seed: int,
+    n_functions: int,
+    days: float,
+    training_days: float,
+    hot_fraction: float,
+    n_nodes: int,
+    squeeze: float,
+    hot_rate: float,
+) -> ScenarioWorkload:
+    rng = np.random.default_rng(seed)
+    duration = int(round(days * MINUTES_PER_DAY))
+    n_hot = max(1, int(round(hot_fraction * n_functions)))
+    n_warm = max(1, n_functions // 4)
+    records: List[FunctionRecord] = []
+    counts: Dict[str, np.ndarray] = {}
+    for i in range(n_functions):
+        if i < n_hot:
+            # The hot set: dense Poisson traffic whose ids all hash to node 0.
+            function_id = _hot_shard_id("hot", i, n_nodes)
+            series = generate_dense_poisson(
+                rng, duration, rate_per_minute=float(rng.uniform(0.5, hot_rate))
+            )
+            trigger = TriggerType.HTTP
+            archetype = "hot_poisson"
+        elif i < n_hot + n_warm:
+            function_id = f"warm-{i:05d}"
+            series = generate_periodic(rng, duration, period=int(rng.integers(20, 180)))
+            trigger = TriggerType.TIMER
+            archetype = "periodic"
+        else:
+            function_id = f"bg-{i:05d}"
+            series = generate_rare(rng, duration, invocation_count=int(rng.integers(2, 10)))
+            trigger = TriggerType.OTHERS
+            archetype = "rare"
+        records.append(
+            FunctionRecord(
+                function_id,
+                f"app-{i // 3:05d}",
+                f"owner-{i // 6:05d}",
+                trigger,
+                archetype=archetype,
+            )
+        )
+        counts[function_id] = series
+    split = _assemble("hot-shard", seed, records, counts, duration, training_days)
+    # The capacity-squeeze recipe: enough room for the cluster-wide mean
+    # active set times `squeeze`, so a balanced placement is comfortable while
+    # the hash-hot node (carrying ~all the traffic) is squeezed hard.
+    index = split.simulation.invocation_index()
+    active_per_minute = np.diff(index.indptr)
+    mean_active = float(active_per_minute.mean()) if active_per_minute.size else 1.0
+    capacity = max(n_nodes, int(round(mean_active * squeeze)))
+    cluster = ClusterModel(memory_capacity=capacity, n_nodes=n_nodes)
+    return ScenarioWorkload(scenario="hot-shard", split=split, cluster=cluster)
+
+
 register_scenario(
     Scenario(
         name="azure",
@@ -473,5 +554,15 @@ register_scenario(
         # Under sustained eviction pressure node-local image caches thrash,
         # so re-provisioning costs more than a cold-cache boot.
         events=EventConfig(cold_start_scale=2.0),
+    )
+)
+register_scenario(
+    Scenario(
+        name="hot-shard",
+        description="hot functions deliberately hash onto one node; stresses placement",
+        builder=_build_hot_shard,
+        defaults={"hot_fraction": 0.25, "n_nodes": 4, "squeeze": 3.0, "hot_rate": 2.0},
+        # The melting node's image registry is saturated; boots crawl.
+        events=EventConfig(cold_start_scale=1.4),
     )
 )

@@ -17,7 +17,14 @@ usage, and effective memory consumption exactly as defined in the paper.
 
 from repro.simulation.policy_base import AlwaysWarmPolicy, NoKeepAlivePolicy, ProvisioningPolicy
 from repro.simulation.vector_policy import DictPolicyAdapter, VectorizedPolicy
-from repro.simulation.cluster import ClusterArbiter, ClusterModel
+from repro.simulation.cluster import ClusterArbiter, ClusterModel, NodeArbiter
+from repro.simulation.placement import (
+    PLACEMENT_REGISTRY,
+    PlacementStrategy,
+    get_placement,
+    placement_names,
+    register_placement,
+)
 from repro.simulation.events import EventConfig, EventTracker
 from repro.simulation.memory import MemoryAccountant
 from repro.simulation.results import (
@@ -37,7 +44,13 @@ __all__ = [
     "NoKeepAlivePolicy",
     "ClusterModel",
     "ClusterArbiter",
+    "NodeArbiter",
     "ClusterStats",
+    "PlacementStrategy",
+    "PLACEMENT_REGISTRY",
+    "register_placement",
+    "get_placement",
+    "placement_names",
     "EventConfig",
     "EventTracker",
     "LatencyStats",

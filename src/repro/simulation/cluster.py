@@ -1,4 +1,4 @@
-"""Capacity-constrained cluster simulation: memory caps, eviction, sharding.
+"""Capacity-constrained cluster simulation: memory caps, eviction, placement.
 
 The paper's simulation assumes a single host large enough to hold every
 loaded instance, so no policy decision is ever overridden by the platform.
@@ -7,23 +7,34 @@ nodes.  This module adds an optional *cluster model* to the simulator:
 
 * a **global memory cap** — the cluster holds at most ``memory_capacity``
   instance units at the start of any minute;
-* an **eviction arbiter** — the policy *proposes* a resident set, and the
-  arbiter *admits* it; under pressure the arbiter evicts the
-  least-recently-invoked proposed instances first (deterministic tie-break on
-  function index), mirroring the controller/invoker split of cluster
-  schedulers where per-function policies run below a cluster-level admission
-  layer;
-* optional **N-node sharding** — functions are assigned to nodes by a stable
-  hash of their id, each node holding ``ceil(memory_capacity / n_nodes)``
-  units, so hot shards feel pressure before the cluster average does.
+* **per-node admission arbiters** — the policy *proposes* a resident set,
+  and each :class:`NodeArbiter` admits its node's share under the node
+  capacity; under pressure a node evicts its least-recently-invoked proposed
+  instances first (deterministic tie-break on function index), mirroring the
+  controller/invoker split of cluster schedulers where per-function policies
+  run below per-node admission layers;
+* **pluggable placement** — the function→node mapping comes from a
+  :class:`~repro.simulation.placement.PlacementStrategy` (``hash`` static
+  CRC-32 sharding by default, ``least-loaded`` lazy assignment,
+  ``correlation-aware`` co-location of functions that fire together);
+* optional **sustained-pressure re-placement** — with a
+  ``pressure_threshold``, a node whose admitted load stays above the
+  threshold for ``pressure_minutes`` consecutive minutes migrates its
+  least-recently-invoked instance to the freest *unpressured* node; the
+  move is counted as a migration and drops residency for one boundary (the
+  instance re-provisions on its new node), so an invocation arriving inside
+  that provisioning gap is a forced, migration-attributed cold start.
 
 Accounting additions (reported via
 :class:`~repro.simulation.results.ClusterStats`):
 
 * *evictions* — instances that were admitted-resident and that the policy
-  proposed to keep, but that the arbiter forced out;
+  proposed to keep, but that an arbiter forced out (per-node counts kept);
 * *capacity-induced cold starts* — cold starts for functions the policy had
   declared resident (they would have been warm on an uncapped host);
+* *migrations* and *migration-induced cold starts* — re-placements under
+  sustained pressure and the cold starts they materialize (a subset of the
+  capacity-induced count: the policy had declared those functions resident);
 * *per-node utilization* — per-minute loaded units per node.
 
 On-demand loads are not capped: an invoked function is always loaded for its
@@ -33,7 +44,9 @@ the cap during traffic spikes; the cap constrains what *stays* resident.
 :class:`ClusterModel` is an immutable, picklable configuration; the mutable
 per-run state lives in the :class:`ClusterArbiter` the engine creates for
 each simulation, so one model can be shared across sweep cells and worker
-processes.
+processes.  With the default configuration (``placement="hash"``, migration
+disabled) every admitted mask — and therefore every simulation fingerprint —
+is bit-for-bit identical to the pre-placement engine.
 """
 
 from __future__ import annotations
@@ -41,10 +54,16 @@ from __future__ import annotations
 import math
 import zlib
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-__all__ = ["ClusterModel", "ClusterArbiter"]
+from repro.simulation.placement import UNPLACED, get_placement
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.traces.trace import Trace
+
+__all__ = ["ClusterModel", "ClusterArbiter", "NodeArbiter"]
 
 
 @dataclass(frozen=True)
@@ -56,14 +75,30 @@ class ClusterModel:
     memory_capacity:
         Total instance units the cluster can keep resident between minutes.
     n_nodes:
-        Number of nodes the capacity is sharded over.  Functions map to nodes
-        by a stable hash of their id; each node holds at most
-        ``ceil(memory_capacity / n_nodes)`` units, and the cluster-wide total
-        never exceeds ``memory_capacity`` (both bounds are enforced).
+        Number of nodes the capacity is sharded over.  Each node holds at
+        most ``ceil(memory_capacity / n_nodes)`` units, and the cluster-wide
+        total never exceeds ``memory_capacity`` (both bounds are enforced).
+    placement:
+        Name of the :class:`~repro.simulation.placement.PlacementStrategy`
+        mapping functions to nodes.  ``"hash"`` (default) is the original
+        static CRC-32 shard and reproduces pre-placement results
+        bit-for-bit; see :mod:`repro.simulation.placement` for the catalog.
+    pressure_threshold:
+        Optional sustained-pressure migration trigger, as a fraction of the
+        node capacity: a node whose *admitted* load exceeds
+        ``pressure_threshold * node_capacity`` for ``pressure_minutes``
+        consecutive admission passes migrates one instance.  ``None``
+        (default) disables re-placement entirely.
+    pressure_minutes:
+        Number of consecutive pressured minutes (``K``) before a migration
+        fires.  The K-th pressured minute migrates; K-1 never does.
     """
 
     memory_capacity: int
     n_nodes: int = 1
+    placement: str = "hash"
+    pressure_threshold: float | None = None
+    pressure_minutes: int = 3
 
     def __post_init__(self) -> None:
         if self.memory_capacity < 1:
@@ -72,52 +107,151 @@ class ClusterModel:
             raise ValueError("n_nodes must be >= 1")
         if self.n_nodes > self.memory_capacity:
             raise ValueError("n_nodes cannot exceed memory_capacity")
+        # Fail fast on unknown strategies, before any workload is built.
+        get_placement(self.placement)
+        if self.pressure_threshold is not None and not 0.0 < self.pressure_threshold:
+            raise ValueError("pressure_threshold must be positive when given")
+        if self.pressure_minutes < 1:
+            raise ValueError("pressure_minutes must be >= 1")
 
     @property
     def node_capacity(self) -> int:
         """Instance units each node can keep resident."""
         return math.ceil(self.memory_capacity / self.n_nodes)
 
+    @property
+    def migration_enabled(self) -> bool:
+        """Whether sustained-pressure re-placement is configured."""
+        return self.pressure_threshold is not None
+
     def node_of(self, function_id: str) -> int:
-        """Stable node assignment for one function id.
+        """Stable *hash* node assignment for one function id.
 
         Uses CRC-32 rather than Python's ``hash`` so the sharding is
         deterministic across processes and interpreter runs (``PYTHONHASHSEED``
-        does not leak into simulation results).
+        does not leak into simulation results).  This is the ``hash``
+        strategy's mapping; dynamic strategies keep their own assignment in
+        the arbiter's ``node_of`` array.
         """
         return zlib.crc32(function_id.encode()) % self.n_nodes
 
-    def arbiter(self, function_ids: tuple[str, ...]) -> "ClusterArbiter":
-        """Build the per-run arbiter over a trace's function-index space."""
-        return ClusterArbiter(self, function_ids)
+    def arbiter(
+        self, function_ids: tuple[str, ...], trace: "Trace | None" = None
+    ) -> "ClusterArbiter":
+        """Build the per-run arbiter over a trace's function-index space.
+
+        ``trace`` supplies offline placement signals (the ``correlation-aware``
+        strategy mines the training window for co-firing groups); strategies
+        that need none ignore it.
+        """
+        return ClusterArbiter(self, function_ids, trace=trace)
+
+
+class NodeArbiter:
+    """Per-node admission state: capacity, eviction pass, pressure streak.
+
+    Each node trims its own share of the proposed resident set — eviction
+    pressure is computed node-locally, not as one cluster-wide pass — and
+    tracks how many consecutive admission passes it has spent above the
+    migration pressure threshold.
+    """
+
+    __slots__ = ("node", "capacity", "pressure_streak")
+
+    def __init__(self, node: int, capacity: int) -> None:
+        self.node = node
+        self.capacity = capacity
+        #: Consecutive admission passes above the pressure threshold.
+        self.pressure_streak = 0
+
+    def trim(
+        self, members: np.ndarray, last_invocation: np.ndarray, admitted: np.ndarray
+    ) -> None:
+        """Drop this node's overflow from ``admitted`` (in place).
+
+        Keeps the most recently invoked members; ties break on the lower
+        function index (stable sort over ``(-recency, index)``) — the exact
+        rule of the original single-pass arbiter, so ``hash`` runs reproduce
+        historical fingerprints bit-for-bit.
+        """
+        if members.size <= self.capacity:
+            return
+        order = np.lexsort((members, -last_invocation[members]))
+        admitted[members[order[self.capacity :]]] = False
 
 
 class ClusterArbiter:
-    """Per-run admission/eviction state for one :class:`ClusterModel`.
+    """Per-run admission/eviction/placement state for one :class:`ClusterModel`.
 
     The arbiter works in the trace's function-index space: the engine calls
+    :meth:`ensure_placed` when functions first become active,
     :meth:`observe_invocations` with each minute's invoked indices (recency
     bookkeeping) and :meth:`admit` with the policy's proposed residency mask;
-    ``admit`` returns the admitted mask and counts forced evictions.
+    ``admit`` places any newly proposed functions, runs every
+    :class:`NodeArbiter`'s trim pass plus the cluster-wide bound, counts
+    forced evictions, and (when migration is enabled) re-places instances
+    off sustainedly pressured nodes.
     """
 
     #: Recency sentinel: "never invoked" sorts before any real minute
     #: (warm-up minutes are negative, so the sentinel must be far below).
     _NEVER = -(2**62)
 
-    def __init__(self, model: ClusterModel, function_ids: tuple[str, ...]) -> None:
+    def __init__(
+        self,
+        model: ClusterModel,
+        function_ids: tuple[str, ...],
+        trace: "Trace | None" = None,
+    ) -> None:
         self.model = model
         n = len(function_ids)
-        self.node_of = np.asarray(
-            [model.node_of(function_id) for function_id in function_ids],
-            dtype=np.int64,
-        )
+        self.placement = get_placement(model.placement)
+        #: Current node of every function (``UNPLACED`` until first activity).
+        self.node_of = self.placement.bind(model, function_ids, trace)
+        if self.node_of.shape != (n,):
+            raise ValueError(
+                f"placement {model.placement!r} returned an assignment of shape "
+                f"{self.node_of.shape}; expected ({n},)"
+            )
+        self.nodes = [
+            NodeArbiter(node, model.node_capacity) for node in range(model.n_nodes)
+        ]
+        # Hash (and any fully static strategy) never pays the lazy-placement
+        # check on the hot path.
+        self._all_placed = not bool((self.node_of == UNPLACED).any())
         self._last_invocation = np.full(n, self._NEVER, dtype=np.int64)
         self._admitted = np.zeros(n, dtype=bool)
         #: Total instances evicted under capacity pressure.
         self.evictions = 0
+        #: Per-node capacity evictions (sums to :attr:`evictions`).
+        self.node_evictions = np.zeros(model.n_nodes, dtype=np.int64)
+        #: Total sustained-pressure migrations over the run.
+        self.migrations = 0
+        #: Mask of functions migrated by the most recent :meth:`admit` (their
+        #: next invocation is a migration-forced cold start); ``None`` when
+        #: migration is disabled, so the engine skips the bookkeeping.
+        self.migrated_last: np.ndarray | None = (
+            np.zeros(n, dtype=bool) if model.migration_enabled else None
+        )
 
     # ------------------------------------------------------------------ #
+    def ensure_placed(self, positions: np.ndarray) -> None:
+        """Assign nodes to any not-yet-placed functions among ``positions``.
+
+        Load is measured as the currently admitted per-node usage — the same
+        signal :meth:`node_usage` reports — so lazy strategies place against
+        the state the cluster actually holds.
+        """
+        if self._all_placed or positions.size == 0:
+            return
+        unplaced = positions[self.node_of[positions] == UNPLACED]
+        if unplaced.size == 0:
+            return
+        usage = self.node_usage(self._admitted)
+        self.node_of[unplaced] = self.placement.place(
+            unplaced, usage, self.model.node_capacity
+        )
+
     def observe_invocations(self, minute: int, invoked: np.ndarray) -> None:
         """Record this minute's invocations (drives the LRU eviction order)."""
         if invoked.size:
@@ -125,9 +259,10 @@ class ClusterArbiter:
 
     def node_usage(self, resident: np.ndarray) -> np.ndarray:
         """Per-node loaded-unit counts for a residency mask."""
-        return np.bincount(
-            self.node_of[np.flatnonzero(resident)], minlength=self.model.n_nodes
-        )
+        members = np.flatnonzero(resident)
+        if not self._all_placed:
+            members = members[self.node_of[members] != UNPLACED]
+        return np.bincount(self.node_of[members], minlength=self.model.n_nodes)
 
     # ------------------------------------------------------------------ #
     def admit(self, proposed: np.ndarray) -> tuple[np.ndarray, int]:
@@ -145,20 +280,19 @@ class ClusterArbiter:
             the caller owns and may mutate freely; ``evicted`` counts
             instances that were admitted-resident, proposed to stay, and
             forced out — capacity evictions, not first-time admission
-            denials.
+            denials and not migrations (those are tracked separately).
         """
+        positions = np.flatnonzero(proposed)
+        self.ensure_placed(positions)
         admitted = proposed.copy()
         node_capacity = self.model.node_capacity
-        positions = np.flatnonzero(proposed)
         if positions.size > node_capacity:
             nodes = self.node_of[positions]
             usage = np.bincount(nodes, minlength=self.model.n_nodes)
             for node in np.flatnonzero(usage > node_capacity):
-                members = positions[nodes == node]
-                # Keep the most recently invoked; ties broken on the lower
-                # function index (stable sort over (-recency, index)).
-                order = np.lexsort((members, -self._last_invocation[members]))
-                admitted[members[order[node_capacity:]]] = False
+                self.nodes[node].trim(
+                    positions[nodes == node], self._last_invocation, admitted
+                )
 
         # Per-node caps round up (ceil), so their sum can exceed the global
         # cap when memory_capacity is not divisible by n_nodes; enforce the
@@ -168,9 +302,69 @@ class ClusterArbiter:
             order = np.lexsort((kept, -self._last_invocation[kept]))
             admitted[kept[order[self.model.memory_capacity :]]] = False
 
-        evicted = int(np.count_nonzero(self._admitted & proposed & ~admitted))
+        evicted_positions = np.flatnonzero(self._admitted & proposed & ~admitted)
+        evicted = int(evicted_positions.size)
+        if evicted:
+            self.node_evictions += np.bincount(
+                self.node_of[evicted_positions], minlength=self.model.n_nodes
+            )
         self.evictions += evicted
+
+        if self.migrated_last is not None:
+            self._maybe_migrate(admitted)
         # Keep a private copy: the caller's on-demand loads must not leak
         # into the admitted-state that distinguishes evictions from denials.
         self._admitted = admitted.copy()
         return admitted, evicted
+
+    # ------------------------------------------------------------------ #
+    def _maybe_migrate(self, admitted: np.ndarray) -> None:
+        """Re-place one instance off every sustainedly pressured node.
+
+        A node is *pressured* when its admitted load exceeds
+        ``pressure_threshold * node_capacity``; on the K-th consecutive
+        pressured pass (``K = pressure_minutes``) its least-recently-invoked
+        admitted instance moves to the freest node that is itself below the
+        threshold (ties on the lower node id; hot-to-hot moves would only
+        ping-pong load).  The move drops residency for one boundary — the
+        one-minute provisioning gap of the re-placed instance — resets the
+        source node's streak, and is reflected in :attr:`migrated_last` so
+        the engine charges any invocation landing in that gap as a
+        migration-attributed cold start; if no request arrives before the
+        policy's next declaration re-admits the instance, the migration cost
+        is the gap itself, not a cold start.  Nodes with nowhere to migrate
+        to (every other node full or pressured) keep their streak and retry
+        next minute.
+        """
+        self.migrated_last = np.zeros(admitted.shape[0], dtype=bool)
+        usage = self.node_usage(admitted)
+        threshold = self.model.pressure_threshold * self.model.node_capacity
+        for arbiter in self.nodes:
+            if usage[arbiter.node] > threshold:
+                arbiter.pressure_streak += 1
+            else:
+                arbiter.pressure_streak = 0
+
+        for arbiter in self.nodes:
+            if arbiter.pressure_streak < self.model.pressure_minutes:
+                continue
+            members = np.flatnonzero(admitted & (self.node_of == arbiter.node))
+            if members.size == 0:
+                arbiter.pressure_streak = 0
+                continue
+            free = self.model.node_capacity - usage
+            free[arbiter.node] = -1  # never migrate onto the source node
+            # A pressured node is no refuge either: moving load between two
+            # hot nodes just ping-pongs instances without relieving anything.
+            free[usage > threshold] = -1
+            target = int(np.argmax(free))
+            if free[target] <= 0:
+                continue  # cluster-wide pressure: nowhere to go, retry later
+            order = np.lexsort((members, -self._last_invocation[members]))
+            victim = int(members[order[-1]])  # least recently invoked member
+            self.node_of[victim] = target
+            admitted[victim] = False
+            self.migrated_last[victim] = True
+            self.migrations += 1
+            usage[arbiter.node] -= 1
+            arbiter.pressure_streak = 0

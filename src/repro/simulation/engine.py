@@ -264,14 +264,22 @@ class Simulator:
         arbiter = None
         node_usage: np.ndarray | None = None
         capacity_cold_starts = 0
+        migration_cold_starts = 0
         declared_entering: np.ndarray | None = None
+        migrated_entering: np.ndarray | None = None
         if cluster is not None:
-            arbiter = cluster.arbiter(function_ids)
+            # The training window feeds offline placement signals (the
+            # correlation-aware strategy mines co-firing groups from it); a
+            # training-less run falls back to the simulation trace's records.
+            arbiter = cluster.arbiter(
+                function_ids, trace=self.training_trace or trace
+            )
             node_usage = np.zeros((duration, cluster.n_nodes), dtype=np.int64)
             # The entering resident set is itself subject to the cap; the
             # policy's "declaration" for minute 0 is the uncapped entering set.
             declared_entering = resident.copy()
             resident, _ = arbiter.admit(resident)
+            migrated_entering = arbiter.migrated_last
 
         invoked_minutes = np.zeros(n_functions, dtype=np.int64)
         cold_starts = np.zeros(n_functions, dtype=np.int64)
@@ -297,14 +305,25 @@ class Simulator:
                     capacity_cold_starts += int(
                         np.count_nonzero(declared_entering[cold])
                     )
+                    if migrated_entering is not None:
+                        # ... and within those, the ones a sustained-pressure
+                        # migration forced onto a new node.
+                        migration_cold_starts += int(
+                            np.count_nonzero(migrated_entering[cold])
+                        )
                 if tracker is not None:
                     # Sub-minute observation layer: expand this minute into
                     # timestamped events and record per-event waits.
                     tracker.observe_minute(
-                        minute, invoked, counts, cold_mask, declared_entering
+                        minute, invoked, counts, cold_mask, declared_entering,
+                        migrated_entering,
                     )
                 # 3. invoked functions are loaded on demand for this minute.
                 resident[invoked] = True
+                if arbiter is not None:
+                    # Lazy placement strategies assign a node the first time
+                    # a function is loaded — before usage is attributed.
+                    arbiter.ensure_placed(invoked)
 
             # 5. charge memory for this minute (batched at the end of the
             # run).  Invoked functions are always loaded, so the idle count
@@ -331,6 +350,7 @@ class Simulator:
             if arbiter is not None:
                 declared_entering = declared.copy()
                 resident, _ = arbiter.admit(declared)
+                migrated_entering = arbiter.migrated_last
             else:
                 np.copyto(resident, declared)
 
@@ -353,6 +373,10 @@ class Simulator:
                 evictions=arbiter.evictions,
                 capacity_cold_starts=capacity_cold_starts,
                 node_usage=node_usage,
+                placement=cluster.placement,
+                migrations=arbiter.migrations,
+                migration_cold_starts=migration_cold_starts,
+                node_evictions=arbiter.node_evictions,
             )
 
         stats: Dict[str, FunctionStats] = {}

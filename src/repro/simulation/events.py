@@ -160,6 +160,7 @@ class EventTracker:
         self._cold_start_events = 0
         self._delayed_events = 0
         self._capacity_cold_events = 0
+        self._migration_cold_events = 0
         self._total_execution_ms = 0.0
         # Per-minute wait/function-index chunks, concatenated once at
         # finalize; appending arrays keeps the hot path free of per-event
@@ -175,6 +176,7 @@ class EventTracker:
         counts: np.ndarray,
         cold_mask: np.ndarray,
         declared_entering: np.ndarray | None,
+        migrated_entering: np.ndarray | None = None,
     ) -> None:
         """Expand one minute's invocations into events and record waits.
 
@@ -199,6 +201,11 @@ class EventTracker:
             Under a cluster, the policy's pre-arbiter declaration for this
             minute; initiations the policy had declared resident are
             capacity-attributed.  ``None`` for uncapped runs.
+        migrated_entering:
+            Under a migrating cluster, the mask of functions the arbiter
+            re-placed at the previous boundary; initiations among them are
+            migration-attributed (a subset of the capacity-attributed
+            count).  ``None`` when migration is disabled.
         """
         if invoked.size == 0:
             return
@@ -216,6 +223,10 @@ class EventTracker:
         if declared_entering is not None:
             self._capacity_cold_events += int(
                 np.count_nonzero(declared_entering[cold])
+            )
+        if migrated_entering is not None:
+            self._migration_cold_events += int(
+                np.count_nonzero(migrated_entering[cold])
             )
 
         # Expand the cold functions' events.  Warm functions contribute
@@ -282,6 +293,7 @@ class EventTracker:
             cold_start_events=self._cold_start_events,
             delayed_events=self._delayed_events,
             capacity_cold_events=self._capacity_cold_events,
+            migration_cold_events=self._migration_cold_events,
             cold_wait_ms=waits,
             per_function_wait_ms=per_function,
             total_execution_ms=self._total_execution_ms,

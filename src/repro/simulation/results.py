@@ -84,6 +84,21 @@ class ClusterStats:
         Per-minute loaded units per node, shape ``(duration, n_nodes)``.
         Includes on-demand loads, so a minute may exceed ``node_capacity``
         transiently; the cap applies to what stays resident between minutes.
+    placement:
+        Name of the placement strategy the run used (``"hash"`` is the
+        original static shard; see :mod:`repro.simulation.placement`).
+    migrations:
+        Sustained-pressure re-placements: instances moved to another node
+        after their node stayed above the pressure threshold for K
+        consecutive minutes.  0 unless the cluster model enables migration.
+    migration_cold_starts:
+        Cold starts that materialized because the invoked function had just
+        been migrated (a subset of :attr:`capacity_cold_starts`: the policy
+        had declared those functions resident).
+    node_evictions:
+        Per-node capacity evictions, shape ``(n_nodes,)``; sums to
+        :attr:`evictions`.  ``None`` on results produced before per-node
+        arbiters existed (unpickled from older caches).
     """
 
     n_nodes: int
@@ -92,6 +107,10 @@ class ClusterStats:
     evictions: int
     capacity_cold_starts: int
     node_usage: np.ndarray
+    placement: str = "hash"
+    migrations: int = 0
+    migration_cold_starts: int = 0
+    node_evictions: np.ndarray | None = None
 
     @property
     def mean_node_utilization(self) -> np.ndarray:
@@ -106,6 +125,23 @@ class ClusterStats:
         if self.node_usage.size == 0:
             return 0
         return int(self.node_usage.max())
+
+    @property
+    def load_imbalance(self) -> float:
+        """Coefficient of variation of the per-node mean load.
+
+        0 means every node carried the same average load; a hot-shard run
+        under hash placement drives this up, and the load-aware strategies
+        drive it back down.  Single-node clusters are perfectly balanced by
+        definition.
+        """
+        if self.node_usage.size == 0 or self.n_nodes <= 1:
+            return 0.0
+        means = self.node_usage.mean(axis=0)
+        overall = float(means.mean())
+        if overall == 0.0:
+            return 0.0
+        return float(means.std() / overall)
 
 
 @dataclass
@@ -149,6 +185,10 @@ class LatencyStats:
     #: Initiations attributable to a capacity trim by the cluster arbiter
     #: (== :attr:`ClusterStats.capacity_cold_starts`; 0 for uncapped runs).
     capacity_cold_events: int = 0
+    #: Initiations attributable to a sustained-pressure migration (==
+    #: :attr:`ClusterStats.migration_cold_starts`; a subset of the
+    #: capacity-attributed count, 0 unless the cluster migrates).
+    migration_cold_events: int = 0
     #: Per-event cold-start waits in milliseconds (initiations + delayed).
     cold_wait_ms: np.ndarray = field(
         default_factory=lambda: np.zeros(0, dtype=float)
@@ -235,6 +275,9 @@ class LatencyStats:
             merged.cold_start_events += item.cold_start_events
             merged.delayed_events += item.delayed_events
             merged.capacity_cold_events += item.capacity_cold_events
+            # getattr: stats unpickled from caches written before migration
+            # accounting existed carry no field.
+            merged.migration_cold_events += getattr(item, "migration_cold_events", 0)
             merged.total_execution_ms += item.total_execution_ms
             for function_id, samples in item.per_function_wait_ms.items():
                 per_function.setdefault(function_id, []).append(
@@ -426,6 +469,16 @@ class SimulationResult:
             digest.update(
                 np.ascontiguousarray(cluster.node_usage, dtype=np.int64).tobytes()
             )
+            # Placement joined the model after the hash-sharded golds were
+            # pinned: the default strategy without migrations hashes exactly
+            # as before, while every other configuration is distinguished.
+            placement = getattr(cluster, "placement", "hash")
+            migrations = getattr(cluster, "migrations", 0)
+            if placement != "hash" or migrations:
+                digest.update(
+                    f"placement:{placement}:{migrations}:"
+                    f"{getattr(cluster, 'migration_cold_starts', 0)};".encode()
+                )
         return digest.hexdigest()
 
     # ------------------------------------------------------------------ #
@@ -438,6 +491,8 @@ class SimulationResult:
                 evictions=float(cluster.evictions),
                 capacity_cold_starts=float(cluster.capacity_cold_starts),
                 mean_node_utilization=float(cluster.mean_node_utilization.mean()),
+                migrations=float(getattr(cluster, "migrations", 0)),
+                load_imbalance=float(getattr(cluster, "load_imbalance", 0.0)),
             )
         latency = getattr(self, "latency", None)
         if latency is not None:

@@ -2,7 +2,7 @@
 
 import numpy as np
 
-from repro.baselines import DefusePolicy
+from repro.baselines import DefusePolicy, IndexedDefusePolicy
 from repro.baselines.defuse import mine_dependencies
 from repro.simulation import simulate_policy
 from repro.traces import FunctionRecord, Trace, TriggerType
@@ -108,3 +108,40 @@ class TestDefusePolicy:
         policy.on_minute(0, {"parent": 1})
         policy.reset()
         assert "child" not in policy.on_minute(1, {})
+
+
+class TestIndexedDefusePolicy:
+    """Twin-parity checks; the full fingerprint equivalence matrix lives in
+    tests/simulation/test_equivalence_random.py via the POLICY_PAIRS catalog."""
+
+    def _prepared_pair(self):
+        trace = chained_pair_trace(name="train")
+        dict_policy = DefusePolicy()
+        dict_policy.prepare(trace.records(), trace)
+        indexed = IndexedDefusePolicy()
+        indexed.prepare(trace.records(), trace)
+        indexed.bind_index(trace.invocation_index())
+        return trace, dict_policy, indexed
+
+    def test_twins_mine_identical_dependencies(self):
+        _, dict_policy, indexed = self._prepared_pair()
+        as_set = lambda deps: {  # noqa: E731 - tiny local normalizer
+            (d.predecessor, d.successor, d.confidence, d.lag_window, d.strong)
+            for d in deps
+        }
+        assert as_set(indexed.dependencies) == as_set(dict_policy.dependencies)
+        assert indexed.dependencies  # parity on an empty set would be vacuous
+
+    def test_child_prewarmed_after_parent_fires(self):
+        _, _, indexed = self._prepared_pair()
+        resident = indexed.on_minute(0, {"parent": 1})
+        assert "child" in resident
+
+    def test_reset_clears_prewarm_state(self):
+        _, _, indexed = self._prepared_pair()
+        indexed.on_minute(0, {"parent": 1})
+        indexed.reset()
+        assert "child" not in indexed.on_minute(1, {})
+
+    def test_twins_share_the_registry_name(self):
+        assert IndexedDefusePolicy().name == DefusePolicy().name == "defuse"

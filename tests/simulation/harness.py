@@ -32,23 +32,34 @@ import numpy as np
 import pytest
 
 from repro.baselines import (
+    DefusePolicy,
     FaasCachePolicy,
     FixedKeepAlivePolicy,
     HybridApplicationPolicy,
     HybridFunctionPolicy,
+    IndexedDefusePolicy,
     IndexedFaasCachePolicy,
     IndexedFixedKeepAlivePolicy,
     IndexedHybridApplicationPolicy,
     IndexedHybridFunctionPolicy,
 )
 from repro.core import IndexedSpesPolicy, SpesPolicy
-from repro.simulation import ClusterModel, EventConfig, simulate_policy
+from repro.simulation import (
+    ClusterModel,
+    EventConfig,
+    placement_names,
+    simulate_policy,
+)
 from repro.traces import AzureTraceGenerator, GeneratorProfile, TraceSplit, split_trace
 
 #: Engines that support the uncapped setting (all of them).
 ALL_ENGINES = ("vectorized", "reference", "event")
 #: Engines that support the capacity-constrained cluster mode.
 MASK_ENGINES = ("vectorized", "event")
+#: Every registered placement strategy, for the placement × pairs matrix —
+#: derived from the registry so a newly registered strategy joins the
+#: equivalence matrix automatically.
+PLACEMENTS = tuple(placement_names())
 
 #: Every dict policy with an index-native twin, as ``pytest.param`` entries of
 #: ``(dict_factory, indexed_factory)``.  New ports join the whole equivalence
@@ -69,6 +80,7 @@ POLICY_PAIRS = [
         lambda: IndexedFaasCachePolicy(capacity=15),
         id="faascache",
     ),
+    pytest.param(DefusePolicy, IndexedDefusePolicy, id="defuse"),
 ]
 
 #: Archetypes the randomized mixes draw from (chained archetypes need parent
@@ -116,13 +128,20 @@ def random_split(seed: int, training_fraction: float = 0.5) -> TraceSplit:
     return split_trace(trace, training_days=training_days)
 
 
-def random_cluster(seed: int, split: TraceSplit) -> ClusterModel:
+def random_cluster(
+    seed: int,
+    split: TraceSplit,
+    placement: str = "hash",
+    migration: bool = False,
+) -> ClusterModel:
     """A seeded capacity model that actually pressures the given workload.
 
     Capacity is a small random multiple of the simulation window's mean
     per-minute active set (the ``capacity-squeeze`` recipe), sharded over a
     random number of nodes, so the arbiter evicts for real instead of
-    rubber-stamping every declaration.
+    rubber-stamping every declaration.  ``placement`` selects the
+    function-to-node strategy, and ``migration=True`` additionally draws a
+    seeded sustained-pressure threshold so re-placement fires for real.
     """
     rng = np.random.default_rng(seed ^ 0xC1A5)
     index = split.simulation.invocation_index()
@@ -131,7 +150,15 @@ def random_cluster(seed: int, split: TraceSplit) -> ClusterModel:
     n_nodes = int(rng.integers(1, 5))
     squeeze = float(rng.uniform(1.5, 4.0))
     capacity = max(n_nodes, int(round(mean_active * squeeze)))
-    return ClusterModel(memory_capacity=capacity, n_nodes=n_nodes)
+    pressure_threshold = float(rng.uniform(0.4, 0.8)) if migration else None
+    pressure_minutes = int(rng.integers(2, 6))
+    return ClusterModel(
+        memory_capacity=capacity,
+        n_nodes=n_nodes,
+        placement=placement,
+        pressure_threshold=pressure_threshold,
+        pressure_minutes=pressure_minutes,
+    )
 
 
 def collect_fingerprints(

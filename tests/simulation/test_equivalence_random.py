@@ -19,6 +19,7 @@ local loop fast.
 import pytest
 
 from harness import (
+    PLACEMENTS,
     POLICY_PAIRS,
     assert_cross_engine_equivalence,
     random_cluster,
@@ -57,6 +58,26 @@ def test_equivalence_holds_under_capacity_pressure(
     """The cluster arbiter must not distinguish twin implementations either."""
     seed, split = workload
     cluster = random_cluster(seed, split)
+    assert_cross_engine_equivalence(
+        dict_factory, indexed_factory, split, cluster=cluster
+    )
+
+
+@pytest.mark.parametrize("placement", PLACEMENTS)
+@pytest.mark.parametrize("dict_factory, indexed_factory", POLICY_PAIRS)
+def test_equivalence_holds_for_every_placement(
+    workload, placement, dict_factory, indexed_factory
+):
+    """Placement strategies × policy pairs: fingerprints stay engine-independent.
+
+    Migration is enabled (seeded threshold), so the matrix also proves that
+    sustained-pressure re-placement — the most stateful part of the placement
+    subsystem — is a pure function of minute-granular state: the vectorized
+    and event engines, driving dict and indexed twins, must land on one
+    fingerprint per (workload, placement, pair) cell.
+    """
+    seed, split = workload
+    cluster = random_cluster(seed, split, placement=placement, migration=True)
     assert_cross_engine_equivalence(
         dict_factory, indexed_factory, split, cluster=cluster
     )

@@ -46,6 +46,19 @@ class TestSweepParser:
         assert args.policies == ["spes", "defuse"]
         assert args.cache_dir == "/tmp/cache"
 
+    def test_sweep_accepts_placement(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["sweep", "--scenario", "hot-shard", "--placement", "least-loaded"]
+        )
+        assert args.scenario == "hot-shard"
+        assert args.placement == "least-loaded"
+
+    def test_placement_without_cluster_scenario_exits_with_error(self, capsys):
+        exit_code = main(["sweep", "--placement", "least-loaded"])
+        assert exit_code == 2
+        assert "requires a scenario" in capsys.readouterr().err
+
 
 class TestExecution:
     TINY = ["--functions", "30", "--seed", "5", "--days", "3", "--training-days", "2"]

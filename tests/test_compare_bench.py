@@ -1,0 +1,161 @@
+"""Tests for the CI benchmark-regression gate (benchmarks/compare_bench.py)."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "compare_bench",
+    Path(__file__).resolve().parent.parent / "benchmarks" / "compare_bench.py",
+)
+compare_bench = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(compare_bench)
+
+
+@pytest.fixture
+def bench_dir(tmp_path):
+    payloads = {
+        "BENCH_pr2.json": {
+            "policies": {"fixed-10min": {"indexed_sim_minutes_per_second": 50000.0}},
+        },
+        "BENCH_pr3.json": {
+            "engines": {"vectorized": {"sim_minutes_per_second": 40000.0}},
+        },
+        "BENCH_pr4.json": {
+            # The consolidated snapshot publishes a slower single-sweep
+            # vectorized row: the best value per metric must win.
+            "engines": {"vectorized": {"sim_minutes_per_second": 30000.0}},
+            "placement": {"hash": {"sim_minutes_per_second": 20000.0}},
+        },
+    }
+    directory = tmp_path / "output"
+    directory.mkdir()
+    for name, payload in payloads.items():
+        (directory / name).write_text(json.dumps(payload))
+    return directory
+
+
+def write_baselines(tmp_path, floors):
+    path = tmp_path / "baselines.json"
+    path.write_text(json.dumps(floors))
+    return path
+
+
+class TestCollectMetrics:
+    def test_collects_all_metric_families_best_value_wins(self, bench_dir):
+        metrics = compare_bench.collect_metrics(bench_dir)
+        assert metrics == {
+            "policy/fixed-10min": 50000.0,
+            "engine/vectorized": 40000.0,
+            "placement/hash": 20000.0,
+        }
+
+    def test_unreadable_files_are_skipped(self, bench_dir, capsys):
+        (bench_dir / "BENCH_pr9.json").write_text("{not json")
+        metrics = compare_bench.collect_metrics(bench_dir)
+        assert "engine/vectorized" in metrics
+        assert "skipping unreadable" in capsys.readouterr().err
+
+
+class TestGate:
+    def test_passes_within_tolerance(self, bench_dir, tmp_path, capsys):
+        baselines = write_baselines(tmp_path, {"engine/vectorized": 40000.0})
+        # 40000 measured == floor: well inside the 30% band.
+        code = compare_bench.main(
+            ["--bench-dir", str(bench_dir), "--baselines", str(baselines)]
+        )
+        assert code == 0
+        assert "all tracked metrics within tolerance" in capsys.readouterr().out
+
+    def test_fails_when_dropping_more_than_tolerance_below_floor(
+        self, bench_dir, tmp_path, capsys
+    ):
+        # Floor 100k, measured 40k: a 60% drop must fail the 30% gate.
+        baselines = write_baselines(tmp_path, {"engine/vectorized": 100000.0})
+        code = compare_bench.main(
+            ["--bench-dir", str(bench_dir), "--baselines", str(baselines)]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "engine/vectorized" in out
+
+    def test_exactly_at_the_cutoff_passes(self, bench_dir, tmp_path):
+        # cutoff = floor * 0.7; measured 40000 == cutoff for floor 40000/0.7.
+        baselines = write_baselines(tmp_path, {"engine/vectorized": 40000.0 / 0.7})
+        code = compare_bench.main(
+            ["--bench-dir", str(bench_dir), "--baselines", str(baselines)]
+        )
+        assert code == 0
+
+    def test_missing_metric_warns_but_does_not_fail(self, bench_dir, tmp_path, capsys):
+        baselines = write_baselines(
+            tmp_path, {"engine/vectorized": 1000.0, "engine/warp": 1000.0}
+        )
+        code = compare_bench.main(
+            ["--bench-dir", str(bench_dir), "--baselines", str(baselines)]
+        )
+        assert code == 0
+        assert "MISSING" in capsys.readouterr().out
+
+    def test_untracked_metrics_are_listed_as_hints(self, bench_dir, tmp_path, capsys):
+        baselines = write_baselines(tmp_path, {"engine/vectorized": 1000.0})
+        compare_bench.main(
+            ["--bench-dir", str(bench_dir), "--baselines", str(baselines)]
+        )
+        out = capsys.readouterr().out
+        assert "UNTRACKED" in out and "placement/hash" in out
+
+    def test_empty_bench_dir_is_not_a_failure(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        code = compare_bench.main(["--bench-dir", str(empty)])
+        assert code == 0
+        assert "no BENCH_pr*.json" in capsys.readouterr().out
+
+    def test_update_rewrites_the_floors(self, bench_dir, tmp_path):
+        baselines = tmp_path / "baselines.json"
+        code = compare_bench.main(
+            ["--bench-dir", str(bench_dir), "--baselines", str(baselines), "--update"]
+        )
+        assert code == 0
+        floors = json.loads(baselines.read_text())
+        assert floors["engine/vectorized"] == pytest.approx(40000.0 / 5.0)
+
+    def test_update_merges_instead_of_deleting_unmeasured_floors(
+        self, bench_dir, tmp_path
+    ):
+        # A partial bench run must not wipe the floors it didn't measure.
+        baselines = write_baselines(
+            tmp_path, {"engine/warp": 123.0, "engine/vectorized": 1.0}
+        )
+        code = compare_bench.main(
+            ["--bench-dir", str(bench_dir), "--baselines", str(baselines), "--update"]
+        )
+        assert code == 0
+        floors = json.loads(baselines.read_text())
+        assert floors["engine/warp"] == 123.0  # kept
+        assert floors["engine/vectorized"] == pytest.approx(40000.0 / 5.0)  # refreshed
+
+
+class TestCheckedInBaselines:
+    def test_repo_baselines_cover_the_published_metric_families(self):
+        path = Path(__file__).resolve().parent.parent / "benchmarks" / "baselines.json"
+        floors = json.loads(path.read_text())
+        families = {name.split("/", 1)[0] for name in floors}
+        assert families == {"engine", "policy", "placement"}
+        assert all(value > 0 for value in floors.values())
+        # Every engine and placement strategy the benches publish has a floor.
+        assert {"engine/vectorized", "engine/event", "engine/reference"} <= set(floors)
+        assert {
+            "placement/hash",
+            "placement/least-loaded",
+            "placement/correlation-aware",
+            "placement/least-loaded+migration",
+        } <= set(floors)
+
+
+if __name__ == "__main__":
+    sys.exit(pytest.main([__file__, "-q"]))

@@ -15,7 +15,15 @@ from repro.scenarios import (
 
 TINY = dict(seed=5, n_functions=40, days=3.0, training_days=2.0)
 
-EXPECTED = {"azure", "diurnal", "bursty", "drift", "flash-crowd", "capacity-squeeze"}
+EXPECTED = {
+    "azure",
+    "diurnal",
+    "bursty",
+    "drift",
+    "flash-crowd",
+    "capacity-squeeze",
+    "hot-shard",
+}
 
 
 class TestRegistry:
@@ -122,6 +130,7 @@ class TestEventEngineRegression:
         "diurnal": "b2d5aaa21c97b0822a54f8e7863e38008e52c512d7fd573ae2169e343a5c2c8d",
         "drift": "52fbd6ed56397f97127213783b8bf6e1190096fce351c145a7ab2377406f608c",
         "flash-crowd": "cc6ecbbeca57c973a5d14b1c1aa2aa57a80d7da119ea9d70a1c01f16bd59ff8d",
+        "hot-shard": "8656e8346e83b5760681c9fabb459d56801627d775d74772ef14b049186359b0",
     }
 
     def _run(self, name, engine="event"):
@@ -310,6 +319,43 @@ class TestSuiteIntegration:
         cached = ExperimentSuite(**kwargs, engine="event").run()
         assert cached.cache_hits > 0 and cached.cache_misses == 0
         assert cached.results[5]["fixed-10min"].latency is not None
+
+    def test_placement_override_reaches_every_cell(self):
+        config = ExperimentConfig(
+            n_functions=25, seed=5, duration_days=2.0, training_days=1.5,
+            warmup_minutes=60,
+        )
+        suite = ExperimentSuite(
+            config=config, seeds=[5], policies=("fixed-10min",),
+            scenario="hot-shard", placement="least-loaded",
+        )
+        outcome = suite.run()
+        cluster = outcome.results[5]["fixed-10min"].cluster
+        assert cluster is not None
+        assert cluster.placement == "least-loaded"
+        table = outcome.cluster_table(5)
+        assert "placement least-loaded" in table.render()
+        assert "migrations" in table.render()
+
+    def test_unknown_placement_fails_fast(self):
+        with pytest.raises(ValueError, match="unknown placement"):
+            ExperimentSuite(scenario="hot-shard", placement="quantum")
+
+    def test_placement_requires_a_scenario(self):
+        with pytest.raises(ValueError, match="requires a scenario"):
+            ExperimentSuite(placement="least-loaded")
+
+    def test_placement_requires_a_cluster_scenario(self):
+        config = ExperimentConfig(
+            n_functions=25, seed=5, duration_days=2.0, training_days=1.5,
+            warmup_minutes=60,
+        )
+        suite = ExperimentSuite(
+            config=config, seeds=[5], policies=("fixed-10min",),
+            scenario="bursty", placement="least-loaded",
+        )
+        with pytest.raises(ValueError, match="prescribes no cluster"):
+            suite.run()
 
     def test_unknown_engine_fails_fast(self):
         with pytest.raises(ValueError, match="unknown engine"):
