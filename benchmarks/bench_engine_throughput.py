@@ -229,6 +229,95 @@ def test_event_engine_throughput(throughput_split, output_dir):
     assert seconds["event"] < seconds["reference"], payload
 
 
+def test_feedback_engine_overhead(throughput_split, output_dir):
+    """Cost of closing the latency feedback loop (PR 5 criterion).
+
+    The ``event-feedback`` engine adds, per minute, the rolling-window
+    bookkeeping (aggregate, expire, snapshot) and one ``on_feedback`` call.
+    The bench measures all event-capable engines on the same engine-bound
+    sweep, plus one end-to-end run of the latency-aware consumer, and
+    publishes the consolidated ``BENCH_pr5.json`` artifact: the ``engines``
+    rows feed ``compare_bench.py``'s absolute throughput floor for
+    ``engine/event-feedback``, and the ``feedback`` block records the
+    relative overhead ratios for inspection.
+    """
+    from repro.baselines import LatencyAwareKeepAlivePolicy
+
+    split = throughput_split
+    minutes = split.simulation.duration_minutes
+    sweep_minutes = minutes * len(ENGINE_BOUND_POLICIES)
+
+    engines = ("vectorized", "event", "event-feedback")
+    for engine in engines:  # warm imports, index, jitter machinery
+        _sweep_seconds(split, engine)
+    seconds = {
+        engine: min(_sweep_seconds(split, engine) for _ in range(3))
+        for engine in engines
+    }
+
+    # The no-op-hook guarantee, asserted on the bench workload itself.
+    event = Simulator(split.simulation, warmup_minutes=0, engine="event").run(
+        FixedKeepAlivePolicy(10)
+    )
+    feedback = Simulator(
+        split.simulation, warmup_minutes=0, engine="event-feedback"
+    ).run(FixedKeepAlivePolicy(10))
+    assert event.deterministic_fingerprint() == feedback.deterministic_fingerprint()
+    assert feedback.latency is not None
+
+    # One consumer run: the policy that actually reads the window.
+    started = time.perf_counter()
+    consumer = Simulator(
+        split.simulation, warmup_minutes=0, engine="event-feedback"
+    ).run(LatencyAwareKeepAlivePolicy())
+    consumer_seconds = time.perf_counter() - started
+
+    payload = {
+        "workload": {
+            "n_functions": THROUGHPUT_CONFIG.n_functions,
+            "duration_days": THROUGHPUT_CONFIG.duration_days,
+            "simulation_minutes": minutes,
+        },
+        "engines": {
+            engine: {
+                "sweep_seconds": round(seconds[engine], 4),
+                "sim_minutes_per_second": round(sweep_minutes / seconds[engine], 1),
+            }
+            for engine in engines
+        },
+        "feedback": {
+            "overhead_vs_event": round(
+                seconds["event-feedback"] / seconds["event"], 3
+            ),
+            "overhead_vs_vectorized": round(
+                seconds["event-feedback"] / seconds["vectorized"], 3
+            ),
+            "latency_keepalive_seconds": round(consumer_seconds, 4),
+            "latency_keepalive_sim_minutes_per_second": round(
+                minutes / consumer_seconds, 1
+            ),
+            "latency_keepalive_p99_ms": round(consumer.latency.p99_ms, 2),
+        },
+    }
+    lines = [
+        "Feedback-loop overhead - 400 functions, 2-day window",
+    ] + [
+        f"{engine:16s} {sweep_minutes / seconds[engine]:>12.0f} sim-min/s"
+        f"  ({seconds[engine]:.3f}s per sweep)"
+        for engine in engines
+    ] + [
+        f"feedback overhead: {payload['feedback']['overhead_vs_event']:.2f}x over"
+        " event",
+        f"latency-keepalive end-to-end: {minutes / consumer_seconds:>10.0f}"
+        " sim-min/s",
+    ]
+    save_and_print(output_dir, "feedback_engine_overhead", "\n".join(lines))
+    (output_dir / "BENCH_pr5.json").write_text(json.dumps(payload, indent=2) + "\n")
+    # Closing the loop must stay an incremental cost on top of the event
+    # layer (measured ~1.7x), not a multiple of it.
+    assert seconds["event-feedback"] < 3.0 * seconds["event"], payload
+
+
 #: Placement strategies measured by the cluster-mode overhead bench.
 PLACEMENTS = ("hash", "least-loaded", "correlation-aware")
 

@@ -11,6 +11,13 @@
   Sharma (ASPLOS'21) under a memory capacity.
 * :class:`LcsPolicy` -- the LRU warm-container policy of Sethi et al.
   (ICDCN'23), included as an extra comparator beyond the paper's baseline set.
+* :class:`LatencyAwareKeepAlivePolicy` -- keep-alive horizons scaled by each
+  function's observed cold-start latency; the first consumer of the
+  ``event-feedback`` engine's rolling latency window.
+
+Every dict-based policy above also ships an index-native ``Indexed*`` twin
+(fingerprint-identical decisions, vectorized stepping); nothing needs the
+``DictPolicyAdapter`` anymore.
 """
 
 from repro.baselines.fixed_keepalive import FixedKeepAlivePolicy
@@ -20,12 +27,14 @@ from repro.baselines.hybrid_application import HybridApplicationPolicy
 from repro.baselines.defuse import DefusePolicy
 from repro.baselines.faascache import FaasCachePolicy
 from repro.baselines.lcs import LcsPolicy
+from repro.baselines.latency_aware import LatencyAwareKeepAlivePolicy
 from repro.baselines.vectorized import (
     IndexedDefusePolicy,
     IndexedFaasCachePolicy,
     IndexedFixedKeepAlivePolicy,
     IndexedHybridApplicationPolicy,
     IndexedHybridFunctionPolicy,
+    IndexedLcsPolicy,
 )
 
 __all__ = [
@@ -36,9 +45,11 @@ __all__ = [
     "DefusePolicy",
     "FaasCachePolicy",
     "LcsPolicy",
+    "LatencyAwareKeepAlivePolicy",
     "IndexedFixedKeepAlivePolicy",
     "IndexedHybridFunctionPolicy",
     "IndexedHybridApplicationPolicy",
     "IndexedFaasCachePolicy",
     "IndexedDefusePolicy",
+    "IndexedLcsPolicy",
 ]

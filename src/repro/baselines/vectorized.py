@@ -29,6 +29,15 @@ function-index space instead of Python dict/set churn.
   successor table at bind time, and a minute costs one ``np.maximum.at``
   scatter of pre-warm horizons plus one mask comparison — no per-minute
   Python over the dependency dict.
+* :class:`IndexedLcsPolicy` — LRU warm containers
+  (:class:`~repro.baselines.lcs.LcsPolicy`) with the ``OrderedDict`` recency
+  bookkeeping replaced by a monotone per-invocation sequence array; capacity
+  eviction is an argsort of the (rarely oversized) live set by that
+  sequence, and an explicit tombstone mask reproduces the dict twin's
+  "evicted stays evicted until re-invoked" semantics.  This was the last
+  baseline still stepping through the :class:`~repro.simulation
+  .vector_policy.DictPolicyAdapter`; every policy now has an index-native
+  implementation.
 """
 
 from __future__ import annotations
@@ -49,6 +58,7 @@ __all__ = [
     "IndexedHybridApplicationPolicy",
     "IndexedFaasCachePolicy",
     "IndexedDefusePolicy",
+    "IndexedLcsPolicy",
 ]
 
 #: "Never invoked" sentinel: far below any warm-up minute, but safely away
@@ -303,6 +313,110 @@ class IndexedFaasCachePolicy(VectorizedPolicy):
             return set()
         ids = self._function_ids
         return {ids[position] for position in np.flatnonzero(self._resident)}
+
+
+class IndexedLcsPolicy(VectorizedPolicy):
+    """Index-native LCS (twin of :class:`~repro.baselines.lcs.LcsPolicy`).
+
+    The dict twin's ``OrderedDict`` encodes recency as insertion order:
+    every invocation moves a function to the end, expiry deletes idle
+    entries, and capacity pressure pops from the front.  Here recency is a
+    strictly increasing sequence number assigned per invocation — within a
+    minute, in the invocation mapping's iteration order, which is exactly
+    the order the prebuilt per-minute mappings (and the dict bridge) iterate
+    — so "least recently used" is simply the smallest sequence among live
+    functions.
+
+    Two subtleties carry over from the dict semantics:
+
+    * expiry (``idle >= keep_alive_minutes``) is monotone between
+      invocations, so it needs no bookkeeping — it is recomputed from the
+      last-invocation array each minute;
+    * capacity eviction is *not* monotone: an evicted function would pass
+      the expiry test again next minute, so evictions are recorded in a
+      tombstone mask that only a re-invocation clears (the dict twin deletes
+      the entry, forgetting the function until it fires again).
+
+    Parameters are those of :class:`~repro.baselines.lcs.LcsPolicy`,
+    including the prepare-time default capacity of one fifth of the
+    function population.
+    """
+
+    name = "lcs"
+
+    def __init__(self, keep_alive_minutes: int = 30, capacity: int | None = None) -> None:
+        if keep_alive_minutes < 1:
+            raise ValueError("keep_alive_minutes must be >= 1")
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 when given")
+        self.keep_alive_minutes = keep_alive_minutes
+        self.capacity = capacity
+        self._counter = 0
+
+    # ------------------------------------------------------------------ #
+    def prepare(
+        self,
+        functions: Sequence[FunctionRecord],
+        training: Trace | None = None,
+    ) -> None:
+        super().prepare(functions, training)
+        if self.capacity is None:
+            self.capacity = max(1, len(functions) // 5)
+        self.reset()
+
+    def on_bind(self, index: InvocationIndex) -> None:
+        n = index.n_functions
+        self._last = np.full(n, _NEVER, dtype=np.int64)
+        self._sequence = np.zeros(n, dtype=np.int64)
+        self._evicted = np.zeros(n, dtype=bool)
+        self._mask = np.zeros(n, dtype=bool)
+        self._counter = 0
+
+    def reset(self) -> None:
+        self._counter = 0
+        if self.is_bound:
+            self._last.fill(_NEVER)
+            self._sequence.fill(0)
+            self._evicted.fill(False)
+            self._mask.fill(False)
+
+    # ------------------------------------------------------------------ #
+    def on_minute_indexed(
+        self, minute: int, invoked: np.ndarray, counts: np.ndarray
+    ) -> np.ndarray:
+        if invoked.size:
+            self._last[invoked] = minute
+            self._sequence[invoked] = np.arange(
+                self._counter, self._counter + invoked.size, dtype=np.int64
+            )
+            self._counter += invoked.size
+            self._evicted[invoked] = False
+
+        mask = self._mask
+        # Warm = invoked at least once, idle for less than the keep-alive
+        # window, and not tombstoned by a capacity eviction.
+        np.less(minute - self._last, self.keep_alive_minutes, out=mask)
+        mask &= self._last != _NEVER
+        mask &= ~self._evicted
+
+        if self.capacity is not None:
+            live = np.flatnonzero(mask)
+            overflow = live.size - self.capacity
+            if overflow > 0:
+                order = np.argsort(self._sequence[live])
+                victims = live[order[:overflow]]
+                mask[victims] = False
+                self._evicted[victims] = True
+        return mask
+
+    # ------------------------------------------------------------------ #
+    @property
+    def resident_functions(self) -> set[str]:
+        """Currently warm function ids (for inspection and tests)."""
+        if not self.is_bound:
+            return set()
+        ids = self._function_ids
+        return {ids[position] for position in np.flatnonzero(self._mask)}
 
 
 class IndexedHybridFunctionPolicy(_IndexedHybridBase):

@@ -23,7 +23,17 @@ Commands
     swaps the cluster's function-to-node strategy).  With ``--engine event``
     every cell runs
     on the sub-minute event engine and the tables report p50/p95/p99
-    cold-start latency alongside the paper's count-based metrics.
+    cold-start latency alongside the paper's count-based metrics; ``--engine
+    event-feedback`` additionally streams the rolling latency window into
+    every policy's feedback hook.  With ``--streaming`` policies receive no
+    training window at all and must adapt online.
+``latency-rq``
+    The RQ5 report: per continuous-drift scenario, the cold-start latency
+    tail (p50/p95/p99/max) of the feedback consumer vs. its open-loop twin,
+    from streaming ``event-feedback`` sweeps.
+``cache``
+    On-disk result-cache maintenance: ``--prune-days N`` deletes entries
+    (and stray temporary files) older than N days.
 ``scenarios``
     List the scenario registry: names, descriptions, parameters.
 """
@@ -207,6 +217,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
             scenario_params=_parse_scenario_params(args.scenario_param),
             placement=args.placement,
             engine=args.engine,
+            streaming=args.streaming,
         )
     except (KeyError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
@@ -243,12 +254,65 @@ def _command_sweep(args: argparse.Namespace) -> int:
     scenario = f", scenario {args.scenario}" if args.scenario else ""
     placement = f", placement {args.placement}" if args.placement else ""
     engine = f", engine {args.engine}" if args.engine != "vectorized" else ""
+    streaming = ", streaming" if args.streaming else ""
     print(
         f"sweep: {len(suite.seeds)} seed(s) x {len(args.policies)} policies "
-        f"in {outcome.wall_seconds:.1f}s ({mode}{scenario}{placement}{engine})"
+        f"in {outcome.wall_seconds:.1f}s ({mode}{scenario}{placement}{engine}"
+        f"{streaming})"
     )
     if cache_dir:
         print(f"cache: {outcome.cache_hits} hit(s), {outcome.cache_misses} miss(es)")
+    return 0
+
+
+def _command_latency_rq(args: argparse.Namespace) -> int:
+    from repro.experiments.rq5_latency import latency_rq, latency_rq_table
+
+    config = ExperimentConfig(
+        n_functions=args.functions,
+        seed=args.seeds[0],
+        duration_days=args.days,
+        training_days=args.training_days,
+    )
+    try:
+        report = latency_rq(
+            scenarios=args.scenarios,
+            policies=args.policies,
+            seeds=args.seeds,
+            config=config,
+            streaming=not args.no_streaming,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+        )
+    except (KeyError, ValueError) as error:
+        print(f"error: {error.args[0] if error.args else error}", file=sys.stderr)
+        return 2
+    print(latency_rq_table(report).render(float_format="{:.1f}"))
+    mode = "open-loop training" if args.no_streaming else "streaming"
+    print(
+        f"\nlatency-rq: {len(args.scenarios)} scenario(s) x "
+        f"{len(args.policies)} policies x {len(args.seeds)} seed(s), "
+        f"engine event-feedback, {mode}"
+    )
+    return 0
+
+
+def _command_cache(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.experiments import ResultCache
+
+    directory = Path(args.cache_dir)
+    if not directory.is_dir():
+        print(f"error: no cache directory at {directory}", file=sys.stderr)
+        return 2
+    cache = ResultCache(directory)
+    removed = cache.prune(max_age_days=args.prune_days)
+    remaining = len(list(directory.glob("*.pkl")))
+    print(
+        f"pruned {removed} entr{'y' if removed == 1 else 'ies'} older than "
+        f"{args.prune_days:g} day(s) from {directory} ({remaining} kept)"
+    )
     return 0
 
 
@@ -314,11 +378,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--engine",
-        choices=("vectorized", "reference", "event"),
+        choices=("vectorized", "reference", "event", "event-feedback"),
         default="vectorized",
         help=(
             "simulation engine; 'event' expands minutes into timestamped "
-            "invocation events and reports cold-start latency percentiles"
+            "invocation events and reports cold-start latency percentiles; "
+            "'event-feedback' additionally streams the rolling latency "
+            "window into every policy's on_feedback hook"
+        ),
+    )
+    sweep.add_argument(
+        "--streaming",
+        action="store_true",
+        help=(
+            "streaming evaluation: policies receive zero training window "
+            "(no offline phase input, no warm-up replay) and adapt online"
         ),
     )
     sweep.add_argument(
@@ -348,6 +422,77 @@ def build_parser() -> argparse.ArgumentParser:
         help="additionally print the per-seed RQ1/RQ2 tables",
     )
     sweep.set_defaults(handler=_command_sweep)
+
+    latency_rq = subparsers.add_parser(
+        "latency-rq",
+        help="RQ5: cold-start latency tail, feedback vs. open-loop policies",
+    )
+    latency_rq.add_argument(
+        "--functions", type=int, default=400, help="number of synthetic functions"
+    )
+    latency_rq.add_argument(
+        "--days", type=float, default=14.0, help="total workload duration in days"
+    )
+    latency_rq.add_argument(
+        "--training-days",
+        type=float,
+        default=12.0,
+        help="days reserved for training (unused while streaming; they size "
+        "the simulation window)",
+    )
+    latency_rq.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=[2024],
+        help="workload seeds; latency distributions are pooled across seeds",
+    )
+    latency_rq.add_argument(
+        "--scenarios",
+        nargs="+",
+        default=["rotating-periods", "load-ramp", "seasonal-mix"],
+        help="scenario names to evaluate (default: the continuous-drift catalog)",
+    )
+    latency_rq.add_argument(
+        "--policies",
+        nargs="+",
+        default=["fixed-10min-indexed", "latency-keepalive"],
+        help="policies to compare (default: open-loop fixed vs. latency-aware)",
+    )
+    latency_rq.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for each scenario's sweep (0 = serial)",
+    )
+    latency_rq.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for the on-disk result cache",
+    )
+    latency_rq.add_argument(
+        "--no-streaming",
+        action="store_true",
+        help="give every policy its training window back (open-loop evaluation)",
+    )
+    latency_rq.set_defaults(handler=_command_latency_rq)
+
+    cache = subparsers.add_parser(
+        "cache",
+        help="maintain the on-disk result cache",
+    )
+    cache.add_argument(
+        "--cache-dir",
+        required=True,
+        help="the result-cache directory to maintain",
+    )
+    cache.add_argument(
+        "--prune-days",
+        type=float,
+        required=True,
+        help="delete cache entries older than this many days (0 = everything)",
+    )
+    cache.set_defaults(handler=_command_cache)
 
     scenarios = subparsers.add_parser(
         "scenarios",

@@ -48,7 +48,13 @@ from repro.experiments.parallel import (
 )
 from repro.experiments.runner import ExperimentConfig, ExperimentRunner
 from repro.experiments.suite import DEFAULT_SUITE_POLICIES, ExperimentSuite, SuiteResult
-from repro.experiments import rq1_coldstart, rq2_memory, rq3_tradeoff, rq4_ablation
+from repro.experiments import (
+    rq1_coldstart,
+    rq2_memory,
+    rq3_tradeoff,
+    rq4_ablation,
+    rq5_latency,
+)
 
 __all__ = [
     "ExperimentConfig",
@@ -67,4 +73,5 @@ __all__ = [
     "rq2_memory",
     "rq3_tradeoff",
     "rq4_ablation",
+    "rq5_latency",
 ]

@@ -52,6 +52,8 @@ from repro.baselines import (
     IndexedFixedKeepAlivePolicy,
     IndexedHybridApplicationPolicy,
     IndexedHybridFunctionPolicy,
+    IndexedLcsPolicy,
+    LatencyAwareKeepAlivePolicy,
     LcsPolicy,
 )
 from repro.core import IndexedSpesPolicy, SpesPolicy
@@ -62,7 +64,11 @@ from repro.simulation import (
     SimulationResult,
     Simulator,
 )
-from repro.simulation.engine import ENGINE_IMPLEMENTATIONS, ENGINE_VERSION
+from repro.simulation.engine import (
+    ENGINE_IMPLEMENTATIONS,
+    ENGINE_VERSION,
+    EVENT_ENGINES,
+)
 from repro.simulation.policy_base import AlwaysWarmPolicy, NoKeepAlivePolicy
 from repro.traces import TraceSplit
 
@@ -105,6 +111,10 @@ POLICY_REGISTRY: Dict[str, Callable[..., ProvisioningPolicy]] = {
     "hybrid-application-indexed": IndexedHybridApplicationPolicy,
     "faascache-indexed": IndexedFaasCachePolicy,
     "defuse-indexed": IndexedDefusePolicy,
+    "lcs-indexed": IndexedLcsPolicy,
+    # Latency-aware keep-alive: index-native only (it consumes the feedback
+    # engine's rolling window; there is no dict twin to port).
+    "latency-keepalive": LatencyAwareKeepAlivePolicy,
 }
 
 
@@ -332,14 +342,20 @@ def _execute_cell(
     cluster: ClusterModel | None = None,
     engine: str = "vectorized",
     events: EventConfig | None = None,
+    streaming: bool = False,
 ) -> SimulationResult:
-    """Run one cell against ``traces`` (shared by serial and worker paths)."""
+    """Run one cell against ``traces`` (shared by serial and worker paths).
+
+    In streaming mode the policy is evaluated *online*: it never sees the
+    training trace (no offline phase input, no warm-up replay) and enters
+    the simulation window completely cold.
+    """
     split = traces[cell.trace_key]
     policy = cell.spec.build(seed=cell.seed)
     simulator = Simulator(
         simulation_trace=split.simulation,
-        training_trace=split.training,
-        warmup_minutes=warmup_minutes,
+        training_trace=None if streaming else split.training,
+        warmup_minutes=0 if streaming else warmup_minutes,
         cluster=cluster,
         engine=engine,
         events=events,
@@ -353,9 +369,10 @@ def _worker_run_cell(
     cluster: ClusterModel | None,
     engine: str,
     events: EventConfig | None,
+    streaming: bool,
 ) -> tuple[str, SimulationResult]:
     return cell.name, _execute_cell(
-        cell, _WORKER_TRACES, warmup_minutes, cluster, engine, events
+        cell, _WORKER_TRACES, warmup_minutes, cluster, engine, events, streaming
     )
 
 
@@ -385,15 +402,22 @@ class ParallelRunner:
         cell's cache key.
     engine:
         Engine implementation every cell runs on (``"vectorized"`` default;
-        ``"event"`` additionally collects per-event latency distributions).
-        Part of every cell's cache key: the engines are fingerprint-
-        equivalent, but cached event results carry latency blocks that
-        vectorized runs must not serve and vice versa.
+        ``"event"``/``"event-feedback"`` additionally collect per-event
+        latency distributions).  Part of every cell's cache key: the engines
+        are fingerprint-equivalent for no-op-hook policies, but cached event
+        results carry latency blocks that vectorized runs must not serve —
+        and feedback runs of latency-aware policies are different
+        simulations outright.
     events:
         Optional per-trace-key :class:`~repro.simulation.events.EventConfig`
-        mapping for the ``event`` engine (e.g. scenario-prescribed duration
-        scaling, per-seed jitter seeds).  Keys without an entry use the
-        defaults.  Ignored unless ``engine="event"``.
+        mapping for the event engines (e.g. scenario-prescribed duration
+        scaling, per-seed jitter seeds, feedback-window horizons).  Keys
+        without an entry use the defaults.  Ignored by the minute-granular
+        engines.
+    streaming:
+        When True, every cell runs in streaming evaluation mode: policies
+        receive no training trace and no warm-up replay — they start cold
+        and must adapt online.  Part of every cell's cache key.
     """
 
     def __init__(
@@ -405,6 +429,7 @@ class ParallelRunner:
         clusters: Mapping[str, ClusterModel | None] | None = None,
         engine: str = "vectorized",
         events: Mapping[str, EventConfig] | None = None,
+        streaming: bool = False,
     ) -> None:
         if workers < 0:
             raise ValueError("workers must be non-negative")
@@ -424,6 +449,7 @@ class ParallelRunner:
         self.workers = workers
         self.warmup_minutes = warmup_minutes
         self.engine = engine
+        self.streaming = streaming
         self.clusters = dict(clusters) if clusters else {}
         unknown = set(self.clusters) - set(self.traces)
         if unknown:
@@ -459,6 +485,7 @@ class ParallelRunner:
         return _digest(
             ENGINE_VERSION,
             self.engine,
+            self.streaming,
             self._trace_fingerprints[cell.trace_key],
             self.warmup_minutes,
             self.clusters.get(cell.trace_key),
@@ -468,8 +495,8 @@ class ParallelRunner:
         )
 
     def _cell_events(self, trace_key: str) -> EventConfig | None:
-        """The event config a cell runs with (None off the event engine)."""
-        if self.engine != "event":
+        """The event config a cell runs with (None off the event engines)."""
+        if self.engine not in EVENT_ENGINES:
             return None
         return self.events.get(trace_key) or EventConfig()
 
@@ -506,6 +533,7 @@ class ParallelRunner:
                         self.clusters.get(cell.trace_key),
                         self.engine,
                         self._cell_events(cell.trace_key),
+                        self.streaming,
                     )
                     for cell in pending
                 }
@@ -546,6 +574,7 @@ class ParallelRunner:
                     self.clusters.get(cell.trace_key),
                     self.engine,
                     self._cell_events(cell.trace_key),
+                    self.streaming,
                 )
                 for cell in cells
             ]

@@ -35,7 +35,7 @@ from repro.experiments.parallel import (
 from repro.experiments.runner import ExperimentConfig
 from repro.metrics.summary import ComparisonTable
 from repro.simulation import EventConfig, LatencyStats, SimulationResult
-from repro.simulation.engine import ENGINE_IMPLEMENTATIONS
+from repro.simulation.engine import ENGINE_IMPLEMENTATIONS, EVENT_ENGINES
 from repro.traces import AzureTraceGenerator, TraceSplit, split_trace
 
 __all__ = ["ExperimentSuite", "SuiteResult", "DEFAULT_SUITE_POLICIES"]
@@ -274,6 +274,18 @@ class ExperimentSuite:
         :class:`~repro.simulation.events.EventConfig` (the scenario's when a
         scenario is set, defaults keyed to the seed otherwise) and the
         result tables grow p50/p95/p99 cold-start latency columns.
+        ``"event-feedback"`` additionally streams the rolling latency window
+        into every policy's ``on_feedback`` hook between minutes — a no-op
+        for the classic policies, the adaptation signal for latency-aware
+        ones.
+    streaming:
+        When True, the sweep runs in streaming evaluation mode: policies
+        receive *zero* training window (no offline phase input, no warm-up
+        replay) and must adapt online, from inside the simulation window.
+        This is the evaluation regime the continuous-drift scenarios
+        (``rotating-periods``, ``load-ramp``, ``seasonal-mix``) are designed
+        for — an offline histogram trained on a window that no longer
+        describes the traffic is exactly what streaming mode takes away.
     """
 
     def __init__(
@@ -287,6 +299,7 @@ class ExperimentSuite:
         scenario_params: Mapping[str, object] | None = None,
         placement: str | None = None,
         engine: str = "vectorized",
+        streaming: bool = False,
     ) -> None:
         self.config = config or ExperimentConfig()
         if engine not in ENGINE_IMPLEMENTATIONS:
@@ -294,6 +307,7 @@ class ExperimentSuite:
                 f"unknown engine {engine!r}; expected one of {ENGINE_IMPLEMENTATIONS}"
             )
         self.engine = engine
+        self.streaming = streaming
         # Deduplicate while preserving order: a repeated seed is the same
         # workload and would otherwise produce colliding sweep cells.
         self.seeds = tuple(dict.fromkeys(seeds)) if seeds else (self.config.seed,)
@@ -400,7 +414,8 @@ class ExperimentSuite:
                 warmup_minutes=self.config.warmup_minutes,
                 clusters=self._clusters or None,
                 engine=self.engine,
-                events=self._events if self.engine == "event" else None,
+                events=self._events if self.engine in EVENT_ENGINES else None,
+                streaming=self.streaming,
             )
         return self._runner
 

@@ -49,6 +49,25 @@ Built-in catalog
     them on node 0, which melts while the other nodes idle.  The scenario
     exists to measure what ``sweep --placement least-loaded`` (or
     ``correlation-aware``) buys over static sharding.
+``rotating-periods``
+    Continuous drift: timer-like functions whose periods stretch steadily
+    over the whole trace, so any histogram learned from one window is a
+    little more wrong every hour — there is no stationary regime to train
+    on.
+``load-ramp``
+    Continuous drift: Poisson traffic whose rates ramp multiplicatively from
+    start to end of the trace, so a training window always under-represents
+    the load the simulation window carries.
+``seasonal-mix``
+    Continuous drift: the population is partitioned into seasonal groups
+    whose activity envelopes rotate around the clock, so *which* functions
+    are hot changes continuously while total load stays roughly level.
+
+The three continuous-drift scenarios are the intended companions of the
+streaming evaluation mode (``ExperimentSuite(streaming=True)`` /
+``sweep --streaming``), where policies receive no training window at all
+and must adapt online — e.g. from the ``event-feedback`` engine's rolling
+latency window.
 
 Custom scenarios register with :func:`register_scenario`.
 """
@@ -499,6 +518,174 @@ def _build_hot_shard(
     return ScenarioWorkload(scenario="hot-shard", split=split, cluster=cluster)
 
 
+def _build_rotating_periods(
+    seed: int,
+    n_functions: int,
+    days: float,
+    training_days: float,
+    periodic_fraction: float,
+    stretch: float,
+) -> ScenarioWorkload:
+    """Timer-heavy population whose periods stretch continuously.
+
+    Each periodic function ticks whenever its accumulated phase crosses an
+    integer; the instantaneous frequency interpolates linearly from
+    ``1/period`` down to ``1/(period * stretch)`` across the trace, so
+    inter-invocation gaps grow every single day.  A histogram trained on any
+    prefix systematically under-estimates the idle times the suffix
+    produces — the canonical shape the streaming mode exists to evaluate.
+    """
+    rng = np.random.default_rng(seed)
+    duration = int(round(days * MINUTES_PER_DAY))
+    n_periodic = max(1, int(round(periodic_fraction * n_functions)))
+    records: List[FunctionRecord] = []
+    counts: Dict[str, np.ndarray] = {}
+    for i in range(n_functions):
+        function_id = f"func-{i:05d}"
+        if i < n_periodic:
+            period = float(rng.uniform(15.0, 180.0))
+            frequency = np.linspace(
+                1.0 / period, 1.0 / (period * stretch), duration
+            )
+            phase = float(rng.uniform(0.0, 1.0)) + np.cumsum(frequency)
+            ticks = np.floor(phase)
+            series = np.diff(ticks, prepend=np.floor(phase[0] - frequency[0]))
+            series = series.astype(np.int64)
+            trigger = TriggerType.TIMER
+            archetype = "rotating_periodic"
+        else:
+            series = generate_rare(
+                rng, duration, invocation_count=int(rng.integers(2, 8))
+            )
+            trigger = TriggerType.OTHERS
+            archetype = "rare"
+        records.append(
+            FunctionRecord(
+                function_id,
+                f"app-{i // 3:05d}",
+                f"owner-{i // 6:05d}",
+                trigger,
+                archetype=archetype,
+            )
+        )
+        counts[function_id] = series
+    return ScenarioWorkload(
+        scenario="rotating-periods",
+        split=_assemble(
+            "rotating-periods", seed, records, counts, duration, training_days
+        ),
+    )
+
+
+def _build_load_ramp(
+    seed: int,
+    n_functions: int,
+    days: float,
+    training_days: float,
+    ramp: float,
+    ramp_fraction: float,
+) -> ScenarioWorkload:
+    """Poisson population whose rates multiply by ``ramp`` across the trace.
+
+    Ramping functions start at a low base rate and grow geometrically to
+    ``base * ramp`` by the last minute — a service onboarding traffic.  The
+    early (training) window therefore always under-represents the load the
+    late (simulation) window carries, in volume *and* in which functions are
+    worth keeping warm.
+    """
+    rng = np.random.default_rng(seed)
+    duration = int(round(days * MINUTES_PER_DAY))
+    n_ramping = max(1, int(round(ramp_fraction * n_functions)))
+    multiplier = np.geomspace(1.0, ramp, duration)
+    records: List[FunctionRecord] = []
+    counts: Dict[str, np.ndarray] = {}
+    for i in range(n_functions):
+        function_id = f"func-{i:05d}"
+        if i < n_ramping:
+            base_rate = float(rng.uniform(0.02, 0.25))
+            series = rng.poisson(base_rate * multiplier).astype(np.int64)
+            trigger = TriggerType.HTTP
+            archetype = "ramping_poisson"
+        elif i < n_ramping + max(1, n_functions // 6):
+            series = generate_periodic(
+                rng, duration, period=int(rng.integers(20, 180))
+            )
+            trigger = TriggerType.TIMER
+            archetype = "periodic"
+        else:
+            series = generate_rare(
+                rng, duration, invocation_count=int(rng.integers(2, 8))
+            )
+            trigger = TriggerType.OTHERS
+            archetype = "rare"
+        records.append(
+            FunctionRecord(
+                function_id,
+                f"app-{i // 3:05d}",
+                f"owner-{i // 6:05d}",
+                trigger,
+                archetype=archetype,
+            )
+        )
+        counts[function_id] = series
+    return ScenarioWorkload(
+        scenario="load-ramp",
+        split=_assemble("load-ramp", seed, records, counts, duration, training_days),
+    )
+
+
+def _build_seasonal_mix(
+    seed: int,
+    n_functions: int,
+    days: float,
+    training_days: float,
+    seasons: int,
+    season_days: float,
+) -> ScenarioWorkload:
+    """The hot subset of the population rotates continuously.
+
+    Functions are partitioned into ``seasons`` groups; each group's Poisson
+    rate follows a half-sine activity envelope phase-shifted around a
+    ``season_days``-long cycle, with a faint off-season trickle.  Total load
+    stays roughly level while *which* functions deserve warmth changes all
+    the time — keep-alive state earned during one season is pure waste two
+    seasons later.
+    """
+    if seasons < 2:
+        raise ValueError("seasons must be >= 2")
+    rng = np.random.default_rng(seed)
+    duration = int(round(days * MINUTES_PER_DAY))
+    minutes = np.arange(duration, dtype=float)
+    cycle = season_days * MINUTES_PER_DAY
+    records: List[FunctionRecord] = []
+    counts: Dict[str, np.ndarray] = {}
+    for i in range(n_functions):
+        function_id = f"func-{i:05d}"
+        group = i % seasons
+        envelope = np.clip(
+            np.sin(2.0 * np.pi * (minutes / cycle - group / seasons)), 0.0, None
+        )
+        peak_rate = float(rng.uniform(0.15, 0.9))
+        rate = peak_rate * envelope**2 + 0.005
+        series = rng.poisson(rate).astype(np.int64)
+        records.append(
+            FunctionRecord(
+                function_id,
+                f"app-{group:05d}-{i // (3 * seasons):04d}",
+                f"owner-{i // 6:05d}",
+                TriggerType.HTTP,
+                archetype=f"seasonal_{group}",
+            )
+        )
+        counts[function_id] = series
+    return ScenarioWorkload(
+        scenario="seasonal-mix",
+        split=_assemble(
+            "seasonal-mix", seed, records, counts, duration, training_days
+        ),
+    )
+
+
 register_scenario(
     Scenario(
         name="azure",
@@ -564,5 +751,34 @@ register_scenario(
         defaults={"hot_fraction": 0.25, "n_nodes": 4, "squeeze": 3.0, "hot_rate": 2.0},
         # The melting node's image registry is saturated; boots crawl.
         events=EventConfig(cold_start_scale=1.4),
+    )
+)
+register_scenario(
+    Scenario(
+        name="rotating-periods",
+        description="continuous drift: timer periods stretch steadily over the trace",
+        builder=_build_rotating_periods,
+        defaults={"periodic_fraction": 0.6, "stretch": 3.0},
+        # Scheduled batch jobs: heavier runtimes than request/response code.
+        events=EventConfig(cold_start_scale=1.2, execution_scale=1.5),
+    )
+)
+register_scenario(
+    Scenario(
+        name="load-ramp",
+        description="continuous drift: Poisson rates ramp multiplicatively across the trace",
+        builder=_build_load_ramp,
+        defaults={"ramp": 8.0, "ramp_fraction": 0.7},
+        # A growing service pulls ever more images through one registry.
+        events=EventConfig(cold_start_scale=1.3),
+    )
+)
+register_scenario(
+    Scenario(
+        name="seasonal-mix",
+        description="continuous drift: the hot subset of functions rotates around the clock",
+        builder=_build_seasonal_mix,
+        defaults={"seasons": 4, "season_days": 1.0},
+        events=EventConfig(),
     )
 )

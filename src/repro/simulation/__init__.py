@@ -25,7 +25,7 @@ from repro.simulation.placement import (
     placement_names,
     register_placement,
 )
-from repro.simulation.events import EventConfig, EventTracker
+from repro.simulation.events import EventConfig, EventTracker, LatencyWindow
 from repro.simulation.memory import MemoryAccountant
 from repro.simulation.results import (
     ClusterStats,
@@ -53,6 +53,7 @@ __all__ = [
     "placement_names",
     "EventConfig",
     "EventTracker",
+    "LatencyWindow",
     "LatencyStats",
     "MemoryAccountant",
     "FunctionStats",

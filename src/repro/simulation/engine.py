@@ -51,6 +51,21 @@ Two interchangeable implementations of this contract exist:
     minute-granular outputs — and therefore its deterministic fingerprint —
     are identical to a vectorized run's; it adds the latency distribution on
     top.  Supports the cluster mode.
+
+``event-feedback``
+    The event engine with the observation loop *closed*: every minute, the
+    tracker's rolling per-function latency window
+    (:class:`~repro.simulation.events.LatencyWindow`, horizon configured by
+    :attr:`~repro.simulation.events.EventConfig.feedback_window_minutes`) is
+    streamed into the policy through
+    :meth:`~repro.simulation.policy_base.ProvisioningPolicy.on_feedback`
+    *before* the policy declares the next resident set.  The hook is a no-op
+    on every policy that does not override it, so pre-existing policies stay
+    fingerprint-identical to their ``event`` (and ``vectorized``) runs;
+    latency-aware policies (e.g.
+    :class:`~repro.baselines.latency_aware.LatencyAwareKeepAlivePolicy`) use
+    the window to adapt, which legitimately changes their decisions.
+    Supports the cluster mode.
 """
 
 from __future__ import annotations
@@ -75,11 +90,14 @@ from repro.simulation.vector_policy import DictPolicyAdapter, VectorizedPolicy
 from repro.traces.trace import Trace
 
 #: Names of the available engine implementations.
-ENGINE_IMPLEMENTATIONS = ("vectorized", "reference", "event")
+ENGINE_IMPLEMENTATIONS = ("vectorized", "reference", "event", "event-feedback")
+
+#: Engines that run the sub-minute event layer (and accept an EventConfig).
+EVENT_ENGINES = ("event", "event-feedback")
 
 #: Bumped whenever a change alters simulation *output*; part of on-disk
 #: result-cache keys so stale cached results are never served.
-ENGINE_VERSION = 4
+ENGINE_VERSION = 5
 
 
 class Simulator:
@@ -104,7 +122,8 @@ class Simulator:
         condition.  Set to 0 to start from a completely cold platform.
     engine:
         Which implementation runs the minute loop: ``"vectorized"``
-        (default), ``"reference"`` or ``"event"`` (see the module docstring).
+        (default), ``"reference"``, ``"event"`` or ``"event-feedback"`` (see
+        the module docstring).
     cluster:
         Optional :class:`~repro.simulation.cluster.ClusterModel` imposing a
         (possibly sharded) memory cap on the resident set.  Requires a
@@ -112,10 +131,10 @@ class Simulator:
         engine remains the executable specification of the paper's
         *uncapped* setting.
     events:
-        Optional :class:`~repro.simulation.events.EventConfig` for the
-        ``event`` engine (jitter seed, duration scaling).  Defaults are used
-        when the engine is ``"event"`` and no config is given; passing a
-        config with a minute-granular engine is an error.
+        Optional :class:`~repro.simulation.events.EventConfig` for the event
+        engines (jitter seed, duration scaling, feedback-window horizon).
+        Defaults are used when an event engine runs without a config;
+        passing a config with a minute-granular engine is an error.
     """
 
     #: Default warm-up horizon: one day covers the longest keep-alive and
@@ -143,8 +162,10 @@ class Simulator:
                 "the capacity-constrained cluster mode requires a mask-based "
                 "engine (vectorized or event)"
             )
-        if events is not None and engine != "event":
-            raise ValueError("an EventConfig requires engine='event'")
+        if events is not None and engine not in EVENT_ENGINES:
+            raise ValueError(
+                f"an EventConfig requires an event engine {EVENT_ENGINES}"
+            )
         self.simulation_trace = simulation_trace
         self.training_trace = training_trace
         self.initially_resident = set(initially_resident or set())
@@ -184,8 +205,10 @@ class Simulator:
         if self.engine == "reference":
             return self._run_reference(policy, resident)
         tracker = None
-        if self.engine == "event":
-            tracker = EventTracker(trace, self.events)
+        if self.engine in EVENT_ENGINES:
+            tracker = EventTracker(
+                trace, self.events, feedback=self.engine == "event-feedback"
+            )
         return self._run_vectorized(policy, resident, tracker)
 
     # ------------------------------------------------------------------ #
@@ -269,11 +292,13 @@ class Simulator:
         migrated_entering: np.ndarray | None = None
         if cluster is not None:
             # The training window feeds offline placement signals (the
-            # correlation-aware strategy mines co-firing groups from it); a
-            # training-less run falls back to the simulation trace's records.
-            arbiter = cluster.arbiter(
-                function_ids, trace=self.training_trace or trace
-            )
+            # correlation-aware strategy mines co-firing groups from it).
+            # A training-less run — notably the streaming evaluation mode,
+            # whose whole point is zero offline knowledge — supplies none:
+            # mining the *simulation* trace here would leak future traffic
+            # into placement, so trace-hungry strategies fall back to their
+            # lazy behaviour instead.
+            arbiter = cluster.arbiter(function_ids, trace=self.training_trace)
             node_usage = np.zeros((duration, cluster.n_nodes), dtype=np.int64)
             # The entering resident set is itself subject to the cap; the
             # policy's "declaration" for minute 0 is the uncapped entering set.
@@ -337,6 +362,15 @@ class Simulator:
             if arbiter is not None:
                 node_usage[minute] = arbiter.node_usage(resident)
                 arbiter.observe_invocations(minute, invoked)
+
+            if tracker is not None and tracker.feedback:
+                # Close the loop: stream the rolling latency window into the
+                # policy before it declares the next resident set.  Processing
+                # the window is policy decision work, so it is charged to the
+                # RQ2 overhead metric alongside the on_minute call.
+                window = tracker.feedback_window(minute)
+                with timer.measure():
+                    driver.on_feedback(minute, window)
 
             # 4. policy decides the resident set for the next minute.
             if externally_timed:

@@ -38,8 +38,9 @@ never the fingerprint.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Deque, Dict, List, Tuple
 
 import numpy as np
 
@@ -48,7 +49,7 @@ from repro.traces.archetypes import duration_profile_for
 from repro.traces.schema import DEFAULT_DURATION_PROFILE, DurationProfile
 from repro.traces.trace import InvocationIndex, Trace
 
-__all__ = ["EventConfig", "EventTracker", "expand_minute_offsets"]
+__all__ = ["EventConfig", "EventTracker", "LatencyWindow", "expand_minute_offsets"]
 
 #: Seconds per simulated minute bucket.
 SECONDS_PER_MINUTE = 60.0
@@ -79,6 +80,11 @@ class EventConfig:
         :func:`~repro.traces.archetypes.duration_profile_for`; when False,
         every function uses ``default_profile`` unchanged — the paper's
         uniform-latency assumption, useful for controlled tests.
+    feedback_window_minutes:
+        Length of the rolling latency window the ``event-feedback`` engine
+        streams into the policy between minutes (ignored by the plain
+        ``event`` engine, which never constructs a window).  The default of
+        one hour covers the keep-alive horizons of every shipped policy.
     """
 
     seed: int = 0
@@ -86,10 +92,13 @@ class EventConfig:
     execution_scale: float = 1.0
     default_profile: DurationProfile = DEFAULT_DURATION_PROFILE
     derive_profiles: bool = True
+    feedback_window_minutes: int = 60
 
     def __post_init__(self) -> None:
         if self.cold_start_scale < 0 or self.execution_scale < 0:
             raise ValueError("scale factors must be non-negative")
+        if self.feedback_window_minutes < 1:
+            raise ValueError("feedback_window_minutes must be >= 1")
 
     def profile_for(self, record) -> DurationProfile:
         """The effective duration profile of one function."""
@@ -129,6 +138,59 @@ def expand_minute_offsets(
     return offsets
 
 
+@dataclass(frozen=True)
+class LatencyWindow:
+    """Rolling per-function cold-start-latency snapshot for the feedback loop.
+
+    Produced by :meth:`EventTracker.feedback_window` once per minute under
+    the ``event-feedback`` engine and handed to
+    :meth:`~repro.simulation.policy_base.ProvisioningPolicy.on_feedback`.
+    Arrays live in the bound trace's function-index space, so index-native
+    policies consume them without any id translation.  The snapshot is
+    read-only by contract: the engine hands out copies, but policies must
+    still treat the arrays as immutable observations.
+
+    Attributes
+    ----------
+    minute:
+        The simulated minute that just completed (the window's right edge).
+    window_minutes:
+        Trailing horizon the aggregates cover: events observed in minutes
+        ``(minute - window_minutes, minute]``.
+    cold_events:
+        Latency-affected events per function within the window — provisioning
+        initiations plus arrivals that queued behind one.
+    total_wait_ms:
+        Summed cold-start waits per function within the window.
+    """
+
+    minute: int
+    window_minutes: int
+    cold_events: np.ndarray
+    total_wait_ms: np.ndarray
+
+    @property
+    def total_events(self) -> int:
+        """All latency-affected events in the window."""
+        return int(self.cold_events.sum())
+
+    def mean_wait_ms(self) -> np.ndarray:
+        """Per-function mean cold-start wait; 0.0 where nothing waited.
+
+        Guaranteed NaN-free: functions without a latency-affected event in
+        the window report 0.0, mirroring the zero-cold-event conventions of
+        :class:`~repro.simulation.results.LatencyStats`.
+        """
+        means = np.zeros_like(self.total_wait_ms)
+        np.divide(
+            self.total_wait_ms,
+            self.cold_events,
+            out=means,
+            where=self.cold_events > 0,
+        )
+        return means
+
+
 class EventTracker:
     """Per-run event expansion and latency bookkeeping.
 
@@ -138,9 +200,23 @@ class EventTracker:
     needed to expand events and attribute waits without re-deriving any
     residency state.  :meth:`finalize` packages the observations into a
     :class:`~repro.simulation.results.LatencyStats`.
+
+    With ``feedback=True`` (the ``event-feedback`` engine) the tracker
+    additionally maintains a rolling per-function latency window: each
+    minute's waits are aggregated into a compact per-function chunk, added to
+    running window arrays, and chunks older than
+    :attr:`EventConfig.feedback_window_minutes` are subtracted back out.
+    :meth:`feedback_window` advances the window and snapshots it as a
+    :class:`LatencyWindow`.  The plain ``event`` engine never pays for any of
+    this: the chunk bookkeeping is skipped entirely unless feedback is on.
     """
 
-    def __init__(self, trace: Trace, config: EventConfig | None = None) -> None:
+    def __init__(
+        self,
+        trace: Trace,
+        config: EventConfig | None = None,
+        feedback: bool = False,
+    ) -> None:
         self.config = config or EventConfig()
         self._rng = np.random.default_rng(self.config.seed)
         index: InvocationIndex = trace.invocation_index()
@@ -167,6 +243,17 @@ class EventTracker:
         # Python work.
         self._wait_chunks: List[np.ndarray] = []
         self._position_chunks: List[np.ndarray] = []
+
+        self.feedback = feedback
+        if feedback:
+            # Rolling-window state: running per-function aggregates plus a
+            # deque of the compact per-minute contributions still inside the
+            # window, so expiry is a subtraction, never a rescan.
+            self._window_cold_events = np.zeros(n, dtype=np.int64)
+            self._window_wait_ms = np.zeros(n, dtype=float)
+            self._window_chunks: Deque[
+                Tuple[int, np.ndarray, np.ndarray, np.ndarray]
+            ] = deque()
 
     # ------------------------------------------------------------------ #
     def observe_minute(
@@ -264,6 +351,44 @@ class EventTracker:
         self._cold_start_events += n_cold
         self._delayed_events += n_delayed
         self._warm_events += total - n_cold - n_delayed
+        if self.feedback:
+            self._accumulate_window(minute, positions, waits_ms)
+
+    # ------------------------------------------------------------------ #
+    def _accumulate_window(
+        self, minute: int, positions: np.ndarray, waits_ms: np.ndarray
+    ) -> None:
+        """Fold one minute's waits into the rolling feedback window."""
+        unique, inverse = np.unique(positions, return_inverse=True)
+        counts = np.bincount(inverse, minlength=unique.size)
+        wait_sums = np.bincount(inverse, weights=waits_ms, minlength=unique.size)
+        self._window_cold_events[unique] += counts
+        self._window_wait_ms[unique] += wait_sums
+        self._window_chunks.append((minute, unique, counts, wait_sums))
+
+    def feedback_window(self, minute: int) -> LatencyWindow:
+        """Advance the rolling window to ``minute`` and snapshot it.
+
+        Chunks older than the configured horizon are subtracted out; the
+        returned :class:`LatencyWindow` copies the running arrays, so the
+        policy's view cannot be perturbed by later minutes (nor can a policy
+        corrupt the tracker's state).  Raises unless the tracker was built
+        with ``feedback=True``.
+        """
+        if not self.feedback:
+            raise RuntimeError("tracker was not configured for feedback")
+        horizon = minute - self.config.feedback_window_minutes
+        chunks = self._window_chunks
+        while chunks and chunks[0][0] <= horizon:
+            _, unique, counts, wait_sums = chunks.popleft()
+            self._window_cold_events[unique] -= counts
+            self._window_wait_ms[unique] -= wait_sums
+        return LatencyWindow(
+            minute=minute,
+            window_minutes=self.config.feedback_window_minutes,
+            cold_events=self._window_cold_events.copy(),
+            total_wait_ms=self._window_wait_ms.copy(),
+        )
 
     # ------------------------------------------------------------------ #
     def finalize(self) -> LatencyStats:

@@ -28,6 +28,12 @@ class ProvisioningPolicy(abc.ABC):
     2. :meth:`on_minute` is called once per simulated minute with the
        invocations observed during that minute.  It returns the set of
        function ids that should be resident at the start of the *next* minute.
+    3. :meth:`on_feedback` is called — only under the ``event-feedback``
+       engine — once per minute *before* :meth:`on_minute`, streaming the
+       rolling cold-start-latency window into the policy.  The default is a
+       no-op, so every policy written before the feedback loop existed keeps
+       its exact decisions (and therefore its deterministic fingerprint)
+       under the feedback engine.
 
     Policies are stateful; a fresh instance (or a call to :meth:`reset`)
     should be used for each simulation run.
@@ -71,6 +77,27 @@ class ProvisioningPolicy(abc.ABC):
             Ids of the functions that should be resident at the start of the
             next minute.  Invoked functions that are *not* returned are
             evicted immediately after serving their request.
+        """
+
+    def on_feedback(self, minute: int, latency_window) -> None:
+        """Observe the rolling cold-start-latency window (feedback engine only).
+
+        Parameters
+        ----------
+        minute:
+            The simulated minute that just completed.
+        latency_window:
+            A :class:`~repro.simulation.events.LatencyWindow`: per-function
+            cold-event counts and summed waits over the trailing feedback
+            window, in the bound trace's function-index space.  The window is
+            a read-only snapshot; policies must not mutate its arrays.
+
+        The default implementation ignores the feedback entirely, which is a
+        contract guarantee: a policy that does not override this hook is
+        *decision-identical* under ``event`` and ``event-feedback`` — the
+        equivalence tests assert fingerprint equality for every registered
+        policy.  Latency-aware policies override it to adapt their keep-alive
+        state between minutes.
         """
 
     def reset(self) -> None:

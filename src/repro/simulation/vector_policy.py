@@ -200,6 +200,11 @@ class DictPolicyAdapter(VectorizedPolicy):
     def reset(self) -> None:
         self.policy.reset()
 
+    def on_feedback(self, minute: int, latency_window) -> None:
+        # The feedback hook belongs to the wrapped policy's decision state,
+        # not to the adapter's mask bookkeeping: forward it untouched.
+        self.policy.on_feedback(minute, latency_window)
+
     @property
     def known_functions(self):
         return self.policy.known_functions

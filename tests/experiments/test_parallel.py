@@ -58,6 +58,37 @@ class TestPolicySpec:
             register_policy("spes", POLICY_REGISTRY["spes"])
 
 
+class TestRegistryCoverage:
+    def test_every_dict_baseline_has_an_indexed_twin(self):
+        """No registered policy *needs* the DictPolicyAdapter anymore.
+
+        Every dict-API registry entry must have an ``<name>-indexed`` twin
+        (LCS was the last holdout), so sweeps can run entirely on the
+        index-native contract.
+        """
+        from repro.experiments.parallel import POLICY_REGISTRY
+
+        dict_entries = {
+            name
+            for name in POLICY_REGISTRY
+            if not name.endswith("-indexed")
+            and name not in ("no-keepalive", "always-warm", "latency-keepalive")
+        }
+        missing = {
+            name for name in dict_entries if f"{name}-indexed" not in POLICY_REGISTRY
+        }
+        assert not missing, f"dict-only registry entries remain: {sorted(missing)}"
+
+    def test_indexed_twins_are_not_dict_adapted(self):
+        from repro.experiments.parallel import POLICY_REGISTRY
+        from repro.simulation import VectorizedPolicy
+
+        for name, factory in POLICY_REGISTRY.items():
+            if name.endswith("-indexed") or name == "latency-keepalive":
+                policy = factory() if name != "faascache-indexed" else factory(capacity=4)
+                assert isinstance(policy, VectorizedPolicy), name
+
+
 class TestCellSeeds:
     def test_seeds_are_deterministic(self):
         spec = PolicySpec.of("no-keepalive")
@@ -114,6 +145,36 @@ class TestParallelRunner:
         key_short = short.cache_key(short.cell("c", spec, "w"))
         key_long = long.cache_key(long.cell("c", spec, "w"))
         assert key_short != key_long
+
+    def test_cache_keys_depend_on_streaming_and_engine(self, split, suite_specs, tmp_path):
+        spec = suite_specs["no-keepalive"]
+        keys = set()
+        for engine, streaming in (
+            ("vectorized", False),
+            ("vectorized", True),
+            ("event", False),
+            ("event-feedback", False),
+            ("event-feedback", True),
+        ):
+            runner = ParallelRunner(
+                {"w": split}, cache_dir=tmp_path, warmup_minutes=30,
+                engine=engine, streaming=streaming,
+            )
+            keys.add(runner.cache_key(runner.cell("c", spec, "w")))
+        assert len(keys) == 5
+
+    def test_streaming_runner_withholds_training(self, split):
+        from repro.experiments.parallel import PolicySpec
+
+        spec = PolicySpec.of("hybrid-function-indexed")
+        trained = ParallelRunner({"w": split}, warmup_minutes=60)
+        streaming = ParallelRunner({"w": split}, warmup_minutes=60, streaming=True)
+        trained_result = trained.run_cells([trained.cell("c", spec, "w")])["c"]
+        streaming_result = streaming.run_cells([streaming.cell("c", spec, "w")])["c"]
+        assert (
+            trained_result.deterministic_fingerprint()
+            != streaming_result.deterministic_fingerprint()
+        )
 
     def test_corrupt_cache_entry_is_a_miss(self, split, suite_specs, tmp_path):
         runner = ParallelRunner({"w": split}, cache_dir=tmp_path, warmup_minutes=60)

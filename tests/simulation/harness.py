@@ -42,6 +42,8 @@ from repro.baselines import (
     IndexedFixedKeepAlivePolicy,
     IndexedHybridApplicationPolicy,
     IndexedHybridFunctionPolicy,
+    IndexedLcsPolicy,
+    LcsPolicy,
 )
 from repro.core import IndexedSpesPolicy, SpesPolicy
 from repro.simulation import (
@@ -52,10 +54,14 @@ from repro.simulation import (
 )
 from repro.traces import AzureTraceGenerator, GeneratorProfile, TraceSplit, split_trace
 
-#: Engines that support the uncapped setting (all of them).
-ALL_ENGINES = ("vectorized", "reference", "event")
+#: Engines that support the uncapped setting (all of them).  The
+#: ``event-feedback`` engine is included deliberately: its feedback hook is a
+#: no-op on every paired policy, so fingerprints must match the other
+#: engines' — the contract that lets pre-feedback policies run unchanged
+#: under the closed loop.
+ALL_ENGINES = ("vectorized", "reference", "event", "event-feedback")
 #: Engines that support the capacity-constrained cluster mode.
-MASK_ENGINES = ("vectorized", "event")
+MASK_ENGINES = ("vectorized", "event", "event-feedback")
 #: Every registered placement strategy, for the placement × pairs matrix —
 #: derived from the registry so a newly registered strategy joins the
 #: equivalence matrix automatically.
@@ -81,6 +87,7 @@ POLICY_PAIRS = [
         id="faascache",
     ),
     pytest.param(DefusePolicy, IndexedDefusePolicy, id="defuse"),
+    pytest.param(LcsPolicy, IndexedLcsPolicy, id="lcs"),
 ]
 
 #: Archetypes the randomized mixes draw from (chained archetypes need parent

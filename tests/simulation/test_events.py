@@ -102,7 +102,7 @@ def _dense_trace(count_per_minute: int = 20, duration: int = 30) -> Trace:
 
 class TestEventEngine:
     def test_event_config_requires_event_engine(self, small_split):
-        with pytest.raises(ValueError, match="requires engine='event'"):
+        with pytest.raises(ValueError, match="requires an event engine"):
             Simulator(small_split.simulation, events=EventConfig())
 
     def test_reference_engine_rejects_cluster(self, small_split):

@@ -1,0 +1,406 @@
+"""The latency feedback loop: window maintenance, engine wiring, consumers.
+
+Three layers under test:
+
+* :class:`~repro.simulation.events.LatencyWindow` and the tracker's rolling
+  window bookkeeping (accumulate, expire, NaN-free means);
+* the ``event-feedback`` engine mode — its no-op-hook guarantee (every
+  pre-feedback policy is fingerprint-identical to its ``event`` run, pinned
+  pair-by-pair over the harness catalog) and the feedback call order;
+* :class:`~repro.baselines.latency_aware.LatencyAwareKeepAlivePolicy`, the
+  first consumer — including the PR's acceptance bar: it must beat the fixed
+  keep-alive on p99 cold-start latency on a continuous-drift scenario.
+"""
+
+import numpy as np
+import pytest
+
+from harness import POLICY_PAIRS, random_cluster
+from repro.baselines import IndexedFixedKeepAlivePolicy, LatencyAwareKeepAlivePolicy
+from repro.scenarios import build_scenario
+from repro.simulation import (
+    EventConfig,
+    EventTracker,
+    LatencyWindow,
+    Simulator,
+    simulate_policy,
+)
+from repro.simulation.engine import ENGINE_IMPLEMENTATIONS, EVENT_ENGINES
+from repro.traces import AzureTraceGenerator, GeneratorProfile, split_trace
+
+
+@pytest.fixture(scope="module")
+def split():
+    trace = AzureTraceGenerator(GeneratorProfile.small(seed=13)).generate()
+    return split_trace(trace, training_days=2.0)
+
+
+def window(tracker, minute, invoked, counts, cold):
+    """Drive one observed minute and return the advanced window."""
+    invoked = np.asarray(invoked, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.int64)
+    cold_mask = np.zeros(invoked.size, dtype=bool)
+    cold_mask[: len(cold)] = cold
+    tracker.observe_minute(minute, invoked, counts, cold_mask, None)
+    return tracker.feedback_window(minute)
+
+
+class TestLatencyWindow:
+    def _tracker(self, split, **config):
+        return EventTracker(
+            split.simulation,
+            EventConfig(derive_profiles=False, **config),
+            feedback=True,
+        )
+
+    def test_all_warm_window_is_zero_and_nan_free(self, split):
+        tracker = self._tracker(split)
+        tracker.observe_minute(
+            0,
+            np.array([0, 1], dtype=np.int64),
+            np.array([3, 1], dtype=np.int64),
+            np.zeros(2, dtype=bool),
+            None,
+        )
+        snapshot = tracker.feedback_window(0)
+        assert snapshot.total_events == 0
+        assert snapshot.cold_events.sum() == 0
+        means = snapshot.mean_wait_ms()
+        assert not np.isnan(means).any()
+        assert (means == 0.0).all()
+
+    def test_cold_initiation_lands_in_the_window(self, split):
+        tracker = self._tracker(split)
+        snapshot = window(tracker, 0, [0], [1], [True])
+        assert snapshot.cold_events[0] == 1
+        assert snapshot.total_wait_ms[0] == pytest.approx(
+            EventConfig().default_profile.cold_start_ms
+        )
+        assert snapshot.mean_wait_ms()[0] == pytest.approx(
+            EventConfig().default_profile.cold_start_ms
+        )
+
+    def test_window_expires_old_minutes(self, split):
+        tracker = self._tracker(split, feedback_window_minutes=5)
+        window(tracker, 0, [0], [1], [True])
+        # Advance 5 empty minutes: the minute-0 chunk must roll out.
+        for minute in range(1, 5):
+            assert tracker.feedback_window(minute).cold_events[0] == 1
+        snapshot = tracker.feedback_window(5)
+        assert snapshot.cold_events[0] == 0
+        assert snapshot.total_wait_ms[0] == 0.0
+
+    def test_window_accumulates_across_minutes(self, split):
+        tracker = self._tracker(split, feedback_window_minutes=60)
+        window(tracker, 0, [0], [1], [True])
+        snapshot = window(tracker, 1, [0], [1], [True])
+        assert snapshot.cold_events[0] == 2
+        assert snapshot.minute == 1
+        assert snapshot.window_minutes == 60
+
+    def test_snapshot_is_isolated_from_later_minutes(self, split):
+        tracker = self._tracker(split)
+        early = window(tracker, 0, [0], [1], [True])
+        window(tracker, 1, [0], [1], [True])
+        assert early.cold_events[0] == 1  # not mutated retroactively
+
+    def test_plain_event_tracker_refuses_feedback(self, split):
+        tracker = EventTracker(split.simulation, EventConfig())
+        with pytest.raises(RuntimeError, match="not configured for feedback"):
+            tracker.feedback_window(0)
+
+    def test_feedback_window_must_be_positive(self):
+        with pytest.raises(ValueError, match="feedback_window_minutes"):
+            EventConfig(feedback_window_minutes=0)
+
+
+class TestFeedbackEngineWiring:
+    def test_event_feedback_is_a_registered_engine(self):
+        assert "event-feedback" in ENGINE_IMPLEMENTATIONS
+        assert set(EVENT_ENGINES) == {"event", "event-feedback"}
+
+    def test_feedback_run_carries_a_latency_block(self, split):
+        result = simulate_policy(
+            IndexedFixedKeepAlivePolicy(10),
+            split.simulation,
+            split.training,
+            warmup_minutes=60,
+            engine="event-feedback",
+        )
+        assert result.latency is not None
+        assert result.latency.cold_start_events == result.total_cold_starts
+
+    def test_feedback_hook_sees_every_minute(self, split):
+        minutes = []
+
+        class Probe(IndexedFixedKeepAlivePolicy):
+            def on_feedback(self, minute, latency_window):
+                assert isinstance(latency_window, LatencyWindow)
+                minutes.append(minute)
+
+        simulate_policy(
+            Probe(10), split.simulation, warmup_minutes=0, engine="event-feedback"
+        )
+        assert minutes == list(range(split.simulation.duration_minutes))
+
+    def test_minute_granular_engines_never_fire_the_hook(self, split):
+        fired = []
+
+        class Probe(IndexedFixedKeepAlivePolicy):
+            def on_feedback(self, minute, latency_window):
+                fired.append(minute)
+
+        for engine in ("vectorized", "event"):
+            simulate_policy(
+                Probe(10), split.simulation, warmup_minutes=0, engine=engine
+            )
+        assert fired == []
+
+    def test_event_config_accepted_by_feedback_engine_only(self, split):
+        with pytest.raises(ValueError, match="event engine"):
+            Simulator(split.simulation, events=EventConfig(), engine="vectorized")
+        Simulator(split.simulation, events=EventConfig(), engine="event-feedback")
+
+
+class TestNoOpHookEquivalence:
+    """Every pre-feedback policy: event and event-feedback fingerprints match.
+
+    The harness's cross-engine assertions already sweep the full matrix;
+    this class pins the narrower, load-bearing property directly — pair by
+    pair, with and without capacity pressure — so a regression names the
+    exact policy whose decisions the feedback plumbing perturbed.
+    """
+
+    @pytest.mark.parametrize("dict_factory, indexed_factory", POLICY_PAIRS)
+    def test_feedback_engine_is_a_no_op_for_classic_policies(
+        self, split, dict_factory, indexed_factory
+    ):
+        fingerprints = {
+            engine: simulate_policy(
+                indexed_factory(),
+                split.simulation,
+                split.training,
+                warmup_minutes=120,
+                engine=engine,
+            ).deterministic_fingerprint()
+            for engine in ("event", "event-feedback")
+        }
+        assert fingerprints["event"] == fingerprints["event-feedback"]
+
+    def test_no_op_equivalence_holds_under_capacity_pressure(self, split):
+        cluster = random_cluster(3, split)
+        fingerprints = {
+            engine: simulate_policy(
+                IndexedFixedKeepAlivePolicy(10),
+                split.simulation,
+                split.training,
+                warmup_minutes=120,
+                engine=engine,
+                cluster=cluster,
+            ).deterministic_fingerprint()
+            for engine in ("event", "event-feedback")
+        }
+        assert fingerprints["event"] == fingerprints["event-feedback"]
+
+
+class TestLatencyAwareKeepAlive:
+    def _window(self, cold_events, total_wait_ms, minute=0, horizon=60):
+        return LatencyWindow(
+            minute=minute,
+            window_minutes=horizon,
+            cold_events=np.asarray(cold_events, dtype=np.int64),
+            total_wait_ms=np.asarray(total_wait_ms, dtype=float),
+        )
+
+    def _bound(self, split, **kwargs):
+        policy = LatencyAwareKeepAlivePolicy(**kwargs)
+        policy.prepare(split.simulation.records(), None)
+        policy.bind_index(split.simulation.invocation_index())
+        return policy
+
+    def test_extends_expensive_and_shrinks_cheap(self, split):
+        policy = self._bound(split, base_keep_alive_minutes=10, cost_exponent=1.0)
+        n = split.simulation.invocation_index().n_functions
+        cold = np.zeros(n, dtype=np.int64)
+        wait = np.zeros(n, dtype=float)
+        # One event each; the event-weighted pivot is (1000+100+550)/3 = 550,
+        # so function 2 sits exactly at the pivot.
+        cold[0], wait[0] = 1, 1000.0
+        cold[1], wait[1] = 1, 100.0
+        cold[2], wait[2] = 1, 550.0
+        policy.on_feedback(0, self._window(cold, wait))
+        horizons = policy.keep_alive_minutes
+        assert horizons[0] > 10  # expensive: extended
+        assert horizons[1] < 10  # cheap: shrunk
+        assert horizons[2] == 10  # at the pivot: base preserved
+        assert horizons[3] == 10  # unobserved: untouched
+
+    def test_horizons_are_clamped(self, split):
+        policy = self._bound(
+            split,
+            base_keep_alive_minutes=10,
+            min_keep_alive_minutes=2,
+            max_keep_alive_minutes=30,
+            cost_exponent=3.0,
+        )
+        n = split.simulation.invocation_index().n_functions
+        cold = np.zeros(n, dtype=np.int64)
+        wait = np.zeros(n, dtype=float)
+        cold[0], wait[0] = 1, 10_000.0
+        cold[1], wait[1] = 100, 100.0
+        policy.on_feedback(0, self._window(cold, wait))
+        horizons = policy.keep_alive_minutes
+        assert horizons[0] == 30 and horizons[1] == 2
+
+    def test_all_warm_window_changes_nothing(self, split):
+        policy = self._bound(split)
+        n = split.simulation.invocation_index().n_functions
+        before = policy.keep_alive_minutes
+        policy.on_feedback(0, self._window(np.zeros(n), np.zeros(n)))
+        np.testing.assert_array_equal(before, policy.keep_alive_minutes)
+
+    def test_zero_cost_window_keeps_horizons_nan_free(self, split):
+        """Cold events with all-zero waits (cold_start_scale=0) carry no
+        cost signal: the relative pivot is 0 and the policy must keep its
+        horizons rather than divide by it."""
+        policy = self._bound(split)
+        n = split.simulation.invocation_index().n_functions
+        cold = np.zeros(n, dtype=np.int64)
+        cold[:3] = 2
+        policy.on_feedback(0, self._window(cold, np.zeros(n)))
+        assert (policy.keep_alive_minutes == 10).all()
+
+    def test_fixed_reference_pivot_is_honoured(self, split):
+        policy = self._bound(
+            split, cost_exponent=1.0, reference_cold_start_ms=100.0
+        )
+        n = split.simulation.invocation_index().n_functions
+        cold = np.zeros(n, dtype=np.int64)
+        wait = np.zeros(n, dtype=float)
+        cold[0], wait[0] = 1, 200.0  # 2x the fixed pivot
+        policy.on_feedback(0, self._window(cold, wait))
+        assert policy.keep_alive_minutes[0] == 20
+
+    def test_reset_restores_base_horizons(self, split):
+        policy = self._bound(split)
+        n = split.simulation.invocation_index().n_functions
+        cold = np.zeros(n, dtype=np.int64)
+        wait = np.zeros(n, dtype=float)
+        cold[0], wait[0] = 1, 5000.0
+        policy.on_feedback(0, self._window(cold, wait))
+        policy.reset()
+        assert (policy.keep_alive_minutes == 10).all()
+
+    def test_degrades_to_fixed_keepalive_off_the_feedback_engine(self, split):
+        fixed = simulate_policy(
+            IndexedFixedKeepAlivePolicy(10),
+            split.simulation,
+            split.training,
+            warmup_minutes=120,
+        )
+        latency_aware = simulate_policy(
+            LatencyAwareKeepAlivePolicy(base_keep_alive_minutes=10),
+            split.simulation,
+            split.training,
+            warmup_minutes=120,
+        )
+        # Same decisions, different policy name: compare the per-function
+        # statistics rather than the (name-hashing) fingerprint.
+        assert {
+            f: (s.invocations, s.cold_starts, s.wasted_memory_time)
+            for f, s in fixed.per_function.items()
+        } == {
+            f: (s.invocations, s.cold_starts, s.wasted_memory_time)
+            for f, s in latency_aware.per_function.items()
+        }
+
+    def test_invalid_parameters_are_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyAwareKeepAlivePolicy(base_keep_alive_minutes=0)
+        with pytest.raises(ValueError):
+            LatencyAwareKeepAlivePolicy(
+                min_keep_alive_minutes=10, max_keep_alive_minutes=5
+            )
+        with pytest.raises(ValueError):
+            LatencyAwareKeepAlivePolicy(cost_exponent=0.0)
+        with pytest.raises(ValueError):
+            LatencyAwareKeepAlivePolicy(reference_cold_start_ms=-1.0)
+
+
+class TestClosedLoopOutcomes:
+    """The loop, closed end to end on a continuous-drift scenario."""
+
+    SHAPE = dict(seed=7, n_functions=40, days=3.0, training_days=2.0)
+
+    def _run(self, policy, workload, engine):
+        return simulate_policy(
+            policy,
+            workload.split.simulation,
+            workload.split.training,
+            warmup_minutes=0,
+            engine=engine,
+            events=workload.events,
+        )
+
+    def test_feedback_actually_changes_latency_aware_decisions(self):
+        workload = build_scenario("seasonal-mix", **self.SHAPE)
+        open_loop = self._run(
+            LatencyAwareKeepAlivePolicy(), workload, engine="event"
+        )
+        closed_loop = self._run(
+            LatencyAwareKeepAlivePolicy(), workload, engine="event-feedback"
+        )
+        assert (
+            open_loop.deterministic_fingerprint()
+            != closed_loop.deterministic_fingerprint()
+        )
+
+    def test_closed_loop_runs_are_deterministic(self):
+        workload = build_scenario("seasonal-mix", **self.SHAPE)
+        first = self._run(
+            LatencyAwareKeepAlivePolicy(), workload, engine="event-feedback"
+        )
+        second = self._run(
+            LatencyAwareKeepAlivePolicy(), workload, engine="event-feedback"
+        )
+        assert (
+            first.deterministic_fingerprint() == second.deterministic_fingerprint()
+        )
+        np.testing.assert_array_equal(
+            first.latency.cold_wait_ms, second.latency.cold_wait_ms
+        )
+
+    def test_latency_aware_beats_fixed_on_p99_under_continuous_drift(self):
+        """The PR's acceptance criterion, pinned on seasonal-mix.
+
+        Under streaming evaluation (no training window) on the feedback
+        engine, the latency-aware policy's pooled p99 cold-start wait must
+        be strictly below the fixed keep-alive's at the same base horizon.
+        """
+        from repro.experiments.rq5_latency import latency_rq
+        from repro.experiments.runner import ExperimentConfig
+
+        config = ExperimentConfig(
+            n_functions=self.SHAPE["n_functions"],
+            seed=self.SHAPE["seed"],
+            duration_days=self.SHAPE["days"],
+            training_days=self.SHAPE["training_days"],
+            warmup_minutes=0,
+        )
+        report = latency_rq(
+            scenarios=("seasonal-mix",),
+            policies=("fixed-10min-indexed", "latency-keepalive"),
+            seeds=(self.SHAPE["seed"],),
+            config=config,
+            streaming=True,
+        )
+        stats = report["seasonal-mix"]
+        assert (
+            stats["latency-keepalive"].p99_ms
+            < stats["fixed-10min-indexed"].p99_ms
+        )
+        # ... and not by trading the whole distribution away: p95 too.
+        assert (
+            stats["latency-keepalive"].p95_ms
+            < stats["fixed-10min-indexed"].p95_ms
+        )

@@ -134,6 +134,43 @@ class TestStrategies:
         arbiter = model.arbiter(("a", "b"))
         assert (arbiter.node_of == UNPLACED).all()
 
+    def test_training_less_runs_leak_no_trace_into_placement(self, monkeypatch):
+        """Zero-training runs (streaming mode) mine nothing for placement.
+
+        The engine used to fall back to the *simulation* trace when no
+        training window existed — future information no online system could
+        have.  A training-less run must hand the arbiter no trace at all,
+        so trace-hungry strategies take their lazy fallback.
+        """
+        seen = []
+        original = ClusterModel.arbiter
+
+        def spy(self, function_ids, trace=None):
+            seen.append(trace)
+            return original(self, function_ids, trace=trace)
+
+        monkeypatch.setattr(ClusterModel, "arbiter", spy)
+        workload = build_scenario(
+            "hot-shard", seed=9, n_functions=16, days=1.0, training_days=0.5
+        )
+        simulate_policy(
+            IndexedFixedKeepAlivePolicy(10),
+            workload.split.simulation,
+            None,
+            warmup_minutes=0,
+            cluster=workload.cluster,
+        )
+        assert seen == [None]
+        seen.clear()
+        simulate_policy(
+            IndexedFixedKeepAlivePolicy(10),
+            workload.split.simulation,
+            workload.split.training,
+            warmup_minutes=0,
+            cluster=workload.cluster,
+        )
+        assert seen == [workload.split.training]
+
 
 class TestModelValidation:
     def test_zero_capacity_is_rejected(self):

@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.simulation.results import FunctionStats, SimulationResult, compare_results
+from repro.simulation.results import (
+    FunctionStats,
+    LatencyStats,
+    SimulationResult,
+    compare_results,
+)
 
 
 def make_result(stats, memory=None, wmt=0, emcr=0.0):
@@ -98,3 +103,88 @@ class TestSimulationResult:
         first = make_result([FunctionStats("a", invocations=1, cold_starts=0)])
         comparison = compare_results({"one": first})
         assert comparison["one"]["policy"] == "test"
+
+
+def make_latency(waits, per_function=None, **counts):
+    waits = np.asarray(waits, dtype=float)
+    return LatencyStats(
+        total_events=counts.get("total_events", waits.size),
+        warm_events=counts.get("warm_events", 0),
+        cold_start_events=counts.get("cold_start_events", waits.size),
+        delayed_events=counts.get("delayed_events", 0),
+        cold_wait_ms=waits,
+        per_function_wait_ms={
+            key: np.asarray(values, dtype=float)
+            for key, values in (per_function or {}).items()
+        },
+    )
+
+
+class TestLatencyStatsEdgeCases:
+    """Zero-cold-event runs and merge with empty operands (PR 5 satellite).
+
+    An all-warm streaming window produces a LatencyStats with an empty wait
+    array; every percentile accessor must report 0.0 — never NaN, never an
+    exception — and pooling such empties into a merge must neither poison
+    the aggregates nor break associativity.
+    """
+
+    def test_zero_cold_events_percentiles_are_zero_not_nan(self):
+        empty = make_latency([])
+        for value in (
+            empty.p50_ms,
+            empty.p95_ms,
+            empty.p99_ms,
+            empty.mean_ms,
+            empty.max_ms,
+            empty.cold_event_fraction,
+        ):
+            assert value == 0.0
+            assert not np.isnan(value)
+
+    def test_zero_cold_events_summary_is_nan_free(self):
+        summary = make_latency([]).summary()
+        assert summary["lat_p50_ms"] == 0.0
+        assert summary["lat_p99_ms"] == 0.0
+        assert not any(np.isnan(value) for value in summary.values())
+
+    def test_zero_cold_events_function_tail_is_empty(self):
+        assert make_latency([]).function_tail() == {}
+
+    def test_merge_of_nothing_is_the_empty_stats(self):
+        merged = LatencyStats.merge([])
+        assert merged.total_events == 0
+        assert merged.cold_wait_ms.size == 0
+        assert merged.p99_ms == 0.0 and not np.isnan(merged.p99_ms)
+
+    def test_merge_with_empty_operand_is_identity(self):
+        stats = make_latency([100.0, 300.0], per_function={"f": [100.0, 300.0]})
+        merged = LatencyStats.merge([stats, LatencyStats()])
+        assert merged.total_events == stats.total_events
+        assert merged.cold_start_events == stats.cold_start_events
+        np.testing.assert_array_equal(merged.cold_wait_ms, stats.cold_wait_ms)
+        np.testing.assert_array_equal(
+            merged.per_function_wait_ms["f"], stats.per_function_wait_ms["f"]
+        )
+        # ... regardless of operand order.
+        flipped = LatencyStats.merge([LatencyStats(), stats])
+        assert flipped.p99_ms == merged.p99_ms
+        assert flipped.total_events == merged.total_events
+
+    def test_merge_stays_associative_with_empty_operands(self):
+        a = make_latency([100.0], per_function={"f": [100.0]})
+        b = LatencyStats()  # the all-warm seed
+        c = make_latency([900.0, 50.0], per_function={"g": [900.0, 50.0]})
+        left = LatencyStats.merge([LatencyStats.merge([a, b]), c])
+        right = LatencyStats.merge([a, LatencyStats.merge([b, c])])
+        flat = LatencyStats.merge([a, b, c])
+        for merged in (left, right):
+            assert merged.total_events == flat.total_events
+            assert merged.cold_start_events == flat.cold_start_events
+            assert merged.p50_ms == flat.p50_ms
+            assert merged.p99_ms == flat.p99_ms
+            assert set(merged.per_function_wait_ms) == set(flat.per_function_wait_ms)
+            for key, values in flat.per_function_wait_ms.items():
+                np.testing.assert_array_equal(
+                    np.sort(merged.per_function_wait_ms[key]), np.sort(values)
+                )

@@ -176,3 +176,99 @@ class TestScenarioCommands:
         assert exit_code == 0
         assert "cache:" not in captured.out
         assert not list(tmp_path.glob("*.pkl"))
+
+
+class TestStreamingAndFeedbackCommands:
+    TINY_SWEEP = [
+        "sweep", "--functions", "25", "--days", "2", "--training-days", "1.5",
+        "--seeds", "5",
+    ]
+
+    def test_sweep_parses_feedback_engine_and_streaming(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["sweep", "--engine", "event-feedback", "--streaming"]
+        )
+        assert args.engine == "event-feedback"
+        assert args.streaming is True
+        assert build_parser().parse_args(["sweep"]).streaming is False
+
+    def test_streaming_feedback_sweep_runs_end_to_end(self, capsys):
+        arguments = self.TINY_SWEEP + [
+            "--policies", "fixed-10min-indexed", "latency-keepalive",
+            "--scenario", "load-ramp",
+            "--engine", "event-feedback", "--streaming",
+        ]
+        exit_code = main(arguments)
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "lat_p99_ms" in captured.out
+        assert "latency-keepalive" in captured.out
+        assert "engine event-feedback, streaming" in captured.out
+
+    def test_latency_rq_runs_on_a_tiny_shape(self, capsys):
+        exit_code = main([
+            "latency-rq", "--functions", "25", "--days", "2",
+            "--training-days", "1.5", "--seeds", "5",
+            "--scenarios", "seasonal-mix",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "RQ5" in captured.out
+        assert "seasonal-mix" in captured.out
+        assert "p99_ms" in captured.out
+
+    def test_latency_rq_rejects_unknown_scenario(self, capsys):
+        exit_code = main([
+            "latency-rq", "--functions", "25", "--days", "2",
+            "--training-days", "1.5", "--scenarios", "warp",
+        ])
+        assert exit_code == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestCacheCommand:
+    def _populate(self, directory):
+        from repro.experiments import ResultCache
+        from repro.simulation import SimulationResult
+
+        cache = ResultCache(directory)
+        cache.put("entry", SimulationResult(policy_name="p", duration_minutes=1))
+        return cache
+
+    def test_prune_days_removes_old_entries(self, capsys, tmp_path):
+        import os
+        import time
+
+        self._populate(tmp_path)
+        stale = tmp_path / "entry.pkl"
+        two_days_ago = time.time() - 2 * 86400
+        os.utime(stale, (two_days_ago, two_days_ago))
+        exit_code = main(
+            ["cache", "--cache-dir", str(tmp_path), "--prune-days", "1"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "pruned 1 entry" in captured.out
+        assert not stale.exists()
+
+    def test_prune_keeps_fresh_entries(self, capsys, tmp_path):
+        self._populate(tmp_path)
+        exit_code = main(
+            ["cache", "--cache-dir", str(tmp_path), "--prune-days", "7"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "pruned 0 entries" in captured.out
+        assert (tmp_path / "entry.pkl").exists()
+
+    def test_missing_cache_dir_is_an_error(self, capsys, tmp_path):
+        exit_code = main(
+            ["cache", "--cache-dir", str(tmp_path / "nope"), "--prune-days", "1"]
+        )
+        assert exit_code == 2
+        assert "no cache directory" in capsys.readouterr().err
+
+    def test_prune_days_is_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "--cache-dir", "/tmp/x"])

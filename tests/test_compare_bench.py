@@ -100,6 +100,29 @@ class TestGate:
         assert code == 0
         assert "MISSING" in capsys.readouterr().out
 
+    def test_new_engine_floor_without_a_bench_row_does_not_fail(
+        self, bench_dir, tmp_path, capsys
+    ):
+        """The event-feedback landing scenario, pinned.
+
+        A floor checked in *before* any CI run has published the matching
+        BENCH row (exactly how a new engine lands) must degrade to a MISSING
+        warning — and a BENCH row published before its floor exists must
+        stay an UNTRACKED hint — so the gate never blocks the PR that
+        introduces either side.
+        """
+        baselines = write_baselines(
+            tmp_path,
+            {"engine/vectorized": 1000.0, "engine/event-feedback": 2000.0},
+        )
+        code = compare_bench.main(
+            ["--bench-dir", str(bench_dir), "--baselines", str(baselines)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "engine/event-feedback" in out and "MISSING" in out
+        assert "placement/hash" in out and "UNTRACKED" in out
+
     def test_untracked_metrics_are_listed_as_hints(self, bench_dir, tmp_path, capsys):
         baselines = write_baselines(tmp_path, {"engine/vectorized": 1000.0})
         compare_bench.main(
@@ -148,7 +171,12 @@ class TestCheckedInBaselines:
         assert families == {"engine", "policy", "placement"}
         assert all(value > 0 for value in floors.values())
         # Every engine and placement strategy the benches publish has a floor.
-        assert {"engine/vectorized", "engine/event", "engine/reference"} <= set(floors)
+        assert {
+            "engine/vectorized",
+            "engine/event",
+            "engine/event-feedback",
+            "engine/reference",
+        } <= set(floors)
         assert {
             "placement/hash",
             "placement/least-loaded",

@@ -23,7 +23,13 @@ EXPECTED = {
     "flash-crowd",
     "capacity-squeeze",
     "hot-shard",
+    "rotating-periods",
+    "load-ramp",
+    "seasonal-mix",
 }
+
+#: The continuous-drift subset: built for streaming evaluation.
+CONTINUOUS_DRIFT = {"rotating-periods", "load-ramp", "seasonal-mix"}
 
 
 class TestRegistry:
@@ -111,6 +117,51 @@ class TestBuiltinScenarios:
         assert ratio > 1.5  # a pronounced daily swing, not flat Poisson
 
 
+class TestContinuousDriftScenarios:
+    """The streaming-mode companions must actually drift, continuously."""
+
+    def test_rotating_periods_gaps_grow_over_the_trace(self):
+        workload = build_scenario("rotating-periods", **TINY)
+        sim, train = workload.split.simulation, workload.split.training
+        # Frequencies shrink monotonically, so the early (training) window
+        # carries denser timer traffic than the late (simulation) window.
+        train_rate = train.total_invocations() / train.duration_minutes
+        sim_rate = sim.total_invocations() / sim.duration_minutes
+        assert sim_rate < train_rate
+
+    def test_load_ramp_grows_load_across_the_trace(self):
+        workload = build_scenario("load-ramp", **TINY)
+        sim, train = workload.split.simulation, workload.split.training
+        train_rate = train.total_invocations() / train.duration_minutes
+        sim_rate = sim.total_invocations() / sim.duration_minutes
+        assert sim_rate > 1.5 * train_rate
+
+    def test_seasonal_mix_rotates_the_hot_subset(self):
+        workload = build_scenario("seasonal-mix", **{**TINY, "days": 2.0,
+                                                     "training_days": 1.0})
+        sim = workload.split.simulation
+        half = sim.duration_minutes // 2
+        # Per-function activity concentrates in one half or the other: the
+        # set of functions dominating the first half must differ from the
+        # second half's.
+        first, second = set(), set()
+        for fid in sim.function_ids:
+            series = sim.series(fid)
+            a, b = int(series[:half].sum()), int(series[half:].sum())
+            if a + b < 10:
+                continue
+            (first if a > b else second).add(fid)
+        assert first and second
+
+    def test_drift_scenarios_prescribe_no_cluster(self):
+        for name in sorted(CONTINUOUS_DRIFT):
+            assert build_scenario(name, **TINY).cluster is None
+
+    def test_seasonal_mix_rejects_degenerate_seasons(self):
+        with pytest.raises(ValueError, match="seasons"):
+            build_scenario("seasonal-mix", **TINY, seasons=1)
+
+
 class TestEventEngineRegression:
     """Every registered scenario must run under the sub-minute event engine.
 
@@ -131,6 +182,9 @@ class TestEventEngineRegression:
         "drift": "52fbd6ed56397f97127213783b8bf6e1190096fce351c145a7ab2377406f608c",
         "flash-crowd": "cc6ecbbeca57c973a5d14b1c1aa2aa57a80d7da119ea9d70a1c01f16bd59ff8d",
         "hot-shard": "8656e8346e83b5760681c9fabb459d56801627d775d74772ef14b049186359b0",
+        "load-ramp": "d9ec855613ed520bbf84f9eb995a1f801b5f0e39d3657b96c0abbeb2f41172f6",
+        "rotating-periods": "91ed2dc55c0ba3d541c83619c5e997396eb6a6f12d5676583d0e222c66730fc1",
+        "seasonal-mix": "35a7f603153b19043783564887b6f78c93eec31b1bd7be5ed6de31ae3fbb00ab",
     }
 
     def _run(self, name, engine="event"):
@@ -356,6 +410,55 @@ class TestSuiteIntegration:
         )
         with pytest.raises(ValueError, match="prescribes no cluster"):
             suite.run()
+
+    def test_streaming_sweep_is_deterministic_across_runs(self):
+        config = ExperimentConfig(
+            n_functions=25, seed=5, duration_days=2.0, training_days=1.5,
+            warmup_minutes=60,
+        )
+        kwargs = dict(
+            config=config, seeds=[5], policies=("fixed-10min-indexed",),
+            scenario="load-ramp", engine="event-feedback", streaming=True,
+        )
+        first = ExperimentSuite(**kwargs).run()
+        second = ExperimentSuite(**kwargs).run()
+        assert (
+            first.results[5]["fixed-10min-indexed"].deterministic_fingerprint()
+            == second.results[5]["fixed-10min-indexed"].deterministic_fingerprint()
+        )
+
+    def test_streaming_mode_withholds_the_training_window(self):
+        config = ExperimentConfig(
+            n_functions=25, seed=5, duration_days=2.0, training_days=1.5,
+            warmup_minutes=60,
+        )
+        kwargs = dict(
+            config=config, seeds=[5], policies=("hybrid-function-indexed",),
+            scenario="load-ramp",
+        )
+        trained = ExperimentSuite(**kwargs).run()
+        streaming = ExperimentSuite(**kwargs, streaming=True).run()
+        # The histogram policy's offline phase (and warm-up replay) must be
+        # gone: a policy entering cold produces different decisions.
+        assert (
+            trained.results[5]["hybrid-function-indexed"].deterministic_fingerprint()
+            != streaming.results[5]["hybrid-function-indexed"].deterministic_fingerprint()
+        )
+
+    def test_streaming_cells_cache_separately(self, tmp_path):
+        config = ExperimentConfig(
+            n_functions=25, seed=5, duration_days=2.0, training_days=1.5,
+            warmup_minutes=60,
+        )
+        kwargs = dict(
+            config=config, seeds=[5], policies=("fixed-10min-indexed",),
+            scenario="load-ramp", cache_dir=tmp_path,
+        )
+        ExperimentSuite(**kwargs).run()
+        streaming = ExperimentSuite(**kwargs, streaming=True).run()
+        assert streaming.cache_misses > 0  # never served a trained cell
+        cached = ExperimentSuite(**kwargs, streaming=True).run()
+        assert cached.cache_hits > 0 and cached.cache_misses == 0
 
     def test_unknown_engine_fails_fast(self):
         with pytest.raises(ValueError, match="unknown engine"):
