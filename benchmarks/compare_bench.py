@@ -22,7 +22,9 @@ quiet development machine reaches): tripping the gate means the engine got
 legitimate change shifts the performance envelope, re-run the benches and
 refresh the floors with ``--update``.
 
-Metric naming: ``engine/<name>``, ``policy/<name>`` and ``placement/<name>``.
+Metric naming: ``engine/<name>``, ``policy/<name>``, ``placement/<name>`` and
+``ingest/<stage>`` (``BENCH_pr6.json`` Azure-ingestion rows, in function-days
+per second rather than sim-minutes per second).
 When several BENCH files publish the same engine metric, the best value wins
 (the dedicated best-of-3 runs vs. the consolidated single-sweep snapshot).
 Metrics present in ``baselines.json`` but missing from the run are reported
@@ -59,6 +61,8 @@ def collect_metrics(bench_dir: Path) -> Dict[str, float]:
             offer(f"policy/{policy}", row.get("indexed_sim_minutes_per_second"))
         for placement, row in payload.get("placement", {}).items():
             offer(f"placement/{placement}", row.get("sim_minutes_per_second"))
+        for stage, row in payload.get("ingest", {}).items():
+            offer(f"ingest/{stage}", row.get("function_days_per_second"))
     return metrics
 
 

@@ -36,6 +36,11 @@ Commands
     (and stray temporary files) older than N days.
 ``scenarios``
     List the scenario registry: names, descriptions, parameters.
+``azure``
+    Real Azure Functions 2019 dataset management: ``azure fetch`` downloads
+    and unpacks the public CSVs, ``azure info`` reports which days (and
+    cached ingestions) a local copy holds.  ``sweep --azure-dir DIR`` points
+    the ``azure2019`` scenario at such a directory.
 """
 
 from __future__ import annotations
@@ -206,15 +211,21 @@ def _command_sweep(args: argparse.Namespace) -> int:
         training_days=args.training_days,
     )
     cache_dir = None if args.no_cache else args.cache_dir
+    scenario = args.scenario
     try:
+        scenario_params = _parse_scenario_params(args.scenario_param)
+        if args.azure_dir is not None:
+            if scenario is None:
+                scenario = "azure2019"
+            scenario_params.setdefault("azure_dir", args.azure_dir)
         suite = ExperimentSuite(
             config=config,
             seeds=args.seeds,
             policies=args.policies,
             workers=args.workers,
             cache_dir=cache_dir,
-            scenario=args.scenario,
-            scenario_params=_parse_scenario_params(args.scenario_param),
+            scenario=scenario,
+            scenario_params=scenario_params,
             placement=args.placement,
             engine=args.engine,
             streaming=args.streaming,
@@ -251,13 +262,13 @@ def _command_sweep(args: argparse.Namespace) -> int:
         print(outcome.aggregate_table().render())
         print()
     mode = f"{outcome.workers} workers" if outcome.workers > 1 else "serial"
-    scenario = f", scenario {args.scenario}" if args.scenario else ""
+    scenario_note = f", scenario {scenario}" if scenario else ""
     placement = f", placement {args.placement}" if args.placement else ""
     engine = f", engine {args.engine}" if args.engine != "vectorized" else ""
     streaming = ", streaming" if args.streaming else ""
     print(
         f"sweep: {len(suite.seeds)} seed(s) x {len(args.policies)} policies "
-        f"in {outcome.wall_seconds:.1f}s ({mode}{scenario}{placement}{engine}"
+        f"in {outcome.wall_seconds:.1f}s ({mode}{scenario_note}{placement}{engine}"
         f"{streaming})"
     )
     if cache_dir:
@@ -294,6 +305,72 @@ def _command_latency_rq(args: argparse.Namespace) -> int:
         f"{len(args.policies)} policies x {len(args.seeds)} seed(s), "
         f"engine event-feedback, {mode}"
     )
+    return 0
+
+
+def _command_azure_fetch(args: argparse.Namespace) -> int:
+    import tarfile
+    from pathlib import Path
+
+    from repro.traces.azure2019 import (
+        Azure2019Dataset,
+        AzureIngestError,
+        fetch_azure2019,
+    )
+
+    options = {"url": args.url} if args.url else {}
+    try:
+        dest = fetch_azure2019(Path(args.dest), force=args.force, **options)
+    except (AzureIngestError, OSError, tarfile.TarError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    days = Azure2019Dataset(dest, cache_dir=None).available_days()
+    print(f"{dest}: {len(days)} invocation day file(s) available")
+    return 0
+
+
+def _command_azure_info(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.traces.azure2019 import Azure2019Dataset
+
+    root = Path(args.azure_dir)
+    if not root.is_dir():
+        print(f"error: no dataset directory at {root}", file=sys.stderr)
+        return 2
+    dataset = Azure2019Dataset(root)
+    days = dataset.available_days()
+    if not days:
+        print(
+            f"{root}: no invocation day files found "
+            "(expected invocations_per_function_md.anon.dNN.csv); "
+            "run `spes-repro azure fetch --dest DIR` first"
+        )
+        return 2
+    print(f"dataset root: {root}")
+    print(f"invocation days: {len(days)} ({', '.join(f'd{d:02d}' for d in days)})")
+    for day in days:
+        inv = dataset.invocation_path(day)
+        dur = dataset.durations_path(day)
+        mem = dataset.memory_path(day)
+        parts = [f"invocations {inv.stat().st_size / 1e6:.1f} MB"]
+        parts.append(
+            f"durations {dur.stat().st_size / 1e6:.1f} MB" if dur.exists() else "durations missing"
+        )
+        parts.append(
+            f"memory {mem.stat().st_size / 1e6:.1f} MB" if mem.exists() else "memory missing"
+        )
+        print(f"  d{day:02d}: {', '.join(parts)}")
+    cache_dir = dataset.cache_dir
+    if cache_dir is not None and cache_dir.is_dir():
+        entries = sorted(cache_dir.glob("azure2019-*.npz"))
+        total = sum(entry.stat().st_size for entry in entries)
+        print(
+            f"ingestion cache: {len(entries)} entr{'y' if len(entries) == 1 else 'ies'}, "
+            f"{total / 1e6:.1f} MB in {cache_dir}"
+        )
+    else:
+        print("ingestion cache: empty (populated on first load)")
     return 0
 
 
@@ -408,6 +485,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="override a scenario parameter (repeatable)",
     )
     sweep.add_argument(
+        "--azure-dir",
+        default=None,
+        help=(
+            "directory holding the real Azure 2019 CSVs; implies "
+            "--scenario azure2019 unless another scenario is named and "
+            "fills in its azure_dir parameter"
+        ),
+    )
+    sweep.add_argument(
         "--placement",
         default=None,
         help=(
@@ -499,6 +585,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="list the registered workload scenarios",
     )
     scenarios.set_defaults(handler=_command_scenarios)
+
+    azure = subparsers.add_parser(
+        "azure",
+        help="manage a local copy of the real Azure Functions 2019 dataset",
+    )
+    azure_sub = azure.add_subparsers(dest="azure_command", required=True)
+    azure_fetch = azure_sub.add_parser(
+        "fetch",
+        help="download and unpack the public dataset archive (~1.9 GB)",
+    )
+    azure_fetch.add_argument(
+        "--dest",
+        required=True,
+        help="directory to place the extracted CSV files in",
+    )
+    azure_fetch.add_argument(
+        "--url",
+        default=None,
+        help="override the archive URL (defaults to the public Azure blob)",
+    )
+    azure_fetch.add_argument(
+        "--force",
+        action="store_true",
+        help="re-download even when day files already exist in --dest",
+    )
+    azure_fetch.set_defaults(handler=_command_azure_fetch)
+    azure_info = azure_sub.add_parser(
+        "info",
+        help="report the days, file sizes and cache entries of a local copy",
+    )
+    azure_info.add_argument(
+        "--azure-dir",
+        required=True,
+        help="directory holding the extracted dataset CSVs",
+    )
+    azure_info.set_defaults(handler=_command_azure_info)
     return parser
 
 

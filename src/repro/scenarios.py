@@ -62,6 +62,19 @@ Built-in catalog
     Continuous drift: the population is partitioned into seasonal groups
     whose activity envelopes rotate around the clock, so *which* functions
     are hot changes continuously while total load stays roughly level.
+``azure2019``
+    The **real** Azure Functions 2019 dataset, via the streaming ingestion
+    path in :mod:`repro.traces.azure2019`.  Requires the dataset on disk
+    (``azure_dir`` parameter / ``sweep --azure-dir``; download with
+    ``spes-repro azure fetch``); selects the ``n_functions`` most-invoked
+    functions by default and splits the requested day range into
+    train/eval windows.
+``azure2019-fixture``
+    The same ingestion pipeline end to end — CSV parse, trigger filter,
+    selection, CSR assembly, duration joins — but over miniature fixture
+    CSVs generated on the fly in the exact dataset schema.  Fully hermetic
+    (no dataset, no network), deterministic in ``(seed, parameters)``; this
+    is the scenario CI smoke-sweeps.
 
 The three continuous-drift scenarios are the intended companions of the
 streaming evaluation mode (``ExperimentSuite(streaming=True)`` /
@@ -75,6 +88,8 @@ Custom scenarios register with :func:`register_scenario`.
 from __future__ import annotations
 
 import dataclasses
+import math
+import tempfile
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping
 
@@ -686,6 +701,90 @@ def _build_seasonal_mix(
     )
 
 
+def _azure2019_day_count(days: float) -> int:
+    """Whole dataset days needed to cover a possibly fractional span."""
+    return max(1, int(math.ceil(days - 1e-9)))
+
+
+def _azure2019_trim(trace, days: float, training_days: float) -> TraceSplit:
+    """Trim a whole-days load to the requested span and split it."""
+    duration = int(round(days * MINUTES_PER_DAY))
+    if duration < trace.duration_minutes:
+        trace = trace.slice(0, duration, name=trace.metadata.name)
+    return split_trace(trace, training_days=training_days)
+
+
+def _build_azure2019(
+    seed: int,
+    n_functions: int,
+    days: float,
+    training_days: float,
+    azure_dir: str,
+    day_start: int,
+    selection: str,
+    trigger: str,
+) -> ScenarioWorkload:
+    from repro.traces.azure2019 import Azure2019Config, Azure2019Dataset
+
+    if not azure_dir:
+        raise ValueError(
+            "the azure2019 scenario needs the real dataset on disk: pass "
+            "`sweep --azure-dir PATH` (or --scenario-param azure_dir=PATH); "
+            "download it once with `spes-repro azure fetch --dest PATH`"
+        )
+    triggers = tuple(part for part in str(trigger).split(",") if part) or None
+    config = Azure2019Config(
+        days=tuple(range(int(day_start), int(day_start) + _azure2019_day_count(days))),
+        triggers=triggers,
+        selection=selection,
+        max_functions=int(n_functions),
+        seed=seed,
+    )
+    trace = Azure2019Dataset(azure_dir).load(config)
+    return ScenarioWorkload(
+        scenario="azure2019",
+        split=_azure2019_trim(trace, days, training_days),
+    )
+
+
+def _build_azure2019_fixture(
+    seed: int,
+    n_functions: int,
+    days: float,
+    training_days: float,
+    population: int,
+    selection: str,
+    trigger: str,
+) -> ScenarioWorkload:
+    from repro.traces.azure2019 import (
+        Azure2019Config,
+        Azure2019Dataset,
+        write_azure2019_fixture,
+    )
+
+    day_files = _azure2019_day_count(days)
+    population = max(int(population), n_functions)
+    triggers = tuple(part for part in str(trigger).split(",") if part) or None
+    config = Azure2019Config(
+        days=tuple(range(1, day_files + 1)),
+        triggers=triggers,
+        selection=selection,
+        max_functions=n_functions,
+        seed=seed,
+    )
+    with tempfile.TemporaryDirectory(prefix="azure2019-fixture-") as tmp:
+        write_azure2019_fixture(
+            tmp, n_functions=population, days=day_files, seed=seed
+        )
+        # No on-disk cache: the source directory is ephemeral, and fixture
+        # ingestion is fast enough to redo per build.
+        trace = Azure2019Dataset(tmp, cache_dir=None).load(config)
+    return ScenarioWorkload(
+        scenario="azure2019-fixture",
+        split=_azure2019_trim(trace, days, training_days),
+    )
+
+
 register_scenario(
     Scenario(
         name="azure",
@@ -779,6 +878,37 @@ register_scenario(
         description="continuous drift: the hot subset of functions rotates around the clock",
         builder=_build_seasonal_mix,
         defaults={"seasons": 4, "season_days": 1.0},
+        events=EventConfig(),
+    )
+)
+register_scenario(
+    Scenario(
+        name="azure2019",
+        description=(
+            "the real Azure 2019 dataset (needs --azure-dir; "
+            "`spes-repro azure fetch` downloads it)"
+        ),
+        builder=_build_azure2019,
+        defaults={
+            "azure_dir": "",
+            "day_start": 1,
+            "selection": "top",
+            "trigger": "",
+        },
+        # Measured per-function durations ride on the records themselves;
+        # the scenario-level config stays neutral.
+        events=EventConfig(),
+    )
+)
+register_scenario(
+    Scenario(
+        name="azure2019-fixture",
+        description=(
+            "hermetic end-to-end run of the real-trace ingestion pipeline "
+            "over generated fixture CSVs"
+        ),
+        builder=_build_azure2019_fixture,
+        defaults={"population": 0, "selection": "all", "trigger": ""},
         events=EventConfig(),
     )
 )

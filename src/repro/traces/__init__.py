@@ -13,8 +13,12 @@ invocation counts for every function over 14 days, together with owner
 * :mod:`repro.traces.synthetic` -- :class:`AzureTraceGenerator`, a full
   synthetic-workload generator whose marginal statistics match the published
   characteristics of the Azure trace.
-* :mod:`repro.traces.azure_loader` -- loader for the real Azure CSV schema so
-  the genuine trace can be substituted when it is available offline.
+* :mod:`repro.traces.azure_loader` -- small-population dense loader for the
+  real Azure CSV schema (explicit file lists).
+* :mod:`repro.traces.azure2019` -- full-scale streaming ingestion of the real
+  dataset: chunked readers, trigger filtering, top-K/sample selection,
+  duration-percentile joins, an on-disk ``.npz`` cache and a deterministic
+  fixture generator for hermetic CI runs.
 """
 
 from repro.traces.schema import (
@@ -25,7 +29,7 @@ from repro.traces.schema import (
     TraceMetadata,
     TriggerType,
 )
-from repro.traces.trace import Trace, TraceSplit, split_trace
+from repro.traces.trace import SparseTrace, Trace, TraceSplit, split_trace
 from repro.traces.archetypes import (
     ARCHETYPE_DURATION_PROFILES,
     TRIGGER_DURATION_PROFILES,
@@ -44,6 +48,14 @@ from repro.traces.archetypes import (
 )
 from repro.traces.synthetic import AzureTraceGenerator, GeneratorProfile
 from repro.traces.azure_loader import load_azure_invocation_csv
+from repro.traces.azure2019 import (
+    Azure2019Config,
+    Azure2019Dataset,
+    AzureIngestError,
+    fetch_azure2019,
+    load_azure2019,
+    write_azure2019_fixture,
+)
 
 __all__ = [
     "MINUTES_PER_DAY",
@@ -56,6 +68,7 @@ __all__ = [
     "FunctionRecord",
     "TraceMetadata",
     "Trace",
+    "SparseTrace",
     "TraceSplit",
     "split_trace",
     "ArchetypeName",
@@ -72,4 +85,10 @@ __all__ = [
     "AzureTraceGenerator",
     "GeneratorProfile",
     "load_azure_invocation_csv",
+    "Azure2019Config",
+    "Azure2019Dataset",
+    "AzureIngestError",
+    "fetch_azure2019",
+    "load_azure2019",
+    "write_azure2019_fixture",
 ]

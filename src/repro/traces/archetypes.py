@@ -87,9 +87,12 @@ def duration_profile_for(
 ) -> DurationProfile:
     """Derive a deterministic per-function :class:`DurationProfile`.
 
-    The base profile comes from the function's archetype annotation when
-    present, else from its trigger type, else ``base`` (default: the paper's
-    uniform profile).  On top of the base, a per-function spread factor in
+    A *measured* profile attached to the record (joined from the real
+    dataset's duration-percentile files) wins outright and is returned as-is:
+    real measurements need no synthetic spread.  Otherwise the base profile
+    comes from the function's archetype annotation when present, else from
+    its trigger type, else ``base`` (default: the paper's uniform profile).
+    On top of the base, a per-function spread factor in
     ``[0.6, 1.8)`` is derived from a CRC-32 hash of the function id — stable
     across processes and interpreter runs (like
     :meth:`~repro.simulation.cluster.ClusterModel.node_of`, Python's ``hash``
@@ -97,6 +100,8 @@ def duration_profile_for(
     results) — so a population of functions yields a latency *distribution*
     rather than a single spike, without any random state to thread around.
     """
+    if record.duration is not None:
+        return record.duration
     profile = None
     if record.archetype is not None:
         profile = ARCHETYPE_DURATION_PROFILES.get(record.archetype)

@@ -11,70 +11,61 @@ stitches those daily files into a single :class:`~repro.traces.trace.Trace`,
 so the synthetic generator can be swapped for the genuine trace whenever the
 dataset is available locally.  Nothing in the rest of the library depends on
 which source produced the trace.
+
+Row parsing is delegated to :mod:`repro.traces.azure2019`, the streaming
+ingestion path built for the full-scale dataset; this loader remains the
+small-population dense entry point (explicit file lists, permissive parsing)
+while ``azure2019`` owns selection, sparse assembly, duration joins and the
+on-disk cache.
+
+Day alignment: files whose names carry a parseable day number (``d03.csv``,
+``...anon.d03.csv``) are placed at their *day-numbered* offsets, so a missing
+day in the middle of the requested range contributes a silent day instead of
+silently shifting every later day one slot earlier.  Files without day
+numbers fall back to positional stitching in the order given.  Duplicate or
+out-of-order day numbers are rejected — two files claiming the same day is a
+broken download, not a loadable timeline.
 """
 
 from __future__ import annotations
 
-import csv
 from pathlib import Path
-from typing import Dict, Iterable, Sequence
+from typing import Dict, Iterable, List, Sequence
 
 import numpy as np
 
-from repro.traces.schema import MINUTES_PER_DAY, FunctionRecord, TraceMetadata, TriggerType
+from repro.traces.azure2019 import (
+    AzureIngestError,
+    day_number,
+    iter_invocation_rows,
+    parse_trigger,
+)
+from repro.traces.schema import MINUTES_PER_DAY, FunctionRecord, TraceMetadata
 from repro.traces.trace import Trace
 
-#: Mapping from the trace's ``Trigger`` column values to :class:`TriggerType`.
-_TRIGGER_ALIASES: Dict[str, TriggerType] = {
-    "http": TriggerType.HTTP,
-    "timer": TriggerType.TIMER,
-    "queue": TriggerType.QUEUE,
-    "storage": TriggerType.STORAGE,
-    "blob": TriggerType.STORAGE,
-    "event": TriggerType.EVENT,
-    "eventhub": TriggerType.EVENT,
-    "orchestration": TriggerType.ORCHESTRATION,
-    "durable": TriggerType.ORCHESTRATION,
-    "others": TriggerType.OTHERS,
-    "other": TriggerType.OTHERS,
-    "combination": TriggerType.COMBINATION,
-}
+__all__ = ["load_azure_invocation_csv", "parse_trigger"]
 
 
-def parse_trigger(raw: str) -> TriggerType:
-    """Map a raw trigger string from the CSV to a :class:`TriggerType`.
+def _day_slots(paths: Sequence[Path]) -> List[int]:
+    """Day slot (0-based offset in days) for every path.
 
-    Unknown trigger labels are mapped to :attr:`TriggerType.OTHERS` rather than
-    rejected, since the public trace contains a long tail of trigger variants.
+    When every file name carries a day number, slots come from the numbers
+    (gaps become silent days); otherwise stitching is positional.
     """
-    return _TRIGGER_ALIASES.get(raw.strip().lower(), TriggerType.OTHERS)
-
-
-def _read_daily_file(path: Path) -> Dict[tuple[str, str, str, str], np.ndarray]:
-    """Read one daily invocation CSV into ``{(owner, app, func, trigger): counts}``."""
-    rows: Dict[tuple[str, str, str, str], np.ndarray] = {}
-    with path.open(newline="") as handle:
-        reader = csv.reader(handle)
-        header = next(reader, None)
-        if header is None:
-            return rows
-        minute_columns = len(header) - 4
-        if minute_columns <= 0:
-            raise ValueError(f"{path}: expected minute columns after the 4 id columns")
-        for row in reader:
-            if len(row) < 4:
-                continue
-            owner, app, function, trigger = row[0], row[1], row[2], row[3]
-            counts = np.zeros(minute_columns, dtype=np.int64)
-            for index, value in enumerate(row[4 : 4 + minute_columns]):
-                if value:
-                    counts[index] = int(float(value))
-            key = (owner, app, function, trigger)
-            if key in rows:
-                rows[key] = rows[key] + counts
-            else:
-                rows[key] = counts
-    return rows
+    numbers = [day_number(path) for path in paths]
+    if any(number is None for number in numbers):
+        return list(range(len(paths)))
+    if len(set(numbers)) != len(numbers):
+        duplicates = sorted({n for n in numbers if numbers.count(n) > 1})
+        raise AzureIngestError(
+            f"overlapping day files: day(s) {duplicates} appear more than once"
+        )
+    if numbers != sorted(numbers):
+        raise AzureIngestError(
+            f"day files out of chronological order: {[f'd{n:02d}' for n in numbers]}"
+        )
+    first = numbers[0]
+    return [number - first for number in numbers]
 
 
 def load_azure_invocation_csv(
@@ -88,7 +79,9 @@ def load_azure_invocation_csv(
     ----------
     paths:
         Daily CSV files, in chronological order.  Each contributes 1440
-        minute columns; days are concatenated in the order given.
+        minute columns; a gap in the file names' day numbers (say ``d01`` and
+        ``d03`` with no ``d02``) contributes a silent day, keeping every
+        file's counts at its true minute offsets.
     name:
         Name recorded in the trace metadata.
     max_functions:
@@ -98,32 +91,29 @@ def load_azure_invocation_csv(
     Returns
     -------
     Trace
-        A trace whose duration is ``1440 * len(paths)`` minutes.
+        A trace covering every day slot from the first file's day to the
+        last's (1440 minutes per day).
     """
     path_list = [Path(path) for path in paths]
     if not path_list:
         raise ValueError("at least one daily CSV path is required")
 
-    daily = [_read_daily_file(path) for path in path_list]
-    day_length = MINUTES_PER_DAY
-    duration = day_length * len(daily)
+    slots = _day_slots(path_list)
+    duration = MINUTES_PER_DAY * (slots[-1] + 1)
 
-    # Collect the union of function keys across days.  The trigger label can
-    # occasionally differ between days for the same function; keep the first.
-    key_of_function: Dict[tuple[str, str, str], str] = {}
+    # The trigger label can occasionally differ between days for the same
+    # function; keep the first.
     records: Dict[str, FunctionRecord] = {}
     counts: Dict[str, np.ndarray] = {}
-
-    for day_index, day_rows in enumerate(daily):
-        offset = day_index * day_length
-        for (owner, app, function, trigger), series in day_rows.items():
-            identity = (owner, app, function)
-            function_id = key_of_function.get(identity)
-            if function_id is None:
+    for slot, path in zip(slots, path_list):
+        offset = slot * MINUTES_PER_DAY
+        for _, owner, app, function, trigger, minutes, row_counts in (
+            iter_invocation_rows(path, on_malformed="skip")
+        ):
+            function_id = f"{owner}:{app}:{function}"
+            if function_id not in records:
                 if max_functions is not None and len(records) >= max_functions:
                     continue
-                function_id = f"{owner}:{app}:{function}"
-                key_of_function[identity] = function_id
                 records[function_id] = FunctionRecord(
                     function_id=function_id,
                     app_id=f"{owner}:{app}",
@@ -131,9 +121,7 @@ def load_azure_invocation_csv(
                     trigger=parse_trigger(trigger),
                 )
                 counts[function_id] = np.zeros(duration, dtype=np.int64)
-            window = counts[function_id][offset : offset + day_length]
-            usable = min(series.shape[0], day_length)
-            window[:usable] += series[:usable]
+            counts[function_id][minutes + offset] += row_counts
 
     if not records:
         raise ValueError("no functions were loaded from the given CSV files")

@@ -115,6 +115,14 @@ class FunctionRecord:
         function's invocation series.  ``None`` for functions loaded from a
         real trace.  This field is only used by tests and analysis tooling --
         SPES and the baselines never look at it.
+    duration:
+        Optional *measured* :class:`DurationProfile` for this function, as
+        joined from the Azure dataset's duration-percentile files.  When
+        present it takes precedence over the archetype/trigger-derived
+        profile in :func:`~repro.traces.archetypes.duration_profile_for`
+        (measured data needs no synthetic per-function spread).  ``None``
+        for synthetic functions and for real functions whose duration row is
+        missing from the dataset.
     """
 
     function_id: str
@@ -122,6 +130,7 @@ class FunctionRecord:
     owner_id: str
     trigger: TriggerType = TriggerType.HTTP
     archetype: str | None = None
+    duration: DurationProfile | None = None
 
     def __post_init__(self) -> None:
         if not self.function_id:

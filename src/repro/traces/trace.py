@@ -360,6 +360,277 @@ class Trace:
         return Trace(self.records(), sliced, metadata)
 
 
+class SparseTrace(Trace):
+    """A :class:`Trace` stored function-major sparse instead of dense.
+
+    The dense container keeps one ``int64`` array per function covering every
+    minute — perfect for the synthetic populations (hundreds of functions),
+    impossible for the real Azure 2019 dataset, where 83k functions over 14
+    days would be a ~13 GB dense matrix even though well under 2% of its
+    entries are non-zero.  ``SparseTrace`` stores the same matrix as one CSR
+    layout compressed along the *function* axis:
+
+    ``fn_minutes[fn_indptr[i]:fn_indptr[i + 1]]`` are the minutes at which
+    function ``i`` (in record insertion order) is invoked, strictly
+    increasing, and ``fn_counts`` holds the matching invocation counts.
+
+    Every :class:`Trace` consumer works unchanged: ``series()`` densifies one
+    function on demand (one array, not the whole matrix),
+    :meth:`invocation_index` transposes the CSR layout to the minute-major
+    index the engines run on — with the same within-minute function order as
+    the dense build, so simulation fingerprints cannot depend on which
+    container carried the workload — and :meth:`slice`/:func:`split_trace`
+    stay sparse end to end.
+
+    The content :meth:`fingerprint` is computed from the sparse arrays
+    directly (hashing 13 GB of implicit zeros would defeat the point) and
+    additionally covers each record's measured duration profile, so sweep
+    cache keys change when the dataset's duration files do.  It lives in a
+    distinct ``sparse:`` domain: a sparse and a dense trace never share a
+    fingerprint, which keeps cached results unambiguous about their source.
+    """
+
+    def __init__(
+        self,
+        records: Iterable[FunctionRecord],
+        fn_indptr: np.ndarray,
+        fn_minutes: np.ndarray,
+        fn_counts: np.ndarray,
+        duration: int,
+        metadata: TraceMetadata | None = None,
+    ) -> None:
+        self._records = {}
+        for record in records:
+            if record.function_id in self._records:
+                raise ValueError(f"duplicate function id: {record.function_id}")
+            self._records[record.function_id] = record
+        if not self._records:
+            raise ValueError("a trace must contain at least one function")
+
+        fn_indptr = np.ascontiguousarray(fn_indptr, dtype=np.int64)
+        fn_minutes = np.ascontiguousarray(fn_minutes, dtype=np.int64)
+        fn_counts = np.ascontiguousarray(fn_counts, dtype=np.int64)
+        if fn_indptr.shape != (len(self._records) + 1,):
+            raise ValueError("fn_indptr must have one entry per function plus one")
+        if fn_indptr[0] != 0 or (np.diff(fn_indptr) < 0).any():
+            raise ValueError("fn_indptr must be non-decreasing and start at 0")
+        if fn_minutes.shape != fn_counts.shape or fn_minutes.ndim != 1:
+            raise ValueError("fn_minutes and fn_counts must be 1-D and aligned")
+        if fn_indptr[-1] != fn_minutes.shape[0]:
+            raise ValueError("fn_indptr does not cover the fn_minutes entries")
+        if int(duration) <= 0:
+            raise ValueError("duration must be positive")
+        if fn_minutes.size:
+            if fn_minutes.min() < 0 or fn_minutes.max() >= int(duration):
+                raise ValueError("fn_minutes outside the trace duration")
+            if (fn_counts <= 0).any():
+                raise ValueError("sparse entries must hold positive counts")
+            # Strictly increasing within each function's row: the only
+            # allowed non-positive jumps in the concatenated minute stream
+            # are the resets at row boundaries.
+            jumps = np.diff(fn_minutes) <= 0
+            boundaries = np.zeros(fn_minutes.size - 1, dtype=bool)
+            interior = fn_indptr[1:-1]
+            boundaries[interior[(interior > 0) & (interior < fn_minutes.size)] - 1] = True
+            if (jumps & ~boundaries).any():
+                raise ValueError("fn_minutes must be strictly increasing per function")
+
+        self._fn_indptr = fn_indptr
+        self._fn_minutes = fn_minutes
+        self._fn_counts = fn_counts
+        self._duration = int(duration)
+        self._invocation_index: InvocationIndex | None = None
+        self._fingerprint: str | None = None
+        self.metadata = metadata or TraceMetadata(
+            name="unnamed", duration_minutes=self._duration
+        )
+        if self.metadata.duration_minutes != self._duration:
+            raise ValueError(
+                "metadata.duration_minutes does not match the declared duration"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_dense(cls, trace: Trace) -> "SparseTrace":
+        """Compress a dense :class:`Trace` (mostly useful in tests)."""
+        records = trace.records()
+        chunks_minutes: list[np.ndarray] = []
+        chunks_counts: list[np.ndarray] = []
+        lengths = np.zeros(len(records), dtype=np.int64)
+        for position, record in enumerate(records):
+            series = trace.series(record.function_id)
+            nonzero = np.flatnonzero(series)
+            lengths[position] = nonzero.size
+            if nonzero.size:
+                chunks_minutes.append(nonzero)
+                chunks_counts.append(series[nonzero])
+        indptr = np.zeros(len(records) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=indptr[1:])
+        minutes = (
+            np.concatenate(chunks_minutes) if chunks_minutes else np.zeros(0, np.int64)
+        )
+        counts = (
+            np.concatenate(chunks_counts) if chunks_counts else np.zeros(0, np.int64)
+        )
+        return cls(
+            records, indptr, minutes, counts, trace.duration_minutes, trace.metadata
+        )
+
+    def densify(self) -> Trace:
+        """The equivalent dense :class:`Trace` (small populations only)."""
+        counts = {fid: np.array(self.series(fid)) for fid in self._records}
+        return Trace(self.records(), counts, self.metadata)
+
+    def _row(self, position: int) -> tuple[np.ndarray, np.ndarray]:
+        start, stop = self._fn_indptr[position], self._fn_indptr[position + 1]
+        return self._fn_minutes[start:stop], self._fn_counts[start:stop]
+
+    def _position_of(self, function_id: str) -> int:
+        cached = getattr(self, "_index_of", None)
+        if cached is None:
+            cached = {fid: i for i, fid in enumerate(self._records)}
+            self._index_of = cached
+        return cached[function_id]
+
+    # ------------------------------------------------------------------ #
+    # Overridden dense-storage accessors
+    # ------------------------------------------------------------------ #
+    def series(self, function_id: str) -> np.ndarray:
+        """Densify one function's series on demand (not cached)."""
+        minutes, counts = self._row(self._position_of(function_id))
+        series = np.zeros(self._duration, dtype=np.int64)
+        series[minutes] = counts
+        series.flags.writeable = False
+        return series
+
+    def total_invocations(self, function_id: str | None = None) -> int:
+        if function_id is not None:
+            _, counts = self._row(self._position_of(function_id))
+            return int(counts.sum())
+        return int(self._fn_counts.sum())
+
+    def invoked_function_ids(self) -> list[str]:
+        active = np.diff(self._fn_indptr) > 0
+        return [fid for position, fid in enumerate(self._records) if active[position]]
+
+    def fingerprint(self) -> str:
+        """Content hash over the sparse layout and per-function metadata.
+
+        Unlike the dense fingerprint this also covers measured duration
+        profiles: the real dataset's duration files feed the event engine,
+        so two loads differing only in durations must not share cached
+        simulation results.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            digest.update(f"sparse:{self._duration}".encode())
+            for record in self._records.values():
+                duration = record.duration
+                measured = (
+                    f"{duration.cold_start_ms!r}:{duration.execution_ms!r}"
+                    if duration is not None
+                    else "-"
+                )
+                digest.update(
+                    f"{record.function_id}\x1f{record.app_id}\x1f{record.owner_id}"
+                    f"\x1f{record.trigger.value}\x1f{measured}\x1e".encode()
+                )
+            digest.update(self._fn_indptr.tobytes())
+            digest.update(self._fn_minutes.tobytes())
+            digest.update(self._fn_counts.tobytes())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
+
+    def invocation_index(self) -> InvocationIndex:
+        """Transpose the function-major CSR into the minute-major index.
+
+        The stable sort by minute preserves the function-major input order
+        within each minute — i.e. function insertion order, exactly the
+        order the dense build produces — so engines see identical per-minute
+        function sequences whichever container loaded the trace.
+        """
+        if self._invocation_index is None:
+            function_ids = tuple(self._records)
+            findex = np.repeat(
+                np.arange(len(function_ids), dtype=np.int64),
+                np.diff(self._fn_indptr),
+            )
+            order = np.argsort(self._fn_minutes, kind="stable")
+            minutes = self._fn_minutes[order]
+            indptr = np.zeros(self._duration + 1, dtype=np.int64)
+            np.cumsum(np.bincount(minutes, minlength=self._duration), out=indptr[1:])
+            self._invocation_index = InvocationIndex(
+                function_ids=function_ids,
+                index_of={fid: i for i, fid in enumerate(function_ids)},
+                indptr=indptr,
+                indices=findex[order],
+                counts=self._fn_counts[order],
+            )
+        return self._invocation_index
+
+    def invocations_at(self, minute: int) -> Dict[str, int]:
+        if not 0 <= minute < self._duration:
+            raise IndexError(f"minute {minute} outside trace of {self._duration} minutes")
+        index = self.invocation_index()
+        start, stop = index.indptr[minute], index.indptr[minute + 1]
+        return {
+            index.function_ids[index.indices[position]]: int(index.counts[position])
+            for position in range(start, stop)
+        }
+
+    def iter_minutes(
+        self, start: int = 0, stop: int | None = None
+    ) -> Iterator[tuple[int, Dict[str, int]]]:
+        stop = self._duration if stop is None else stop
+        if not 0 <= start <= stop <= self._duration:
+            raise IndexError("invalid minute range")
+        index = self.invocation_index()
+        ids, indices, counts, indptr = (
+            index.function_ids,
+            index.indices,
+            index.counts,
+            index.indptr,
+        )
+        for minute in range(start, stop):
+            yield minute, {
+                ids[indices[position]]: int(counts[position])
+                for position in range(indptr[minute], indptr[minute + 1])
+            }
+
+    def slice(self, start: int, stop: int, name: str | None = None) -> "SparseTrace":
+        """Return the sparse sub-trace over minutes ``[start, stop)``."""
+        if not 0 <= start < stop <= self._duration:
+            raise ValueError(f"invalid slice [{start}, {stop}) for {self._duration} minutes")
+        keep = (self._fn_minutes >= start) & (self._fn_minutes < stop)
+        findex = np.repeat(
+            np.arange(len(self._records), dtype=np.int64), np.diff(self._fn_indptr)
+        )[keep]
+        indptr = np.zeros(len(self._records) + 1, dtype=np.int64)
+        np.cumsum(np.bincount(findex, minlength=len(self._records)), out=indptr[1:])
+        metadata = TraceMetadata(
+            name=name or f"{self.metadata.name}[{start}:{stop}]",
+            duration_minutes=stop - start,
+            seed=self.metadata.seed,
+            extra=dict(self.metadata.extra),
+        )
+        return SparseTrace(
+            self.records(),
+            indptr,
+            self._fn_minutes[keep] - start,
+            self._fn_counts[keep],
+            stop - start,
+            metadata,
+        )
+
+    def __getstate__(self) -> Dict[str, object]:
+        state = super().__getstate__()
+        # The id -> position map rebuilds lazily; keep worker pickles lean.
+        state.pop("_index_of", None)
+        return state
+
+
 @dataclass(frozen=True)
 class TraceSplit:
     """A training/simulation split of a trace, as used in the paper (12 + 2 days)."""

@@ -30,6 +30,9 @@ def bench_dir(tmp_path):
             "engines": {"vectorized": {"sim_minutes_per_second": 30000.0}},
             "placement": {"hash": {"sim_minutes_per_second": 20000.0}},
         },
+        "BENCH_pr6.json": {
+            "ingest": {"cached": {"function_days_per_second": 15000.0}},
+        },
     }
     directory = tmp_path / "output"
     directory.mkdir()
@@ -51,6 +54,7 @@ class TestCollectMetrics:
             "policy/fixed-10min": 50000.0,
             "engine/vectorized": 40000.0,
             "placement/hash": 20000.0,
+            "ingest/cached": 15000.0,
         }
 
     def test_unreadable_files_are_skipped(self, bench_dir, capsys):
@@ -168,7 +172,7 @@ class TestCheckedInBaselines:
         path = Path(__file__).resolve().parent.parent / "benchmarks" / "baselines.json"
         floors = json.loads(path.read_text())
         families = {name.split("/", 1)[0] for name in floors}
-        assert families == {"engine", "policy", "placement"}
+        assert families == {"engine", "policy", "placement", "ingest"}
         assert all(value > 0 for value in floors.values())
         # Every engine and placement strategy the benches publish has a floor.
         assert {
@@ -183,6 +187,8 @@ class TestCheckedInBaselines:
             "placement/correlation-aware",
             "placement/least-loaded+migration",
         } <= set(floors)
+        # The Azure ingestion path tracks both sides of the cache boundary.
+        assert {"ingest/cold", "ingest/cached"} <= set(floors)
 
 
 if __name__ == "__main__":

@@ -17,6 +17,7 @@ TINY = dict(seed=5, n_functions=40, days=3.0, training_days=2.0)
 
 EXPECTED = {
     "azure",
+    "azure2019-fixture",
     "diurnal",
     "bursty",
     "drift",
@@ -162,6 +163,83 @@ class TestContinuousDriftScenarios:
             build_scenario("seasonal-mix", **TINY, seasons=1)
 
 
+class TestAzure2019Scenarios:
+    """The real-trace scenario family: fixture-backed and dataset-backed."""
+
+    def test_real_scenario_requires_the_dataset_directory(self):
+        with pytest.raises(ValueError, match="azure fetch"):
+            build_scenario("azure2019", **TINY)
+
+    def test_real_scenario_builds_from_a_fixture_directory(self, tmp_path):
+        from repro.traces import SparseTrace, write_azure2019_fixture
+
+        write_azure2019_fixture(tmp_path, n_functions=20, days=3, seed=5)
+        workload = build_scenario(
+            "azure2019", **TINY, azure_dir=str(tmp_path)
+        )
+        assert isinstance(workload.split.simulation, SparseTrace)
+        assert len(workload.split.simulation) == 20  # capped by the population
+        assert workload.split.training.duration_minutes == 2 * 1440
+        assert workload.split.simulation.duration_minutes == 1440
+
+    def test_real_scenario_day_start_slices_the_range(self, tmp_path):
+        from repro.traces import write_azure2019_fixture
+
+        write_azure2019_fixture(tmp_path, n_functions=10, days=3, seed=5)
+        shape = dict(seed=5, n_functions=10, days=1.0, training_days=0.5)
+        workload = build_scenario(
+            "azure2019", **shape, azure_dir=str(tmp_path), day_start=3
+        )
+        assert workload.split.simulation.metadata.name.startswith(
+            "azure2019-d03-d03"
+        )
+
+    def test_fixture_scenario_population_enables_real_selection(self):
+        shape = dict(seed=5, n_functions=8, days=1.0, training_days=0.5)
+        top = build_scenario(
+            "azure2019-fixture", **shape, population=24, selection="top"
+        )
+        subset = build_scenario("azure2019-fixture", **shape)
+        assert len(top.split.simulation) == 8
+        assert len(subset.split.simulation) == 8
+        # Drawing the top 8 of 24 picks a different (busier) population than
+        # generating exactly 8.
+        assert (
+            top.split.simulation.fingerprint()
+            != subset.split.simulation.fingerprint()
+        )
+
+    def test_fixture_scenario_sweeps_through_the_suite(self):
+        config = ExperimentConfig(
+            n_functions=12, seed=5, duration_days=1.0, training_days=0.5,
+            warmup_minutes=60,
+        )
+        suite = ExperimentSuite(
+            config=config, seeds=[5], policies=("fixed-10min-indexed",),
+            scenario="azure2019-fixture", engine="event",
+        )
+        outcome = suite.run()
+        result = outcome.results[5]["fixed-10min-indexed"]
+        assert result.latency is not None
+        assert "lat_p50_ms" in outcome.seed_table(5).render()
+
+    def test_real_scenario_params_flow_through_the_suite(self, tmp_path):
+        from repro.traces import write_azure2019_fixture
+
+        write_azure2019_fixture(tmp_path, n_functions=12, days=2, seed=3)
+        config = ExperimentConfig(
+            n_functions=10, seed=3, duration_days=2.0, training_days=1.0,
+            warmup_minutes=60,
+        )
+        suite = ExperimentSuite(
+            config=config, seeds=[3], policies=("fixed-10min-indexed",),
+            scenario="azure2019",
+            scenario_params={"azure_dir": str(tmp_path)},
+        )
+        outcome = suite.run()
+        assert outcome.results[3]["fixed-10min-indexed"] is not None
+
+
 class TestEventEngineRegression:
     """Every registered scenario must run under the sub-minute event engine.
 
@@ -176,6 +254,7 @@ class TestEventEngineRegression:
 
     GOLDEN_FINGERPRINTS = {
         "azure": "06c3895a0cb14917d5a6055aa5765fa783533159d8bf99c513d88062d9374e04",
+        "azure2019-fixture": "3f4f58ce396d12d7b5be2f950eff5e37072c85b4f0aef76926cd0ebceb0929a1",
         "bursty": "58b3a617bf0fa2ea9a1e69c1d9f44f06bd6bc7bfe99bbd0cda8edb969425f8f8",
         "capacity-squeeze": "be901884c517a240d7a23b2d042c0b8fb6d993176e29e728aed946330e79e626",
         "diurnal": "b2d5aaa21c97b0822a54f8e7863e38008e52c512d7fd573ae2169e343a5c2c8d",

@@ -199,6 +199,54 @@ class TestMultiDayStitching:
         assert trace.duration_minutes == 2 * MINUTES_PER_DAY
         assert trace.total_invocations("o:a:f") == 1
 
+    def test_missing_middle_day_file_keeps_minute_alignment(self, tmp_path):
+        # Regression: d01 + d03 with no d02 file at all used to stitch d03's
+        # counts one day early.  Day-numbered names now pin each file to its
+        # true offset, with the gap contributing a silent day.
+        day1 = tmp_path / "invocations_per_function_md.anon.d01.csv"
+        day3 = tmp_path / "invocations_per_function_md.anon.d03.csv"
+        write_daily_csv(day1, [("o", "a", "f", "http", {10: 1})])
+        write_daily_csv(day3, [("o", "a", "f", "http", {20: 2})])
+        trace = load_azure_invocation_csv([day1, day3])
+        assert trace.duration_minutes == 3 * MINUTES_PER_DAY
+        series = trace.series("o:a:f")
+        assert series[10] == 1
+        assert series[MINUTES_PER_DAY : 2 * MINUTES_PER_DAY].sum() == 0
+        assert series[2 * MINUTES_PER_DAY + 20] == 2
+
+    def test_overlapping_day_files_are_rejected(self, tmp_path):
+        from repro.traces.azure2019 import AzureIngestError
+
+        first = tmp_path / "a" / "d02.csv"
+        second = tmp_path / "b" / "d02.csv"
+        first.parent.mkdir()
+        second.parent.mkdir()
+        write_daily_csv(first, [("o", "a", "f", "http", {0: 1})])
+        write_daily_csv(second, [("o", "a", "f", "http", {1: 1})])
+        with pytest.raises(AzureIngestError, match="overlapping day files"):
+            load_azure_invocation_csv([first, second])
+
+    def test_out_of_order_day_files_are_rejected(self, tmp_path):
+        from repro.traces.azure2019 import AzureIngestError
+
+        day1 = tmp_path / "d01.csv"
+        day2 = tmp_path / "d02.csv"
+        write_daily_csv(day1, [("o", "a", "f", "http", {0: 1})])
+        write_daily_csv(day2, [("o", "a", "f", "http", {1: 1})])
+        with pytest.raises(AzureIngestError, match="chronological"):
+            load_azure_invocation_csv([day2, day1])
+
+    def test_unnumbered_names_fall_back_to_positional_stitching(self, tmp_path):
+        first = tmp_path / "monday.csv"
+        second = tmp_path / "tuesday.csv"
+        write_daily_csv(first, [("o", "a", "f", "http", {10: 1})])
+        write_daily_csv(second, [("o", "a", "f", "http", {20: 2})])
+        trace = load_azure_invocation_csv([first, second])
+        assert trace.duration_minutes == 2 * MINUTES_PER_DAY
+        series = trace.series("o:a:f")
+        assert series[10] == 1
+        assert series[MINUTES_PER_DAY + 20] == 2
+
     def test_short_day_rows_are_padded_not_wrapped(self, tmp_path):
         # A daily file with fewer minute columns must never bleed counts into
         # the following day's window.
