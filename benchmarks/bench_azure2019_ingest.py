@@ -51,21 +51,26 @@ def bench_root(tmp_path_factory):
     return tmp_path_factory.mktemp("azure2019_ingest")
 
 
-def _synthetic_sparse_day(n_functions: int, seed: int = 2019) -> SparseTrace:
-    """A dataset-scale sparse day built directly in CSR form.
+def _synthetic_sparse_day(
+    n_functions: int, seed: int = 2019, days: int = 1
+) -> SparseTrace:
+    """A dataset-scale sparse trace built directly in CSR form.
 
     Generating 83k functions through the CSV fixture would measure mostly
     file writing; the engine row wants the *simulation* cost at real-dataset
     population, so the CSR arrays are drawn directly (about nine active
-    minutes per function, the dataset's heavy-tailed sparsity regime).
+    minutes per function per day, the dataset's heavy-tailed sparsity
+    regime).  ``days=1`` reproduces the original single-day draw exactly;
+    the sharded-scale bench stretches the same recipe over 14 days.
     """
     rng = np.random.default_rng(seed)
-    per_function = rng.poisson(9, n_functions).astype(np.int64) + 1
+    duration = days * MINUTES_PER_DAY
+    per_function = rng.poisson(9 * days, n_functions).astype(np.int64) + 1
     fn_idx = np.repeat(np.arange(n_functions, dtype=np.int64), per_function)
-    minute = rng.integers(0, MINUTES_PER_DAY, fn_idx.size, dtype=np.int64)
-    keys = np.unique(fn_idx * np.int64(MINUTES_PER_DAY) + minute)
-    fn_minutes = keys % MINUTES_PER_DAY
-    fn_rows = keys // MINUTES_PER_DAY
+    minute = rng.integers(0, duration, fn_idx.size, dtype=np.int64)
+    keys = np.unique(fn_idx * np.int64(duration) + minute)
+    fn_minutes = keys % duration
+    fn_rows = keys // duration
     fn_indptr = np.zeros(n_functions + 1, dtype=np.int64)
     np.cumsum(np.bincount(fn_rows, minlength=n_functions), out=fn_indptr[1:])
     fn_counts = rng.integers(1, 4, keys.size, dtype=np.int64)
@@ -78,11 +83,9 @@ def _synthetic_sparse_day(n_functions: int, seed: int = 2019) -> SparseTrace:
         for i in range(n_functions)
     ]
     metadata = TraceMetadata(
-        name=f"azure2019-scale-{n_functions}", duration_minutes=MINUTES_PER_DAY
+        name=f"azure2019-scale-{n_functions}", duration_minutes=duration
     )
-    return SparseTrace(
-        records, fn_indptr, fn_minutes, fn_counts, MINUTES_PER_DAY, metadata
-    )
+    return SparseTrace(records, fn_indptr, fn_minutes, fn_counts, duration, metadata)
 
 
 def test_azure2019_ingestion_throughput(bench_root, output_dir):

@@ -125,6 +125,10 @@ def mine_dependencies(
 class DefusePolicy(HybridFunctionPolicy):
     """Dependency-guided scheduling on top of a per-function histogram keep-alive.
 
+    Not ``shard_safe`` despite the per-function histogram base: mined
+    dependencies pre-warm *other* functions, which a partition can separate
+    from their predecessors.
+
     Parameters
     ----------
     strong_lag, weak_lag:
@@ -139,6 +143,7 @@ class DefusePolicy(HybridFunctionPolicy):
     """
 
     name = "defuse"
+    shard_safe = False
 
     def __init__(
         self,

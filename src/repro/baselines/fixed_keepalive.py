@@ -23,6 +23,9 @@ class FixedKeepAlivePolicy(ProvisioningPolicy):
         invocation.  The paper's fixed baseline uses 10 minutes.
     """
 
+    #: Per-function expiry clocks only — restricts cleanly to any shard.
+    shard_safe = True
+
     def __init__(self, keep_alive_minutes: int = 10) -> None:
         if keep_alive_minutes < 0:
             raise ValueError("keep_alive_minutes must be non-negative")

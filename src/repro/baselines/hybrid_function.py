@@ -16,6 +16,8 @@ class HybridFunctionPolicy(HybridHistogramPolicyBase):
     """Hybrid histogram keep-alive / pre-warming, one unit per function."""
 
     name = "hybrid-function"
+    #: Unit == function: every histogram and clock is function-local.
+    shard_safe = True
 
     def unit_of(self, record: FunctionRecord) -> str:
         return record.function_id

@@ -76,6 +76,8 @@ class IndexedFixedKeepAlivePolicy(VectorizedPolicy):
         invocation.  The paper's fixed baseline uses 10 minutes.
     """
 
+    shard_safe = True
+
     def __init__(self, keep_alive_minutes: int = 10) -> None:
         if keep_alive_minutes < 0:
             raise ValueError("keep_alive_minutes must be non-negative")
@@ -423,6 +425,8 @@ class IndexedHybridFunctionPolicy(_IndexedHybridBase):
     """Index-native hybrid histogram policy, one unit per function."""
 
     name = "hybrid-function"
+    #: Unit == function: every histogram and clock is function-local.
+    shard_safe = True
 
     def unit_of(self, record: FunctionRecord) -> str:
         return record.function_id
@@ -455,6 +459,10 @@ class IndexedDefusePolicy(IndexedHybridFunctionPolicy):
     """
 
     name = "defuse"
+    #: Dependencies pre-warm *other* functions; a partition can separate
+    #: successors from their predecessors, so the hybrid base's shard
+    #: safety does not carry over.
+    shard_safe = False
 
     def __init__(
         self,

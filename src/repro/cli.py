@@ -212,6 +212,12 @@ def _command_sweep(args: argparse.Namespace) -> int:
     )
     cache_dir = None if args.no_cache else args.cache_dir
     scenario = args.scenario
+    workers = args.workers
+    if getattr(args, "profile", False) and workers > 1:
+        # cProfile only sees the calling process; worker time would vanish
+        # from the report, so profiled sweeps run everything in-process.
+        print("profile: forcing serial execution (--workers ignored)", file=sys.stderr)
+        workers = 0
     try:
         scenario_params = _parse_scenario_params(args.scenario_param)
         if args.azure_dir is not None:
@@ -222,17 +228,25 @@ def _command_sweep(args: argparse.Namespace) -> int:
             config=config,
             seeds=args.seeds,
             policies=args.policies,
-            workers=args.workers,
+            workers=workers,
             cache_dir=cache_dir,
             scenario=scenario,
             scenario_params=scenario_params,
             placement=args.placement,
             engine=args.engine,
             streaming=args.streaming,
+            shards=args.shards,
+            shard_placement=args.shard_placement,
         )
     except (KeyError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    profiler = None
+    if getattr(args, "profile", False):
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     try:
         outcome = suite.run()
     except (KeyError, ValueError) as error:
@@ -240,6 +254,9 @@ def _command_sweep(args: argparse.Namespace) -> int:
         # suite builds its parallel runner and resolves its specs.
         print(f"error: {error.args[0] if error.args else error}", file=sys.stderr)
         return 2
+    finally:
+        if profiler is not None:
+            profiler.disable()
     for seed in suite.seeds:
         print(outcome.seed_table(seed).render())
         print()
@@ -266,13 +283,23 @@ def _command_sweep(args: argparse.Namespace) -> int:
     placement = f", placement {args.placement}" if args.placement else ""
     engine = f", engine {args.engine}" if args.engine != "vectorized" else ""
     streaming = ", streaming" if args.streaming else ""
+    shards = f", shards {args.shards}" if args.shards >= 2 else ""
     print(
         f"sweep: {len(suite.seeds)} seed(s) x {len(args.policies)} policies "
         f"in {outcome.wall_seconds:.1f}s ({mode}{scenario_note}{placement}{engine}"
-        f"{streaming})"
+        f"{streaming}{shards})"
     )
     if cache_dir:
         print(f"cache: {outcome.cache_hits} hit(s), {outcome.cache_misses} miss(es)")
+    if profiler is not None:
+        import io
+        import pstats
+
+        stream = io.StringIO()
+        stats = pstats.Stats(profiler, stream=stream)
+        stats.strip_dirs().sort_stats("cumulative").print_stats(25)
+        print("\nprofile: top 25 functions by cumulative time")
+        print(stream.getvalue())
     return 0
 
 
@@ -506,6 +533,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--rq-tables",
         action="store_true",
         help="additionally print the per-seed RQ1/RQ2 tables",
+    )
+    sweep.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help=(
+            "split shardable cells into N function partitions simulated "
+            "independently and merged (fingerprint-identical; with "
+            "--workers > 1 every partition is its own pool task); cells "
+            "that cannot shard fall back to whole-cell runs with a warning"
+        ),
+    )
+    sweep.add_argument(
+        "--shard-placement",
+        default="hash",
+        help=(
+            "placement strategy deriving the function-to-shard partition "
+            "(hash, least-loaded, correlation-aware)"
+        ),
+    )
+    sweep.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "run the sweep under cProfile (serial execution is forced) and "
+            "print the top 25 functions by cumulative time"
+        ),
     )
     sweep.set_defaults(handler=_command_sweep)
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from statistics import median
 from typing import Dict, Iterable, List, Set
 
 import numpy as np
@@ -53,18 +54,30 @@ class AdjustingStrategy:
         data — e.g. the indexed SPES port's threshold arrays — can refresh
         only when something actually changed.
         """
-        if len(state.online_waiting_times) < self.config.adjusting_min_new_wts:
+        observed = len(state.online_waiting_times)
+        if observed < self.config.adjusting_min_new_wts:
+            return False
+        # A no-change evaluation is a pure function of the waiting-time list
+        # (plus state fields only *this* strategy mutates), so until a new
+        # waiting time arrives the answer stays False — skip the statistics.
+        if observed == state.adjust_checked_wts:
             return False
         if state.category in self.ADJUSTABLE:
-            return self._adjust_predictive_values(state)
-        if state.category == FunctionCategory.UNKNOWN or not state.seen_in_training:
-            return self._maybe_promote(state)
-        return False
+            changed = self._adjust_predictive_values(state)
+        elif state.category == FunctionCategory.UNKNOWN or not state.seen_in_training:
+            changed = self._maybe_promote(state)
+        else:
+            return False
+        state.adjust_checked_wts = -1 if changed else observed
+        return changed
 
     # ------------------------------------------------------------------ #
     def _adjust_predictive_values(self, state: FunctionState) -> bool:
-        online = np.asarray(state.online_waiting_times, dtype=float)
-        new_median = float(np.median(online))
+        # statistics.median over the raw int list: bit-identical to
+        # np.median of the float64 array for these integer waiting times
+        # ((a + b) / 2 vs (a + b) * 0.5 round the same way), without the
+        # per-invocation array construction and reduction machinery.
+        new_median = float(median(state.online_waiting_times))
         drift = abs(new_median - state.offline_wt_median)
         tolerance = max(state.offline_wt_std, 1.0)
         if drift <= tolerance:
@@ -84,6 +97,7 @@ class AdjustingStrategy:
             # values closest to the new online median.
             ranked = sorted(values, key=lambda value: abs(value - new_median))
             state.predictive = PredictiveValues.from_discrete(ranked[:3])
+        online = np.asarray(state.online_waiting_times, dtype=float)
         state.offline_wt_median = blended
         state.offline_wt_std = float(online.std(ddof=0))
         state.adjusted = True

@@ -72,6 +72,12 @@ class IndexedSpesPolicy(VectorizedPolicy, SpesPolicy):
         self._pred_hold_arr = np.zeros(n, dtype=np.int64)
         self._corr_hold_arr = np.zeros(n, dtype=np.int64)
         self._online_hold_arr = np.zeros(n, dtype=np.int64)
+        # Position-keyed pre-warm calendar: ``minute -> (positions, holds)``
+        # append-only lists, replacing the dict twin's id-keyed
+        # ``{minute: {function_id: hold}}``.  Duplicates are resolved at
+        # apply time by ``np.maximum.at`` — associative max, so append-now /
+        # dedup-later produces the exact holds the eager dict-max did.
+        self._prewarm_due: dict[int, tuple[list, list]] = {}
         for position, function_id in enumerate(index.function_ids):
             state = self._states.get(function_id)
             if state is None:
@@ -123,7 +129,7 @@ class IndexedSpesPolicy(VectorizedPolicy, SpesPolicy):
                 self._sync_state_arrays(position, state)
             mask[position] = True
             self._last_arr[position] = minute
-            self._schedule_prediction_prewarm(state, minute)
+            self._schedule_prediction_prewarm_indexed(position, state, minute)
             self._fire_correlated_links_indexed(function_id, minute)
             self._update_online_correlation_indexed(state, minute)
 
@@ -136,6 +142,30 @@ class IndexedSpesPolicy(VectorizedPolicy, SpesPolicy):
     # ------------------------------------------------------------------ #
     # Pre-warming helpers (array-backed twins of the dict versions)
     # ------------------------------------------------------------------ #
+    def _schedule_prediction_prewarm_indexed(
+        self, position: int, state: FunctionState, minute: int
+    ) -> None:
+        """Position-keyed twin of ``SpesPolicy._schedule_prediction_prewarm``.
+
+        Triggers and holds are appended to flat parallel lists instead of
+        nested per-id dicts; ``max(minute, low - theta) <= minute`` and
+        ``low - theta <= minute`` reject the same windows, so the filter is
+        unchanged.
+        """
+        if state.predictive.is_empty:
+            return
+        theta = state.theta_prewarm
+        calendar = self._prewarm_due
+        for low, high in state.predictive.predicted_times(minute):
+            trigger = low - theta
+            if trigger <= minute:
+                continue
+            entry = calendar.get(trigger)
+            if entry is None:
+                entry = calendar[trigger] = ([], [])
+            entry[0].append(position)
+            entry[1].append(high + theta + 1)
+
     def _fire_correlated_links_indexed(self, predictor_id: str, minute: int) -> None:
         links = self._predictor_index.get(predictor_id)
         if not links:
@@ -158,9 +188,11 @@ class IndexedSpesPolicy(VectorizedPolicy, SpesPolicy):
                 if target_id not in self._states:
                     self._sync_state_arrays(position, self._ensure_state(target_id))
             else:
-                entries = self._prewarm_calendar.setdefault(load_at, {})
-                if keep_until > entries.get(target_id, 0):
-                    entries[target_id] = keep_until
+                entry = self._prewarm_due.get(load_at)
+                if entry is None:
+                    entry = self._prewarm_due[load_at] = ([], [])
+                entry[0].append(position)
+                entry[1].append(keep_until)
 
     def _update_online_correlation_indexed(
         self, state: FunctionState, minute: int
@@ -188,20 +220,19 @@ class IndexedSpesPolicy(VectorizedPolicy, SpesPolicy):
                 self._sync_state_arrays(position, self._ensure_state(target_id))
 
     def _apply_due_prewarm_indexed(self, minute: int) -> None:
-        due = self._prewarm_calendar.pop(minute, None)
-        if not due:
+        """Batch-apply every pre-warm due this minute with two array ops.
+
+        Only positions of the bound index are ever scheduled (and
+        :meth:`on_bind` materialized a state for each), so the dict twin's
+        unknown-id and unknown-state guards have nothing left to filter.
+        """
+        entry = self._prewarm_due.pop(minute, None)
+        if entry is None:
             return
-        index_of = self._index_of
-        for function_id, hold_until in due.items():
-            if function_id not in self._states:
-                continue
-            position = index_of.get(function_id)
-            if position is None:
-                continue
-            if hold_until > self._pred_hold_arr[position]:
-                self._pred_hold_arr[position] = hold_until
-            if not self._invoked_scratch[position]:
-                self._mask[position] = True
+        positions = np.asarray(entry[0], dtype=np.int64)
+        holds = np.asarray(entry[1], dtype=np.int64)
+        np.maximum.at(self._pred_hold_arr, positions, holds)
+        self._mask[positions[~self._invoked_scratch[positions]]] = True
 
     # ------------------------------------------------------------------ #
     # Eviction (vectorized)

@@ -53,6 +53,10 @@ class FunctionState:
     offline_wt_std: float = 0.0
     seen_in_training: bool = True
     adjusted: bool = False
+    #: Length of ``online_waiting_times`` at the last adjusting-strategy
+    #: evaluation that left the state unmodified; lets the strategy skip
+    #: re-deriving statistics until a new waiting time actually arrives.
+    adjust_checked_wts: int = field(default=-1, repr=False, compare=False)
 
     # ------------------------------------------------------------------ #
     def record_invocation(self, minute: int, cold: bool) -> int | None:

@@ -39,7 +39,9 @@ import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterable, Mapping, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence
+
+import numpy as np
 
 from repro.baselines import (
     DefusePolicy,
@@ -68,8 +70,11 @@ from repro.simulation.engine import (
     ENGINE_IMPLEMENTATIONS,
     ENGINE_VERSION,
     EVENT_ENGINES,
+    ShardFallbackWarning,
 )
+from repro.simulation.placement import get_placement
 from repro.simulation.policy_base import AlwaysWarmPolicy, NoKeepAlivePolicy
+from repro.simulation.sharding import shard_assignment, shard_fallback_reason
 from repro.traces import TraceSplit
 
 __all__ = [
@@ -343,6 +348,8 @@ def _execute_cell(
     engine: str = "vectorized",
     events: EventConfig | None = None,
     streaming: bool = False,
+    shards: int = 0,
+    shard_placement: str = "hash",
 ) -> SimulationResult:
     """Run one cell against ``traces`` (shared by serial and worker paths).
 
@@ -359,6 +366,8 @@ def _execute_cell(
         cluster=cluster,
         engine=engine,
         events=events,
+        shards=shards,
+        shard_placement=shard_placement,
     )
     return simulator.run(policy)
 
@@ -374,6 +383,36 @@ def _worker_run_cell(
     return cell.name, _execute_cell(
         cell, _WORKER_TRACES, warmup_minutes, cluster, engine, events, streaming
     )
+
+
+def _worker_run_shard(
+    cell: SweepCell,
+    positions: np.ndarray,
+    warmup_minutes: int,
+    cluster: ClusterModel | None,
+    engine: str,
+    events: EventConfig | None,
+    streaming: bool,
+) -> SimulationResult:
+    """Run one *shard* of a cell inside a worker process.
+
+    The worker cuts the shard's trace slice from the shared pickled split
+    (``positions`` is the only per-task payload beyond the cell itself) and
+    runs the identical per-shard simulation the serial
+    :meth:`Simulator._run_sharded` loop would, so pool and serial sharded
+    executions merge to byte-identical results.
+    """
+    split = _WORKER_TRACES[cell.trace_key]
+    simulator = Simulator(
+        simulation_trace=split.simulation,
+        training_trace=None if streaming else split.training,
+        warmup_minutes=0 if streaming else warmup_minutes,
+        cluster=cluster,
+        engine=engine,
+        events=events,
+    )
+    sub = simulator.shard_simulator(positions)
+    return sub.run(cell.spec.build(seed=cell.seed))
 
 
 # --------------------------------------------------------------------- #
@@ -418,6 +457,20 @@ class ParallelRunner:
         When True, every cell runs in streaming evaluation mode: policies
         receive no training trace and no warm-up replay — they start cold
         and must adapt online.  Part of every cell's cache key.
+    shards:
+        When >= 2, shardable cells are split into that many function
+        partitions (see :mod:`repro.simulation.sharding`).  With
+        ``workers > 1`` each partition becomes its *own* pool task — the
+        worker slices its shard from the shared pickled trace, so one big
+        cell parallelizes across processes instead of serializing on the
+        slowest whole-cell task; the parent merges the per-shard results.
+        Serially, the :class:`Simulator` runs its in-process sharded loop.
+        Cells that cannot shard fall back to whole-cell execution with a
+        :class:`~repro.simulation.engine.ShardFallbackWarning`.  Part of
+        every cell's cache key, together with ``shard_placement``.
+    shard_placement:
+        Placement strategy deriving the function→shard partition
+        (default ``"hash"``).
     """
 
     def __init__(
@@ -430,6 +483,8 @@ class ParallelRunner:
         engine: str = "vectorized",
         events: Mapping[str, EventConfig] | None = None,
         streaming: bool = False,
+        shards: int = 0,
+        shard_placement: str = "hash",
     ) -> None:
         if workers < 0:
             raise ValueError("workers must be non-negative")
@@ -437,6 +492,9 @@ class ParallelRunner:
             raise ValueError(
                 f"unknown engine {engine!r}; expected one of {ENGINE_IMPLEMENTATIONS}"
             )
+        if shards < 0:
+            raise ValueError("shards must be non-negative")
+        get_placement(shard_placement)
         available = os.cpu_count() or 1
         if workers > available:
             warnings.warn(
@@ -450,6 +508,8 @@ class ParallelRunner:
         self.warmup_minutes = warmup_minutes
         self.engine = engine
         self.streaming = streaming
+        self.shards = shards
+        self.shard_placement = shard_placement
         self.clusters = dict(clusters) if clusters else {}
         unknown = set(self.clusters) - set(self.traces)
         if unknown:
@@ -486,6 +546,12 @@ class ParallelRunner:
             ENGINE_VERSION,
             self.engine,
             self.streaming,
+            # Shard count and partition strategy key results even though
+            # shardable runs are fingerprint-identical: event-engine latency
+            # blocks and overhead timings legitimately differ per partition,
+            # and a cached fallback run must not masquerade as a sharded one.
+            self.shards,
+            self.shard_placement,
             self._trace_fingerprints[cell.trace_key],
             self.warmup_minutes,
             self.clusters.get(cell.trace_key),
@@ -522,7 +588,9 @@ class ParallelRunner:
                 pending.append(cell)
 
         if pending:
-            if self.workers > 1 and len(pending) > 1:
+            # Sharding makes even a single pending cell pool-worthy: its
+            # partitions are independent tasks that spread over the workers.
+            if self.workers > 1 and (len(pending) > 1 or self.shards >= 2):
                 computed = self._run_pool(pending)
             else:
                 computed = {
@@ -534,6 +602,8 @@ class ParallelRunner:
                         self.engine,
                         self._cell_events(cell.trace_key),
                         self.streaming,
+                        self.shards,
+                        self.shard_placement,
                     )
                     for cell in pending
                 }
@@ -558,6 +628,41 @@ class ParallelRunner:
         return self.run_cells(cells)
 
     # ------------------------------------------------------------------ #
+    def _shard_plan(self, cell: SweepCell) -> List[np.ndarray] | None:
+        """Per-shard position arrays for a shardable cell, else ``None``.
+
+        Building the policy here is construction only (no offline phase);
+        it is needed to consult ``shard_safe``.  Fallback reasons are warned
+        parent-side so they surface even when the cell then runs in a worker.
+        """
+        if self.shards < 2:
+            return None
+        split = self.traces[cell.trace_key]
+        training = None if self.streaming else split.training
+        reason = shard_fallback_reason(
+            cell.spec.build(seed=cell.seed),
+            self.engine,
+            self.clusters.get(cell.trace_key),
+            self.shards,
+            self.shard_placement,
+            True,
+            set(),
+            split.simulation,
+            training_trace=training,
+        )
+        if reason is not None:
+            warnings.warn(
+                f"cell {cell.name!r}: sharded execution disabled ({reason}); "
+                "running unsharded",
+                ShardFallbackWarning,
+                stacklevel=2,
+            )
+            return None
+        assignment = shard_assignment(
+            self.shards, split.simulation, self.shard_placement, training_trace=training
+        )
+        return [np.flatnonzero(assignment == shard) for shard in range(self.shards)]
+
     def _run_pool(self, cells: Iterable[SweepCell]) -> Dict[str, SimulationResult]:
         payload = pickle.dumps(self.traces, protocol=pickle.HIGHEST_PROTOCOL)
         computed: Dict[str, SimulationResult] = {}
@@ -566,19 +671,41 @@ class ParallelRunner:
             initializer=_worker_initializer,
             initargs=(payload,),
         ) as pool:
-            futures = [
-                pool.submit(
-                    _worker_run_cell,
-                    cell,
+            whole_futures = []
+            sharded: List[tuple[SweepCell, list]] = []
+            for cell in cells:
+                common = (
                     self.warmup_minutes,
                     self.clusters.get(cell.trace_key),
                     self.engine,
                     self._cell_events(cell.trace_key),
                     self.streaming,
                 )
-                for cell in cells
-            ]
-            for future in futures:
+                plan = self._shard_plan(cell)
+                if plan is None:
+                    whole_futures.append(
+                        pool.submit(_worker_run_cell, cell, *common)
+                    )
+                    continue
+                # One pool task per non-empty partition: a single big cell
+                # spreads over every worker instead of pinning one of them.
+                sharded.append(
+                    (
+                        cell,
+                        [
+                            pool.submit(_worker_run_shard, cell, positions, *common)
+                            if positions.size
+                            else None
+                            for positions in plan
+                        ],
+                    )
+                )
+            for future in whole_futures:
                 name, result = future.result()
                 computed[name] = result
+            for cell, futures in sharded:
+                computed[cell.name] = SimulationResult.merge_shards(
+                    [f.result() if f is not None else None for f in futures],
+                    cluster_model=self.clusters.get(cell.trace_key),
+                )
         return computed

@@ -286,6 +286,14 @@ class ExperimentSuite:
         (``rotating-periods``, ``load-ramp``, ``seasonal-mix``) are designed
         for — an offline histogram trained on a window that no longer
         describes the traffic is exactly what streaming mode takes away.
+    shards:
+        When >= 2, shardable cells run as function partitions (merged back
+        into one result per cell; see
+        :mod:`repro.simulation.sharding`) — with ``workers > 1`` every
+        partition is its own pool task.  Cells that cannot shard fall back
+        to whole-cell execution with a warning.
+    shard_placement:
+        Placement strategy deriving the function→shard partition.
     """
 
     def __init__(
@@ -300,6 +308,8 @@ class ExperimentSuite:
         placement: str | None = None,
         engine: str = "vectorized",
         streaming: bool = False,
+        shards: int = 0,
+        shard_placement: str = "hash",
     ) -> None:
         self.config = config or ExperimentConfig()
         if engine not in ENGINE_IMPLEMENTATIONS:
@@ -308,6 +318,8 @@ class ExperimentSuite:
             )
         self.engine = engine
         self.streaming = streaming
+        self.shards = shards
+        self.shard_placement = shard_placement
         # Deduplicate while preserving order: a repeated seed is the same
         # workload and would otherwise produce colliding sweep cells.
         self.seeds = tuple(dict.fromkeys(seeds)) if seeds else (self.config.seed,)
@@ -416,6 +428,8 @@ class ExperimentSuite:
                 engine=self.engine,
                 events=self._events if self.engine in EVENT_ENGINES else None,
                 streaming=self.streaming,
+                shards=self.shards,
+                shard_placement=self.shard_placement,
             )
         return self._runner
 

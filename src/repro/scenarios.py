@@ -82,6 +82,16 @@ streaming evaluation mode (``ExperimentSuite(streaming=True)`` /
 and must adapt online — e.g. from the ``event-feedback`` engine's rolling
 latency window.
 
+Every scenario workload can also run under the sharded execution mode
+(``sweep --shards N``): the function population splits into per-node
+partitions that simulate concurrently on the worker pool and merge back
+into one fingerprint-identical result.  The dataset-scale pair
+(``azure2019`` / ``azure2019-fixture``) is the intended beneficiary —
+sharding is what lets the full 83k-function population use every core —
+while scenarios that carry a cluster of their own (``capacity-squeeze``,
+``hot-shard``) shard only when the node layout matches the shard layout
+(see ``docs/ARCHITECTURE.md`` §7 for the exact fallback triggers).
+
 Custom scenarios register with :func:`register_scenario`.
 """
 

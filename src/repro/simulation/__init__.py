@@ -33,8 +33,9 @@ from repro.simulation.results import (
     LatencyStats,
     SimulationResult,
 )
-from repro.simulation.engine import Simulator, simulate_policy
+from repro.simulation.engine import ShardFallbackWarning, Simulator, simulate_policy
 from repro.simulation.overhead import OverheadTimer
+from repro.simulation.sharding import shard_assignment, shard_fallback_reason
 
 __all__ = [
     "ProvisioningPolicy",
@@ -60,5 +61,8 @@ __all__ = [
     "SimulationResult",
     "Simulator",
     "simulate_policy",
+    "ShardFallbackWarning",
+    "shard_assignment",
+    "shard_fallback_reason",
     "OverheadTimer",
 ]

@@ -70,8 +70,10 @@ Two interchangeable implementations of this contract exist:
 
 from __future__ import annotations
 
+import copy
 import time
-from typing import Dict, Set
+import warnings
+from typing import Dict, List, Set
 
 import numpy as np
 
@@ -79,7 +81,9 @@ from repro.simulation.cluster import ClusterModel
 from repro.simulation.events import EventConfig, EventTracker
 from repro.simulation.memory import MemoryAccountant
 from repro.simulation.overhead import OverheadTimer
+from repro.simulation.placement import get_placement
 from repro.simulation.policy_base import ProvisioningPolicy
+from repro.simulation.sharding import shard_assignment, shard_fallback_reason
 from repro.simulation.results import (
     ClusterStats,
     FunctionStats,
@@ -98,6 +102,15 @@ EVENT_ENGINES = ("event", "event-feedback")
 #: Bumped whenever a change alters simulation *output*; part of on-disk
 #: result-cache keys so stale cached results are never served.
 ENGINE_VERSION = 5
+
+
+class ShardFallbackWarning(RuntimeWarning):
+    """A sharded run was requested but the configuration cannot decompose.
+
+    The warning message carries the exact coupling (from
+    :func:`repro.simulation.sharding.shard_fallback_reason`); the simulation
+    then runs unsharded and produces the usual, correct result.
+    """
 
 
 class Simulator:
@@ -135,6 +148,22 @@ class Simulator:
         engines (jitter seed, duration scaling, feedback-window horizon).
         Defaults are used when an event engine runs without a config;
         passing a config with a minute-granular engine is an error.
+    shards:
+        When >= 2, partition the function space into that many shards (see
+        :mod:`repro.simulation.sharding`) and simulate each partition
+        independently, merging the per-shard results into one
+        :class:`~repro.simulation.results.SimulationResult` that is
+        fingerprint-identical to the unsharded run.  Sharding applies only
+        when the configuration decomposes exactly (``shard_safe`` policy,
+        mask-based engine, migration-free node-aligned cluster, …);
+        otherwise :meth:`run` emits a :class:`ShardFallbackWarning` with the
+        coupling that prevents it and executes unsharded.  ``0`` (default)
+        and ``1`` mean unsharded.
+    shard_placement:
+        Name of the :class:`~repro.simulation.placement.PlacementStrategy`
+        deriving the function→shard partition (default ``"hash"``).  For
+        ``shard_safe`` policies the choice affects load balance across
+        shards, never the merged result.
     """
 
     #: Default warm-up horizon: one day covers the longest keep-alive and
@@ -150,9 +179,15 @@ class Simulator:
         engine: str = "vectorized",
         cluster: ClusterModel | None = None,
         events: EventConfig | None = None,
+        shards: int = 0,
+        shard_placement: str = "hash",
     ) -> None:
         if warmup_minutes < 0:
             raise ValueError("warmup_minutes must be non-negative")
+        if shards < 0:
+            raise ValueError("shards must be non-negative")
+        # Fail fast on unknown partition strategies, before any run.
+        get_placement(shard_placement)
         if engine not in ENGINE_IMPLEMENTATIONS:
             raise ValueError(
                 f"unknown engine {engine!r}; expected one of {ENGINE_IMPLEMENTATIONS}"
@@ -173,6 +208,8 @@ class Simulator:
         self.engine = engine
         self.cluster = cluster
         self.events = events
+        self.shards = shards
+        self.shard_placement = shard_placement
 
     def run(self, policy: ProvisioningPolicy, prepare: bool = True) -> SimulationResult:
         """Simulate ``policy`` over the configured trace and return its result.
@@ -187,6 +224,26 @@ class Simulator:
             Callers that prepared the policy themselves (e.g. to share an
             expensive offline phase across parameter sweeps) can pass False.
         """
+        if self.shards >= 2:
+            reason = shard_fallback_reason(
+                policy,
+                self.engine,
+                self.cluster,
+                self.shards,
+                self.shard_placement,
+                prepare,
+                self.initially_resident,
+                self.simulation_trace,
+                training_trace=self.training_trace,
+            )
+            if reason is None:
+                return self._run_sharded(policy)
+            warnings.warn(
+                f"sharded execution disabled ({reason}); running unsharded",
+                ShardFallbackWarning,
+                stacklevel=2,
+            )
+
         trace = self.simulation_trace
 
         if prepare:
@@ -210,6 +267,69 @@ class Simulator:
                 trace, self.events, feedback=self.engine == "event-feedback"
             )
         return self._run_vectorized(policy, resident, tracker)
+
+    # ------------------------------------------------------------------ #
+    # Sharded execution
+    # ------------------------------------------------------------------ #
+    def shard_simulator(self, positions: np.ndarray) -> "Simulator":
+        """Build the sub-simulator for one shard's function positions.
+
+        Exposed separately from :meth:`_run_sharded` so the parallel runner
+        can construct the identical per-shard simulation inside worker
+        processes (the shard's trace slice is cut worker-side from the
+        shared pickled trace).
+        """
+        sub_cluster = None
+        if self.cluster is not None:
+            # Shard == node (enforced by the fallback guard): each shard runs
+            # its node in isolation under exactly the node's capacity share.
+            sub_cluster = ClusterModel(
+                memory_capacity=self.cluster.node_capacity,
+                n_nodes=1,
+                placement="hash",
+            )
+        sub_trace = self.simulation_trace.shard(positions)
+        return Simulator(
+            simulation_trace=sub_trace,
+            training_trace=(
+                self.training_trace.shard(positions)
+                if self.training_trace is not None
+                else None
+            ),
+            initially_resident={
+                fid for fid in self.initially_resident if fid in sub_trace
+            },
+            warmup_minutes=self.warmup_minutes,
+            engine=self.engine,
+            cluster=sub_cluster,
+            events=self.events,
+        )
+
+    def _run_sharded(self, policy: ProvisioningPolicy) -> SimulationResult:
+        """Partition, simulate every shard in-process, merge.
+
+        Each shard deep-copies the *unprepared* policy and runs its own
+        offline phase against its partition — for ``shard_safe`` policies
+        preparation restricts cleanly, so the per-shard decisions equal the
+        global run's decisions restricted to the shard.  Empty partitions
+        (possible under ``hash`` with few functions) contribute ``None`` so
+        cluster merging keeps node columns aligned with shard numbers.
+        """
+        assignment = shard_assignment(
+            self.shards,
+            self.simulation_trace,
+            self.shard_placement,
+            training_trace=self.training_trace,
+        )
+        results: List[SimulationResult | None] = []
+        for shard in range(self.shards):
+            positions = np.flatnonzero(assignment == shard)
+            if positions.size == 0:
+                results.append(None)
+                continue
+            sub = self.shard_simulator(positions)
+            results.append(sub.run(copy.deepcopy(policy), prepare=True))
+        return SimulationResult.merge_shards(results, cluster_model=self.cluster)
 
     # ------------------------------------------------------------------ #
     # Vectorized implementation (default)
@@ -525,6 +645,8 @@ def simulate_policy(
     engine: str = "vectorized",
     cluster: ClusterModel | None = None,
     events: EventConfig | None = None,
+    shards: int = 0,
+    shard_placement: str = "hash",
 ) -> SimulationResult:
     """Convenience wrapper: build a :class:`Simulator` and run one policy."""
     simulator = Simulator(
@@ -535,5 +657,7 @@ def simulate_policy(
         engine=engine,
         cluster=cluster,
         events=events,
+        shards=shards,
+        shard_placement=shard_placement,
     )
     return simulator.run(policy)

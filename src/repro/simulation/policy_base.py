@@ -42,6 +42,15 @@ class ProvisioningPolicy(abc.ABC):
     #: Human-readable policy name used in result tables.
     name: str = "policy"
 
+    #: Whether the policy's decisions are *function-local*: running it over a
+    #: subset of the function population produces, for those functions, the
+    #: exact decisions of the full-population run.  This is the contract the
+    #: sharded execution mode (:mod:`repro.simulation.sharding`) relies on —
+    #: policies with cross-function state (correlation links, application
+    #: grouping, a global capacity budget, latency feedback) must leave this
+    #: False, and sharded runs fall back to unsharded execution for them.
+    shard_safe: bool = False
+
     def prepare(
         self,
         functions: Sequence[FunctionRecord],
@@ -112,6 +121,7 @@ class NoKeepAlivePolicy(ProvisioningPolicy):
     """
 
     name = "no-keepalive"
+    shard_safe = True
 
     def on_minute(self, minute: int, invocations: Mapping[str, int]) -> Set[str]:
         return set()
@@ -129,6 +139,13 @@ class AlwaysWarmPolicy(ProvisioningPolicy):
 
     def __init__(self, function_ids: Iterable[str] | None = None) -> None:
         self._explicit_ids = set(function_ids) if function_ids is not None else None
+
+    @property
+    def shard_safe(self) -> bool:  # type: ignore[override]
+        # Prepare-derived residency restricts cleanly to any function subset;
+        # an explicit id set does not (ids outside a shard's trace would be
+        # double-charged as extra residents by every shard).
+        return self._explicit_ids is None
 
     def prepare(
         self,

@@ -433,6 +433,110 @@ class SimulationResult:
         }
 
     # ------------------------------------------------------------------ #
+    @classmethod
+    def merge_shards(
+        cls,
+        shard_results: Iterable["SimulationResult | None"],
+        cluster_model: "object | None" = None,
+    ) -> "SimulationResult":
+        """Recombine per-shard results into the one-run equivalent.
+
+        ``shard_results`` is ordered by shard index (``None`` marks a shard
+        whose partition held no functions, which contributes zeros).  Every
+        merged field is rebuilt from exact integer totals, so for a
+        migration-free run the merge is *fingerprint-identical* to the
+        unsharded simulation:
+
+        * per-function statistics are a disjoint union across shards;
+        * the memory series is the element-wise sum, and the total wasted
+          memory time is the plain sum;
+        * EMCR is re-derived as ``(loaded - idle) / loaded`` from the summed
+          integer loaded/idle minutes — the same two integers the unsharded
+          :class:`~repro.simulation.memory.MemoryAccountant` divides;
+        * cluster statistics are rebuilt against ``cluster_model`` (shard
+          ``i`` ran node ``i`` as a single-node cluster, so per-shard node
+          columns concatenate in shard order);
+        * latency observations pool via :meth:`LatencyStats.merge` — counts
+          are exact, but the wait *values* draw from per-shard jitter streams
+          and are excluded from the fingerprint anyway.
+
+        Overhead seconds sum across shards (they measure total CPU spent in
+        policy code, not wall clock).
+        """
+        results = list(shard_results)
+        live = [result for result in results if result is not None]
+        if not live:
+            raise ValueError("merge_shards needs at least one non-empty shard")
+        duration = live[0].duration_minutes
+        policy_name = live[0].policy_name
+        for result in live:
+            if result.duration_minutes != duration:
+                raise ValueError("shard results cover different durations")
+            if result.policy_name != policy_name:
+                raise ValueError("shard results come from different policies")
+
+        per_function: Dict[str, FunctionStats] = {}
+        memory_usage = np.zeros(duration, dtype=np.int64)
+        loaded = 0
+        total_wmt = 0
+        overhead_seconds = 0.0
+        for result in live:
+            overlap = per_function.keys() & result.per_function.keys()
+            if overlap:
+                raise ValueError(
+                    f"shard partitions overlap on {len(overlap)} function(s)"
+                )
+            per_function.update(result.per_function)
+            memory_usage += np.ascontiguousarray(result.memory_usage, dtype=np.int64)
+            loaded += int(np.asarray(result.memory_usage, dtype=np.int64).sum())
+            total_wmt += int(result.total_wasted_memory_time)
+            overhead_seconds += result.overhead_seconds
+        emcr = (loaded - total_wmt) / loaded if loaded > 0 else 0.0
+
+        cluster = None
+        if cluster_model is not None:
+            n_nodes = int(cluster_model.n_nodes)
+            node_usage = np.zeros((duration, n_nodes), dtype=np.int64)
+            node_evictions = np.zeros(n_nodes, dtype=np.int64)
+            evictions = 0
+            capacity_cold_starts = 0
+            for node, result in enumerate(results):
+                if result is None or result.cluster is None:
+                    continue
+                node_usage[:, node] = result.cluster.node_usage[:, 0]
+                node_evictions[node] = result.cluster.evictions
+                evictions += result.cluster.evictions
+                capacity_cold_starts += result.cluster.capacity_cold_starts
+            cluster = ClusterStats(
+                n_nodes=n_nodes,
+                memory_capacity=int(cluster_model.memory_capacity),
+                node_capacity=int(cluster_model.node_capacity),
+                evictions=evictions,
+                capacity_cold_starts=capacity_cold_starts,
+                node_usage=node_usage,
+                placement=str(cluster_model.placement),
+                migrations=0,
+                migration_cold_starts=0,
+                node_evictions=node_evictions,
+            )
+
+        latencies = [result.latency for result in live if result.latency is not None]
+        latency = LatencyStats.merge(latencies) if latencies else None
+
+        return cls(
+            policy_name=policy_name,
+            duration_minutes=duration,
+            per_function=per_function,
+            memory_usage=memory_usage,
+            total_wasted_memory_time=total_wmt,
+            emcr=emcr,
+            overhead_seconds=overhead_seconds,
+            overhead_per_minute=overhead_seconds / duration if duration else 0.0,
+            cluster=cluster,
+            latency=latency,
+        )
+
+    # ------------------------------------------------------------------ #
     def deterministic_fingerprint(self) -> str:
         """Content hash over every *simulation-determined* field.
 

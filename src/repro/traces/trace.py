@@ -359,6 +359,44 @@ class Trace:
         )
         return Trace(self.records(), sliced, metadata)
 
+    def _checked_shard_positions(self, positions: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Validate a function-position subset for :meth:`shard`.
+
+        Positions must be strictly increasing: a shard preserves the parent's
+        function insertion order, which is what keeps within-minute invocation
+        order — and therefore every order-sensitive tie-break downstream —
+        identical to the unsharded run restricted to the shard.
+        """
+        selected = np.asarray(positions, dtype=np.int64)
+        if selected.ndim != 1 or selected.size == 0:
+            raise ValueError("a shard needs at least one function position")
+        if selected[0] < 0 or selected[-1] >= len(self._records):
+            raise ValueError(
+                f"shard positions outside [0, {len(self._records)}) function range"
+            )
+        if selected.size > 1 and (np.diff(selected) <= 0).any():
+            raise ValueError("shard positions must be strictly increasing")
+        return selected
+
+    def shard(self, positions: Sequence[int] | np.ndarray, name: str | None = None) -> "Trace":
+        """Return the sub-trace holding only the functions at ``positions``.
+
+        The complement of :meth:`slice`: same minute range, a subset of the
+        function population (by insertion-order position, strictly
+        increasing).  Used by the sharded execution mode to hand each
+        partition its own trace without densifying or copying the rest.
+        """
+        selected = self._checked_shard_positions(positions)
+        all_ids = list(self._records)
+        kept = {all_ids[p]: self._counts[all_ids[p]] for p in selected.tolist()}
+        metadata = TraceMetadata(
+            name=name or f"{self.metadata.name}/shard{selected.size}",
+            duration_minutes=self._duration,
+            seed=self.metadata.seed,
+            extra=dict(self.metadata.extra),
+        )
+        return Trace([self._records[fid] for fid in kept], kept, metadata)
+
 
 class SparseTrace(Trace):
     """A :class:`Trace` stored function-major sparse instead of dense.
@@ -621,6 +659,45 @@ class SparseTrace(Trace):
             self._fn_minutes[keep] - start,
             self._fn_counts[keep],
             stop - start,
+            metadata,
+        )
+
+    def shard(
+        self, positions: Sequence[int] | np.ndarray, name: str | None = None
+    ) -> "SparseTrace":
+        """CSR row-gather of the functions at ``positions`` — never densifies.
+
+        A pure row slice of the function-major layout: the selected rows'
+        ``(minutes, counts)`` runs are gathered into a fresh CSR with a
+        reindexed ``fn_indptr``, so sharding an 83k-function trace costs one
+        ``np.repeat`` over the kept entries, independent of the population
+        left behind.  Positions must be strictly increasing (see
+        :meth:`Trace.shard` for why order preservation matters).
+        """
+        selected = self._checked_shard_positions(positions)
+        starts = self._fn_indptr[selected]
+        lengths = self._fn_indptr[selected + 1] - starts
+        indptr = np.zeros(selected.size + 1, dtype=np.int64)
+        np.cumsum(lengths, out=indptr[1:])
+        total = int(indptr[-1])
+        take = (
+            np.repeat(starts - indptr[:-1], lengths)
+            + np.arange(total, dtype=np.int64)
+        )
+        all_records = self.records()
+        records = [all_records[p] for p in selected.tolist()]
+        metadata = TraceMetadata(
+            name=name or f"{self.metadata.name}/shard{selected.size}",
+            duration_minutes=self._duration,
+            seed=self.metadata.seed,
+            extra=dict(self.metadata.extra),
+        )
+        return SparseTrace(
+            records,
+            indptr,
+            self._fn_minutes[take],
+            self._fn_counts[take],
+            self._duration,
             metadata,
         )
 

@@ -163,6 +163,59 @@ class TestParallelRunner:
             keys.add(runner.cache_key(runner.cell("c", spec, "w")))
         assert len(keys) == 5
 
+    def test_cache_keys_depend_on_shards_and_shard_placement(
+        self, split, suite_specs, tmp_path
+    ):
+        """Sharded and unsharded runs must never share a cache entry.
+
+        Latency observations draw from per-shard jitter streams and a
+        fallback run is not the run that was asked for, so the key covers
+        both the shard count and the partition strategy.
+        """
+        spec = suite_specs["no-keepalive"]
+        keys = set()
+        for shards, shard_placement in (
+            (0, "hash"),
+            (3, "hash"),
+            (3, "least-loaded"),
+            (4, "hash"),
+        ):
+            runner = ParallelRunner(
+                {"w": split},
+                cache_dir=tmp_path,
+                warmup_minutes=30,
+                shards=shards,
+                shard_placement=shard_placement,
+            )
+            keys.add(runner.cache_key(runner.cell("c", spec, "w")))
+        assert len(keys) == 4
+
+    def test_sharded_pool_serial_and_unsharded_agree(self, split):
+        """One fingerprint across unsharded, serial-sharded and pool-sharded."""
+        specs = {"fixed-5min": PolicySpec.of("fixed-keepalive", keep_alive_minutes=5)}
+        fingerprints = {
+            label: runner.run_policies(specs, trace_key="w", base_seed=3)[
+                "fixed-5min"
+            ].deterministic_fingerprint()
+            for label, runner in {
+                "unsharded": ParallelRunner({"w": split}, warmup_minutes=60),
+                "serial": ParallelRunner({"w": split}, warmup_minutes=60, shards=3),
+                "pool": ParallelRunner(
+                    {"w": split}, warmup_minutes=60, shards=3, workers=2
+                ),
+            }.items()
+        }
+        assert len(set(fingerprints.values())) == 1, fingerprints
+
+    def test_sharded_runner_falls_back_for_unsafe_policy(self, split):
+        from repro.simulation import ShardFallbackWarning
+
+        runner = ParallelRunner({"w": split}, warmup_minutes=60, shards=2)
+        cell = runner.cell("c", PolicySpec.of("spes"), "w")
+        with pytest.warns(ShardFallbackWarning, match="shard_safe"):
+            results = runner.run_cells([cell])
+        assert results["c"].total_invocations > 0
+
     def test_streaming_runner_withholds_training(self, split):
         from repro.experiments.parallel import PolicySpec
 

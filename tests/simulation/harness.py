@@ -62,6 +62,9 @@ from repro.traces import AzureTraceGenerator, GeneratorProfile, TraceSplit, spli
 ALL_ENGINES = ("vectorized", "reference", "event", "event-feedback")
 #: Engines that support the capacity-constrained cluster mode.
 MASK_ENGINES = ("vectorized", "event", "event-feedback")
+#: Engines that support sharded execution — the reference engine is the
+#: executable specification of the *unsharded* loop and always falls back.
+SHARD_ENGINES = MASK_ENGINES
 #: Every registered placement strategy, for the placement × pairs matrix —
 #: derived from the registry so a newly registered strategy joins the
 #: equivalence matrix automatically.
@@ -88,6 +91,15 @@ POLICY_PAIRS = [
     ),
     pytest.param(DefusePolicy, IndexedDefusePolicy, id="defuse"),
     pytest.param(LcsPolicy, IndexedLcsPolicy, id="lcs"),
+]
+
+#: The pairs whose members declare the function-local (``shard_safe``)
+#: contract — derived from the policies themselves so a pair joins the
+#: sharded equivalence matrix the moment its twins set the flag.
+SHARD_SAFE_POLICY_PAIRS = [
+    param
+    for param in POLICY_PAIRS
+    if all(getattr(factory(), "shard_safe", False) for factory in param.values)
 ]
 
 #: Archetypes the randomized mixes draw from (chained archetypes need parent
@@ -175,12 +187,15 @@ def collect_fingerprints(
     cluster: ClusterModel | None = None,
     events: EventConfig | None = None,
     warmup_minutes: int = 180,
+    shards: int = 0,
+    shard_placement: str = "hash",
 ) -> Dict[str, str]:
     """Fingerprints of every (implementation × engine) combination.
 
     ``factories`` maps an implementation label to a zero-argument policy
     factory; each build is fresh, so no state leaks between runs.  The event
     config only applies to ``event`` runs (the other engines reject it).
+    ``shards``/``shard_placement`` select the sharded execution mode.
     """
     fingerprints: Dict[str, str] = {}
     for impl, factory in factories.items():
@@ -193,6 +208,8 @@ def collect_fingerprints(
                 engine=engine,
                 cluster=cluster,
                 events=events if engine == "event" else None,
+                shards=shards,
+                shard_placement=shard_placement,
             )
             fingerprints[f"{impl}/{engine}"] = result.deterministic_fingerprint()
     return fingerprints
@@ -223,4 +240,44 @@ def assert_cross_engine_equivalence(
     )
     distinct = set(fingerprints.values())
     assert len(distinct) == 1, f"fingerprints diverged: {fingerprints}"
+    return distinct.pop()
+
+
+def assert_shard_equivalence(
+    factory: Callable[[], object],
+    split: TraceSplit,
+    shards: int,
+    shard_placement: str = "hash",
+    engines: Iterable[str] = SHARD_ENGINES,
+    cluster: ClusterModel | None = None,
+    warmup_minutes: int = 180,
+) -> str:
+    """Assert sharded == unsharded fingerprints per engine; return the hash.
+
+    The core exactness claim of the sharded execution mode: for a shard-safe
+    policy (and, when capped, a decomposable capacity model) partitioning the
+    function population and merging the per-shard results must reproduce the
+    unsharded run's :meth:`deterministic_fingerprint` bit for bit.
+    """
+    whole = collect_fingerprints(
+        {"whole": factory},
+        split,
+        engines=engines,
+        cluster=cluster,
+        warmup_minutes=warmup_minutes,
+    )
+    sharded = collect_fingerprints(
+        {"sharded": factory},
+        split,
+        engines=engines,
+        cluster=cluster,
+        warmup_minutes=warmup_minutes,
+        shards=shards,
+        shard_placement=shard_placement,
+    )
+    distinct = set(whole.values()) | set(sharded.values())
+    assert len(distinct) == 1, (
+        f"sharded/unsharded fingerprints diverged "
+        f"(shards={shards}, placement={shard_placement}): {whole} vs {sharded}"
+    )
     return distinct.pop()
