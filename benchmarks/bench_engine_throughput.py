@@ -229,6 +229,88 @@ def test_event_engine_throughput(throughput_split, output_dir):
     assert seconds["event"] < seconds["reference"], payload
 
 
+def test_event_cpu_engine_throughput(throughput_split, output_dir):
+    """Cost of the intra-node CPU scheduling stage (PR 8 criterion).
+
+    With ``EventConfig.cpu`` set, every minute's warm events are expanded
+    into timestamped arrivals and pushed through the configured
+    :class:`~repro.simulation.scheduling.InvocationScheduler` — ``srtf`` is
+    measured here as the most expensive discipline (a full event-driven
+    preemptive loop, no quantum batching).  The bench times one end-to-end
+    ``fixed-10min`` run with a 2-core pool against the CPU-free event run,
+    asserts the observer property on the bench workload itself (identical
+    minute-granular fingerprints), and publishes the ``engine/event-cpu``
+    row in ``BENCH_pr8.json`` for ``compare_bench.py``'s floor gate.
+    """
+    from repro.simulation import CpuConfig, EventConfig
+
+    split = throughput_split
+    minutes = split.simulation.duration_minutes
+    cpu_events = EventConfig(
+        cpu=CpuConfig(cores_per_node=2, scheduler="srtf"), slo_ms=500.0
+    )
+
+    def run_seconds(events) -> tuple[float, object]:
+        best, result = float("inf"), None
+        for _ in range(3):
+            simulator = Simulator(
+                split.simulation, warmup_minutes=0, engine="event", events=events
+            )
+            started = time.perf_counter()
+            result = simulator.run(FixedKeepAlivePolicy(10))
+            best = min(best, time.perf_counter() - started)
+        return best, result
+
+    run_seconds(None)  # warm imports, index, jitter machinery
+    event_seconds, event = run_seconds(None)
+    cpu_seconds, contended = run_seconds(cpu_events)
+
+    # The CPU stage is a pure observer: minute aggregates are bit-identical.
+    assert (
+        contended.deterministic_fingerprint() == event.deterministic_fingerprint()
+    )
+    latency = contended.latency
+    assert latency.cpu_scheduled_events == latency.total_events
+    assert latency.slo_checked_events == latency.total_events
+
+    payload = {
+        "workload": {
+            "n_functions": THROUGHPUT_CONFIG.n_functions,
+            "duration_days": THROUGHPUT_CONFIG.duration_days,
+            "simulation_minutes": minutes,
+            "cpu": {"cores_per_node": 2, "scheduler": "srtf", "slo_ms": 500.0},
+        },
+        "engines": {
+            "event-cpu": {
+                "sweep_seconds": round(cpu_seconds, 4),
+                "sim_minutes_per_second": round(minutes / cpu_seconds, 1),
+            },
+        },
+        "cpu_overhead_vs_event": round(cpu_seconds / event_seconds, 3),
+        "cpu_stats": {
+            "scheduled_events": latency.cpu_scheduled_events,
+            "delayed_events": latency.cpu_delayed_events,
+            "slowdown_p99": round(latency.slowdown_p99, 3),
+            "slo_violation_rate": round(latency.slo_violation_rate, 5),
+        },
+    }
+    lines = [
+        "Intra-node CPU stage - 400 functions, 2-day window, 2 cores, srtf",
+        f"event (no cpu): {minutes / event_seconds:>12.0f} sim-min/s"
+        f"  ({event_seconds:.3f}s per run)",
+        f"event-cpu:      {minutes / cpu_seconds:>12.0f} sim-min/s"
+        f"  ({cpu_seconds:.3f}s per run)",
+        f"cpu-stage overhead: {payload['cpu_overhead_vs_event']:.2f}x over event",
+        f"slowdown p99 {latency.slowdown_p99:.2f}, "
+        f"SLO violations {latency.slo_violation_rate:.2%}",
+    ]
+    save_and_print(output_dir, "event_cpu_engine_throughput", "\n".join(lines))
+    (output_dir / "BENCH_pr8.json").write_text(json.dumps(payload, indent=2) + "\n")
+    # The scheduling stage is pure numpy-plus-heap bookkeeping per minute; it
+    # may cost a multiple of the bare event layer but must stay interactive.
+    assert minutes / cpu_seconds > 100.0, payload
+
+
 def test_feedback_engine_overhead(throughput_split, output_dir):
     """Cost of closing the latency feedback loop (PR 5 criterion).
 

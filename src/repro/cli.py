@@ -26,11 +26,20 @@ Commands
     cold-start latency alongside the paper's count-based metrics; ``--engine
     event-feedback`` additionally streams the rolling latency window into
     every policy's feedback hook.  With ``--streaming`` policies receive no
-    training window at all and must adapt online.
+    training window at all and must adapt online.  With ``--cores`` (event
+    engines only) every node runs a finite CPU pool and the latency tables
+    add slowdown and SLO columns; ``--scheduler`` picks the intra-node
+    discipline (fifo, rr, srtf, las) and ``--slo-ms`` sets the per-request
+    deadline.
 ``latency-rq``
     The RQ5 report: per continuous-drift scenario, the cold-start latency
     tail (p50/p95/p99/max) of the feedback consumer vs. its open-loop twin,
     from streaming ``event-feedback`` sweeps.
+``slowdown-rq``
+    The RQ6 report: per CPU-contention scenario, the per-invocation slowdown
+    (p50/p99) and SLO-violation rate of each policy × scheduler × cores
+    combination, from ``event``-engine sweeps with a finite per-node CPU
+    pool.
 ``cache``
     On-disk result-cache maintenance: ``--prune-days N`` deletes entries
     (and stray temporary files) older than N days.
@@ -237,6 +246,9 @@ def _command_sweep(args: argparse.Namespace) -> int:
             streaming=args.streaming,
             shards=args.shards,
             shard_placement=args.shard_placement,
+            cores=args.cores,
+            scheduler=args.scheduler,
+            slo_ms=args.slo_ms,
         )
     except (KeyError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
@@ -284,10 +296,15 @@ def _command_sweep(args: argparse.Namespace) -> int:
     engine = f", engine {args.engine}" if args.engine != "vectorized" else ""
     streaming = ", streaming" if args.streaming else ""
     shards = f", shards {args.shards}" if args.shards >= 2 else ""
+    cpu = ""
+    if args.cores is not None:
+        cpu = f", cores {args.cores} ({args.scheduler or 'fifo'})"
+    if args.slo_ms is not None:
+        cpu += f", slo {args.slo_ms:g}ms"
     print(
         f"sweep: {len(suite.seeds)} seed(s) x {len(args.policies)} policies "
         f"in {outcome.wall_seconds:.1f}s ({mode}{scenario_note}{placement}{engine}"
-        f"{streaming}{shards})"
+        f"{streaming}{shards}{cpu})"
     )
     if cache_dir:
         print(f"cache: {outcome.cache_hits} hit(s), {outcome.cache_misses} miss(es)")
@@ -331,6 +348,40 @@ def _command_latency_rq(args: argparse.Namespace) -> int:
         f"\nlatency-rq: {len(args.scenarios)} scenario(s) x "
         f"{len(args.policies)} policies x {len(args.seeds)} seed(s), "
         f"engine event-feedback, {mode}"
+    )
+    return 0
+
+
+def _command_slowdown_rq(args: argparse.Namespace) -> int:
+    from repro.experiments.rq6_slowdown import slowdown_rq, slowdown_rq_table
+
+    config = ExperimentConfig(
+        n_functions=args.functions,
+        seed=args.seeds[0],
+        duration_days=args.days,
+        training_days=args.training_days,
+    )
+    try:
+        report = slowdown_rq(
+            scenarios=args.scenarios,
+            policies=args.policies,
+            schedulers=args.schedulers,
+            cores=args.cores,
+            seeds=args.seeds,
+            config=config,
+            slo_ms=args.slo_ms,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+        )
+    except (KeyError, ValueError) as error:
+        print(f"error: {error.args[0] if error.args else error}", file=sys.stderr)
+        return 2
+    print(slowdown_rq_table(report).render(float_format="{:.2f}"))
+    combos = len(args.schedulers) * len(args.cores)
+    print(
+        f"\nslowdown-rq: {len(args.scenarios)} scenario(s) x "
+        f"{len(args.policies)} policies x {combos} scheduler/core combo(s) x "
+        f"{len(args.seeds)} seed(s), engine event"
     )
     return 0
 
@@ -554,6 +605,31 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sweep.add_argument(
+        "--cores",
+        type=int,
+        default=None,
+        help=(
+            "finite CPU cores per node for the intra-node scheduling stage "
+            "(event engines only); latency tables gain slowdown and SLO "
+            "columns.  Unset, invocations never queue for CPU"
+        ),
+    )
+    sweep.add_argument(
+        "--scheduler",
+        choices=("fifo", "rr", "srtf", "las"),
+        default=None,
+        help="intra-node CPU scheduling discipline (requires --cores; default fifo)",
+    )
+    sweep.add_argument(
+        "--slo-ms",
+        type=float,
+        default=None,
+        help=(
+            "per-request latency SLO in milliseconds; event engines count "
+            "invocations whose sojourn time exceeds it"
+        ),
+    )
+    sweep.add_argument(
         "--profile",
         action="store_true",
         help=(
@@ -616,6 +692,74 @@ def build_parser() -> argparse.ArgumentParser:
         help="give every policy its training window back (open-loop evaluation)",
     )
     latency_rq.set_defaults(handler=_command_latency_rq)
+
+    slowdown_rq = subparsers.add_parser(
+        "slowdown-rq",
+        help="RQ6: per-invocation slowdown and SLO violations under finite cores",
+    )
+    slowdown_rq.add_argument(
+        "--functions", type=int, default=400, help="number of synthetic functions"
+    )
+    slowdown_rq.add_argument(
+        "--days", type=float, default=14.0, help="total workload duration in days"
+    )
+    slowdown_rq.add_argument(
+        "--training-days",
+        type=float,
+        default=12.0,
+        help="days used for offline modelling",
+    )
+    slowdown_rq.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=[2024],
+        help="workload seeds; latency distributions are pooled across seeds",
+    )
+    slowdown_rq.add_argument(
+        "--scenarios",
+        nargs="+",
+        default=["cpu-starved", "long-duration-mix"],
+        help="scenario names to evaluate (default: the CPU-contention catalog)",
+    )
+    slowdown_rq.add_argument(
+        "--policies",
+        nargs="+",
+        default=["fixed-10min-indexed", "spes-indexed"],
+        help="policies to compare (default: fixed keep-alive vs. the paper's)",
+    )
+    slowdown_rq.add_argument(
+        "--schedulers",
+        nargs="+",
+        choices=("fifo", "rr", "srtf", "las"),
+        default=["fifo", "srtf"],
+        help="intra-node CPU disciplines to sweep (default: fifo vs. srtf)",
+    )
+    slowdown_rq.add_argument(
+        "--cores",
+        type=int,
+        nargs="+",
+        default=[2],
+        help="per-node core counts to sweep",
+    )
+    slowdown_rq.add_argument(
+        "--slo-ms",
+        type=float,
+        default=None,
+        help="override every scenario's latency SLO in milliseconds",
+    )
+    slowdown_rq.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for each scenario's sweep (0 = serial)",
+    )
+    slowdown_rq.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for the on-disk result cache",
+    )
+    slowdown_rq.set_defaults(handler=_command_slowdown_rq)
 
     cache = subparsers.add_parser(
         "cache",

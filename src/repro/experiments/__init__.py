@@ -54,6 +54,7 @@ from repro.experiments import (
     rq3_tradeoff,
     rq4_ablation,
     rq5_latency,
+    rq6_slowdown,
 )
 
 __all__ = [
@@ -74,4 +75,5 @@ __all__ = [
     "rq3_tradeoff",
     "rq4_ablation",
     "rq5_latency",
+    "rq6_slowdown",
 ]

@@ -649,6 +649,7 @@ class ParallelRunner:
             set(),
             split.simulation,
             training_trace=training,
+            events=self._cell_events(cell.trace_key),
         )
         if reason is not None:
             warnings.warn(

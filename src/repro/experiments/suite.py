@@ -87,11 +87,25 @@ class SuiteResult:
         latency_run = any(
             result.latency is not None for result in self.results[seed].values()
         )
+        cpu_run = any(
+            result.latency is not None
+            and getattr(result.latency, "cpu_scheduled_events", 0) > 0
+            for result in self.results[seed].values()
+        )
+        slo_run = any(
+            result.latency is not None
+            and getattr(result.latency, "slo_checked_events", 0) > 0
+            for result in self.results[seed].values()
+        )
         columns = ["policy", "q3_csr", "always_cold_pct", "avg_memory", "wmt", "emcr_pct"]
         if capacity_run:
             columns += ["evictions", "cap_cold_starts"]
         if latency_run:
             columns += ["lat_p50_ms", "lat_p95_ms", "lat_p99_ms"]
+        if cpu_run:
+            columns += ["slowdown_p50", "slowdown_p99"]
+        if slo_run:
+            columns += ["slo_viol_pct"]
         table = ComparisonTable(
             title=f"Policy suite (seed {seed})",
             columns=tuple(columns),
@@ -116,6 +130,15 @@ class SuiteResult:
                 row["lat_p50_ms"] = latency.p50_ms if latency else 0.0
                 row["lat_p95_ms"] = latency.p95_ms if latency else 0.0
                 row["lat_p99_ms"] = latency.p99_ms if latency else 0.0
+            if cpu_run:
+                latency = result.latency
+                row["slowdown_p50"] = latency.slowdown_p50 if latency else 0.0
+                row["slowdown_p99"] = latency.slowdown_p99 if latency else 0.0
+            if slo_run:
+                latency = result.latency
+                row["slo_viol_pct"] = (
+                    100.0 * latency.slo_violation_rate if latency else 0.0
+                )
             table.add_row(**row)
         return table
 
@@ -129,20 +152,33 @@ class SuiteResult:
         }
         if not rows:
             return None
+        cpu_run = any(
+            getattr(latency, "cpu_scheduled_events", 0) > 0
+            for latency in rows.values()
+        )
+        slo_run = any(
+            getattr(latency, "slo_checked_events", 0) > 0
+            for latency in rows.values()
+        )
+        columns = [
+            "policy",
+            "events",
+            "cold_pct",
+            "p50_ms",
+            "p95_ms",
+            "p99_ms",
+            "max_ms",
+        ]
+        if cpu_run:
+            columns += ["slowdown_p50", "slowdown_p99", "cpu_wait_p99_ms"]
+        if slo_run:
+            columns += ["slo_viol_pct"]
         table = ComparisonTable(
             title=f"Cold-start latency (seed {seed}; event engine)",
-            columns=(
-                "policy",
-                "events",
-                "cold_pct",
-                "p50_ms",
-                "p95_ms",
-                "p99_ms",
-                "max_ms",
-            ),
+            columns=tuple(columns),
         )
         for name, latency in rows.items():
-            table.add_row(
+            row = dict(
                 policy=name,
                 events=float(latency.total_events),
                 cold_pct=100.0 * latency.cold_event_fraction,
@@ -151,6 +187,13 @@ class SuiteResult:
                 p99_ms=latency.p99_ms,
                 max_ms=latency.max_ms,
             )
+            if cpu_run:
+                row["slowdown_p50"] = latency.slowdown_p50
+                row["slowdown_p99"] = latency.slowdown_p99
+                row["cpu_wait_p99_ms"] = latency.cpu_wait_p99_ms
+            if slo_run:
+                row["slo_viol_pct"] = 100.0 * latency.slo_violation_rate
+            table.add_row(**row)
         return table
 
     def merged_latency(self, policy: str) -> LatencyStats | None:
@@ -294,6 +337,18 @@ class ExperimentSuite:
         to whole-cell execution with a warning.
     shard_placement:
         Placement strategy deriving the function→shard partition.
+    cores:
+        Optional per-node core count: enables the event engines' intra-node
+        CPU stage (see :class:`~repro.simulation.scheduling.CpuConfig`),
+        overriding any scenario-prescribed CPU config.  Requires an event
+        engine.
+    scheduler:
+        CPU scheduler name (``fifo``/``rr``/``srtf``/``las``) for the core
+        pool; requires ``cores``.
+    slo_ms:
+        Optional sojourn-time SLO in milliseconds, checked per event (see
+        :attr:`~repro.simulation.events.EventConfig.slo_ms`); overrides any
+        scenario-prescribed SLO.  Requires an event engine.
     """
 
     def __init__(
@@ -310,6 +365,9 @@ class ExperimentSuite:
         streaming: bool = False,
         shards: int = 0,
         shard_placement: str = "hash",
+        cores: int | None = None,
+        scheduler: str | None = None,
+        slo_ms: float | None = None,
     ) -> None:
         self.config = config or ExperimentConfig()
         if engine not in ENGINE_IMPLEMENTATIONS:
@@ -317,6 +375,23 @@ class ExperimentSuite:
                 f"unknown engine {engine!r}; expected one of {ENGINE_IMPLEMENTATIONS}"
             )
         self.engine = engine
+        if (cores is not None or scheduler is not None or slo_ms is not None) and (
+            engine not in EVENT_ENGINES
+        ):
+            raise ValueError(
+                "cores/scheduler/slo_ms configure the event layer's CPU stage "
+                f"and require an event engine, not {engine!r}"
+            )
+        if scheduler is not None and cores is None:
+            raise ValueError("scheduler requires cores (the pool it schedules)")
+        if cores is not None:
+            # Validates cores >= 1 and the scheduler name eagerly.
+            from repro.simulation.scheduling import CpuConfig
+
+            CpuConfig(cores_per_node=cores, scheduler=scheduler or "fifo")
+        self.cores = cores
+        self.scheduler = scheduler
+        self.slo_ms = slo_ms
         self.streaming = streaming
         self.shards = shards
         self.shard_placement = shard_placement
@@ -413,7 +488,29 @@ class ExperimentSuite:
                         trace, training_days=config.training_days
                     )
                     self._events[key] = EventConfig(seed=seed)
+                self._events[key] = self._apply_cpu_overrides(self._events[key])
         return self._traces
+
+    def _apply_cpu_overrides(self, events: EventConfig) -> EventConfig:
+        """Overlay the suite-level CPU/SLO knobs on one seed's event config.
+
+        ``cores``/``scheduler`` replace any scenario-prescribed
+        :class:`~repro.simulation.scheduling.CpuConfig`; ``slo_ms`` replaces
+        the scenario's SLO.  Knobs left at ``None`` keep whatever the
+        scenario (or the plain default) prescribes.
+        """
+        if self.cores is None and self.slo_ms is None:
+            return events
+        from repro.simulation.scheduling import CpuConfig
+
+        overrides: Dict[str, object] = {}
+        if self.cores is not None:
+            overrides["cpu"] = CpuConfig(
+                cores_per_node=self.cores, scheduler=self.scheduler or "fifo"
+            )
+        if self.slo_ms is not None:
+            overrides["slo_ms"] = self.slo_ms
+        return replace(events, **overrides)
 
     def parallel_runner(self) -> ParallelRunner:
         """The shared :class:`ParallelRunner` over every seed's split."""

@@ -75,6 +75,15 @@ Built-in catalog
     CSVs generated on the fly in the exact dataset schema.  Fully hermetic
     (no dataset, no network), deterministic in ``(seed, parameters)``; this
     is the scenario CI smoke-sweeps.
+``cpu-starved``
+    Dense heavyweight HTTP traffic on a deliberately small per-node core
+    pool (the event engines' intra-node CPU stage): even well-provisioned
+    functions queue for CPU, so slowdown and SLO violations — not just
+    cold starts — separate the policies and schedulers.
+``long-duration-mix``
+    Bimodal service times sharing the cores: long batch jobs convoy short
+    HTTP requests under ``fifo``, while size-aware schedulers (``srtf``,
+    ``las``) protect the short jobs — the scheduler contrast RQ6 measures.
 
 The three continuous-drift scenarios are the intended companions of the
 streaming evaluation mode (``ExperimentSuite(streaming=True)`` /
@@ -107,6 +116,7 @@ import numpy as np
 
 from repro.simulation.cluster import ClusterModel
 from repro.simulation.events import EventConfig
+from repro.simulation.scheduling import CpuConfig
 from repro.traces import (
     AzureTraceGenerator,
     FunctionRecord,
@@ -120,7 +130,7 @@ from repro.traces import (
     generate_rare,
     split_trace,
 )
-from repro.traces.schema import MINUTES_PER_DAY, TraceMetadata
+from repro.traces.schema import MINUTES_PER_DAY, DurationProfile, TraceMetadata
 
 __all__ = [
     "Scenario",
@@ -795,6 +805,147 @@ def _build_azure2019_fixture(
     )
 
 
+def _build_cpu_starved(
+    seed: int,
+    n_functions: int,
+    days: float,
+    training_days: float,
+    hot_fraction: float,
+    hot_rate: float,
+    cores: int,
+    scheduler: str,
+    slo_ms: float,
+) -> ScenarioWorkload:
+    """Dense HTTP traffic contending for a deliberately small core pool.
+
+    The hot slice fires continuously at rates up to ``hot_rate`` per minute
+    with heavyweight handlers (``execution_scale`` 3x), while the scenario
+    prescribes only ``cores`` cores per node — so even perfectly provisioned
+    functions queue for CPU and keep-alive quality stops being the whole
+    latency story.  The background of periodic/rare functions keeps the
+    provisioning problem non-trivial at the same time.
+    """
+    rng = np.random.default_rng(seed)
+    duration = int(round(days * MINUTES_PER_DAY))
+    n_hot = max(1, int(round(hot_fraction * n_functions)))
+    records: List[FunctionRecord] = []
+    counts: Dict[str, np.ndarray] = {}
+    for i in range(n_functions):
+        function_id = f"func-{i:05d}"
+        if i < n_hot:
+            series = generate_dense_poisson(
+                rng, duration, rate_per_minute=float(rng.uniform(1.0, hot_rate))
+            )
+            trigger = TriggerType.HTTP
+            archetype = "dense_poisson"
+        elif i < n_hot + max(1, n_functions // 5):
+            series = generate_periodic(
+                rng, duration, period=int(rng.integers(20, 120))
+            )
+            trigger = TriggerType.TIMER
+            archetype = "periodic"
+        else:
+            series = generate_rare(
+                rng, duration, invocation_count=int(rng.integers(2, 8))
+            )
+            trigger = TriggerType.OTHERS
+            archetype = "rare"
+        records.append(
+            FunctionRecord(
+                function_id,
+                f"app-{i // 3:05d}",
+                f"owner-{i // 6:05d}",
+                trigger,
+                archetype=archetype,
+            )
+        )
+        counts[function_id] = series
+    return ScenarioWorkload(
+        scenario="cpu-starved",
+        split=_assemble(
+            "cpu-starved", seed, records, counts, duration, training_days
+        ),
+        events=EventConfig(
+            execution_scale=3.0,
+            cpu=CpuConfig(cores_per_node=int(cores), scheduler=str(scheduler)),
+            slo_ms=float(slo_ms),
+        ),
+    )
+
+
+def _build_long_duration_mix(
+    seed: int,
+    n_functions: int,
+    days: float,
+    training_days: float,
+    long_fraction: float,
+    long_exec_ms: float,
+    short_exec_ms: float,
+    cores: int,
+    scheduler: str,
+    slo_ms: float,
+) -> ScenarioWorkload:
+    """Bimodal service times on a shared core pool: scheduler discrimination.
+
+    A slice of long-running batch functions (measured ``long_exec_ms``
+    handlers on queue triggers) shares the cores with a majority of short
+    HTTP handlers (``short_exec_ms``).  Under ``fifo`` a long job in front
+    of the queue convoys every short request behind it; size-aware
+    disciplines (``srtf``, ``las``) cut the short jobs' slowdown at the long
+    jobs' expense — exactly the contrast RQ6 measures.  Durations ride on
+    the records as measured profiles, so the bimodality is exact rather
+    than spread-derived.
+    """
+    rng = np.random.default_rng(seed)
+    duration = int(round(days * MINUTES_PER_DAY))
+    n_long = max(1, int(round(long_fraction * n_functions)))
+    long_profile = DurationProfile(
+        cold_start_ms=600.0, execution_ms=float(long_exec_ms)
+    )
+    short_profile = DurationProfile(
+        cold_start_ms=220.0, execution_ms=float(short_exec_ms)
+    )
+    records: List[FunctionRecord] = []
+    counts: Dict[str, np.ndarray] = {}
+    for i in range(n_functions):
+        function_id = f"func-{i:05d}"
+        if i < n_long:
+            series = generate_dense_poisson(
+                rng, duration, rate_per_minute=float(rng.uniform(0.1, 0.6))
+            )
+            trigger = TriggerType.QUEUE
+            archetype = "bursty"
+            profile = long_profile
+        else:
+            series = generate_dense_poisson(
+                rng, duration, rate_per_minute=float(rng.uniform(0.8, 3.0))
+            )
+            trigger = TriggerType.HTTP
+            archetype = "dense_poisson"
+            profile = short_profile
+        records.append(
+            FunctionRecord(
+                function_id,
+                f"app-{i // 3:05d}",
+                f"owner-{i // 6:05d}",
+                trigger,
+                archetype=archetype,
+                duration=profile,
+            )
+        )
+        counts[function_id] = series
+    return ScenarioWorkload(
+        scenario="long-duration-mix",
+        split=_assemble(
+            "long-duration-mix", seed, records, counts, duration, training_days
+        ),
+        events=EventConfig(
+            cpu=CpuConfig(cores_per_node=int(cores), scheduler=str(scheduler)),
+            slo_ms=float(slo_ms),
+        ),
+    )
+
+
 register_scenario(
     Scenario(
         name="azure",
@@ -920,5 +1071,39 @@ register_scenario(
         builder=_build_azure2019_fixture,
         defaults={"population": 0, "selection": "all", "trigger": ""},
         events=EventConfig(),
+    )
+)
+register_scenario(
+    Scenario(
+        name="cpu-starved",
+        description="dense heavyweight HTTP traffic contending for a small per-node core pool",
+        builder=_build_cpu_starved,
+        defaults={
+            "hot_fraction": 0.5,
+            "hot_rate": 6.0,
+            "cores": 2,
+            "scheduler": "fifo",
+            "slo_ms": 1000.0,
+        },
+        # The builder attaches the CPU/SLO config itself (it depends on the
+        # cores/scheduler/slo_ms parameters); this registry-level default is
+        # only the fallback if the builder's is ever bypassed.
+        events=EventConfig(execution_scale=3.0, cpu=CpuConfig(cores_per_node=2), slo_ms=1000.0),
+    )
+)
+register_scenario(
+    Scenario(
+        name="long-duration-mix",
+        description="bimodal service times on shared cores: convoys under fifo, relief under srtf/las",
+        builder=_build_long_duration_mix,
+        defaults={
+            "long_fraction": 0.2,
+            "long_exec_ms": 2000.0,
+            "short_exec_ms": 60.0,
+            "cores": 2,
+            "scheduler": "fifo",
+            "slo_ms": 500.0,
+        },
+        events=EventConfig(cpu=CpuConfig(cores_per_node=2), slo_ms=500.0),
     )
 )

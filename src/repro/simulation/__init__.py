@@ -26,6 +26,13 @@ from repro.simulation.placement import (
     register_placement,
 )
 from repro.simulation.events import EventConfig, EventTracker, LatencyWindow
+from repro.simulation.scheduling import (
+    CpuConfig,
+    InvocationScheduler,
+    get_scheduler,
+    register_scheduler,
+    scheduler_names,
+)
 from repro.simulation.memory import MemoryAccountant
 from repro.simulation.results import (
     ClusterStats,
@@ -55,6 +62,11 @@ __all__ = [
     "EventConfig",
     "EventTracker",
     "LatencyWindow",
+    "CpuConfig",
+    "InvocationScheduler",
+    "register_scheduler",
+    "get_scheduler",
+    "scheduler_names",
     "LatencyStats",
     "MemoryAccountant",
     "FunctionStats",

@@ -367,4 +367,9 @@ class ClusterArbiter:
             self.migrated_last[victim] = True
             self.migrations += 1
             usage[arbiter.node] -= 1
+            # Reserve the inbound unit on the target now: later pressured
+            # sources in this same pass recompute `free` from `usage`, and
+            # without the reservation they would all dogpile one nearly-full
+            # node, evicting each other's migrants next minute.
+            usage[target] += 1
             arbiter.pressure_streak = 0

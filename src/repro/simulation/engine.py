@@ -101,7 +101,7 @@ EVENT_ENGINES = ("event", "event-feedback")
 
 #: Bumped whenever a change alters simulation *output*; part of on-disk
 #: result-cache keys so stale cached results are never served.
-ENGINE_VERSION = 5
+ENGINE_VERSION = 6
 
 
 class ShardFallbackWarning(RuntimeWarning):
@@ -235,6 +235,7 @@ class Simulator:
                 self.initially_resident,
                 self.simulation_trace,
                 training_trace=self.training_trace,
+                events=self.events,
             )
             if reason is None:
                 return self._run_sharded(policy)
@@ -360,7 +361,7 @@ class Simulator:
           costs nothing and a churning one costs only its churn.
 
         With an :class:`~repro.simulation.events.EventTracker` (the
-        ``event`` engine), each minute is additionally expanded into
+        event-granular engines), each minute is additionally expanded into
         timestamped invocation events after cold starts are charged; the
         tracker is a pure observer, so every minute-granular output is
         unchanged.
@@ -458,10 +459,13 @@ class Simulator:
                         )
                 if tracker is not None:
                     # Sub-minute observation layer: expand this minute into
-                    # timestamped events and record per-event waits.
+                    # timestamped events and record per-event waits.  Under a
+                    # cluster the arbiter's current placement scopes each
+                    # node's CPU pool.
                     tracker.observe_minute(
                         minute, invoked, counts, cold_mask, declared_entering,
                         migrated_entering,
+                        node_of=arbiter.node_of if arbiter is not None else None,
                     )
                 # 3. invoked functions are loaded on demand for this minute.
                 resident[invoked] = True

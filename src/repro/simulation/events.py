@@ -29,15 +29,28 @@ is *identical* to a vectorized run's.  What the event engine adds is the
 waits, capacity-attributed cold events (mid-minute arrivals hitting a slot
 the cluster arbiter evicted at the previous boundary), and busy time.
 
+With a :class:`~repro.simulation.scheduling.CpuConfig` the tracker models a
+second queueing stage: after an event clears provisioning it must be
+dispatched onto its node's finite core pool by a pluggable
+:class:`~repro.simulation.scheduling.InvocationScheduler`, yielding per-event
+CPU waits, *slowdown* (sojourn/service), and — with
+:attr:`EventConfig.slo_ms` — SLO-violation counts.  The CPU stage is also an
+observer: it never alters residency, counts, or the fingerprint, and when
+``cpu`` is unset the stage is skipped entirely (no extra RNG draws, no
+arithmetic), so pre-CPU latency pins stay byte-identical.
+
 Determinism: arrival jitter comes from one :class:`numpy.random.Generator`
 seeded by :attr:`EventConfig.seed` and consumed in a fixed order (minute
--major, CSR function order), so a run is a pure function of ``(trace, policy,
-config)``.  Changing the jitter seed changes *latencies only* — never counts,
-never the fingerprint.
+-major, CSR function order; under a ``CpuConfig``, each minute's cold draw is
+followed by a warm-event draw), so a run is a pure function of ``(trace,
+policy, config)``.  Changing the jitter seed changes *latencies only* — never
+counts, never the fingerprint.
 """
 
 from __future__ import annotations
 
+import weakref
+import zlib
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Tuple
@@ -45,11 +58,22 @@ from typing import Deque, Dict, List, Tuple
 import numpy as np
 
 from repro.simulation.results import LatencyStats
-from repro.traces.archetypes import duration_profile_for
+from repro.simulation.scheduling import CpuConfig, get_scheduler
+from repro.traces.archetypes import (
+    ARCHETYPE_DURATION_PROFILES,
+    TRIGGER_DURATION_PROFILES,
+    duration_profile_for,
+)
 from repro.traces.schema import DEFAULT_DURATION_PROFILE, DurationProfile
 from repro.traces.trace import InvocationIndex, Trace
 
-__all__ = ["EventConfig", "EventTracker", "LatencyWindow", "expand_minute_offsets"]
+__all__ = [
+    "EventConfig",
+    "EventTracker",
+    "LatencyWindow",
+    "duration_profile_arrays",
+    "expand_minute_offsets",
+]
 
 #: Seconds per simulated minute bucket.
 SECONDS_PER_MINUTE = 60.0
@@ -85,6 +109,20 @@ class EventConfig:
         streams into the policy between minutes (ignored by the plain
         ``event`` engine, which never constructs a window).  The default of
         one hour covers the keep-alive horizons of every shipped policy.
+    cpu:
+        Optional :class:`~repro.simulation.scheduling.CpuConfig` enabling the
+        intra-node CPU stage: every event queues for one of
+        ``cpu.cores_per_node`` cores under the configured scheduler after
+        clearing provisioning.  ``None`` (the default) models infinite cores
+        — the CPU stage is skipped entirely and results are byte-identical
+        to the pre-CPU event layer.
+    slo_ms:
+        Optional service-level objective on per-event *sojourn time*
+        (provisioning wait + CPU wait + execution, in milliseconds); when
+        set, every event is checked and violations counted in
+        :attr:`~repro.simulation.results.LatencyStats.slo_violations`.
+        Works with or without a ``cpu`` config (without one the CPU-wait
+        term is zero).
     """
 
     seed: int = 0
@@ -93,12 +131,16 @@ class EventConfig:
     default_profile: DurationProfile = DEFAULT_DURATION_PROFILE
     derive_profiles: bool = True
     feedback_window_minutes: int = 60
+    cpu: CpuConfig | None = None
+    slo_ms: float | None = None
 
     def __post_init__(self) -> None:
         if self.cold_start_scale < 0 or self.execution_scale < 0:
             raise ValueError("scale factors must be non-negative")
         if self.feedback_window_minutes < 1:
             raise ValueError("feedback_window_minutes must be >= 1")
+        if self.slo_ms is not None and self.slo_ms <= 0:
+            raise ValueError("slo_ms must be positive when set")
 
     def profile_for(self, record) -> DurationProfile:
         """The effective duration profile of one function."""
@@ -111,6 +153,81 @@ class EventConfig:
                 cold_start=self.cold_start_scale, execution=self.execution_scale
             )
         return profile
+
+
+# Derived (cold_ms, exec_ms) arrays per trace, keyed by the profile-relevant
+# EventConfig subset.  Sweeps run many (policy, seed) cells over one shared
+# trace object; the cache makes the derivation a one-time cost per trace
+# instead of a per-run cost, and the weak keying lets traces be collected
+# normally.
+_PROFILE_ARRAY_CACHE: "weakref.WeakKeyDictionary[Trace, Dict[tuple, Tuple[np.ndarray, np.ndarray]]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def duration_profile_arrays(
+    trace: Trace, config: EventConfig
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-function ``(cold_start_ms, execution_ms)`` arrays for ``trace``.
+
+    Batched, cached equivalent of calling :meth:`EventConfig.profile_for` on
+    every record in function-index order: the spread factors and scale
+    multipliers are applied with the same operations in the same order, so
+    the arrays are bit-identical to the per-record loop — this is what keeps
+    latency pins stable across the batching.  Results are cached per trace
+    (weakly) and per profile-relevant config subset, and returned read-only
+    so cached arrays cannot be mutated through one tracker and observed by
+    another.
+    """
+    cache_key = (
+        config.default_profile,
+        config.derive_profiles,
+        config.cold_start_scale,
+        config.execution_scale,
+    )
+    try:
+        per_trace = _PROFILE_ARRAY_CACHE.setdefault(trace, {})
+    except TypeError:  # unhashable/unweakrefable trace: derive uncached
+        per_trace = {}
+    cached = per_trace.get(cache_key)
+    if cached is not None:
+        return cached
+
+    index = trace.invocation_index()
+    n = index.n_functions
+    cold_ms = np.empty(n, dtype=float)
+    exec_ms = np.empty(n, dtype=float)
+    if not config.derive_profiles:
+        cold_ms.fill(config.default_profile.cold_start_ms)
+        exec_ms.fill(config.default_profile.execution_ms)
+    else:
+        base = config.default_profile
+        for position, function_id in enumerate(index.function_ids):
+            record = trace.record(function_id)
+            measured = record.duration
+            if measured is not None:
+                # Measured profiles carry no synthetic spread.
+                cold_ms[position] = measured.cold_start_ms
+                exec_ms[position] = measured.execution_ms
+                continue
+            profile = None
+            if record.archetype is not None:
+                profile = ARCHETYPE_DURATION_PROFILES.get(record.archetype)
+            if profile is None:
+                profile = TRIGGER_DURATION_PROFILES.get(record.trigger.value)
+            if profile is None:
+                profile = base
+            unit_cold = (zlib.crc32(f"cold:{function_id}".encode()) % 2**32) / 2**32
+            unit_exec = (zlib.crc32(f"exec:{function_id}".encode()) % 2**32) / 2**32
+            cold_ms[position] = profile.cold_start_ms * (0.6 + 1.2 * unit_cold)
+            exec_ms[position] = profile.execution_ms * (0.6 + 1.2 * unit_exec)
+    if config.cold_start_scale != 1.0 or config.execution_scale != 1.0:
+        cold_ms = cold_ms * config.cold_start_scale
+        exec_ms = exec_ms * config.execution_scale
+    cold_ms.flags.writeable = False
+    exec_ms.flags.writeable = False
+    per_trace[cache_key] = (cold_ms, exec_ms)
+    return cold_ms, exec_ms
 
 
 def expand_minute_offsets(
@@ -222,14 +339,9 @@ class EventTracker:
         index: InvocationIndex = trace.invocation_index()
         self._function_ids = index.function_ids
         n = index.n_functions
-        cold_ms = np.empty(n, dtype=float)
-        exec_ms = np.empty(n, dtype=float)
-        for position, function_id in enumerate(index.function_ids):
-            profile = self.config.profile_for(trace.record(function_id))
-            cold_ms[position] = profile.cold_start_ms
-            exec_ms[position] = profile.execution_ms
-        self._cold_ms = cold_ms
-        self._exec_ms = exec_ms
+        # Batched + cached: profiles are a pure function of record metadata,
+        # so sharded / multi-cell runs over one trace derive them once.
+        self._cold_ms, self._exec_ms = duration_profile_arrays(trace, self.config)
 
         self._total_events = 0
         self._warm_events = 0
@@ -243,6 +355,20 @@ class EventTracker:
         # Python work.
         self._wait_chunks: List[np.ndarray] = []
         self._position_chunks: List[np.ndarray] = []
+
+        # Intra-node CPU stage (inert unless a CpuConfig is present).
+        cpu = self.config.cpu
+        self._cpu = cpu
+        self._scheduler = get_scheduler(cpu.scheduler) if cpu is not None else None
+        self._cores = cpu.cores_per_node if cpu is not None else 0
+        self._exec_s = self._exec_ms / 1000.0 if cpu is not None else None
+        self._slo_ms = self.config.slo_ms
+        self._cpu_scheduled_events = 0
+        self._cpu_delayed_events = 0
+        self._cpu_wait_chunks: List[np.ndarray] = []
+        self._slowdown_chunks: List[np.ndarray] = []
+        self._slo_checked_events = 0
+        self._slo_violations = 0
 
         self.feedback = feedback
         if feedback:
@@ -264,6 +390,7 @@ class EventTracker:
         cold_mask: np.ndarray,
         declared_entering: np.ndarray | None,
         migrated_entering: np.ndarray | None = None,
+        node_of: np.ndarray | None = None,
     ) -> None:
         """Expand one minute's invocations into events and record waits.
 
@@ -293,6 +420,11 @@ class EventTracker:
             re-placed at the previous boundary; initiations among them are
             migration-attributed (a subset of the capacity-attributed
             count).  ``None`` when migration is disabled.
+        node_of:
+            Under a cluster with a :class:`~repro.simulation.scheduling.CpuConfig`,
+            the arbiter's current per-function node assignment: each node's
+            events contend for that node's core pool only.  ``None`` (or no
+            ``CpuConfig``) pools everything on one node.
         """
         if invoked.size == 0:
             return
@@ -306,6 +438,17 @@ class EventTracker:
         n_cold = cold.size
         if n_cold == 0:
             self._warm_events += total
+            if self._cpu is not None:
+                self._schedule_minute_cpu(
+                    invoked, counts, None, None, None, None, node_of
+                )
+            elif self._slo_ms is not None:
+                # Warm events' sojourn is execution time alone.
+                slo = self._slo_ms
+                self._slo_checked_events += total
+                self._slo_violations += int(
+                    counts[self._exec_ms[invoked] > slo].sum()
+                )
             return
         if declared_entering is not None:
             self._capacity_cold_events += int(
@@ -353,6 +496,118 @@ class EventTracker:
         self._warm_events += total - n_cold - n_delayed
         if self.feedback:
             self._accumulate_window(minute, positions, waits_ms)
+
+        if self._cpu is not None:
+            # Per-event provisioning wait: initiations wait the full cold
+            # start (wait_seconds[starts] == cold_ms / 1000 exactly), queued
+            # arrivals wait the residual, and arrivals after the instance is
+            # ready wait nothing.
+            prov_wait_s = np.maximum(wait_seconds, 0.0)
+            self._schedule_minute_cpu(
+                invoked, counts, cold_mask,
+                cold[segment], offsets, prov_wait_s, node_of,
+            )
+        elif self._slo_ms is not None:
+            slo = self._slo_ms
+            self._slo_checked_events += total
+            warm_fns = invoked[~cold_mask]
+            counts_warm = counts[~cold_mask]
+            violations = int(counts_warm[self._exec_ms[warm_fns] > slo].sum())
+            sojourn_ms = (
+                np.maximum(wait_seconds, 0.0) * 1000.0
+                + self._exec_ms[cold[segment]]
+            )
+            violations += int(np.count_nonzero(sojourn_ms > slo))
+            self._slo_violations += violations
+
+    # ------------------------------------------------------------------ #
+    def _schedule_minute_cpu(
+        self,
+        invoked: np.ndarray,
+        counts: np.ndarray,
+        cold_mask: np.ndarray | None,
+        pos_cold: np.ndarray | None,
+        arrival_cold_s: np.ndarray | None,
+        prov_wait_s: np.ndarray | None,
+        node_of: np.ndarray | None,
+    ) -> None:
+        """Run one minute's events through the node core pools.
+
+        ``pos_cold`` / ``arrival_cold_s`` / ``prov_wait_s`` are the already
+        expanded per-event arrays of the minute's cold functions (``None``
+        on an all-warm minute).  Warm functions' events are expanded here
+        with a second jitter draw — taken *after* the minute's cold draw, so
+        the stream stays minute-major and deterministic.  Scheduling is per
+        node when ``node_of`` is given, one shared pool otherwise.
+
+        The stage only appends to the ``cpu_*``/slowdown/SLO accumulators;
+        the minute-granular counters above are already settled, which keeps
+        the CPU layer a pure observer.
+        """
+        if cold_mask is None:
+            warm_fns = invoked
+            counts_warm = counts
+        else:
+            warm_fns = invoked[~cold_mask]
+            counts_warm = counts[~cold_mask]
+        total_warm = int(counts_warm.sum())
+        if total_warm:
+            pos_warm = np.repeat(warm_fns, counts_warm)
+            arrival_warm = self._rng.random(total_warm) * SECONDS_PER_MINUTE
+        else:
+            pos_warm = np.zeros(0, dtype=invoked.dtype)
+            arrival_warm = np.zeros(0, dtype=float)
+
+        if pos_cold is None:
+            positions = pos_warm
+            arrival_s = arrival_warm
+            ready_s = arrival_warm
+        else:
+            positions = np.concatenate([pos_cold, pos_warm])
+            arrival_s = np.concatenate([arrival_cold_s, arrival_warm])
+            # A cold event reaches the CPU only once provisioning clears.
+            ready_s = np.concatenate(
+                [arrival_cold_s + prov_wait_s, arrival_warm]
+            )
+        n_events = positions.size
+        if n_events == 0:
+            return
+        service_s = self._exec_s[positions]
+
+        completion_s = np.empty(n_events, dtype=float)
+        if node_of is None:
+            completion_s[:] = self._scheduler.schedule(
+                ready_s, service_s, self._cores
+            )
+        else:
+            nodes = node_of[positions]
+            for node in np.unique(nodes):
+                members = nodes == node
+                completion_s[members] = self._scheduler.schedule(
+                    ready_s[members], service_s[members], self._cores
+                )
+
+        cpu_wait_s = np.maximum(completion_s - ready_s - service_s, 0.0)
+        sojourn_ms = (completion_s - arrival_s) * 1000.0
+        service_ms = service_s * 1000.0
+
+        self._cpu_scheduled_events += n_events
+        delayed = cpu_wait_s > 1e-9
+        n_delayed = int(np.count_nonzero(delayed))
+        self._cpu_delayed_events += n_delayed
+        if n_delayed:
+            self._cpu_wait_chunks.append(cpu_wait_s[delayed] * 1000.0)
+        # Slowdown: sojourn over service; zero-service events pin to 1.0,
+        # and float dust in the schedulers cannot push it below 1.0.
+        slowdown = np.ones(n_events, dtype=float)
+        np.divide(sojourn_ms, service_ms, out=slowdown, where=service_ms > 0.0)
+        np.maximum(slowdown, 1.0, out=slowdown)
+        self._slowdown_chunks.append(slowdown)
+        if self._slo_ms is not None:
+            self._slo_checked_events += n_events
+            self._slo_violations += int(
+                np.count_nonzero(sojourn_ms > self._slo_ms)
+            )
 
     # ------------------------------------------------------------------ #
     def _accumulate_window(
@@ -412,6 +667,14 @@ class EventTracker:
                 ids[position]: sorted_waits[bounds[i] : bounds[i + 1]]
                 for i, position in enumerate(unique.tolist())
             }
+        if self._cpu_wait_chunks:
+            cpu_waits = np.concatenate(self._cpu_wait_chunks)
+        else:
+            cpu_waits = np.zeros(0, dtype=float)
+        if self._slowdown_chunks:
+            slowdown = np.concatenate(self._slowdown_chunks)
+        else:
+            slowdown = np.zeros(0, dtype=float)
         return LatencyStats(
             total_events=self._total_events,
             warm_events=self._warm_events,
@@ -422,4 +685,11 @@ class EventTracker:
             cold_wait_ms=waits,
             per_function_wait_ms=per_function,
             total_execution_ms=self._total_execution_ms,
+            cpu_scheduled_events=self._cpu_scheduled_events,
+            cpu_delayed_events=self._cpu_delayed_events,
+            cpu_wait_ms=cpu_waits,
+            slowdown=slowdown,
+            slo_ms=self._slo_ms,
+            slo_checked_events=self._slo_checked_events,
+            slo_violations=self._slo_violations,
         )

@@ -148,8 +148,9 @@ class ClusterStats:
 class LatencyStats:
     """Per-event cold-start latency distribution of an event-granular run.
 
-    Only present on results produced by the ``event`` engine
-    (:mod:`repro.simulation.events`); the minute-granular engines count cold
+    Only present on results produced by the event-granular engines —
+    ``event`` and ``event-feedback`` (:mod:`repro.simulation.events`); the
+    minute-granular engines (``reference``, ``vectorized``) count cold
     starts but cannot attribute latency, so they leave
     :attr:`SimulationResult.latency` as ``None``.
 
@@ -166,6 +167,15 @@ class LatencyStats:
     per-event waits are retained (cold events are a small fraction of
     traffic), so percentiles are exact and merging across seeds is simply
     sample pooling — associative and commutative, see :meth:`merge`.
+
+    When the run configured an intra-node CPU layer
+    (:class:`~repro.simulation.scheduling.CpuConfig`), every event is
+    additionally scheduled onto its node's finite core pool *after* any
+    provisioning wait, populating the ``cpu_*`` counts, per-event
+    :attr:`slowdown` samples, and — when
+    :attr:`~repro.simulation.events.EventConfig.slo_ms` is set — the SLO
+    violation counters.  Without a ``CpuConfig`` those fields stay at their
+    zero/empty defaults.
 
     Like the wall-clock overhead fields, latency is an *observation layered
     on top of* the minute-granular simulation state: it never feeds back into
@@ -198,6 +208,27 @@ class LatencyStats:
     #: Total execution time of all events (busy milliseconds), from the
     #: per-function :class:`~repro.traces.schema.DurationProfile`.
     total_execution_ms: float = 0.0
+    #: Events routed through a finite core pool (all events of the run when
+    #: :class:`~repro.simulation.scheduling.CpuConfig` is set, 0 otherwise).
+    cpu_scheduled_events: int = 0
+    #: Scheduled events that queued for a core (positive CPU wait).
+    cpu_delayed_events: int = 0
+    #: Per-event CPU-queueing waits in milliseconds (delayed events only).
+    cpu_wait_ms: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=float)
+    )
+    #: Per-event slowdown — sojourn time (provisioning wait + CPU wait +
+    #: execution) divided by execution time — for every scheduled event.
+    #: 1.0 means "as fast as an empty system"; zero-service events are
+    #: recorded as 1.0 by convention.
+    slowdown: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=float))
+    #: The SLO threshold (milliseconds of sojourn time) events were checked
+    #: against; ``None`` when the run had no SLO configured.
+    slo_ms: float | None = None
+    #: Events checked against the SLO (== total events when an SLO is set).
+    slo_checked_events: int = 0
+    #: Checked events whose sojourn time exceeded the SLO.
+    slo_violations: int = 0
 
     # ------------------------------------------------------------------ #
     def _percentile(self, percentile: float) -> float:
@@ -241,6 +272,52 @@ class LatencyStats:
             return 0.0
         return (self.cold_start_events + self.delayed_events) / self.total_events
 
+    # ------------------------------------------------------------------ #
+    # CPU-scheduling / SLO aggregates (zero / empty without a CpuConfig)
+    # ------------------------------------------------------------------ #
+    def _slowdown_percentile(self, percentile: float) -> float:
+        if self.slowdown.size == 0:
+            return 0.0
+        return float(np.percentile(self.slowdown, percentile))
+
+    @property
+    def slowdown_p50(self) -> float:
+        """Median per-event slowdown (0.0 when no events were scheduled)."""
+        return self._slowdown_percentile(50.0)
+
+    @property
+    def slowdown_p99(self) -> float:
+        """99th-percentile per-event slowdown."""
+        return self._slowdown_percentile(99.0)
+
+    @property
+    def slowdown_mean(self) -> float:
+        """Mean per-event slowdown (0.0 when no events were scheduled)."""
+        if self.slowdown.size == 0:
+            return 0.0
+        return float(self.slowdown.mean())
+
+    @property
+    def cpu_wait_p99_ms(self) -> float:
+        """99th-percentile CPU-queueing wait among delayed events."""
+        if self.cpu_wait_ms.size == 0:
+            return 0.0
+        return float(np.percentile(self.cpu_wait_ms, 99.0))
+
+    @property
+    def cpu_delayed_fraction(self) -> float:
+        """Fraction of scheduled events that queued for a core."""
+        if self.cpu_scheduled_events == 0:
+            return 0.0
+        return self.cpu_delayed_events / self.cpu_scheduled_events
+
+    @property
+    def slo_violation_rate(self) -> float:
+        """SLO violations over checked events (0.0 when nothing checked)."""
+        if self.slo_checked_events == 0:
+            return 0.0
+        return self.slo_violations / self.slo_checked_events
+
     def function_tail(self, percentile: float = 99.0) -> Dict[str, float]:
         """Per-function tail latency: ``{function_id: percentile wait}``.
 
@@ -279,11 +356,27 @@ class LatencyStats:
             # accounting existed carry no field.
             merged.migration_cold_events += getattr(item, "migration_cold_events", 0)
             merged.total_execution_ms += item.total_execution_ms
+            # getattr guards, as above: the CPU/SLO fields postdate older
+            # cached pickles.
+            merged.cpu_scheduled_events += getattr(item, "cpu_scheduled_events", 0)
+            merged.cpu_delayed_events += getattr(item, "cpu_delayed_events", 0)
+            merged.slo_checked_events += getattr(item, "slo_checked_events", 0)
+            merged.slo_violations += getattr(item, "slo_violations", 0)
+            item_slo = getattr(item, "slo_ms", None)
+            if item_slo is not None and merged.slo_ms is None:
+                merged.slo_ms = item_slo
             for function_id, samples in item.per_function_wait_ms.items():
                 per_function.setdefault(function_id, []).append(
                     np.asarray(samples, dtype=float)
                 )
+        empty = np.zeros(0, dtype=float)
         merged.cold_wait_ms = merge_samples(item.cold_wait_ms for item in stats)
+        merged.cpu_wait_ms = merge_samples(
+            getattr(item, "cpu_wait_ms", empty) for item in stats
+        )
+        merged.slowdown = merge_samples(
+            getattr(item, "slowdown", empty) for item in stats
+        )
         merged.per_function_wait_ms = {
             function_id: merge_samples(groups)
             for function_id, groups in sorted(per_function.items())
@@ -296,13 +389,21 @@ class LatencyStats:
         from repro.metrics.distribution import percentile_summary
 
         percentiles = percentile_summary(self.cold_wait_ms)
-        return {
+        summary = {
             "events": float(self.total_events),
             "cold_event_fraction": self.cold_event_fraction,
             **{f"lat_{label}_ms": value for label, value in percentiles.items()},
             "lat_mean_ms": self.mean_ms,
             "lat_max_ms": self.max_ms,
         }
+        if self.cpu_scheduled_events > 0:
+            summary["slowdown_p50"] = self.slowdown_p50
+            summary["slowdown_p99"] = self.slowdown_p99
+            summary["cpu_delayed_fraction"] = self.cpu_delayed_fraction
+            summary["cpu_wait_p99_ms"] = self.cpu_wait_p99_ms
+        if self.slo_checked_events > 0:
+            summary["slo_violation_rate"] = self.slo_violation_rate
+        return summary
 
 
 @dataclass
@@ -332,8 +433,9 @@ class SimulationResult:
         :class:`~repro.simulation.cluster.ClusterModel`; ``None`` in the
         paper's uncapped setting.
     latency:
-        Per-event cold-start latency distribution when the run used the
-        ``event`` engine; ``None`` for the minute-granular engines.
+        Per-event cold-start latency distribution when the run used one of
+        the event-granular engines (``event`` or ``event-feedback``);
+        ``None`` for the minute-granular engines.
     """
 
     policy_name: str

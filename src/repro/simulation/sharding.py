@@ -102,6 +102,7 @@ def shard_fallback_reason(
     initially_resident: Set[str],
     simulation_trace: "Trace",
     training_trace: "Trace | None" = None,
+    events: "object | None" = None,
 ) -> str | None:
     """Why this configuration cannot shard, or ``None`` when it can.
 
@@ -116,6 +117,9 @@ def shard_fallback_reason(
     * with a cluster model, shards must coincide with nodes: migration and
       lazy/global placement couple nodes to each other, and a capacity that
       does not divide evenly makes the global bound bite across nodes;
+    * an intra-node CPU pool (``events.cpu``) without a cluster is one
+      node-wide pool shared by every function, which any partition would
+      split;
     * initially resident ids unknown to the trace would be double-charged
       as extra residents by every shard.
     """
@@ -158,6 +162,11 @@ def shard_fallback_reason(
                 f"evenly over {cluster.n_nodes} nodes; the rounded-up "
                 "node capacity makes the global memory bound couple nodes"
             )
+    if getattr(events, "cpu", None) is not None and cluster is None:
+        return (
+            "an intra-node CPU pool without a cluster is shared by every "
+            "function; partitioning it would change the contention"
+        )
     if training_trace is not None:
         sim_ids = [record.function_id for record in simulation_trace.records()]
         train_ids = [record.function_id for record in training_trace.records()]

@@ -7,6 +7,7 @@ from repro.baselines import FixedKeepAlivePolicy, IndexedFixedKeepAlivePolicy
 from repro.simulation import (
     AlwaysWarmPolicy,
     ClusterModel,
+    CpuConfig,
     EventConfig,
     NoKeepAlivePolicy,
     Simulator,
@@ -262,3 +263,138 @@ class TestEventEngineWithCluster:
             engine="event",
         )
         assert result.latency.capacity_cold_events == 0
+
+
+# --------------------------------------------------------------------- #
+# Intra-node CPU scheduling stage
+# --------------------------------------------------------------------- #
+class TestCpuScheduling:
+    def _run(self, split, events, **kwargs):
+        return simulate_policy(
+            IndexedFixedKeepAlivePolicy(10),
+            split.simulation,
+            warmup_minutes=0,
+            engine="event",
+            events=events,
+            **kwargs,
+        )
+
+    def test_without_cpu_config_layer_is_inert(self, small_split):
+        latency = self._run(small_split, EventConfig(seed=5)).latency
+        assert latency.cpu_scheduled_events == 0
+        assert latency.cpu_delayed_events == 0
+        assert latency.cpu_wait_ms.size == 0
+        assert latency.slowdown.size == 0
+        assert latency.slo_ms is None
+        assert latency.slo_checked_events == 0
+
+    def test_cpu_stage_is_a_pure_observer(self, small_split):
+        # Finite cores change latency accounting, never provisioning: the
+        # fingerprinted minute aggregates match the CPU-free run exactly.
+        plain = self._run(small_split, EventConfig(seed=5))
+        contended = self._run(
+            small_split,
+            EventConfig(seed=5, cpu=CpuConfig(cores_per_node=1, scheduler="fifo")),
+        )
+        assert (
+            plain.deterministic_fingerprint()
+            == contended.deterministic_fingerprint()
+        )
+        # The cold jitter stream is drawn before the CPU stage's warm draws,
+        # so provisioning waits are bit-identical too.
+        np.testing.assert_array_equal(
+            plain.latency.cold_wait_ms, contended.latency.cold_wait_ms
+        )
+
+    def test_cpu_run_schedules_every_event(self, small_split):
+        latency = self._run(
+            small_split,
+            EventConfig(
+                seed=5,
+                execution_scale=20.0,
+                cpu=CpuConfig(cores_per_node=1, scheduler="fifo"),
+            ),
+        ).latency
+        assert latency.cpu_scheduled_events == latency.total_events
+        # Wait samples are kept for delayed events only (mirroring
+        # cold_wait_ms); slowdown is recorded for every scheduled event.
+        assert latency.cpu_wait_ms.size == latency.cpu_delayed_events
+        assert latency.slowdown.size == latency.total_events
+        assert (latency.cpu_wait_ms > 0.0).all()
+        assert (latency.slowdown >= 1.0).all()
+        # Stretched executions on a single core must produce real contention.
+        assert latency.cpu_delayed_events > 0
+        assert latency.slowdown_p99 > 1.0
+        assert latency.cpu_wait_p99_ms > 0.0
+
+    @pytest.mark.parametrize("scheduler", ["fifo", "rr", "srtf", "las"])
+    def test_every_discipline_runs_end_to_end(self, small_split, scheduler):
+        latency = self._run(
+            small_split,
+            EventConfig(seed=5, cpu=CpuConfig(cores_per_node=2, scheduler=scheduler)),
+        ).latency
+        assert latency.cpu_scheduled_events == latency.total_events
+        assert np.isfinite(latency.cpu_wait_ms).all()
+        assert np.isfinite(latency.slowdown).all()
+
+    def test_slo_without_cpu_uses_no_rng(self, small_split):
+        # SLO accounting on an infinite-core run is draw-free arithmetic on
+        # the existing waits, so it cannot perturb the jitter stream.
+        plain = self._run(small_split, EventConfig(seed=5))
+        checked = self._run(small_split, EventConfig(seed=5, slo_ms=150.0))
+        assert (
+            plain.deterministic_fingerprint()
+            == checked.deterministic_fingerprint()
+        )
+        np.testing.assert_array_equal(
+            plain.latency.cold_wait_ms, checked.latency.cold_wait_ms
+        )
+        latency = checked.latency
+        assert latency.slo_ms == 150.0
+        assert latency.slo_checked_events == latency.total_events
+        assert 0 <= latency.slo_violations <= latency.total_events
+        # The derived profile spread guarantees some executions above and
+        # some below 150 ms in the small trace.
+        assert 0.0 < latency.slo_violation_rate < 1.0
+
+    def test_tight_slo_flags_everything(self, small_split):
+        latency = self._run(
+            small_split,
+            EventConfig(
+                seed=5,
+                slo_ms=1e-6,
+                cpu=CpuConfig(cores_per_node=2),
+            ),
+        ).latency
+        assert latency.slo_checked_events == latency.total_events
+        assert latency.slo_violations == latency.total_events
+        assert latency.slo_violation_rate == pytest.approx(1.0)
+
+    def test_cluster_splits_the_contention(self, small_split):
+        # Per-node pools: the same workload on 3 single-core nodes waits less
+        # for CPU than on one single-core node.
+        shared = self._run(
+            small_split,
+            EventConfig(
+                seed=5,
+                execution_scale=20.0,
+                cpu=CpuConfig(cores_per_node=1),
+            ),
+        ).latency
+        spread = self._run(
+            small_split,
+            EventConfig(
+                seed=5,
+                execution_scale=20.0,
+                cpu=CpuConfig(cores_per_node=1),
+            ),
+            cluster=ClusterModel(memory_capacity=400, n_nodes=3),
+        ).latency
+        assert spread.cpu_scheduled_events == shared.cpu_scheduled_events
+        assert spread.cpu_wait_ms.sum() <= shared.cpu_wait_ms.sum()
+
+    def test_event_config_validates_slo(self):
+        with pytest.raises(ValueError, match="slo_ms"):
+            EventConfig(slo_ms=0.0)
+        with pytest.raises(ValueError, match="slo_ms"):
+            EventConfig(slo_ms=-5.0)

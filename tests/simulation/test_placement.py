@@ -315,6 +315,34 @@ class TestMigration:
             arbiter.admit(proposed)
         assert arbiter.migrations == 0
 
+    def test_simultaneous_migrations_reserve_the_target_slot(self):
+        # Regression: two nodes pressured in the same pass, with one node
+        # holding a single free slot.  Before `_maybe_migrate` reserved the
+        # inbound unit on the target, every source in the pass recomputed
+        # `free` from the stale usage and dogpiled its migrant onto the same
+        # nearly-full node, over-committing it and setting up mutual
+        # evictions next minute.
+        model = ClusterModel(
+            memory_capacity=6, n_nodes=3, pressure_threshold=0.5, pressure_minutes=1
+        )
+        # node_capacity = 2, threshold units = 1.  Node 0 holds one admitted
+        # instance (one free slot, not pressured); nodes 1 and 2 hold two
+        # each (both pressured).  The target with a free slot deliberately
+        # has the lowest node id so the buggy argmax tie-break would pick it
+        # for both migrants.
+        ids = tuple(
+            ids_on_node(0, 1, 3) + ids_on_node(1, 2, 3) + ids_on_node(2, 2, 3)
+        )
+        arbiter = model.arbiter(ids)
+        arbiter.observe_invocations(0, np.arange(5))
+        arbiter.admit(np.ones(5, dtype=bool))
+        assert arbiter.migrations == 2
+        counts = np.bincount(arbiter.node_of, minlength=3)
+        # Node 0 absorbed exactly one migrant — filled to capacity, not past
+        # it; the second migrant went to the slot node 1 itself freed.
+        assert counts[0] == model.node_capacity
+        assert (counts <= model.node_capacity).all()
+
     def test_migration_forces_a_cold_start_and_is_attributed(self):
         workload = build_scenario(
             "capacity-squeeze", seed=5, n_functions=40, days=2.0, training_days=1.0
@@ -385,10 +413,13 @@ class TestGoldenFingerprints:
 
     SHAPE = dict(seed=9, n_functions=16, days=1.0, training_days=0.5)
 
+    # Regenerated (ENGINE_VERSION 6) when _maybe_migrate learned to reserve
+    # inbound units on the migration target: runs where two pressured sources
+    # previously dogpiled one node now spread their migrants.
     GOLDEN = {
-        "hash": "86fb0844c69502b044d5d63fd9f5f010cdf93064555de74df1576691444d653d",
+        "hash": "940911e6874c4b565ca12beb604f9c2b7fe754f605f78e5fcc731f406cc3d1f6",
         "least-loaded": "c8e6898303b39994bbba74800021be024aacc4b1295f7506947c91de31e542b8",
-        "correlation-aware": "796d5ad6289d8c35bc4808c709a22be55a047efe6ddd1b047ee0a21bd801f3fe",
+        "correlation-aware": "21d1eefc037ea625c0c35e1c299e8cca69e2cbdac0486ecde9385e794b5945a2",
     }
 
     def _run(self, placement, engine="vectorized"):

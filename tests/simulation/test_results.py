@@ -188,3 +188,140 @@ class TestLatencyStatsEdgeCases:
                 np.testing.assert_array_equal(
                     np.sort(merged.per_function_wait_ms[key]), np.sort(values)
                 )
+
+
+def make_cpu_latency(
+    slowdowns,
+    cpu_waits=(),
+    slo_ms=None,
+    slo_checked=0,
+    slo_violations=0,
+    **counts,
+):
+    slowdowns = np.asarray(slowdowns, dtype=float)
+    cpu_waits = np.asarray(cpu_waits, dtype=float)
+    return LatencyStats(
+        total_events=counts.get("total_events", slowdowns.size),
+        warm_events=counts.get("warm_events", slowdowns.size),
+        cpu_scheduled_events=counts.get("cpu_scheduled_events", slowdowns.size),
+        cpu_delayed_events=counts.get("cpu_delayed_events", cpu_waits.size),
+        cpu_wait_ms=cpu_waits,
+        slowdown=slowdowns,
+        slo_ms=slo_ms,
+        slo_checked_events=slo_checked,
+        slo_violations=slo_violations,
+    )
+
+
+class TestLatencyStatsCpuMerge:
+    """Merge laws for the PR 8 CPU/slowdown/SLO fields.
+
+    Sharded runs pool per-shard LatencyStats in arbitrary grouping and
+    order, so the new counters and sample arrays must merge associatively
+    and commutatively, stay NaN-free across empty shards, and survive
+    operands pickled before the fields existed (simulated by old-style
+    stats built without them).
+    """
+
+    def _shards(self):
+        a = make_cpu_latency(
+            [1.0, 2.5, 4.0],
+            cpu_waits=[120.0, 900.0],
+            slo_ms=500.0,
+            slo_checked=3,
+            slo_violations=1,
+        )
+        b = LatencyStats()  # an all-quiet shard
+        c = make_cpu_latency(
+            [1.0, 1.0],
+            cpu_waits=[],
+            slo_ms=500.0,
+            slo_checked=2,
+            slo_violations=0,
+        )
+        return a, b, c
+
+    def _assert_equivalent(self, first, second):
+        assert first.cpu_scheduled_events == second.cpu_scheduled_events
+        assert first.cpu_delayed_events == second.cpu_delayed_events
+        assert first.slo_ms == second.slo_ms
+        assert first.slo_checked_events == second.slo_checked_events
+        assert first.slo_violations == second.slo_violations
+        np.testing.assert_array_equal(
+            np.sort(first.cpu_wait_ms), np.sort(second.cpu_wait_ms)
+        )
+        np.testing.assert_array_equal(
+            np.sort(first.slowdown), np.sort(second.slowdown)
+        )
+
+    def test_merge_is_associative(self):
+        a, b, c = self._shards()
+        left = LatencyStats.merge([LatencyStats.merge([a, b]), c])
+        right = LatencyStats.merge([a, LatencyStats.merge([b, c])])
+        flat = LatencyStats.merge([a, b, c])
+        self._assert_equivalent(left, flat)
+        self._assert_equivalent(right, flat)
+
+    def test_merge_is_commutative(self):
+        a, b, c = self._shards()
+        self._assert_equivalent(
+            LatencyStats.merge([a, b, c]), LatencyStats.merge([c, a, b])
+        )
+
+    def test_merge_totals(self):
+        a, _, c = self._shards()
+        merged = LatencyStats.merge(self._shards())
+        assert merged.cpu_scheduled_events == 5
+        assert merged.cpu_delayed_events == 2
+        assert merged.slo_checked_events == 5
+        assert merged.slo_violations == 1
+        assert merged.slo_ms == 500.0
+        assert merged.slowdown.size == a.slowdown.size + c.slowdown.size
+
+    def test_empty_merge_is_nan_free(self):
+        merged = LatencyStats.merge([LatencyStats(), LatencyStats()])
+        for value in (
+            merged.slowdown_p50,
+            merged.slowdown_p99,
+            merged.slowdown_mean,
+            merged.cpu_wait_p99_ms,
+            merged.cpu_delayed_fraction,
+            merged.slo_violation_rate,
+        ):
+            assert value == 0.0
+            assert not np.isnan(value)
+        assert merged.slo_ms is None
+
+    def test_summary_is_nan_free_with_and_without_cpu(self):
+        for stats in (LatencyStats(), LatencyStats.merge(self._shards())):
+            summary = stats.summary()
+            assert not any(np.isnan(value) for value in summary.values())
+        merged = LatencyStats.merge(self._shards())
+        summary = merged.summary()
+        assert summary["slowdown_p99"] >= 1.0
+        assert summary["slo_violation_rate"] == pytest.approx(1 / 5)
+
+    def test_merge_tolerates_pre_cpu_operands(self):
+        # Stats unpickled from a cache written before the CPU fields existed
+        # lack the attributes entirely; merge must treat them as zeros.
+        old = make_latency([250.0])
+        for name in (
+            "cpu_scheduled_events",
+            "cpu_delayed_events",
+            "cpu_wait_ms",
+            "slowdown",
+            "slo_ms",
+            "slo_checked_events",
+            "slo_violations",
+        ):
+            object.__delattr__(old, name)
+        new = make_cpu_latency([2.0], cpu_waits=[40.0], slo_ms=100.0, slo_checked=1)
+        merged = LatencyStats.merge([old, new])
+        assert merged.cpu_scheduled_events == 1
+        assert merged.cpu_delayed_events == 1
+        assert merged.slo_ms == 100.0
+        np.testing.assert_array_equal(merged.cpu_wait_ms, [40.0])
+        # Order must not matter for the guard either.
+        flipped = LatencyStats.merge([new, old])
+        assert flipped.cpu_scheduled_events == 1
+        assert flipped.slo_ms == 100.0

@@ -1,0 +1,193 @@
+"""Unit tests for the intra-node CPU scheduling disciplines."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.scheduling import (
+    QUANTUM_S,
+    CpuConfig,
+    FifoScheduler,
+    InvocationScheduler,
+    LasScheduler,
+    RoundRobinScheduler,
+    SrtfScheduler,
+    get_scheduler,
+    register_scheduler,
+    scheduler_names,
+)
+
+A = np.asarray
+
+
+def _check_invariants(arrival, service, completion):
+    arrival = A(arrival, dtype=float)
+    service = A(service, dtype=float)
+    assert completion.shape == arrival.shape
+    assert np.all(completion >= arrival + service - 1e-6)
+    assert np.all(np.isfinite(completion))
+
+
+ALL_SCHEDULERS = ("fifo", "rr", "srtf", "las")
+
+
+# --------------------------------------------------------------------- #
+# Shared contract
+# --------------------------------------------------------------------- #
+class TestSchedulerContract:
+    @pytest.mark.parametrize("name", ALL_SCHEDULERS)
+    def test_empty_input(self, name):
+        done = get_scheduler(name).schedule(A([], dtype=float), A([], dtype=float), 2)
+        assert done.size == 0
+
+    @pytest.mark.parametrize("name", ALL_SCHEDULERS)
+    def test_single_job_runs_immediately(self, name):
+        done = get_scheduler(name).schedule(A([3.0]), A([2.0]), 1)
+        assert done == pytest.approx([5.0])
+
+    @pytest.mark.parametrize("name", ("rr", "srtf", "las"))
+    def test_zero_service_completes_at_arrival_preemptive(self, name):
+        # The preemptive disciplines dispatch zero-service jobs instantly
+        # even while a long job holds the core.
+        arrival = A([0.0, 0.0, 1.0])
+        service = A([5.0, 0.0, 0.0])
+        done = get_scheduler(name).schedule(arrival, service, 1)
+        _check_invariants(arrival, service, done)
+        assert done[1] == pytest.approx(0.0)
+        assert done[2] == pytest.approx(1.0)
+
+    def test_zero_service_queues_under_fifo(self):
+        # fifo is non-preemptive: a zero-service job still waits its turn.
+        done = FifoScheduler().schedule(A([0.0, 0.5]), A([5.0, 0.0]), 1)
+        assert done[1] == pytest.approx(5.0)
+        # ...but completes at arrival when the queue ahead of it is empty.
+        done = FifoScheduler().schedule(A([0.0, 1.0]), A([0.0, 2.0]), 1)
+        assert done[0] == pytest.approx(0.0)
+
+    @pytest.mark.parametrize("name", ALL_SCHEDULERS)
+    def test_no_contention_when_cores_cover_jobs(self, name):
+        arrival = A([0.0, 0.5, 1.0, 7.0])
+        service = A([2.0, 1.0, 3.0, 0.25])
+        done = get_scheduler(name).schedule(arrival, service, 4)
+        assert done == pytest.approx(arrival + service)
+
+    @pytest.mark.parametrize("name", ALL_SCHEDULERS)
+    def test_unsorted_arrivals_and_conservation(self, name):
+        rng = np.random.default_rng(7)
+        arrival = rng.uniform(0.0, 60.0, size=40)
+        service = rng.uniform(0.0, 2.0, size=40)
+        service[::7] = 0.0
+        done = get_scheduler(name).schedule(arrival, service, 3)
+        _check_invariants(arrival, service, done)
+        # Work conservation: the pool cannot finish everything faster than
+        # the total demand spread over the cores allows.
+        assert done.max() >= arrival.min() + service.sum() / 3 - 1e-6
+
+    @pytest.mark.parametrize("name", ALL_SCHEDULERS)
+    def test_deterministic(self, name):
+        rng = np.random.default_rng(11)
+        arrival = rng.uniform(0.0, 10.0, size=25)
+        service = rng.uniform(0.0, 1.0, size=25)
+        scheduler = get_scheduler(name)
+        first = scheduler.schedule(arrival, service, 2)
+        second = scheduler.schedule(arrival.copy(), service.copy(), 2)
+        assert np.array_equal(first, second)
+
+
+# --------------------------------------------------------------------- #
+# Discipline-specific behaviour
+# --------------------------------------------------------------------- #
+class TestFifo:
+    def test_orders_by_arrival(self):
+        # Second arrival must wait for the first despite being much shorter.
+        done = FifoScheduler().schedule(A([0.0, 0.1]), A([10.0, 0.1]), 1)
+        assert done == pytest.approx([10.0, 10.1])
+
+    def test_multi_core_earliest_free(self):
+        # Two cores: jobs 0 and 1 start immediately; job 2 takes whichever
+        # core frees first (job 1's, at t=1).
+        done = FifoScheduler().schedule(A([0.0, 0.0, 0.0]), A([4.0, 1.0, 2.0]), 2)
+        assert done == pytest.approx([4.0, 1.0, 3.0])
+
+    def test_non_preemptive_convoy(self):
+        # The defining fifo pathology: a long job convoys the shorts behind it.
+        arrival = A([0.0, 0.5, 0.6])
+        service = A([30.0, 0.1, 0.1])
+        done = FifoScheduler().schedule(arrival, service, 1)
+        assert done[1] >= 30.0 and done[2] >= 30.1
+
+
+class TestSrtf:
+    def test_short_job_preempts_long(self):
+        # The long job starts alone; the short arrival takes the core and the
+        # long job resumes after it, finishing late by the short's service.
+        done = SrtfScheduler().schedule(A([0.0, 1.0]), A([10.0, 1.0]), 1)
+        assert done[1] == pytest.approx(2.0)
+        assert done[0] == pytest.approx(11.0)
+
+    def test_beats_fifo_on_mean_sojourn(self):
+        rng = np.random.default_rng(3)
+        arrival = np.sort(rng.uniform(0.0, 30.0, size=60))
+        service = rng.exponential(1.5, size=60)
+        fifo = FifoScheduler().schedule(arrival, service, 2)
+        srtf = SrtfScheduler().schedule(arrival, service, 2)
+        assert (srtf - arrival).mean() <= (fifo - arrival).mean() + 1e-9
+
+
+class TestRoundRobin:
+    def test_quantum_sharing_interleaves(self):
+        # Two equal jobs on one core finish within a quantum of each other,
+        # where fifo would separate them by a full service time.
+        service = A([10 * QUANTUM_S, 10 * QUANTUM_S])
+        done = RoundRobinScheduler().schedule(A([0.0, 0.0]), service, 1)
+        assert abs(done[0] - done[1]) <= QUANTUM_S + 1e-9
+        assert done.max() == pytest.approx(20 * QUANTUM_S)
+
+
+class TestLas:
+    def test_fresh_arrival_runs_first(self):
+        # By the time the short job arrives the long one has attained a lot
+        # of CPU, so least-attained-service schedules the newcomer promptly.
+        done = LasScheduler().schedule(A([0.0, 5.0]), A([10.0, 0.2]), 1)
+        assert done[1] <= 5.0 + 0.2 + 2 * QUANTUM_S + 1e-9
+
+
+# --------------------------------------------------------------------- #
+# Registry and configuration
+# --------------------------------------------------------------------- #
+class TestRegistry:
+    def test_builtin_names(self):
+        assert set(ALL_SCHEDULERS) <= set(scheduler_names())
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(KeyError, match="fifo"):
+            get_scheduler("lottery")
+
+    def test_register_roundtrip(self):
+        class EchoScheduler(InvocationScheduler):
+            name = "test-echo"
+
+            def schedule(self, arrival_s, service_s, cores):
+                return arrival_s + service_s
+
+        try:
+            register_scheduler(EchoScheduler())
+            assert get_scheduler("test-echo").name == "test-echo"
+            assert CpuConfig(cores_per_node=1, scheduler="test-echo")
+        finally:
+            from repro.simulation import scheduling
+
+            scheduling._SCHEDULERS.pop("test-echo", None)
+
+
+class TestCpuConfig:
+    def test_defaults(self):
+        config = CpuConfig(cores_per_node=2)
+        assert config.scheduler == "fifo"
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError, match="cores_per_node"):
+            CpuConfig(cores_per_node=0)
+
+    def test_rejects_unknown_scheduler(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            CpuConfig(cores_per_node=2, scheduler="lottery")

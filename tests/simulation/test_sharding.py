@@ -25,6 +25,8 @@ from repro.baselines import FixedKeepAlivePolicy, IndexedFixedKeepAlivePolicy
 from repro.core import SpesPolicy
 from repro.simulation import (
     ClusterModel,
+    CpuConfig,
+    EventConfig,
     ShardFallbackWarning,
     Simulator,
     shard_assignment,
@@ -189,6 +191,52 @@ class TestShardedEquivalence:
             engines=SHARD_ENGINES,
         )
 
+    def test_cpu_counts_survive_sharding(self, workload):
+        """The CPU stage's *counts* are shard-exact; its *samples* are not.
+
+        Each shard draws arrival jitter from its own seeded stream, so the
+        per-event CPU waits (functions of the random arrival offsets) differ
+        between the sharded and unsharded runs by design.  The count-based
+        accounting must not: every event is scheduled exactly once, and with
+        an SLO below every execution time the violation verdict is
+        jitter-independent, so both totals must survive the partition/merge
+        round trip exactly.
+        """
+        cluster = ClusterModel(memory_capacity=8, n_nodes=4, placement="hash")
+        events = EventConfig(
+            seed=7,
+            cpu=CpuConfig(cores_per_node=1, scheduler="fifo"),
+            slo_ms=1e-6,  # below every execution: violations == total events
+        )
+        runs = {}
+        for shards in (0, 4):
+            result = simulate_policy(
+                IndexedFixedKeepAlivePolicy(10),
+                workload.simulation,
+                workload.training,
+                warmup_minutes=60,
+                engine="event",
+                cluster=cluster,
+                events=events,
+                shards=shards,
+            )
+            runs[shards] = result
+        whole, sharded = runs[0].latency, runs[4].latency
+        assert (
+            runs[4].deterministic_fingerprint()
+            == runs[0].deterministic_fingerprint()
+        )
+        assert sharded.cpu_scheduled_events == whole.cpu_scheduled_events
+        assert sharded.cpu_scheduled_events == whole.total_events
+        assert sharded.slo_checked_events == whole.slo_checked_events
+        assert sharded.slo_violations == whole.slo_violations
+        assert sharded.slo_violations == whole.total_events
+        assert sharded.slowdown.size == whole.slowdown.size
+        # Independent per-shard jitter streams: the sample arrays diverge.
+        assert not np.array_equal(
+            np.sort(sharded.slowdown), np.sort(whole.slowdown)
+        )
+
 
 # --------------------------------------------------------------------------- #
 # Fallback diagnostics
@@ -231,6 +279,19 @@ class TestShardFallback:
         cluster = ClusterModel(memory_capacity=7, n_nodes=2)
         with pytest.warns(ShardFallbackWarning):
             self._run(workload, FixedKeepAlivePolicy(5), shards=2, cluster=cluster)
+
+    def test_cpu_pool_without_cluster_falls_back(self, workload):
+        # One node-wide pool shared by every function cannot be partitioned
+        # without changing the contention each invocation sees.
+        events = EventConfig(cpu=CpuConfig(cores_per_node=2))
+        with pytest.warns(ShardFallbackWarning, match="CPU pool"):
+            self._run(
+                workload,
+                FixedKeepAlivePolicy(5),
+                shards=2,
+                engine="event",
+                events=events,
+            )
 
     def test_single_shard_runs_unsharded_without_warning(self, workload):
         with warnings.catch_warnings():

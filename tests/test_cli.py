@@ -226,6 +226,47 @@ class TestStreamingAndFeedbackCommands:
         assert exit_code == 2
         assert "unknown scenario" in capsys.readouterr().err
 
+    def test_sweep_with_cores_reports_slowdown_columns(self, capsys):
+        arguments = self.TINY_SWEEP + [
+            "--policies", "fixed-10min-indexed",
+            "--scenario", "cpu-starved",
+            "--engine", "event",
+            "--cores", "2", "--scheduler", "srtf", "--slo-ms", "500",
+        ]
+        exit_code = main(arguments)
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "slowdown_p50" in captured.out
+        assert "slo_viol_pct" in captured.out
+        assert "cores 2 (srtf)" in captured.out
+
+    def test_sweep_rejects_cores_off_the_event_engines(self, capsys):
+        exit_code = main(self.TINY_SWEEP + ["--cores", "2"])
+        assert exit_code == 2
+        assert "event" in capsys.readouterr().err
+
+    def test_slowdown_rq_runs_on_a_tiny_shape(self, capsys):
+        exit_code = main([
+            "slowdown-rq", "--functions", "25", "--days", "2",
+            "--training-days", "1.5", "--seeds", "5",
+            "--scenarios", "cpu-starved",
+            "--schedulers", "fifo", "--cores", "2",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "RQ6" in captured.out
+        assert "cpu-starved" in captured.out
+        assert "slowdown_p99" in captured.out
+        assert "slo_viol_pct" in captured.out
+
+    def test_slowdown_rq_rejects_unknown_scenario(self, capsys):
+        exit_code = main([
+            "slowdown-rq", "--functions", "25", "--days", "2",
+            "--training-days", "1.5", "--scenarios", "warp",
+        ])
+        assert exit_code == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
 
 class TestCacheCommand:
     def _populate(self, directory):

@@ -27,7 +27,12 @@ EXPECTED = {
     "rotating-periods",
     "load-ramp",
     "seasonal-mix",
+    "cpu-starved",
+    "long-duration-mix",
 }
+
+#: Scenarios that prescribe an intra-node CPU config (event engines only).
+CPU_SCENARIOS = {"cpu-starved", "long-duration-mix"}
 
 #: The continuous-drift subset: built for streaming evaluation.
 CONTINUOUS_DRIFT = {"rotating-periods", "load-ramp", "seasonal-mix"}
@@ -163,6 +168,55 @@ class TestContinuousDriftScenarios:
             build_scenario("seasonal-mix", **TINY, seasons=1)
 
 
+class TestCpuScenarios:
+    """The CPU-contention pair must prescribe finite cores and an SLO."""
+
+    def test_cpu_scenarios_prescribe_a_core_pool(self):
+        for name in sorted(CPU_SCENARIOS):
+            workload = build_scenario(name, **TINY)
+            assert workload.events is not None
+            assert workload.events.cpu is not None
+            assert workload.events.cpu.cores_per_node >= 1
+            assert workload.events.slo_ms is not None
+            assert workload.cluster is None  # one shared pool by default
+
+    def test_cpu_parameters_reach_the_event_config(self):
+        workload = build_scenario(
+            "cpu-starved", **TINY, cores=4, scheduler="las", slo_ms=250.0
+        )
+        assert workload.events.cpu.cores_per_node == 4
+        assert workload.events.cpu.scheduler == "las"
+        assert workload.events.slo_ms == 250.0
+        assert workload.events.seed == TINY["seed"]  # still rebased
+
+    def test_cpu_starved_concentrates_load(self):
+        workload = build_scenario("cpu-starved", **TINY)
+        sim = workload.split.simulation
+        totals = sorted(
+            (int(sim.series(fid).sum()) for fid in sim.function_ids),
+            reverse=True,
+        )
+        hot = sum(totals[: len(totals) // 2])
+        assert hot > 5 * max(1, sum(totals[len(totals) // 2 :]))
+
+    def test_long_duration_mix_is_bimodal(self):
+        workload = build_scenario("long-duration-mix", **TINY)
+        records = workload.split.simulation.records()
+        measured = [
+            record.duration.execution_ms
+            for record in records
+            if record.duration is not None
+        ]
+        assert len(measured) == len(records)
+        assert min(measured) < 100.0 < 1000.0 < max(measured)
+
+    def test_invalid_cpu_parameters_fail_fast(self):
+        with pytest.raises(ValueError, match="cores_per_node"):
+            build_scenario("cpu-starved", **TINY, cores=0)
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            build_scenario("long-duration-mix", **TINY, scheduler="lottery")
+
+
 class TestAzure2019Scenarios:
     """The real-trace scenario family: fixture-backed and dataset-backed."""
 
@@ -264,6 +318,8 @@ class TestEventEngineRegression:
         "load-ramp": "d9ec855613ed520bbf84f9eb995a1f801b5f0e39d3657b96c0abbeb2f41172f6",
         "rotating-periods": "91ed2dc55c0ba3d541c83619c5e997396eb6a6f12d5676583d0e222c66730fc1",
         "seasonal-mix": "35a7f603153b19043783564887b6f78c93eec31b1bd7be5ed6de31ae3fbb00ab",
+        "cpu-starved": "c513548717f733107217be41f38b064f63ad3da5ef82d2d6fd45a641ac5917d6",
+        "long-duration-mix": "a2c26456c0133882b70929be935a82e85b675805f101fbc5d54c121f8d660d20",
     }
 
     def _run(self, name, engine="event"):
@@ -428,6 +484,85 @@ class TestSuiteIntegration:
         assert merged is not None
         assert merged.total_events == result.latency.total_events
 
+    def test_cores_override_adds_slowdown_columns(self):
+        config = ExperimentConfig(
+            n_functions=25, seed=5, duration_days=2.0, training_days=1.5,
+            warmup_minutes=60,
+        )
+        suite = ExperimentSuite(
+            config=config, seeds=[5], policies=("fixed-10min",),
+            scenario="bursty", engine="event",
+            cores=1, scheduler="srtf", slo_ms=400.0,
+        )
+        outcome = suite.run()
+        latency = outcome.results[5]["fixed-10min"].latency
+        assert latency.cpu_scheduled_events == latency.total_events
+        assert latency.slo_ms == 400.0
+        seed_table = outcome.seed_table(5).render()
+        assert "slowdown_p50" in seed_table and "slo_viol_pct" in seed_table
+        latency_table = outcome.latency_table(5).render()
+        assert "slowdown_p99" in latency_table
+        assert "cpu_wait_p99_ms" in latency_table
+
+    def test_scenario_cpu_config_flows_without_overrides(self):
+        # A CPU scenario brings its own CpuConfig: no suite-level cores
+        # needed for the slowdown columns to appear.
+        config = ExperimentConfig(
+            n_functions=16, seed=9, duration_days=1.0, training_days=0.5,
+            warmup_minutes=60,
+        )
+        suite = ExperimentSuite(
+            config=config, seeds=[9], policies=("fixed-10min-indexed",),
+            scenario="cpu-starved", engine="event",
+        )
+        outcome = suite.run()
+        latency = outcome.results[9]["fixed-10min-indexed"].latency
+        assert latency.cpu_scheduled_events == latency.total_events
+        assert latency.slo_ms == 1000.0  # the scenario default
+        assert "slowdown_p50" in outcome.seed_table(9).render()
+
+    def test_cores_require_an_event_engine(self):
+        with pytest.raises(ValueError, match="event"):
+            ExperimentSuite(policies=("fixed-10min",), cores=2)
+        with pytest.raises(ValueError, match="event"):
+            ExperimentSuite(policies=("fixed-10min",), slo_ms=100.0)
+
+    def test_scheduler_requires_cores(self):
+        with pytest.raises(ValueError, match="cores"):
+            ExperimentSuite(
+                policies=("fixed-10min",), engine="event", scheduler="srtf"
+            )
+
+    def test_unknown_scheduler_fails_fast(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            ExperimentSuite(
+                policies=("fixed-10min",), engine="event",
+                cores=2, scheduler="lottery",
+            )
+
+    def test_cpu_cells_cache_separately(self, tmp_path):
+        config = ExperimentConfig(
+            n_functions=25, seed=5, duration_days=2.0, training_days=1.5,
+            warmup_minutes=60,
+        )
+        kwargs = dict(
+            config=config, seeds=[5], policies=("fixed-10min",),
+            scenario="bursty", engine="event", cache_dir=tmp_path,
+        )
+        plain = ExperimentSuite(**kwargs).run()
+        contended = ExperimentSuite(**kwargs, cores=1, scheduler="srtf").run()
+        # The CpuConfig is part of the cache key: the contended run may not
+        # be served the CPU-free entry.
+        assert contended.cache_misses > 0
+        latency = contended.results[5]["fixed-10min"].latency
+        assert latency.cpu_scheduled_events == latency.total_events
+        assert plain.results[5]["fixed-10min"].latency.cpu_scheduled_events == 0
+        # Re-running the contended sweep hits its own entry, CPU stats intact.
+        cached = ExperimentSuite(**kwargs, cores=1, scheduler="srtf").run()
+        assert cached.cache_hits > 0 and cached.cache_misses == 0
+        cached_latency = cached.results[5]["fixed-10min"].latency
+        assert cached_latency.cpu_scheduled_events == latency.total_events
+
     def test_event_engine_cells_cache_separately_from_vectorized(self, tmp_path):
         config = ExperimentConfig(
             n_functions=25, seed=5, duration_days=2.0, training_days=1.5,
@@ -550,3 +685,48 @@ class TestSuiteIntegration:
     def test_scenario_params_require_a_scenario(self):
         with pytest.raises(ValueError, match="requires a scenario"):
             ExperimentSuite(scenario_params={"squeeze": 2.0})
+
+
+class TestRq6Report:
+    """The slowdown report must render across a scheduler × cores grid —
+    including on the real-shaped ``azure2019-fixture`` trace, which brings no
+    CPU config of its own and relies entirely on the suite-level override."""
+
+    def test_rq6_renders_on_the_azure_fixture(self):
+        from repro.experiments.rq6_slowdown import slowdown_rq, slowdown_rq_table
+
+        config = ExperimentConfig(
+            n_functions=12, seed=5, duration_days=1.0, training_days=0.5,
+            warmup_minutes=60,
+        )
+        report = slowdown_rq(
+            scenarios=("azure2019-fixture",),
+            policies=("fixed-10min-indexed",),
+            schedulers=("fifo", "srtf"),
+            cores=(1,),
+            seeds=(5,),
+            config=config,
+            slo_ms=500.0,
+        )
+        cells = report["azure2019-fixture"]
+        assert set(cells) == {
+            ("fixed-10min-indexed", "fifo", 1),
+            ("fixed-10min-indexed", "srtf", 1),
+        }
+        for stats in cells.values():
+            assert stats.cpu_scheduled_events > 0
+            assert stats.slo_checked_events == stats.cpu_scheduled_events
+        rendered = slowdown_rq_table(report).render(float_format="{:.2f}")
+        assert "RQ6" in rendered
+        assert "azure2019-fixture" in rendered
+        assert "srtf" in rendered
+        assert "slowdown_p99" in rendered
+
+    def test_rq6_default_grid_covers_both_cpu_scenarios(self):
+        from repro.experiments.rq6_slowdown import (
+            DEFAULT_RQ6_SCENARIOS,
+            DEFAULT_RQ6_SCHEDULERS,
+        )
+
+        assert set(DEFAULT_RQ6_SCENARIOS) == CPU_SCENARIOS
+        assert "fifo" in DEFAULT_RQ6_SCHEDULERS
