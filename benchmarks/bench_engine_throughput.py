@@ -683,3 +683,93 @@ def test_parallel_suite_vs_serial(output_dir):
         f"ratio: {serial_seconds / parallel_seconds:.2f}x",
     ]
     save_and_print(output_dir, "parallel_suite_wallclock", "\n".join(lines))
+
+
+def test_mb_accounting_throughput(throughput_split, output_dir):
+    """Cost of measured-memory (MB-mode) accounting (PR 9 criterion).
+
+    ``memory_mode="mb"`` adds a footprint-weighted accounting pass on top of
+    the count-based one: a per-function integer-KB vector, a second
+    per-minute usage series and KB-exact WMT/EMCR totals.  The bench times
+    one end-to-end ``fixed-10min`` run per engine in both modes, asserts
+    that every count-based aggregate is untouched by the extra pass, and
+    publishes ``engine/vectorized-mb`` and ``engine/event-mb`` rows in
+    ``BENCH_pr9.json`` for ``compare_bench.py``'s floor gate.
+    """
+    import numpy as np
+
+    split = throughput_split
+    minutes = split.simulation.duration_minutes
+
+    def run_seconds(engine: str, memory_mode: str) -> tuple[float, object]:
+        best, result = float("inf"), None
+        for _ in range(3):
+            simulator = Simulator(
+                split.simulation, warmup_minutes=0, engine=engine,
+                memory_mode=memory_mode,
+            )
+            started = time.perf_counter()
+            result = simulator.run(FixedKeepAlivePolicy(10))
+            best = min(best, time.perf_counter() - started)
+        return best, result
+
+    run_seconds("vectorized", "unit")  # warm imports, index, footprint vector
+    seconds: dict[tuple[str, str], float] = {}
+    results: dict[tuple[str, str], object] = {}
+    for engine in ("vectorized", "event"):
+        for memory_mode in ("unit", "mb"):
+            seconds[engine, memory_mode], results[engine, memory_mode] = (
+                run_seconds(engine, memory_mode)
+            )
+
+    # MB mode is additive: the count-based numbers never move.
+    for engine in ("vectorized", "event"):
+        unit, mb = results[engine, "unit"], results[engine, "mb"]
+        np.testing.assert_array_equal(mb.memory_usage, unit.memory_usage)
+        assert mb.total_wasted_memory_time == unit.total_wasted_memory_time
+        assert mb.memory_usage_kb is not None
+
+    payload = {
+        "workload": {
+            "n_functions": THROUGHPUT_CONFIG.n_functions,
+            "duration_days": THROUGHPUT_CONFIG.duration_days,
+            "simulation_minutes": minutes,
+        },
+        "engines": {
+            f"{engine}-mb": {
+                "sweep_seconds": round(seconds[engine, "mb"], 4),
+                "sim_minutes_per_second": round(
+                    minutes / seconds[engine, "mb"], 1
+                ),
+            }
+            for engine in ("vectorized", "event")
+        },
+        "mb_overhead_vs_unit": {
+            engine: round(seconds[engine, "mb"] / seconds[engine, "unit"], 3)
+            for engine in ("vectorized", "event")
+        },
+    }
+    lines = [
+        "MB-mode accounting - 400 functions, 2-day window, fixed-10min",
+    ]
+    for engine in ("vectorized", "event"):
+        lines.append(
+            f"{engine + ' (unit):':<20}{minutes / seconds[engine, 'unit']:>12.0f}"
+            f" sim-min/s  ({seconds[engine, 'unit']:.3f}s per run)"
+        )
+        lines.append(
+            f"{engine + ' (mb):':<20}{minutes / seconds[engine, 'mb']:>12.0f}"
+            f" sim-min/s  ({seconds[engine, 'mb']:.3f}s per run)"
+        )
+    lines.append(
+        "mb overhead: "
+        + ", ".join(
+            f"{engine} {payload['mb_overhead_vs_unit'][engine]:.2f}x"
+            for engine in ("vectorized", "event")
+        )
+    )
+    save_and_print(output_dir, "mb_accounting_throughput", "\n".join(lines))
+    (output_dir / "BENCH_pr9.json").write_text(json.dumps(payload, indent=2) + "\n")
+    # The weighted pass is one extra vectorized reduction per minute: it may
+    # cost a fraction over unit mode but must stay the same order.
+    assert minutes / seconds["event", "mb"] > 100.0, payload

@@ -6,6 +6,12 @@ co-occurrence study (Sec. III-B2), temporal locality (Fig. 6) and concept
 drift (Fig. 4), then shows how SPES's offline categorizer labels the same
 population.
 
+The same analyses run on the real Azure Functions 2019 dataset via the
+``azure2019`` scenario (``spes-repro azure fetch``, then ``sweep
+--azure-dir``); that path also joins the dataset's app-memory files into
+per-function measured footprints, so simulations can account memory in
+megabytes (``--memory-mode mb``) instead of abstract instance units.
+
 Run with:  PYTHONPATH=src python examples/workload_analysis.py
 (or plain ``python`` after ``pip install -e .``)
 """

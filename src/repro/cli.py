@@ -31,6 +31,12 @@ Commands
     add slowdown and SLO columns; ``--scheduler`` picks the intra-node
     discipline (fifo, rr, srtf, las) and ``--slo-ms`` sets the per-request
     deadline.
+``results``
+    Run the full RQ1–RQ6 campaign over one workload source and write the
+    consolidated markdown results book.  By default the hermetic azure2019
+    fixture pipeline feeds every RQ and the output lands in
+    ``docs/RESULTS.md`` (the committed, CI-diffed copy); ``--azure-dir DIR``
+    runs the same campaign on the real dataset.
 ``latency-rq``
     The RQ5 report: per continuous-drift scenario, the cold-start latency
     tail (p50/p95/p99/max) of the feedback consumer vs. its open-loop twin,
@@ -249,6 +255,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
             cores=args.cores,
             scheduler=args.scheduler,
             slo_ms=args.slo_ms,
+            memory_mode=args.memory_mode,
         )
     except (KeyError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
@@ -301,6 +308,8 @@ def _command_sweep(args: argparse.Namespace) -> int:
         cpu = f", cores {args.cores} ({args.scheduler or 'fifo'})"
     if args.slo_ms is not None:
         cpu += f", slo {args.slo_ms:g}ms"
+    if args.memory_mode != "unit":
+        cpu += f", memory {args.memory_mode}"
     print(
         f"sweep: {len(suite.seeds)} seed(s) x {len(args.policies)} policies "
         f"in {outcome.wall_seconds:.1f}s ({mode}{scenario_note}{placement}{engine}"
@@ -317,6 +326,39 @@ def _command_sweep(args: argparse.Namespace) -> int:
         stats.strip_dirs().sort_stats("cumulative").print_stats(25)
         print("\nprofile: top 25 functions by cumulative time")
         print(stream.getvalue())
+    return 0
+
+
+def _command_results(args: argparse.Namespace) -> int:
+    from repro.experiments.results import ResultsConfig, generate_results
+
+    try:
+        config = ResultsConfig(
+            azure_dir=args.azure_dir,
+            n_functions=args.functions,
+            population=args.population,
+            days=args.days,
+            training_days=args.training_days,
+            day_start=args.day_start,
+            seeds=tuple(args.seeds),
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            shards=args.shards,
+            memory_mode=args.memory_mode,
+        )
+        document = generate_results(config, echo=not args.quiet)
+    except (KeyError, ValueError) as error:
+        print(f"error: {error.args[0] if error.args else error}", file=sys.stderr)
+        return 2
+    if args.output == "-":
+        print(document, end="")
+    else:
+        from pathlib import Path
+
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(document)
+        print(f"results: wrote {path} ({len(document.splitlines())} lines)")
     return 0
 
 
@@ -630,6 +672,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sweep.add_argument(
+        "--memory-mode",
+        choices=("unit", "mb"),
+        default="unit",
+        help=(
+            "memory accounting: 'unit' is the paper's abstract one-unit-per-"
+            "instance model; 'mb' weighs instances by the measured footprints "
+            "joined from the dataset and adds MB columns to the tables "
+            "(requires a mask-based engine)"
+        ),
+    )
+    sweep.add_argument(
         "--profile",
         action="store_true",
         help=(
@@ -638,6 +691,88 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sweep.set_defaults(handler=_command_sweep)
+
+    results = subparsers.add_parser(
+        "results",
+        help="run the full RQ1-RQ6 campaign and render the markdown results book",
+    )
+    results.add_argument(
+        "--azure-dir",
+        default=None,
+        help=(
+            "directory holding the real Azure 2019 CSVs; omitted, the book "
+            "is generated from the hermetic azure2019 fixture pipeline (the "
+            "CI-sized default committed as docs/RESULTS.md)"
+        ),
+    )
+    results.add_argument(
+        "--functions",
+        type=int,
+        default=24,
+        help="functions selected into the workload",
+    )
+    results.add_argument(
+        "--population",
+        type=int,
+        default=48,
+        help="fixture-only: functions generated before selection",
+    )
+    results.add_argument(
+        "--days", type=float, default=3.0, help="total workload duration in days"
+    )
+    results.add_argument(
+        "--training-days", type=float, default=2.0, help="days used for offline modelling"
+    )
+    results.add_argument(
+        "--day-start",
+        type=int,
+        default=1,
+        help="real-dataset-only: first dataset day of the span",
+    )
+    results.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=[2024, 7],
+        help="workload seeds; multiple seeds add the aggregate table",
+    )
+    results.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for each suite's fan-out (0 = serial)",
+    )
+    results.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for the on-disk result cache shared by all suites",
+    )
+    results.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="function-shard the RQ1/RQ2 suite's cells (see `sweep --shards`)",
+    )
+    results.add_argument(
+        "--memory-mode",
+        choices=("unit", "mb"),
+        default="mb",
+        help=(
+            "memory accounting for the RQ1-RQ4 runs; 'mb' (default) adds the "
+            "measured-footprint table to RQ2"
+        ),
+    )
+    results.add_argument(
+        "--output",
+        default="docs/RESULTS.md",
+        help="output path for the markdown document ('-' prints to stdout)",
+    )
+    results.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the per-section progress notes on stderr",
+    )
+    results.set_defaults(handler=_command_results)
 
     latency_rq = subparsers.add_parser(
         "latency-rq",

@@ -20,6 +20,11 @@ Layout
     paper.  The RQ3 sweeps and RQ4 ablations batch their variant runs
     through :meth:`ExperimentRunner.run_spes_variants`, so they too
     parallelize when the runner has workers.
+``results``
+    :func:`generate_results` — runs every RQ over one workload source (the
+    hermetic azure2019 fixture by default, the real dataset with
+    ``azure_dir=``) and renders the consolidated markdown results book
+    committed as ``docs/RESULTS.md`` (the ``spes-repro results`` command).
 
 Typical use::
 
@@ -46,6 +51,7 @@ from repro.experiments.parallel import (
     default_policy_specs,
     register_policy,
 )
+from repro.experiments.results import ResultsConfig, generate_results, write_results
 from repro.experiments.runner import ExperimentConfig, ExperimentRunner
 from repro.experiments.suite import DEFAULT_SUITE_POLICIES, ExperimentSuite, SuiteResult
 from repro.experiments import (
@@ -70,6 +76,9 @@ __all__ = [
     "POLICY_REGISTRY",
     "default_policy_specs",
     "register_policy",
+    "ResultsConfig",
+    "generate_results",
+    "write_results",
     "rq1_coldstart",
     "rq2_memory",
     "rq3_tradeoff",

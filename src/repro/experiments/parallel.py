@@ -70,6 +70,7 @@ from repro.simulation.engine import (
     ENGINE_IMPLEMENTATIONS,
     ENGINE_VERSION,
     EVENT_ENGINES,
+    MEMORY_MODES,
     ShardFallbackWarning,
 )
 from repro.simulation.placement import get_placement
@@ -350,6 +351,7 @@ def _execute_cell(
     streaming: bool = False,
     shards: int = 0,
     shard_placement: str = "hash",
+    memory_mode: str = "unit",
 ) -> SimulationResult:
     """Run one cell against ``traces`` (shared by serial and worker paths).
 
@@ -368,6 +370,7 @@ def _execute_cell(
         events=events,
         shards=shards,
         shard_placement=shard_placement,
+        memory_mode=memory_mode,
     )
     return simulator.run(policy)
 
@@ -379,9 +382,17 @@ def _worker_run_cell(
     engine: str,
     events: EventConfig | None,
     streaming: bool,
+    memory_mode: str,
 ) -> tuple[str, SimulationResult]:
     return cell.name, _execute_cell(
-        cell, _WORKER_TRACES, warmup_minutes, cluster, engine, events, streaming
+        cell,
+        _WORKER_TRACES,
+        warmup_minutes,
+        cluster,
+        engine,
+        events,
+        streaming,
+        memory_mode=memory_mode,
     )
 
 
@@ -393,6 +404,7 @@ def _worker_run_shard(
     engine: str,
     events: EventConfig | None,
     streaming: bool,
+    memory_mode: str,
 ) -> SimulationResult:
     """Run one *shard* of a cell inside a worker process.
 
@@ -410,6 +422,7 @@ def _worker_run_shard(
         cluster=cluster,
         engine=engine,
         events=events,
+        memory_mode=memory_mode,
     )
     sub = simulator.shard_simulator(positions)
     return sub.run(cell.spec.build(seed=cell.seed))
@@ -471,6 +484,11 @@ class ParallelRunner:
     shard_placement:
         Placement strategy deriving the function→shard partition
         (default ``"hash"``).
+    memory_mode:
+        Memory accounting mode every cell runs in (``"unit"`` default;
+        ``"mb"`` weighs loaded instances by their measured footprints — see
+        :mod:`repro.simulation.memory`).  Part of every cell's cache key
+        when not ``"unit"``.
     """
 
     def __init__(
@@ -485,6 +503,7 @@ class ParallelRunner:
         streaming: bool = False,
         shards: int = 0,
         shard_placement: str = "hash",
+        memory_mode: str = "unit",
     ) -> None:
         if workers < 0:
             raise ValueError("workers must be non-negative")
@@ -494,6 +513,10 @@ class ParallelRunner:
             )
         if shards < 0:
             raise ValueError("shards must be non-negative")
+        if memory_mode not in MEMORY_MODES:
+            raise ValueError(
+                f"unknown memory_mode {memory_mode!r}; expected one of {MEMORY_MODES}"
+            )
         get_placement(shard_placement)
         available = os.cpu_count() or 1
         if workers > available:
@@ -510,6 +533,7 @@ class ParallelRunner:
         self.streaming = streaming
         self.shards = shards
         self.shard_placement = shard_placement
+        self.memory_mode = memory_mode
         self.clusters = dict(clusters) if clusters else {}
         unknown = set(self.clusters) - set(self.traces)
         if unknown:
@@ -542,7 +566,7 @@ class ParallelRunner:
                 key: (split.training.fingerprint(), split.simulation.fingerprint())
                 for key, split in self.traces.items()
             }
-        return _digest(
+        parts: list[Any] = [
             ENGINE_VERSION,
             self.engine,
             self.streaming,
@@ -558,7 +582,12 @@ class ParallelRunner:
             self._cell_events(cell.trace_key),
             cell.spec,
             cell.seed,
-        )
+        ]
+        # Appended only off the default so pre-existing unit-mode cache
+        # entries keep their keys across the MB-accounting release.
+        if self.memory_mode != "unit":
+            parts.append(("memory_mode", self.memory_mode))
+        return _digest(*parts)
 
     def _cell_events(self, trace_key: str) -> EventConfig | None:
         """The event config a cell runs with (None off the event engines)."""
@@ -604,6 +633,7 @@ class ParallelRunner:
                         self.streaming,
                         self.shards,
                         self.shard_placement,
+                        self.memory_mode,
                     )
                     for cell in pending
                 }
@@ -681,6 +711,7 @@ class ParallelRunner:
                     self.engine,
                     self._cell_events(cell.trace_key),
                     self.streaming,
+                    self.memory_mode,
                 )
                 plan = self._shard_plan(cell)
                 if plan is None:

@@ -50,6 +50,7 @@ def latency_rq(
     streaming: bool = True,
     workers: int = 0,
     cache_dir: str | Path | None = None,
+    scenario_params: Mapping[str, object] | None = None,
 ) -> Dict[str, Dict[str, LatencyStats]]:
     """Run the per-scenario feedback sweeps and pool latency across seeds.
 
@@ -68,6 +69,7 @@ def latency_rq(
             workers=workers,
             cache_dir=cache_dir,
             scenario=scenario,
+            scenario_params=scenario_params,
             engine="event-feedback",
             streaming=streaming,
         )

@@ -63,6 +63,10 @@ class ExperimentRunner:
     trace:
         Optional pre-built trace (e.g. the real Azure trace); when omitted a
         synthetic trace is generated from the configuration.
+    split:
+        Optional pre-built train/simulation split (e.g. a
+        :class:`~repro.scenarios.ScenarioWorkload`'s); takes precedence over
+        ``trace`` and the configuration's ``training_days``.
     workers:
         Number of worker processes used to fan out baseline and SPES-variant
         simulations (0 or 1 = serial, the default).  The main SPES run always
@@ -71,6 +75,10 @@ class ExperimentRunner:
     cache_dir:
         Optional directory for the on-disk result cache shared by all
         simulations fanned out through the parallel runner.
+    memory_mode:
+        Memory accounting mode for every simulation (``"unit"`` default,
+        ``"mb"`` weighs instances by measured footprints; see
+        :mod:`repro.simulation.memory`).
     """
 
     def __init__(
@@ -79,12 +87,15 @@ class ExperimentRunner:
         trace: Trace | None = None,
         workers: int = 0,
         cache_dir: str | Path | None = None,
+        memory_mode: str = "unit",
+        split: TraceSplit | None = None,
     ) -> None:
         self.config = config or ExperimentConfig()
         self.workers = workers
         self.cache_dir = cache_dir
+        self.memory_mode = memory_mode
         self._trace = trace
-        self._split: TraceSplit | None = None
+        self._split = split
         self._results: Dict[str, SimulationResult] = {}
         self._result_specs: Dict[str, PolicySpec] = {}
         self._spes_policy: SpesPolicy | None = None
@@ -147,6 +158,7 @@ class ExperimentRunner:
                 workers=self.workers,
                 cache_dir=self.cache_dir,
                 warmup_minutes=self.config.warmup_minutes,
+                memory_mode=self.memory_mode,
             )
         return self._parallel
 
@@ -201,6 +213,7 @@ class ExperimentRunner:
             simulation_trace=self.split.simulation,
             training_trace=self.split.training,
             warmup_minutes=self.config.warmup_minutes,
+            memory_mode=self.memory_mode,
         )
         result = simulator.run(policy)
         if cache_key is not None:

@@ -35,7 +35,7 @@ from repro.experiments.parallel import (
 from repro.experiments.runner import ExperimentConfig
 from repro.metrics.summary import ComparisonTable
 from repro.simulation import EventConfig, LatencyStats, SimulationResult
-from repro.simulation.engine import ENGINE_IMPLEMENTATIONS, EVENT_ENGINES
+from repro.simulation.engine import ENGINE_IMPLEMENTATIONS, EVENT_ENGINES, MEMORY_MODES
 from repro.traces import AzureTraceGenerator, TraceSplit, split_trace
 
 __all__ = ["ExperimentSuite", "SuiteResult", "DEFAULT_SUITE_POLICIES"]
@@ -97,7 +97,13 @@ class SuiteResult:
             and getattr(result.latency, "slo_checked_events", 0) > 0
             for result in self.results[seed].values()
         )
+        mb_run = any(
+            getattr(result, "memory_mode", "unit") == "mb"
+            for result in self.results[seed].values()
+        )
         columns = ["policy", "q3_csr", "always_cold_pct", "avg_memory", "wmt", "emcr_pct"]
+        if mb_run:
+            columns += ["avg_mb", "wmt_mb_min", "emcr_mb_pct"]
         if capacity_run:
             columns += ["evictions", "cap_cold_starts"]
         if latency_run:
@@ -119,6 +125,10 @@ class SuiteResult:
                 wmt=float(result.total_wasted_memory_time),
                 emcr_pct=100.0 * result.emcr,
             )
+            if mb_run:
+                row["avg_mb"] = result.average_memory_usage_mb
+                row["wmt_mb_min"] = result.wasted_memory_mb_minutes
+                row["emcr_mb_pct"] = 100.0 * getattr(result, "emcr_mb", 0.0)
             if capacity_run:
                 cluster = result.cluster
                 row["evictions"] = float(cluster.evictions) if cluster else 0.0
@@ -222,9 +232,10 @@ class SuiteResult:
             return None
         first = next(iter(rows.values()))
         placement = getattr(first, "placement", "hash")
+        unit = "MB" if getattr(first, "capacity_unit", "instances") == "mb" else "units"
         table = ComparisonTable(
             title=(
-                f"Capacity effects (seed {seed}; cap {first.memory_capacity} units "
+                f"Capacity effects (seed {seed}; cap {first.memory_capacity} {unit} "
                 f"over {first.n_nodes} node(s); placement {placement})"
             ),
             columns=(
@@ -349,6 +360,10 @@ class ExperimentSuite:
         Optional sojourn-time SLO in milliseconds, checked per event (see
         :attr:`~repro.simulation.events.EventConfig.slo_ms`); overrides any
         scenario-prescribed SLO.  Requires an event engine.
+    memory_mode:
+        Memory accounting mode for every cell (``"unit"`` default; ``"mb"``
+        weighs loaded instances by measured footprints and adds MB columns
+        to the result tables).  Requires a mask-based engine.
     """
 
     def __init__(
@@ -368,6 +383,7 @@ class ExperimentSuite:
         cores: int | None = None,
         scheduler: str | None = None,
         slo_ms: float | None = None,
+        memory_mode: str = "unit",
     ) -> None:
         self.config = config or ExperimentConfig()
         if engine not in ENGINE_IMPLEMENTATIONS:
@@ -375,6 +391,13 @@ class ExperimentSuite:
                 f"unknown engine {engine!r}; expected one of {ENGINE_IMPLEMENTATIONS}"
             )
         self.engine = engine
+        if memory_mode not in MEMORY_MODES:
+            raise ValueError(
+                f"unknown memory_mode {memory_mode!r}; expected one of {MEMORY_MODES}"
+            )
+        if memory_mode == "mb" and engine == "reference":
+            raise ValueError("MB-mode accounting requires a mask-based engine")
+        self.memory_mode = memory_mode
         if (cores is not None or scheduler is not None or slo_ms is not None) and (
             engine not in EVENT_ENGINES
         ):
@@ -527,6 +550,7 @@ class ExperimentSuite:
                 streaming=self.streaming,
                 shards=self.shards,
                 shard_placement=self.shard_placement,
+                memory_mode=self.memory_mode,
             )
         return self._runner
 

@@ -56,6 +56,56 @@ class ComparisonTable:
             lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(header))))
         return "\n".join(lines)
 
+    def to_markdown(self, float_format: str = "{:.4f}") -> str:
+        """Render the table as GitHub-flavoured markdown.
+
+        The title becomes a bold caption line; numeric cells are
+        right-aligned.  Pipes in cell values are escaped so free-text cells
+        cannot break the table.
+        """
+        def format_cell(value: object) -> str:
+            if isinstance(value, float):
+                return float_format.format(value)
+            if value is None:
+                return ""
+            return str(value).replace("|", "\\|")
+
+        lines = [f"**{self.title}**", ""]
+        header = [str(column) for column in self.columns]
+        numeric = [
+            all(
+                isinstance(row.get(column), (int, float)) or row.get(column) is None
+                for row in self.rows
+            )
+            and any(isinstance(row.get(column), (int, float)) for row in self.rows)
+            for column in self.columns
+        ]
+        lines.append("| " + " | ".join(header) + " |")
+        lines.append(
+            "|" + "|".join("---:" if numeric[i] else "---" for i in range(len(header))) + "|"
+        )
+        for row in self.rows:
+            lines.append(
+                "| "
+                + " | ".join(format_cell(row.get(column)) for column in self.columns)
+                + " |"
+            )
+        return "\n".join(lines)
+
+    def drop_columns(self, *names: str) -> "ComparisonTable":
+        """A copy of the table without the named columns (unknown names are
+        ignored) — used to strip wall-clock measurement columns before a
+        deterministic rendering is diffed against a committed snapshot."""
+        dropped = set(names)
+        return ComparisonTable(
+            title=self.title,
+            columns=tuple(column for column in self.columns if column not in dropped),
+            rows=[
+                {key: value for key, value in row.items() if key not in dropped}
+                for row in self.rows
+            ],
+        )
+
     def __str__(self) -> str:
         return self.render()
 

@@ -68,11 +68,15 @@ Built-in catalog
     (``azure_dir`` parameter / ``sweep --azure-dir``; download with
     ``spes-repro azure fetch``); selects the ``n_functions`` most-invoked
     functions by default and splits the requested day range into
-    train/eval windows.
+    train/eval windows.  The dataset's app-memory files are joined into
+    per-function measured footprints during ingestion, so
+    ``memory_mode="mb"`` runs report megabyte-denominated WMT/EMCR instead
+    of the paper's abstract one-unit-per-instance accounting.
 ``azure2019-fixture``
     The same ingestion pipeline end to end — CSV parse, trigger filter,
-    selection, CSR assembly, duration joins — but over miniature fixture
-    CSVs generated on the fly in the exact dataset schema.  Fully hermetic
+    selection, CSR assembly, duration *and* app-memory joins — but over
+    miniature fixture CSVs generated on the fly in the exact dataset
+    schema.  Fully hermetic
     (no dataset, no network), deterministic in ``(seed, parameters)``; this
     is the scenario CI smoke-sweeps.
 ``cpu-starved``

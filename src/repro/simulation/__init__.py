@@ -10,6 +10,12 @@ The simulator follows the principles the paper adopts from Shahrad et al.
   loaded instances (no capacity-induced evictions unless a policy imposes its
   own limit, as FaaSCache does).
 
+Beyond the paper's abstract setting, the simulator optionally runs in *MB
+mode* (``memory_mode="mb"``): loaded instances are weighed by their measured
+memory footprints (joined from the Azure dataset's ``app_memory_percentiles``
+files), and usage/WMT/EMCR are additionally reported in megabytes.  The
+default unit mode remains byte-identical to the paper's accounting.
+
 Provisioning policies implement :class:`ProvisioningPolicy` and are driven by
 :class:`Simulator`, which charges cold starts, wasted memory time, memory
 usage, and effective memory consumption exactly as defined in the paper.
@@ -33,14 +39,19 @@ from repro.simulation.scheduling import (
     register_scheduler,
     scheduler_names,
 )
-from repro.simulation.memory import MemoryAccountant
+from repro.simulation.memory import DEFAULT_MEMORY_MB, MemoryAccountant, footprint_kb_vector
 from repro.simulation.results import (
     ClusterStats,
     FunctionStats,
     LatencyStats,
     SimulationResult,
 )
-from repro.simulation.engine import ShardFallbackWarning, Simulator, simulate_policy
+from repro.simulation.engine import (
+    MEMORY_MODES,
+    ShardFallbackWarning,
+    Simulator,
+    simulate_policy,
+)
 from repro.simulation.overhead import OverheadTimer
 from repro.simulation.sharding import shard_assignment, shard_fallback_reason
 
@@ -69,6 +80,9 @@ __all__ = [
     "scheduler_names",
     "LatencyStats",
     "MemoryAccountant",
+    "DEFAULT_MEMORY_MB",
+    "footprint_kb_vector",
+    "MEMORY_MODES",
     "FunctionStats",
     "SimulationResult",
     "Simulator",

@@ -92,6 +92,14 @@ class ClusterModel:
     pressure_minutes:
         Number of consecutive pressured minutes (``K``) before a migration
         fires.  The K-th pressured minute migrates; K-1 never does.
+    capacity_unit:
+        What ``memory_capacity`` denominates: ``"instances"`` (default, the
+        paper's abstract one-unit-per-instance accounting) or ``"mb"``
+        (measured megabytes; the arbiters then trim by each function's
+        footprint in integer kilobytes and report per-node KB usage).  MB
+        capacity requires the simulator to run with ``memory_mode="mb"`` so
+        footprints exist; ``"instances"`` runs are bit-for-bit identical to
+        models built before this field existed.
     """
 
     memory_capacity: int
@@ -99,6 +107,7 @@ class ClusterModel:
     placement: str = "hash"
     pressure_threshold: float | None = None
     pressure_minutes: int = 3
+    capacity_unit: str = "instances"
 
     def __post_init__(self) -> None:
         if self.memory_capacity < 1:
@@ -113,10 +122,12 @@ class ClusterModel:
             raise ValueError("pressure_threshold must be positive when given")
         if self.pressure_minutes < 1:
             raise ValueError("pressure_minutes must be >= 1")
+        if self.capacity_unit not in ("instances", "mb"):
+            raise ValueError("capacity_unit must be 'instances' or 'mb'")
 
     @property
     def node_capacity(self) -> int:
-        """Instance units each node can keep resident."""
+        """Capacity each node can keep resident, in :attr:`capacity_unit`."""
         return math.ceil(self.memory_capacity / self.n_nodes)
 
     @property
@@ -136,15 +147,20 @@ class ClusterModel:
         return zlib.crc32(function_id.encode()) % self.n_nodes
 
     def arbiter(
-        self, function_ids: tuple[str, ...], trace: "Trace | None" = None
+        self,
+        function_ids: tuple[str, ...],
+        trace: "Trace | None" = None,
+        footprints_kb: np.ndarray | None = None,
     ) -> "ClusterArbiter":
         """Build the per-run arbiter over a trace's function-index space.
 
         ``trace`` supplies offline placement signals (the ``correlation-aware``
         strategy mines the training window for co-firing groups); strategies
-        that need none ignore it.
+        that need none ignore it.  ``footprints_kb`` (per-function integer
+        kilobytes, required when ``capacity_unit="mb"``) makes admission and
+        pressure footprint-weighted.
         """
-        return ClusterArbiter(self, function_ids, trace=trace)
+        return ClusterArbiter(self, function_ids, trace=trace, footprints_kb=footprints_kb)
 
 
 class NodeArbiter:
@@ -156,11 +172,14 @@ class NodeArbiter:
     migration pressure threshold.
     """
 
-    __slots__ = ("node", "capacity", "pressure_streak")
+    __slots__ = ("node", "capacity", "capacity_kb", "pressure_streak")
 
-    def __init__(self, node: int, capacity: int) -> None:
+    def __init__(self, node: int, capacity: int, capacity_kb: int | None = None) -> None:
         self.node = node
         self.capacity = capacity
+        #: Footprint-weighted capacity bound in integer kilobytes; ``None``
+        #: for unit-denominated (instance-counting) nodes.
+        self.capacity_kb = capacity_kb
         #: Consecutive admission passes above the pressure threshold.
         self.pressure_streak = 0
 
@@ -178,6 +197,30 @@ class NodeArbiter:
             return
         order = np.lexsort((members, -last_invocation[members]))
         admitted[members[order[self.capacity :]]] = False
+
+    def trim_weighted(
+        self,
+        members: np.ndarray,
+        last_invocation: np.ndarray,
+        admitted: np.ndarray,
+        footprints_kb: np.ndarray,
+    ) -> None:
+        """Footprint-weighted variant of :meth:`trim` (MB-capacity nodes).
+
+        Same recency-then-index priority order, but the bound is cumulative
+        kilobytes: walking members from most to least recently invoked, a
+        member stays only while the running footprint total fits under
+        :attr:`capacity_kb`.  A member too large for the remaining budget is
+        dropped *and ends the walk* — skipping past it to admit a smaller,
+        less-recent member would invert the eviction priority the unit-mode
+        arbiter guarantees.
+        """
+        order = np.lexsort((members, -last_invocation[members]))
+        ranked = members[order]
+        cumulative = np.cumsum(footprints_kb[ranked])
+        keep = int(np.searchsorted(cumulative, self.capacity_kb, side="right"))
+        if keep < ranked.size:
+            admitted[ranked[keep:]] = False
 
 
 class ClusterArbiter:
@@ -202,9 +245,30 @@ class ClusterArbiter:
         model: ClusterModel,
         function_ids: tuple[str, ...],
         trace: "Trace | None" = None,
+        footprints_kb: np.ndarray | None = None,
     ) -> None:
         self.model = model
         n = len(function_ids)
+        self._weighted = model.capacity_unit == "mb"
+        if self._weighted:
+            if footprints_kb is None:
+                raise ValueError(
+                    "an MB-denominated ClusterModel needs per-function "
+                    "footprints (footprints_kb)"
+                )
+            footprints_kb = np.asarray(footprints_kb, dtype=np.int64)
+            if footprints_kb.shape != (n,):
+                raise ValueError(
+                    f"footprints_kb must have shape ({n},), got {footprints_kb.shape}"
+                )
+            if (footprints_kb <= 0).any():
+                raise ValueError("footprints_kb must be positive")
+        #: Per-function footprints in integer KB (``None`` in instance mode).
+        self.footprints_kb = footprints_kb if self._weighted else None
+        #: Node capacity in the weighted working unit (KB), when weighted.
+        self._node_capacity_kb = (
+            model.node_capacity * 1024 if self._weighted else None
+        )
         self.placement = get_placement(model.placement)
         #: Current node of every function (``UNPLACED`` until first activity).
         self.node_of = self.placement.bind(model, function_ids, trace)
@@ -214,7 +278,8 @@ class ClusterArbiter:
                 f"{self.node_of.shape}; expected ({n},)"
             )
         self.nodes = [
-            NodeArbiter(node, model.node_capacity) for node in range(model.n_nodes)
+            NodeArbiter(node, model.node_capacity, capacity_kb=self._node_capacity_kb)
+            for node in range(model.n_nodes)
         ]
         # Hash (and any fully static strategy) never pays the lazy-placement
         # check on the hot path.
@@ -248,9 +313,11 @@ class ClusterArbiter:
         if unplaced.size == 0:
             return
         usage = self.node_usage(self._admitted)
-        self.node_of[unplaced] = self.placement.place(
-            unplaced, usage, self.model.node_capacity
+        # Usage and capacity must share a unit: KB for MB-denominated models.
+        capacity = (
+            self._node_capacity_kb if self._weighted else self.model.node_capacity
         )
+        self.node_of[unplaced] = self.placement.place(unplaced, usage, capacity)
 
     def observe_invocations(self, minute: int, invoked: np.ndarray) -> None:
         """Record this minute's invocations (drives the LRU eviction order)."""
@@ -258,10 +325,22 @@ class ClusterArbiter:
             self._last_invocation[invoked] = minute
 
     def node_usage(self, resident: np.ndarray) -> np.ndarray:
-        """Per-node loaded-unit counts for a residency mask."""
+        """Per-node loaded load for a residency mask.
+
+        Instance counts in instance mode; integer kilobytes when the model
+        is MB-denominated (each member weighed by its footprint).
+        """
         members = np.flatnonzero(resident)
         if not self._all_placed:
             members = members[self.node_of[members] != UNPLACED]
+        if self.footprints_kb is not None:
+            # Weighted bincount goes through float64; footprint totals stay
+            # far below 2**53 KB (~8 EB), so the cast back is exact.
+            return np.bincount(
+                self.node_of[members],
+                weights=self.footprints_kb[members],
+                minlength=self.model.n_nodes,
+            ).astype(np.int64)
         return np.bincount(self.node_of[members], minlength=self.model.n_nodes)
 
     # ------------------------------------------------------------------ #
@@ -286,21 +365,44 @@ class ClusterArbiter:
         self.ensure_placed(positions)
         admitted = proposed.copy()
         node_capacity = self.model.node_capacity
-        if positions.size > node_capacity:
+        if self.footprints_kb is not None:
+            footprints = self.footprints_kb
             nodes = self.node_of[positions]
-            usage = np.bincount(nodes, minlength=self.model.n_nodes)
-            for node in np.flatnonzero(usage > node_capacity):
-                self.nodes[node].trim(
-                    positions[nodes == node], self._last_invocation, admitted
+            usage_kb = np.bincount(
+                nodes, weights=footprints[positions], minlength=self.model.n_nodes
+            ).astype(np.int64)
+            for node in np.flatnonzero(usage_kb > self._node_capacity_kb):
+                self.nodes[node].trim_weighted(
+                    positions[nodes == node],
+                    self._last_invocation,
+                    admitted,
+                    footprints,
                 )
+            # Cluster-wide KB bound, same keep-the-most-recent priority.
+            kept = np.flatnonzero(admitted)
+            capacity_kb = self.model.memory_capacity * 1024
+            if int(footprints[kept].sum()) > capacity_kb:
+                order = np.lexsort((kept, -self._last_invocation[kept]))
+                ranked = kept[order]
+                cumulative = np.cumsum(footprints[ranked])
+                keep = int(np.searchsorted(cumulative, capacity_kb, side="right"))
+                admitted[ranked[keep:]] = False
+        else:
+            if positions.size > node_capacity:
+                nodes = self.node_of[positions]
+                usage = np.bincount(nodes, minlength=self.model.n_nodes)
+                for node in np.flatnonzero(usage > node_capacity):
+                    self.nodes[node].trim(
+                        positions[nodes == node], self._last_invocation, admitted
+                    )
 
-        # Per-node caps round up (ceil), so their sum can exceed the global
-        # cap when memory_capacity is not divisible by n_nodes; enforce the
-        # cluster-wide bound with the same keep-the-most-recent priority.
-        kept = np.flatnonzero(admitted)
-        if kept.size > self.model.memory_capacity:
-            order = np.lexsort((kept, -self._last_invocation[kept]))
-            admitted[kept[order[self.model.memory_capacity :]]] = False
+            # Per-node caps round up (ceil), so their sum can exceed the global
+            # cap when memory_capacity is not divisible by n_nodes; enforce the
+            # cluster-wide bound with the same keep-the-most-recent priority.
+            kept = np.flatnonzero(admitted)
+            if kept.size > self.model.memory_capacity:
+                order = np.lexsort((kept, -self._last_invocation[kept]))
+                admitted[kept[order[self.model.memory_capacity :]]] = False
 
         evicted_positions = np.flatnonzero(self._admitted & proposed & ~admitted)
         evicted = int(evicted_positions.size)
@@ -338,7 +440,12 @@ class ClusterArbiter:
         """
         self.migrated_last = np.zeros(admitted.shape[0], dtype=bool)
         usage = self.node_usage(admitted)
-        threshold = self.model.pressure_threshold * self.model.node_capacity
+        # usage (and therefore threshold/free) is denominated in the model's
+        # working unit: instance counts, or integer KB for MB capacities.
+        node_capacity = (
+            self._node_capacity_kb if self._weighted else self.model.node_capacity
+        )
+        threshold = self.model.pressure_threshold * node_capacity
         for arbiter in self.nodes:
             if usage[arbiter.node] > threshold:
                 arbiter.pressure_streak += 1
@@ -352,24 +459,27 @@ class ClusterArbiter:
             if members.size == 0:
                 arbiter.pressure_streak = 0
                 continue
-            free = self.model.node_capacity - usage
+            free = node_capacity - usage
             free[arbiter.node] = -1  # never migrate onto the source node
             # A pressured node is no refuge either: moving load between two
             # hot nodes just ping-pongs instances without relieving anything.
             free[usage > threshold] = -1
             target = int(np.argmax(free))
-            if free[target] <= 0:
-                continue  # cluster-wide pressure: nowhere to go, retry later
             order = np.lexsort((members, -self._last_invocation[members]))
             victim = int(members[order[-1]])  # least recently invoked member
+            moved = (
+                int(self.footprints_kb[victim]) if self.footprints_kb is not None else 1
+            )
+            if free[target] < moved:
+                continue  # cluster-wide pressure: nowhere to go, retry later
             self.node_of[victim] = target
             admitted[victim] = False
             self.migrated_last[victim] = True
             self.migrations += 1
-            usage[arbiter.node] -= 1
-            # Reserve the inbound unit on the target now: later pressured
+            usage[arbiter.node] -= moved
+            # Reserve the inbound load on the target now: later pressured
             # sources in this same pass recompute `free` from `usage`, and
             # without the reservation they would all dogpile one nearly-full
             # node, evicting each other's migrants next minute.
-            usage[target] += 1
+            usage[target] += moved
             arbiter.pressure_streak = 0

@@ -79,7 +79,11 @@ import numpy as np
 
 from repro.simulation.cluster import ClusterModel
 from repro.simulation.events import EventConfig, EventTracker
-from repro.simulation.memory import MemoryAccountant
+from repro.simulation.memory import (
+    DEFAULT_MEMORY_MB,
+    MemoryAccountant,
+    footprint_kb_vector,
+)
 from repro.simulation.overhead import OverheadTimer
 from repro.simulation.placement import get_placement
 from repro.simulation.policy_base import ProvisioningPolicy
@@ -95,6 +99,10 @@ from repro.traces.trace import Trace
 
 #: Names of the available engine implementations.
 ENGINE_IMPLEMENTATIONS = ("vectorized", "reference", "event", "event-feedback")
+
+#: Memory accounting modes: the paper's abstract instance units (default)
+#: or measured megabyte footprints joined from the Azure dataset.
+MEMORY_MODES = ("unit", "mb")
 
 #: Engines that run the sub-minute event layer (and accept an EventConfig).
 EVENT_ENGINES = ("event", "event-feedback")
@@ -164,6 +172,17 @@ class Simulator:
         deriving the function→shard partition (default ``"hash"``).  For
         ``shard_safe`` policies the choice affects load balance across
         shards, never the merged result.
+    memory_mode:
+        ``"unit"`` (default): the paper's abstract one-unit-per-instance
+        accounting, byte-identical to all prior releases.  ``"mb"``:
+        additionally weigh every loaded instance by its measured footprint
+        (``FunctionRecord.memory_mb``, integer-KB quantized; functions
+        without a join fall back to
+        :data:`~repro.simulation.memory.DEFAULT_MEMORY_MB`) and report
+        MB-denominated usage/WMT/EMCR alongside the unit series.  Requires a
+        mask-based engine; residency *decisions* are unchanged unless the
+        cluster model itself is MB-denominated
+        (``ClusterModel.capacity_unit="mb"``, which requires this mode).
     """
 
     #: Default warm-up horizon: one day covers the longest keep-alive and
@@ -181,6 +200,7 @@ class Simulator:
         events: EventConfig | None = None,
         shards: int = 0,
         shard_placement: str = "hash",
+        memory_mode: str = "unit",
     ) -> None:
         if warmup_minutes < 0:
             raise ValueError("warmup_minutes must be non-negative")
@@ -192,10 +212,29 @@ class Simulator:
             raise ValueError(
                 f"unknown engine {engine!r}; expected one of {ENGINE_IMPLEMENTATIONS}"
             )
+        if memory_mode not in MEMORY_MODES:
+            raise ValueError(
+                f"unknown memory_mode {memory_mode!r}; expected one of {MEMORY_MODES}"
+            )
+        if memory_mode != "unit" and engine == "reference":
+            raise ValueError(
+                "MB-mode accounting requires a mask-based engine; the "
+                "reference engine is the executable specification of the "
+                "paper's unit accounting"
+            )
         if cluster is not None and engine == "reference":
             raise ValueError(
                 "the capacity-constrained cluster mode requires a mask-based "
                 "engine (vectorized or event)"
+            )
+        if (
+            cluster is not None
+            and cluster.capacity_unit == "mb"
+            and memory_mode != "mb"
+        ):
+            raise ValueError(
+                "an MB-denominated ClusterModel requires memory_mode='mb' "
+                "(footprints are needed to weigh admission)"
             )
         if events is not None and engine not in EVENT_ENGINES:
             raise ValueError(
@@ -210,6 +249,7 @@ class Simulator:
         self.events = events
         self.shards = shards
         self.shard_placement = shard_placement
+        self.memory_mode = memory_mode
 
     def run(self, policy: ProvisioningPolicy, prepare: bool = True) -> SimulationResult:
         """Simulate ``policy`` over the configured trace and return its result.
@@ -288,6 +328,7 @@ class Simulator:
                 memory_capacity=self.cluster.node_capacity,
                 n_nodes=1,
                 placement="hash",
+                capacity_unit=self.cluster.capacity_unit,
             )
         sub_trace = self.simulation_trace.shard(positions)
         return Simulator(
@@ -304,6 +345,7 @@ class Simulator:
             engine=self.engine,
             cluster=sub_cluster,
             events=self.events,
+            memory_mode=self.memory_mode,
         )
 
     def _run_sharded(self, policy: ProvisioningPolicy) -> SimulationResult:
@@ -404,6 +446,22 @@ class Simulator:
             else:
                 resident[position] = True
 
+        # MB mode: per-function footprints in integer KB, aligned with the
+        # index's function order; unknown-to-trace extras are charged the
+        # default footprint, exactly as they are charged one unit.
+        footprints_kb: np.ndarray | None = None
+        usage_kb: np.ndarray | None = None
+        idle_kb: np.ndarray | None = None
+        default_kb = 0
+        if self.memory_mode == "mb":
+            records_by_id = {record.function_id: record for record in trace.records()}
+            footprints_kb = footprint_kb_vector(
+                [records_by_id[fid] for fid in function_ids]
+            )
+            default_kb = round(1024 * DEFAULT_MEMORY_MB)
+            usage_kb = np.zeros(duration, dtype=np.int64)
+            idle_kb = np.zeros(duration, dtype=np.int64)
+
         cluster = self.cluster
         arbiter = None
         node_usage: np.ndarray | None = None
@@ -419,7 +477,13 @@ class Simulator:
             # mining the *simulation* trace here would leak future traffic
             # into placement, so trace-hungry strategies fall back to their
             # lazy behaviour instead.
-            arbiter = cluster.arbiter(function_ids, trace=self.training_trace)
+            arbiter = cluster.arbiter(
+                function_ids,
+                trace=self.training_trace,
+                footprints_kb=(
+                    footprints_kb if cluster.capacity_unit == "mb" else None
+                ),
+            )
             node_usage = np.zeros((duration, cluster.n_nodes), dtype=np.int64)
             # The entering resident set is itself subject to the cap; the
             # policy's "declaration" for minute 0 is the uncapped entering set.
@@ -480,6 +544,14 @@ class Simulator:
             loaded = np.count_nonzero(resident) + len(extra)
             usage[minute] = loaded
             idle[minute] = loaded - invoked.size
+            if usage_kb is not None:
+                # Invoked functions are all resident during their minute, so
+                # the idle KB is the resident total minus the invoked total.
+                resident_kb = (
+                    int(footprints_kb[resident].sum()) + len(extra) * default_kb
+                )
+                usage_kb[minute] = resident_kb
+                idle_kb[minute] = resident_kb - int(footprints_kb[invoked].sum())
             loaded_minutes += resident
             for function_id in extra:
                 extra_wmt[function_id] = extra_wmt.get(function_id, 0) + 1
@@ -520,7 +592,14 @@ class Simulator:
             wmt_per_function[function_id] = wmt_per_function.get(function_id, 0) + wasted
 
         accountant = MemoryAccountant(duration)
-        accountant.observe_batch(usage, idle, wmt_per_function, node_usage=node_usage)
+        accountant.observe_batch(
+            usage,
+            idle,
+            wmt_per_function,
+            node_usage=node_usage,
+            usage_kb=usage_kb,
+            idle_kb=idle_kb,
+        )
 
         cluster_stats: ClusterStats | None = None
         if cluster is not None and arbiter is not None and node_usage is not None:
@@ -535,6 +614,7 @@ class Simulator:
                 migrations=arbiter.migrations,
                 migration_cold_starts=migration_cold_starts,
                 node_evictions=arbiter.node_evictions,
+                capacity_unit=cluster.capacity_unit,
             )
 
         stats: Dict[str, FunctionStats] = {}
@@ -608,6 +688,7 @@ class Simulator:
                 stats[function_id] = function_stats
             function_stats.wasted_memory_time = wasted
 
+        usage_kb_series = accountant.usage_kb_series
         return SimulationResult(
             policy_name=policy.name,
             duration_minutes=duration,
@@ -619,6 +700,14 @@ class Simulator:
             overhead_per_minute=timer.mean_seconds,
             cluster=cluster_stats,
             latency=latency,
+            memory_mode=self.memory_mode,
+            memory_usage_kb=(
+                np.array(usage_kb_series, dtype=np.int64)
+                if usage_kb_series is not None
+                else None
+            ),
+            total_wasted_memory_kb=accountant.wasted_memory_kb_minutes,
+            emcr_mb=accountant.effective_memory_consumption_ratio_mb,
         )
 
     # ------------------------------------------------------------------ #
@@ -651,6 +740,7 @@ def simulate_policy(
     events: EventConfig | None = None,
     shards: int = 0,
     shard_placement: str = "hash",
+    memory_mode: str = "unit",
 ) -> SimulationResult:
     """Convenience wrapper: build a :class:`Simulator` and run one policy."""
     simulator = Simulator(
@@ -663,5 +753,6 @@ def simulate_policy(
         events=events,
         shards=shards,
         shard_placement=shard_placement,
+        memory_mode=memory_mode,
     )
     return simulator.run(policy)

@@ -99,6 +99,12 @@ class ClusterStats:
         Per-node capacity evictions, shape ``(n_nodes,)``; sums to
         :attr:`evictions`.  ``None`` on results produced before per-node
         arbiters existed (unpickled from older caches).
+    capacity_unit:
+        What :attr:`memory_capacity`/:attr:`node_capacity` denominate:
+        ``"instances"`` (default) or ``"mb"``.  Under ``"mb"`` the
+        :attr:`node_usage` entries are measured *kilobytes* (the integer
+        working unit of MB-mode accounting), and utilization is computed
+        against the KB node capacity.
     """
 
     n_nodes: int
@@ -111,13 +117,19 @@ class ClusterStats:
     migrations: int = 0
     migration_cold_starts: int = 0
     node_evictions: np.ndarray | None = None
+    capacity_unit: str = "instances"
 
     @property
     def mean_node_utilization(self) -> np.ndarray:
-        """Mean per-node utilization (loaded units / node capacity)."""
+        """Mean per-node utilization (loaded load / node capacity)."""
         if self.node_usage.size == 0:
             return np.zeros(self.n_nodes, dtype=float)
-        return self.node_usage.mean(axis=0) / float(self.node_capacity)
+        # MB-denominated stats record usage in KB; unit stats in instances.
+        if getattr(self, "capacity_unit", "instances") == "mb":
+            denominator = float(self.node_capacity) * 1024.0
+        else:
+            denominator = float(self.node_capacity)
+        return self.node_usage.mean(axis=0) / denominator
 
     @property
     def peak_node_usage(self) -> int:
@@ -436,6 +448,20 @@ class SimulationResult:
         Per-event cold-start latency distribution when the run used one of
         the event-granular engines (``event`` or ``event-feedback``);
         ``None`` for the minute-granular engines.
+    memory_mode:
+        ``"unit"`` (the paper's one-abstract-unit-per-instance accounting,
+        always collected) or ``"mb"`` (measured footprints additionally
+        collected — the fields below).  Unit-mode results hash and pickle
+        exactly as before this field existed.
+    memory_usage_kb:
+        Per-minute loaded *kilobytes* (measured footprints, integer), MB
+        mode only; ``None`` otherwise.
+    total_wasted_memory_kb:
+        Idle KB-minutes over the run (footprint-weighted WMT), MB mode only.
+    emcr_mb:
+        Footprint-weighted effective memory consumption ratio, MB mode only
+        (0.0 otherwise; derived from integer KB totals so it is exact and
+        never NaN).
     """
 
     policy_name: str
@@ -448,6 +474,10 @@ class SimulationResult:
     overhead_per_minute: float = 0.0
     cluster: ClusterStats | None = None
     latency: LatencyStats | None = None
+    memory_mode: str = "unit"
+    memory_usage_kb: np.ndarray | None = None
+    total_wasted_memory_kb: int = 0
+    emcr_mb: float = 0.0
 
     # ------------------------------------------------------------------ #
     # Cold-start aggregates
@@ -535,6 +565,30 @@ class SimulationResult:
         }
 
     # ------------------------------------------------------------------ #
+    # Measured-footprint (MB-mode) aggregates; zeros outside MB mode
+    # ------------------------------------------------------------------ #
+    @property
+    def average_memory_usage_mb(self) -> float:
+        """Mean loaded megabytes per minute (0.0 outside MB mode)."""
+        series = getattr(self, "memory_usage_kb", None)
+        if series is None or series.size == 0:
+            return 0.0
+        return float(series.mean()) / 1024.0
+
+    @property
+    def peak_memory_usage_mb(self) -> float:
+        """Maximum loaded megabytes in any minute (0.0 outside MB mode)."""
+        series = getattr(self, "memory_usage_kb", None)
+        if series is None or series.size == 0:
+            return 0.0
+        return float(series.max()) / 1024.0
+
+    @property
+    def wasted_memory_mb_minutes(self) -> float:
+        """Footprint-weighted WMT in MB-minutes (0.0 outside MB mode)."""
+        return float(getattr(self, "total_wasted_memory_kb", 0)) / 1024.0
+
+    # ------------------------------------------------------------------ #
     @classmethod
     def merge_shards(
         cls,
@@ -582,18 +636,38 @@ class SimulationResult:
         loaded = 0
         total_wmt = 0
         overhead_seconds = 0.0
+        # getattr guards throughout: shard results unpickled from caches
+        # written before MB accounting existed carry none of the KB fields.
+        memory_mode = getattr(live[0], "memory_mode", "unit")
+        memory_usage_kb = (
+            np.zeros(duration, dtype=np.int64) if memory_mode != "unit" else None
+        )
+        loaded_kb = 0
+        total_wmt_kb = 0
         for result in live:
             overlap = per_function.keys() & result.per_function.keys()
             if overlap:
                 raise ValueError(
                     f"shard partitions overlap on {len(overlap)} function(s)"
                 )
+            if getattr(result, "memory_mode", "unit") != memory_mode:
+                raise ValueError("shard results mix memory modes")
             per_function.update(result.per_function)
             memory_usage += np.ascontiguousarray(result.memory_usage, dtype=np.int64)
             loaded += int(np.asarray(result.memory_usage, dtype=np.int64).sum())
             total_wmt += int(result.total_wasted_memory_time)
             overhead_seconds += result.overhead_seconds
+            if memory_usage_kb is not None and result.memory_usage_kb is not None:
+                shard_kb = np.ascontiguousarray(
+                    result.memory_usage_kb, dtype=np.int64
+                )
+                memory_usage_kb += shard_kb
+                loaded_kb += int(shard_kb.sum())
+                total_wmt_kb += int(result.total_wasted_memory_kb)
         emcr = (loaded - total_wmt) / loaded if loaded > 0 else 0.0
+        # Same exact-integer re-derivation as the unsharded accountant: the
+        # merged MB-mode EMCR is bit-identical, never a float average.
+        emcr_mb = (loaded_kb - total_wmt_kb) / loaded_kb if loaded_kb > 0 else 0.0
 
         cluster = None
         if cluster_model is not None:
@@ -620,6 +694,7 @@ class SimulationResult:
                 migrations=0,
                 migration_cold_starts=0,
                 node_evictions=node_evictions,
+                capacity_unit=str(getattr(cluster_model, "capacity_unit", "instances")),
             )
 
         latencies = [result.latency for result in live if result.latency is not None]
@@ -636,6 +711,10 @@ class SimulationResult:
             overhead_per_minute=overhead_seconds / duration if duration else 0.0,
             cluster=cluster,
             latency=latency,
+            memory_mode=memory_mode,
+            memory_usage_kb=memory_usage_kb,
+            total_wasted_memory_kb=total_wmt_kb,
+            emcr_mb=emcr_mb,
         )
 
     # ------------------------------------------------------------------ #
@@ -685,12 +764,39 @@ class SimulationResult:
                     f"placement:{placement}:{migrations}:"
                     f"{getattr(cluster, 'migration_cold_starts', 0)};".encode()
                 )
+            # MB-denominated capacities joined after the instance-mode golds
+            # were pinned: instance-unit stats hash exactly as before.
+            capacity_unit = getattr(cluster, "capacity_unit", "instances")
+            if capacity_unit != "instances":
+                digest.update(f"capacity_unit:{capacity_unit};".encode())
+        # The measured-footprint channels joined after the unit-mode golds
+        # were pinned: unit-mode results hash exactly as before this block
+        # existed, while MB-mode runs are distinguished by their exact
+        # integer KB series.
+        memory_mode = getattr(self, "memory_mode", "unit")
+        if memory_mode != "unit":
+            digest.update(f"memory_mode:{memory_mode};".encode())
+            if self.memory_usage_kb is not None:
+                digest.update(
+                    np.ascontiguousarray(
+                        self.memory_usage_kb, dtype=np.int64
+                    ).tobytes()
+                )
+            digest.update(str(self.total_wasted_memory_kb).encode())
+            digest.update(repr(self.emcr_mb).encode())
         return digest.hexdigest()
 
     # ------------------------------------------------------------------ #
     def summary(self) -> Dict[str, float]:
         """A flat dictionary of headline metrics, handy for tables and tests."""
         summary = self._base_summary()
+        if getattr(self, "memory_mode", "unit") != "unit":
+            summary.update(
+                wasted_memory_mb_min=self.wasted_memory_mb_minutes,
+                avg_memory_mb=self.average_memory_usage_mb,
+                peak_memory_mb=self.peak_memory_usage_mb,
+                emcr_mb=self.emcr_mb,
+            )
         cluster = getattr(self, "cluster", None)
         if cluster is not None:
             summary.update(

@@ -13,7 +13,7 @@ fourteen daily CSV files per file family, where day ``DD`` runs 01..14:
     statistics in milliseconds, weighted by ``Count``.
 ``app_memory_percentiles.anon.dDD.csv``
     ``HashOwner, HashApp, SampleCount, AverageAllocatedMb, ...`` — per-app
-    allocated-memory percentiles.
+    allocated-memory percentiles in megabytes, weighted by ``SampleCount``.
 
 At full scale (~83k functions x 14 days) the invocation matrix is ~13 GB
 dense, so this module never materializes it: daily files are scanned twice
@@ -24,6 +24,12 @@ directly.  Duration percentiles are joined into per-function *measured*
 :class:`~repro.traces.schema.DurationProfile`\\ s for the sub-minute event
 engine; functions without a duration row fall back to the archetype/trigger
 derivation in :func:`~repro.traces.archetypes.duration_profile_for`.
+Memory percentiles are joined into per-function measured footprints
+(``FunctionRecord.memory_mb``): the dataset reports memory per *app*, so
+each app's allocation is fanned out equally over the functions the dataset
+groups under it; functions whose app has no memory row keep
+``memory_mb=None`` and MB-mode accounting falls back to its documented
+default footprint.
 
 Loads are cached on disk as ``.npz`` archives keyed by a content fingerprint
 over the source files *and* the ingestion options, so re-running a sweep
@@ -65,6 +71,7 @@ __all__ = [
     "DATASET_URL",
     "DURATIONS_TEMPLATE",
     "INVOCATIONS_TEMPLATE",
+    "MEMORY_PERCENTILES",
     "MEMORY_TEMPLATE",
     "fetch_azure2019",
     "iter_invocation_rows",
@@ -89,7 +96,11 @@ DATASET_URL = (
 )
 
 #: Version stamp of the on-disk cache layout; bump to invalidate old caches.
-CACHE_SCHEMA = 1
+#: v2: archives carry a per-function ``memory_mb`` vector (NaN = no row).
+CACHE_SCHEMA = 2
+
+#: Percentile columns published by the app-memory file family.
+MEMORY_PERCENTILES = (1, 5, 25, 50, 75, 95, 99, 100)
 
 #: Mapping from the trace's ``Trigger`` column values to :class:`TriggerType`.
 _TRIGGER_ALIASES: Dict[str, TriggerType] = {
@@ -236,6 +247,18 @@ class Azure2019Config:
         without a duration row keep ``duration=None`` and fall back to the
         archetype/trigger derivation — the documented degradation for the
         dataset's partial coverage.
+    join_memory:
+        When True (default), join the app-memory-percentile files into
+        per-function measured footprints (``FunctionRecord.memory_mb``).
+        The dataset reports memory per *app*: the app's
+        ``SampleCount``-weighted mean across the loaded days is divided
+        equally over the functions the dataset groups under that app.
+        Functions whose app has no memory row keep ``memory_mb=None``.
+    memory_percentile:
+        Which column of the memory family feeds the join: ``"average"``
+        (default, the ``AverageAllocatedMb`` column) or one of the published
+        percentiles in :data:`MEMORY_PERCENTILES` (e.g. ``95`` selects
+        ``AverageAllocatedMb_pct95``).
     """
 
     days: Tuple[int, ...] = tuple(range(1, N_DAYS + 1))
@@ -245,6 +268,8 @@ class Azure2019Config:
     seed: int = 0
     min_invocations: int = 0
     join_durations: bool = True
+    join_memory: bool = True
+    memory_percentile: str | int = "average"
 
     def __post_init__(self) -> None:
         days = tuple(int(day) for day in self.days)
@@ -275,6 +300,16 @@ class Azure2019Config:
                     f"unknown trigger filter(s) {sorted(unknown)}; valid: {sorted(valid)}"
                 )
             object.__setattr__(self, "triggers", normalized)
+        if self.memory_percentile != "average":
+            if (
+                isinstance(self.memory_percentile, bool)
+                or not isinstance(self.memory_percentile, int)
+                or self.memory_percentile not in MEMORY_PERCENTILES
+            ):
+                raise ValueError(
+                    "memory_percentile must be 'average' or one of "
+                    f"{list(MEMORY_PERCENTILES)}"
+                )
 
     @property
     def duration_minutes(self) -> int:
@@ -292,6 +327,8 @@ class Azure2019Config:
                 "seed": self.seed,
                 "min_invocations": self.min_invocations,
                 "join_durations": self.join_durations,
+                "join_memory": self.join_memory,
+                "memory_percentile": self.memory_percentile,
             },
             sort_keys=True,
         )
@@ -407,6 +444,10 @@ class Azure2019Dataset:
                 durations = self.durations_path(day)
                 if durations.is_file():
                     digest.update(f":{self._file_digest(durations)}".encode())
+            if config.join_memory:
+                memory = self.memory_path(day)
+                if memory.is_file():
+                    digest.update(f":m{self._file_digest(memory)}".encode())
         return digest.hexdigest()
 
     # ------------------------------- load ------------------------------ #
@@ -522,6 +563,16 @@ def _ingest(
         if config.join_durations
         else {}
     )
+    if config.join_memory:
+        # Fan-out denominator: how many functions the *dataset* groups under
+        # each app (pass-1 ledger, before any filter/selection) — the app's
+        # allocation covers all of them, whether or not they were selected.
+        app_sizes: Dict[Tuple[str, str], int] = {}
+        for owner, app, _func in stats:
+            app_sizes[(owner, app)] = app_sizes.get((owner, app), 0) + 1
+        footprints = _join_memory_footprints(dataset, config, index_of, app_sizes)
+    else:
+        footprints = {}
     records = []
     for (owner, app, func), position in index_of.items():
         records.append(
@@ -531,6 +582,7 @@ def _ingest(
                 owner_id=owner,
                 trigger=trigger_of[position],
                 duration=durations.get(position),
+                memory_mb=footprints.get(position),
             )
         )
 
@@ -651,18 +703,93 @@ def _join_duration_profiles(
     }
 
 
+def _join_memory_footprints(
+    dataset: Azure2019Dataset,
+    config: Azure2019Config,
+    index_of: Dict[Tuple[str, str, str], int],
+    app_sizes: Dict[Tuple[str, str], int],
+) -> Dict[int, float]:
+    """Join the app-memory-percentile files into per-function footprints.
+
+    The memory family is keyed by *(owner, app)* — the dataset never
+    publishes per-function memory — so the chosen column
+    (``AverageAllocatedMb`` or a percentile, see
+    :attr:`Azure2019Config.memory_percentile`) is first reduced to one
+    ``SampleCount``-weighted mean per app across the loaded days, then
+    fanned out equally over the ``app_sizes`` functions the dataset groups
+    under that app.  Missing files and missing app rows are legitimate (the
+    memory family covers fewer apps than the invocation files): affected
+    functions simply keep ``memory_mb=None``, and MB-mode accounting falls
+    back to its default footprint.
+    """
+    column = (
+        "AverageAllocatedMb"
+        if config.memory_percentile == "average"
+        else f"AverageAllocatedMb_pct{config.memory_percentile}"
+    )
+    wanted = {(owner, app) for owner, app, _func in index_of}
+    weighted: Dict[Tuple[str, str], List[float]] = {}
+    for day in config.days:
+        path = dataset.memory_path(day)
+        if not path.is_file():
+            continue
+        with path.open(newline="") as handle:
+            reader = csv.reader(handle)
+            header = next(reader, None)
+            if header is None:
+                continue
+            try:
+                value_col = header.index(column)
+                count_col = header.index("SampleCount")
+            except ValueError:
+                raise AzureIngestError(
+                    f"{path.name}: missing {column}/SampleCount columns in header"
+                ) from None
+            needed = max(value_col, count_col)
+            for line, row in enumerate(reader, start=2):
+                if len(row) <= needed:
+                    continue
+                key = (row[0], row[1])
+                if key not in wanted:
+                    continue
+                try:
+                    value = float(row[value_col])
+                    count = float(row[count_col])
+                except ValueError:
+                    raise AzureIngestError(
+                        f"{path.name}:{line}: invalid memory statistics"
+                    ) from None
+                if count <= 0 or value <= 0:
+                    continue
+                entry = weighted.setdefault(key, [0.0, 0.0])
+                entry[0] += value * count
+                entry[1] += count
+
+    footprints: Dict[int, float] = {}
+    for (owner, app, _func), position in index_of.items():
+        entry = weighted.get((owner, app))
+        if entry is None or entry[1] <= 0:
+            continue
+        fan_out = max(app_sizes.get((owner, app), 1), 1)
+        footprints[position] = (entry[0] / entry[1]) / fan_out
+    return footprints
+
+
 # --------------------------------------------------------------------- #
 # On-disk cache (one .npz archive per (files x options) fingerprint)
 # --------------------------------------------------------------------- #
 def _save_cached_trace(path: Path, trace: SparseTrace, fingerprint: str) -> None:
     records = trace.records()
     durations = np.full((len(records), 2), np.nan)
+    memory_mb = np.full(len(records), np.nan)
     for position, record in enumerate(records):
         if record.duration is not None:
             durations[position] = (
                 record.duration.cold_start_ms,
                 record.duration.execution_ms,
             )
+        if record.memory_mb is not None:
+            memory_mb[position] = record.memory_mb
     meta = {
         "schema": CACHE_SCHEMA,
         "fingerprint": fingerprint,
@@ -681,6 +808,7 @@ def _save_cached_trace(path: Path, trace: SparseTrace, fingerprint: str) -> None
         function_ids=np.asarray([record.function_id for record in records]),
         triggers=np.asarray([record.trigger.value for record in records]),
         durations=durations,
+        memory_mb=memory_mb,
         meta=np.asarray(json.dumps(meta)),
     )
     tmp.replace(path)
@@ -696,6 +824,7 @@ def _load_cached_trace(path: Path, fingerprint: str) -> SparseTrace | None:
             # Materialize each member once: indexing the archive re-reads
             # (and re-inflates) the whole compressed array every time.
             durations = archive["durations"]
+            memory_mb = archive["memory_mb"]
             function_ids = archive["function_ids"]
             apps = archive["apps"]
             owners = archive["owners"]
@@ -703,6 +832,7 @@ def _load_cached_trace(path: Path, fingerprint: str) -> SparseTrace | None:
             records = []
             for position, function_id in enumerate(function_ids):
                 cold, execution = durations[position]
+                footprint = memory_mb[position]
                 records.append(
                     FunctionRecord(
                         function_id=str(function_id),
@@ -713,6 +843,9 @@ def _load_cached_trace(path: Path, fingerprint: str) -> SparseTrace | None:
                             None
                             if np.isnan(cold)
                             else DurationProfile(float(cold), float(execution))
+                        ),
+                        memory_mb=(
+                            None if np.isnan(footprint) else float(footprint)
                         ),
                     )
                 )
@@ -840,6 +973,7 @@ def write_azure2019_fixture(
     duration_files: bool = True,
     memory_files: bool = True,
     missing_duration_fraction: float = 0.15,
+    missing_memory_fraction: float = 0.0,
 ) -> List[Path]:
     """Write miniature CSVs in the exact Azure 2019 schema.
 
@@ -853,6 +987,10 @@ def write_azure2019_fixture(
     A ``missing_duration_fraction`` of functions is deliberately left out of
     the duration files to exercise the archetype-fallback path, and one
     trigger label in the pool is unknown to exercise the OTHERS mapping.
+    ``missing_memory_fraction`` drops that fraction of *apps* from every
+    day's memory file (deterministically, by app id) so the
+    missing-app-row → default-footprint fallback of the memory join is
+    exercisable; the default of 0.0 keeps historical fixtures byte-identical.
 
     Returns the list of written file paths.
     """
@@ -860,6 +998,8 @@ def write_azure2019_fixture(
         raise ValueError("days must be >= 1")
     if n_functions < 1:
         raise ValueError("n_functions must be >= 1")
+    if not 0.0 <= missing_memory_fraction <= 1.0:
+        raise ValueError("missing_memory_fraction must be in [0, 1]")
     dest = Path(dest)
     dest.mkdir(parents=True, exist_ok=True)
 
@@ -971,6 +1111,12 @@ def write_azure2019_fixture(
         if memory_files:
             memory_lines = [",".join(memory_header)]
             for (owner, app), total in sorted(app_totals.items()):
+                if missing_memory_fraction > 0.0:
+                    # Day-independent skip keyed by app id: a dropped app is
+                    # absent from *every* day, i.e. a genuinely missed join.
+                    skip_rng = np.random.default_rng([seed, 29, int(app[:8], 16)])
+                    if skip_rng.random() < missing_memory_fraction:
+                        continue
                 rng = np.random.default_rng([seed, 23, day, total])
                 average = float(rng.uniform(64.0, 512.0))
                 memory_lines.append(

@@ -123,6 +123,14 @@ class FunctionRecord:
         (measured data needs no synthetic per-function spread).  ``None``
         for synthetic functions and for real functions whose duration row is
         missing from the dataset.
+    memory_mb:
+        Optional *measured* memory footprint of one loaded instance of this
+        function, in megabytes, as joined from the Azure dataset's
+        ``app_memory_percentiles`` files (the per-app allocation fanned out
+        over the app's functions).  ``None`` for synthetic functions and for
+        real functions whose app has no memory row; MB-mode accounting then
+        falls back to :data:`~repro.simulation.memory.DEFAULT_MEMORY_MB`.
+        Unit-mode simulation (the default) never reads this field.
     """
 
     function_id: str
@@ -131,6 +139,7 @@ class FunctionRecord:
     trigger: TriggerType = TriggerType.HTTP
     archetype: str | None = None
     duration: DurationProfile | None = None
+    memory_mb: float | None = None
 
     def __post_init__(self) -> None:
         if not self.function_id:
@@ -139,6 +148,8 @@ class FunctionRecord:
             raise ValueError("app_id must be a non-empty string")
         if not self.owner_id:
             raise ValueError("owner_id must be a non-empty string")
+        if self.memory_mb is not None and not self.memory_mb > 0:
+            raise ValueError("memory_mb must be positive when provided")
 
 
 @dataclass

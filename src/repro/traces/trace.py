@@ -557,9 +557,12 @@ class SparseTrace(Trace):
         """Content hash over the sparse layout and per-function metadata.
 
         Unlike the dense fingerprint this also covers measured duration
-        profiles: the real dataset's duration files feed the event engine,
-        so two loads differing only in durations must not share cached
-        simulation results.
+        profiles and memory footprints: the real dataset's duration files
+        feed the event engine and its ``app_memory_percentiles`` files feed
+        MB-mode accounting, so two loads differing only in those joins must
+        not share cached simulation results.  The memory field is appended
+        only when present, keeping fingerprints of memory-less traces
+        byte-identical to earlier releases.
         """
         if self._fingerprint is None:
             digest = hashlib.sha256()
@@ -571,10 +574,13 @@ class SparseTrace(Trace):
                     if duration is not None
                     else "-"
                 )
-                digest.update(
+                token = (
                     f"{record.function_id}\x1f{record.app_id}\x1f{record.owner_id}"
-                    f"\x1f{record.trigger.value}\x1f{measured}\x1e".encode()
+                    f"\x1f{record.trigger.value}\x1f{measured}"
                 )
+                if record.memory_mb is not None:
+                    token += f"\x1f{record.memory_mb!r}"
+                digest.update(f"{token}\x1e".encode())
             digest.update(self._fn_indptr.tobytes())
             digest.update(self._fn_minutes.tobytes())
             digest.update(self._fn_counts.tobytes())

@@ -190,6 +190,22 @@ class TestParallelRunner:
             keys.add(runner.cache_key(runner.cell("c", spec, "w")))
         assert len(keys) == 4
 
+    def test_cache_keys_depend_on_memory_mode(self, split, suite_specs, tmp_path):
+        """MB-mode cells carry extra fields, so they must never hit a
+        unit-mode entry — while explicit unit mode keeps the historical key
+        (pre-MB caches stay warm)."""
+        spec = suite_specs["no-keepalive"]
+        legacy = ParallelRunner({"w": split}, cache_dir=tmp_path, warmup_minutes=30)
+        unit = ParallelRunner(
+            {"w": split}, cache_dir=tmp_path, warmup_minutes=30, memory_mode="unit"
+        )
+        mb = ParallelRunner(
+            {"w": split}, cache_dir=tmp_path, warmup_minutes=30, memory_mode="mb"
+        )
+        legacy_key = legacy.cache_key(legacy.cell("c", spec, "w"))
+        assert unit.cache_key(unit.cell("c", spec, "w")) == legacy_key
+        assert mb.cache_key(mb.cell("c", spec, "w")) != legacy_key
+
     def test_sharded_pool_serial_and_unsharded_agree(self, split):
         """One fingerprint across unsharded, serial-sharded and pool-sharded."""
         specs = {"fixed-5min": PolicySpec.of("fixed-keepalive", keep_alive_minutes=5)}

@@ -33,11 +33,16 @@ from repro.traces import (
 
 FIXTURE_ROOT = Path(__file__).resolve().parent.parent / "data" / "azure2019-fixture"
 
+# Dataset and trace fingerprints moved when the memory join landed: the
+# dataset digest now covers the app_memory_percentiles files and the trace
+# digest includes each function's joined footprint.  The simulation
+# fingerprint is pinned unchanged across that release — unit-mode accounting
+# ignores footprints, so engine output must stay byte-identical.
 DATASET_FINGERPRINT = (
-    "7c1cfb6e87679ff1d176ac5be1684ad707f65de17b49dd853bb12d4a4a282682"
+    "68c4e681945f8e2dd745473a204ba096cc37c7a6576b4177dd668df397123703"
 )
 TRACE_FINGERPRINT = (
-    "b28bdce1e696c4d34556e02098651855f2a1b888a6ba21d6abeeb28d56fd5a6f"
+    "bb0d9bbf88bab113157d84d63d32e08eb9f0d661345233f623166247996fad52"
 )
 SIMULATION_FINGERPRINT = (
     "01f99cf4959b9e4cfad53362d49fb782b840a0ab78bf8e26fdd622f42f87b8d9"

@@ -145,9 +145,9 @@ class TestStrategies:
         seen = []
         original = ClusterModel.arbiter
 
-        def spy(self, function_ids, trace=None):
+        def spy(self, function_ids, trace=None, footprints_kb=None):
             seen.append(trace)
-            return original(self, function_ids, trace=trace)
+            return original(self, function_ids, trace=trace, footprints_kb=footprints_kb)
 
         monkeypatch.setattr(ClusterModel, "arbiter", spy)
         workload = build_scenario(

@@ -34,6 +34,8 @@ from repro.traces.archetypes import TRIGGER_DURATION_PROFILES, duration_profile_
 from repro.traces.azure2019 import (
     DURATIONS_TEMPLATE,
     INVOCATIONS_TEMPLATE,
+    MEMORY_PERCENTILES,
+    MEMORY_TEMPLATE,
     day_number,
     iter_invocation_rows,
 )
@@ -78,6 +80,27 @@ def write_durations(root, day, rows):
             )
         )
     path = root / DURATIONS_TEMPLATE.format(day=day)
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def write_memory(root, day, rows):
+    """Write one app-memory CSV from ``(owner, app, count, average)`` rows.
+
+    Percentile columns are written as ``average * percentile`` so tests can
+    tell which column a join actually read."""
+    header = ["HashOwner", "HashApp", "SampleCount", "AverageAllocatedMb"] + [
+        f"AverageAllocatedMb_pct{p}" for p in MEMORY_PERCENTILES
+    ]
+    lines = [",".join(header)]
+    for owner, app, count, average in rows:
+        lines.append(
+            ",".join(
+                [owner, app, str(count), str(average)]
+                + [str(average * p) for p in MEMORY_PERCENTILES]
+            )
+        )
+    path = root / MEMORY_TEMPLATE.format(day=day)
     path.write_text("\n".join(lines) + "\n")
     return path
 
@@ -493,6 +516,121 @@ class TestIngestion:
 
 
 # --------------------------------------------------------------------------- #
+# The app-memory join
+# --------------------------------------------------------------------------- #
+class TestMemoryJoin:
+    def test_weighted_across_days_for_a_single_function_app(self, tmp_path):
+        write_day(tmp_path, 1, [("o", "a", "f", "http", {0: 1})])
+        write_day(tmp_path, 2, [("o", "a", "f", "http", {0: 1})])
+        write_memory(tmp_path, 1, [("o", "a", 1, 100.0)])
+        write_memory(tmp_path, 2, [("o", "a", 3, 200.0)])
+        trace = load_azure2019(tmp_path, cache_dir=None, days=(1, 2))
+        # SampleCount-weighted mean: (100*1 + 200*3) / 4 = 175.
+        assert trace.record("o:a:f").memory_mb == pytest.approx(175.0)
+
+    def test_fans_out_equally_over_the_apps_functions(self, tmp_path):
+        write_day(
+            tmp_path,
+            1,
+            [
+                ("o", "a", "f1", "http", {0: 5}),
+                ("o", "a", "f2", "timer", {1: 5}),
+                ("o", "b", "solo", "http", {2: 5}),
+            ],
+        )
+        write_memory(tmp_path, 1, [("o", "a", 10, 300.0), ("o", "b", 10, 80.0)])
+        trace = load_azure2019(tmp_path, cache_dir=None, days=(1,))
+        assert trace.record("o:a:f1").memory_mb == pytest.approx(150.0)
+        assert trace.record("o:a:f2").memory_mb == pytest.approx(150.0)
+        assert trace.record("o:b:solo").memory_mb == pytest.approx(80.0)
+
+    def test_fan_out_counts_the_full_population_not_the_selection(self, tmp_path):
+        """A top-N slice must not inflate the survivors' share of the app."""
+        write_day(
+            tmp_path,
+            1,
+            [
+                ("o", "a", "hot", "http", {0: 100}),
+                ("o", "a", "cold", "http", {0: 1}),
+            ],
+        )
+        write_memory(tmp_path, 1, [("o", "a", 10, 300.0)])
+        trace = load_azure2019(
+            tmp_path, cache_dir=None, days=(1,), selection="top", max_functions=1
+        )
+        assert trace.function_ids == ["o:a:hot"]
+        # Still divided by the app's two dataset functions, not the one kept.
+        assert trace.record("o:a:hot").memory_mb == pytest.approx(150.0)
+
+    def test_memory_percentile_selects_the_published_column(self, tmp_path):
+        write_day(tmp_path, 1, [("o", "a", "f", "http", {0: 1})])
+        write_memory(tmp_path, 1, [("o", "a", 2, 100.0)])
+        p95 = load_azure2019(
+            tmp_path, cache_dir=None, days=(1,), memory_percentile=95
+        )
+        # The helper writes pctP = average * P.
+        assert p95.record("o:a:f").memory_mb == pytest.approx(9500.0)
+
+    def test_unknown_memory_percentile_rejected(self):
+        with pytest.raises(ValueError, match="memory_percentile"):
+            Azure2019Config(days=(1,), memory_percentile=42)
+
+    def test_missing_memory_row_keeps_none(self, tmp_path):
+        write_day(
+            tmp_path,
+            1,
+            [
+                ("o", "covered", "f", "http", {0: 1}),
+                ("o", "uncovered", "g", "http", {0: 1}),
+            ],
+        )
+        write_memory(tmp_path, 1, [("o", "covered", 1, 64.0)])
+        trace = load_azure2019(tmp_path, cache_dir=None, days=(1,))
+        assert trace.record("o:covered:f").memory_mb == pytest.approx(64.0)
+        assert trace.record("o:uncovered:g").memory_mb is None
+
+    def test_missing_memory_file_is_legitimate(self, tmp_path):
+        write_day(tmp_path, 1, [("o", "a", "f", "http", {0: 1})])
+        trace = load_azure2019(tmp_path, cache_dir=None, days=(1,))
+        assert trace.record("o:a:f").memory_mb is None
+
+    def test_join_memory_false_skips_the_memory_files(self, tmp_path):
+        write_day(tmp_path, 1, [("o", "a", "f", "http", {0: 1})])
+        # Garbled memory file: only read when the join is on.
+        bad = tmp_path / MEMORY_TEMPLATE.format(day=1)
+        bad.write_text("HashOwner,HashApp,MeanMb\no,a,1.0\n")
+        trace = load_azure2019(
+            tmp_path, cache_dir=None, days=(1,), join_memory=False
+        )
+        assert trace.record("o:a:f").memory_mb is None
+
+    def test_memory_file_without_required_columns_rejected(self, tmp_path):
+        write_day(tmp_path, 1, [("o", "a", "f", "http", {0: 1})])
+        bad = tmp_path / MEMORY_TEMPLATE.format(day=1)
+        bad.write_text("HashOwner,HashApp,MeanMb\no,a,1.0\n")
+        with pytest.raises(AzureIngestError, match="SampleCount"):
+            load_azure2019(tmp_path, cache_dir=None, days=(1,))
+
+    def test_garbled_memory_statistics_rejected(self, tmp_path):
+        write_day(tmp_path, 1, [("o", "a", "f", "http", {0: 1})])
+        write_memory(tmp_path, 1, [("o", "a", "many", 100.0)])
+        with pytest.raises(AzureIngestError, match="invalid memory statistics"):
+            load_azure2019(tmp_path, cache_dir=None, days=(1,))
+
+    def test_fixture_population_joins_footprints(self, tmp_path):
+        write_azure2019_fixture(
+            tmp_path, n_functions=12, days=2, seed=2,
+            missing_memory_fraction=0.5,
+        )
+        trace = load_azure2019(tmp_path, cache_dir=None, days=(1, 2))
+        footprints = [record.memory_mb for record in trace.records()]
+        # Both sides of the join: covered apps with measured footprints and
+        # deliberately-dropped apps on the None fallback.
+        assert any(value is not None and value > 0 for value in footprints)
+        assert any(value is None for value in footprints)
+
+
+# --------------------------------------------------------------------------- #
 # The on-disk cache
 # --------------------------------------------------------------------------- #
 class TestCache:
@@ -576,6 +714,30 @@ class TestCache:
         before = Azure2019Dataset(tmp_path).fingerprint(config)
         write_durations(tmp_path, 1, [("o", "a", "f", 123.0, 1)])
         assert Azure2019Dataset(tmp_path).fingerprint(config) != before
+
+    def test_fingerprint_covers_memory_files(self, tmp_path):
+        self._write(tmp_path)
+        config = Azure2019Config(days=(1, 2))
+        before = Azure2019Dataset(tmp_path).fingerprint(config)
+        write_memory(tmp_path, 1, [("o", "a", 1, 100.0)])
+        assert Azure2019Dataset(tmp_path).fingerprint(config) != before
+
+    def test_cached_replay_preserves_memory_footprints(self, tmp_path):
+        self._write(tmp_path)
+        dataset = Azure2019Dataset(tmp_path)
+        config = Azure2019Config(days=(1, 2))
+        first = dataset.load(config)
+        second = Azure2019Dataset(tmp_path).load(config)
+        measured = [
+            record.function_id for record in first.records()
+            if record.memory_mb is not None
+        ]
+        assert measured  # the fixture joins memory for every covered app
+        for function_id in measured:
+            assert (
+                second.record(function_id).memory_mb
+                == first.record(function_id).memory_mb
+            )
 
 
 # --------------------------------------------------------------------------- #
