@@ -30,7 +30,15 @@ Commands
     engines only) every node runs a finite CPU pool and the latency tables
     add slowdown and SLO columns; ``--scheduler`` picks the intra-node
     discipline (fifo, rr, srtf, las) and ``--slo-ms`` sets the per-request
-    deadline.
+    deadline.  ``--manifest PATH`` records a run manifest after the sweep
+    (canonical run spec, trace fingerprints, engine version, per-cell
+    result fingerprints); ``--from-manifest PATH`` replays a recorded
+    manifest and verifies the results are fingerprint-identical.
+``config``
+    Resolve sweep-style flags into the one canonical run spec — printed as
+    JSON with its content digest and the engine version — without running
+    any simulation.  ``--cache-keys`` additionally builds the workloads
+    and prints every statically derivable cell's on-disk cache key.
 ``results``
     Run the full RQ1–RQ6 campaign over one workload source and write the
     consolidated markdown results book.  By default the hermetic azure2019
@@ -218,48 +226,79 @@ def _command_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_sweep(args: argparse.Namespace) -> int:
+def _suite_from_args(
+    args: argparse.Namespace, workers: int = 0, cache_dir: str | None = None
+) -> ExperimentSuite:
+    """Build the :class:`ExperimentSuite` a sweep-style namespace describes.
+
+    Shared by ``sweep`` (which executes it) and ``config`` (which only
+    resolves and prints its run spec), so both commands agree on how flags
+    map to a suite.  Raises ``KeyError``/``ValueError`` on invalid flags.
+    """
     config = ExperimentConfig(
         n_functions=args.functions,
         seed=args.seeds[0],
         duration_days=args.days,
         training_days=args.training_days,
     )
-    cache_dir = None if args.no_cache else args.cache_dir
     scenario = args.scenario
+    scenario_params = _parse_scenario_params(args.scenario_param)
+    if args.azure_dir is not None:
+        if scenario is None:
+            scenario = "azure2019"
+        scenario_params.setdefault("azure_dir", args.azure_dir)
+    return ExperimentSuite(
+        config=config,
+        seeds=args.seeds,
+        policies=args.policies,
+        workers=workers,
+        cache_dir=cache_dir,
+        scenario=scenario,
+        scenario_params=scenario_params,
+        placement=args.placement,
+        engine=args.engine,
+        streaming=args.streaming,
+        shards=args.shards,
+        shard_placement=args.shard_placement,
+        cores=args.cores,
+        scheduler=args.scheduler,
+        slo_ms=args.slo_ms,
+        memory_mode=args.memory_mode,
+    )
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.manifest import (
+        ManifestError,
+        build_manifest,
+        load_manifest,
+        suite_from_manifest,
+        verify_results,
+        verify_trace_fingerprints,
+        write_manifest,
+    )
+
+    cache_dir = None if args.no_cache else args.cache_dir
     workers = args.workers
     if getattr(args, "profile", False) and workers > 1:
         # cProfile only sees the calling process; worker time would vanish
         # from the report, so profiled sweeps run everything in-process.
         print("profile: forcing serial execution (--workers ignored)", file=sys.stderr)
         workers = 0
+    manifest = None
     try:
-        scenario_params = _parse_scenario_params(args.scenario_param)
-        if args.azure_dir is not None:
-            if scenario is None:
-                scenario = "azure2019"
-            scenario_params.setdefault("azure_dir", args.azure_dir)
-        suite = ExperimentSuite(
-            config=config,
-            seeds=args.seeds,
-            policies=args.policies,
-            workers=workers,
-            cache_dir=cache_dir,
-            scenario=scenario,
-            scenario_params=scenario_params,
-            placement=args.placement,
-            engine=args.engine,
-            streaming=args.streaming,
-            shards=args.shards,
-            shard_placement=args.shard_placement,
-            cores=args.cores,
-            scheduler=args.scheduler,
-            slo_ms=args.slo_ms,
-            memory_mode=args.memory_mode,
-        )
-    except (KeyError, ValueError) as error:
-        print(f"error: {error}", file=sys.stderr)
+        if args.from_manifest is not None:
+            # Replay mode: the manifest, not the workload flags, defines the
+            # sweep; only execution-host knobs (--workers/--cache-dir) apply.
+            manifest = load_manifest(args.from_manifest)
+            suite = suite_from_manifest(manifest, workers=workers, cache_dir=cache_dir)
+            verify_trace_fingerprints(manifest, suite)
+        else:
+            suite = _suite_from_args(args, workers=workers, cache_dir=cache_dir)
+    except (ManifestError, KeyError, ValueError) as error:
+        print(f"error: {error.args[0] if error.args else error}", file=sys.stderr)
         return 2
+    scenario = suite.scenario
     profiler = None
     if getattr(args, "profile", False):
         import cProfile
@@ -299,24 +338,38 @@ def _command_sweep(args: argparse.Namespace) -> int:
         print()
     mode = f"{outcome.workers} workers" if outcome.workers > 1 else "serial"
     scenario_note = f", scenario {scenario}" if scenario else ""
-    placement = f", placement {args.placement}" if args.placement else ""
-    engine = f", engine {args.engine}" if args.engine != "vectorized" else ""
-    streaming = ", streaming" if args.streaming else ""
-    shards = f", shards {args.shards}" if args.shards >= 2 else ""
+    placement = f", placement {suite.placement}" if suite.placement else ""
+    engine = f", engine {suite.engine}" if suite.engine != "vectorized" else ""
+    streaming = ", streaming" if suite.streaming else ""
+    shards = f", shards {suite.shards}" if suite.shards >= 2 else ""
     cpu = ""
-    if args.cores is not None:
-        cpu = f", cores {args.cores} ({args.scheduler or 'fifo'})"
-    if args.slo_ms is not None:
-        cpu += f", slo {args.slo_ms:g}ms"
-    if args.memory_mode != "unit":
-        cpu += f", memory {args.memory_mode}"
+    if suite.cores is not None:
+        cpu = f", cores {suite.cores} ({suite.scheduler or 'fifo'})"
+    if suite.slo_ms is not None:
+        cpu += f", slo {suite.slo_ms:g}ms"
+    if suite.memory_mode != "unit":
+        cpu += f", memory {suite.memory_mode}"
     print(
-        f"sweep: {len(suite.seeds)} seed(s) x {len(args.policies)} policies "
+        f"sweep: {len(suite.seeds)} seed(s) x {len(suite.policies)} policies "
         f"in {outcome.wall_seconds:.1f}s ({mode}{scenario_note}{placement}{engine}"
         f"{streaming}{shards}{cpu})"
     )
     if cache_dir:
         print(f"cache: {outcome.cache_hits} hit(s), {outcome.cache_misses} miss(es)")
+    if manifest is not None:
+        try:
+            verified = verify_results(manifest, outcome)
+        except ManifestError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(
+            f"manifest: replay of {args.from_manifest} verified — "
+            f"{verified} result fingerprint(s) identical"
+        )
+    if args.manifest is not None:
+        document = build_manifest(suite, outcome)
+        path = write_manifest(args.manifest, document)
+        print(f"manifest: wrote {path} ({len(document['results'])} cell(s))")
     if profiler is not None:
         import io
         import pstats
@@ -326,6 +379,54 @@ def _command_sweep(args: argparse.Namespace) -> int:
         stats.strip_dirs().sort_stats("cumulative").print_stats(25)
         print("\nprofile: top 25 functions by cumulative time")
         print(stream.getvalue())
+    return 0
+
+
+def _command_config(args: argparse.Namespace) -> int:
+    """Resolve sweep flags into the canonical run spec without running.
+
+    Prints a JSON document with the validated :class:`RunSpec` in canonical
+    form, its content digest, and the engine version — the identity a sweep
+    with the same flags would run (and cache) under.  With ``--cache-keys``
+    the per-seed workloads are built (no simulation) and every statically
+    derivable cell's on-disk cache key is included.
+    """
+    import json
+
+    from repro.simulation.spec import ENGINE_VERSION
+
+    try:
+        suite = _suite_from_args(args)
+    except (KeyError, ValueError) as error:
+        print(f"error: {error.args[0] if error.args else error}", file=sys.stderr)
+        return 2
+    document = {
+        "engine_version": ENGINE_VERSION,
+        "spec": suite.spec.canonical(),
+        "spec_digest": suite.spec.spec_digest(),
+        "seeds": list(suite.seeds),
+        "policies": list(suite.policies),
+        "scenario": suite.scenario,
+        "scenario_params": {
+            name: value if isinstance(value, (bool, int, float, str)) else str(value)
+            for name, value in sorted(suite.scenario_params.items())
+        },
+    }
+    if args.cache_keys:
+        try:
+            keys, skipped = suite.static_cache_keys()
+        except (KeyError, ValueError) as error:
+            print(f"error: {error.args[0] if error.args else error}", file=sys.stderr)
+            return 2
+        document["cache_keys"] = keys
+        for name in skipped:
+            print(
+                f"note: {name} omitted from cache_keys (its capacity is "
+                "derived from the same-seed spes result, so its key is not "
+                "static)",
+                file=sys.stderr,
+            )
+    print(json.dumps(document, indent=2))
     return 0
 
 
@@ -513,6 +614,141 @@ def _command_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_sweep_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    """Register the workload/run-spec flags shared by ``sweep`` and ``config``.
+
+    Everything registered here feeds :func:`_suite_from_args`; flags that
+    only matter for execution (workers, caching, manifests, profiling) stay
+    with the ``sweep`` subparser.
+    """
+    parser.add_argument(
+        "--functions", type=int, default=400, help="number of synthetic functions"
+    )
+    parser.add_argument(
+        "--days", type=float, default=14.0, help="total workload duration in days"
+    )
+    parser.add_argument(
+        "--training-days", type=float, default=12.0, help="days used for offline modelling"
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=[2024],
+        help="workload seeds; each seed is an independent workload",
+    )
+    parser.add_argument(
+        "--policies",
+        nargs="+",
+        default=list(DEFAULT_SUITE_POLICIES),
+        help="policy names to simulate (see repro.experiments.POLICY_REGISTRY)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("vectorized", "reference", "event", "event-feedback"),
+        default="vectorized",
+        help=(
+            "simulation engine; 'event' expands minutes into timestamped "
+            "invocation events and reports cold-start latency percentiles; "
+            "'event-feedback' additionally streams the rolling latency "
+            "window into every policy's on_feedback hook"
+        ),
+    )
+    parser.add_argument(
+        "--streaming",
+        action="store_true",
+        help=(
+            "streaming evaluation: policies receive zero training window "
+            "(no offline phase input, no warm-up replay) and adapt online"
+        ),
+    )
+    parser.add_argument(
+        "--scenario",
+        default=None,
+        help="workload scenario name (see `spes-repro scenarios`)",
+    )
+    parser.add_argument(
+        "--scenario-param",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="override a scenario parameter (repeatable)",
+    )
+    parser.add_argument(
+        "--azure-dir",
+        default=None,
+        help=(
+            "directory holding the real Azure 2019 CSVs; implies "
+            "--scenario azure2019 unless another scenario is named and "
+            "fills in its azure_dir parameter"
+        ),
+    )
+    parser.add_argument(
+        "--placement",
+        default=None,
+        help=(
+            "placement strategy for the scenario's cluster (hash, "
+            "least-loaded, correlation-aware); requires a cluster scenario "
+            "such as capacity-squeeze or hot-shard"
+        ),
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help=(
+            "split shardable cells into N function partitions simulated "
+            "independently and merged (fingerprint-identical; with "
+            "--workers > 1 every partition is its own pool task); cells "
+            "that cannot shard fall back to whole-cell runs with a warning"
+        ),
+    )
+    parser.add_argument(
+        "--shard-placement",
+        default="hash",
+        help=(
+            "placement strategy deriving the function-to-shard partition "
+            "(hash, least-loaded, correlation-aware)"
+        ),
+    )
+    parser.add_argument(
+        "--cores",
+        type=int,
+        default=None,
+        help=(
+            "finite CPU cores per node for the intra-node scheduling stage "
+            "(event engines only); latency tables gain slowdown and SLO "
+            "columns.  Unset, invocations never queue for CPU"
+        ),
+    )
+    parser.add_argument(
+        "--scheduler",
+        choices=("fifo", "rr", "srtf", "las"),
+        default=None,
+        help="intra-node CPU scheduling discipline (requires --cores; default fifo)",
+    )
+    parser.add_argument(
+        "--slo-ms",
+        type=float,
+        default=None,
+        help=(
+            "per-request latency SLO in milliseconds; event engines count "
+            "invocations whose sojourn time exceeds it"
+        ),
+    )
+    parser.add_argument(
+        "--memory-mode",
+        choices=("unit", "mb"),
+        default="unit",
+        help=(
+            "memory accounting: 'unit' is the paper's abstract one-unit-per-"
+            "instance model; 'mb' weighs instances by the measured footprints "
+            "joined from the dataset and adds MB columns to the tables "
+            "(requires a mask-based engine)"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -535,33 +771,12 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep",
         help="run the policy suite over several seeds, in parallel",
     )
-    sweep.add_argument(
-        "--functions", type=int, default=400, help="number of synthetic functions"
-    )
-    sweep.add_argument(
-        "--days", type=float, default=14.0, help="total workload duration in days"
-    )
-    sweep.add_argument(
-        "--training-days", type=float, default=12.0, help="days used for offline modelling"
-    )
-    sweep.add_argument(
-        "--seeds",
-        type=int,
-        nargs="+",
-        default=[2024],
-        help="workload seeds; each seed is an independent workload",
-    )
+    _add_sweep_workload_arguments(sweep)
     sweep.add_argument(
         "--workers",
         type=int,
         default=0,
         help="worker processes for the (policy x seed) fan-out (0 = serial)",
-    )
-    sweep.add_argument(
-        "--policies",
-        nargs="+",
-        default=list(DEFAULT_SUITE_POLICIES),
-        help="policy names to simulate (see repro.experiments.POLICY_REGISTRY)",
     )
     sweep.add_argument(
         "--cache-dir",
@@ -574,112 +789,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="bypass the on-disk result cache even when --cache-dir is given",
     )
     sweep.add_argument(
-        "--engine",
-        choices=("vectorized", "reference", "event", "event-feedback"),
-        default="vectorized",
-        help=(
-            "simulation engine; 'event' expands minutes into timestamped "
-            "invocation events and reports cold-start latency percentiles; "
-            "'event-feedback' additionally streams the rolling latency "
-            "window into every policy's on_feedback hook"
-        ),
-    )
-    sweep.add_argument(
-        "--streaming",
-        action="store_true",
-        help=(
-            "streaming evaluation: policies receive zero training window "
-            "(no offline phase input, no warm-up replay) and adapt online"
-        ),
-    )
-    sweep.add_argument(
-        "--scenario",
-        default=None,
-        help="workload scenario name (see `spes-repro scenarios`)",
-    )
-    sweep.add_argument(
-        "--scenario-param",
-        action="append",
-        default=[],
-        metavar="NAME=VALUE",
-        help="override a scenario parameter (repeatable)",
-    )
-    sweep.add_argument(
-        "--azure-dir",
-        default=None,
-        help=(
-            "directory holding the real Azure 2019 CSVs; implies "
-            "--scenario azure2019 unless another scenario is named and "
-            "fills in its azure_dir parameter"
-        ),
-    )
-    sweep.add_argument(
-        "--placement",
-        default=None,
-        help=(
-            "placement strategy for the scenario's cluster (hash, "
-            "least-loaded, correlation-aware); requires a cluster scenario "
-            "such as capacity-squeeze or hot-shard"
-        ),
-    )
-    sweep.add_argument(
         "--rq-tables",
         action="store_true",
         help="additionally print the per-seed RQ1/RQ2 tables",
     )
     sweep.add_argument(
-        "--shards",
-        type=int,
-        default=0,
-        help=(
-            "split shardable cells into N function partitions simulated "
-            "independently and merged (fingerprint-identical; with "
-            "--workers > 1 every partition is its own pool task); cells "
-            "that cannot shard fall back to whole-cell runs with a warning"
-        ),
-    )
-    sweep.add_argument(
-        "--shard-placement",
-        default="hash",
-        help=(
-            "placement strategy deriving the function-to-shard partition "
-            "(hash, least-loaded, correlation-aware)"
-        ),
-    )
-    sweep.add_argument(
-        "--cores",
-        type=int,
+        "--manifest",
         default=None,
+        metavar="PATH",
         help=(
-            "finite CPU cores per node for the intra-node scheduling stage "
-            "(event engines only); latency tables gain slowdown and SLO "
-            "columns.  Unset, invocations never queue for CPU"
+            "after the sweep, write a run manifest (canonical run spec, "
+            "trace fingerprints, engine version, per-cell result "
+            "fingerprints) to PATH for verified replay"
         ),
     )
     sweep.add_argument(
-        "--scheduler",
-        choices=("fifo", "rr", "srtf", "las"),
+        "--from-manifest",
         default=None,
-        help="intra-node CPU scheduling discipline (requires --cores; default fifo)",
-    )
-    sweep.add_argument(
-        "--slo-ms",
-        type=float,
-        default=None,
+        metavar="PATH",
+        dest="from_manifest",
         help=(
-            "per-request latency SLO in milliseconds; event engines count "
-            "invocations whose sojourn time exceeds it"
-        ),
-    )
-    sweep.add_argument(
-        "--memory-mode",
-        choices=("unit", "mb"),
-        default="unit",
-        help=(
-            "memory accounting: 'unit' is the paper's abstract one-unit-per-"
-            "instance model; 'mb' weighs instances by the measured footprints "
-            "joined from the dataset and adds MB columns to the tables "
-            "(requires a mask-based engine)"
+            "replay the sweep a manifest records instead of reading the "
+            "workload flags; refuses to run on engine-version or trace-"
+            "fingerprint mismatch and verifies the results are fingerprint-"
+            "identical"
         ),
     )
     sweep.add_argument(
@@ -691,6 +824,21 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sweep.set_defaults(handler=_command_sweep)
+
+    config = subparsers.add_parser(
+        "config",
+        help="resolve sweep flags into the canonical run spec (no simulation)",
+    )
+    _add_sweep_workload_arguments(config)
+    config.add_argument(
+        "--cache-keys",
+        action="store_true",
+        help=(
+            "also build the per-seed workloads (no simulation) and print "
+            "every statically derivable cell's on-disk cache key"
+        ),
+    )
+    config.set_defaults(handler=_command_config)
 
     results = subparsers.add_parser(
         "results",

@@ -20,6 +20,10 @@ Layout
     paper.  The RQ3 sweeps and RQ4 ablations batch their variant runs
     through :meth:`ExperimentRunner.run_spes_variants`, so they too
     parallelize when the runner has workers.
+``manifest``
+    Run manifests: record a sweep's canonical run spec, trace fingerprints
+    and per-cell result fingerprints as JSON, then replay it later with
+    bit-identical verification (``sweep --manifest`` / ``--from-manifest``).
 ``results``
     :func:`generate_results` — runs every RQ over one workload source (the
     hermetic azure2019 fixture by default, the real dataset with
@@ -42,6 +46,17 @@ or, for several seeds at once::
     print(outcome.aggregate_table().render())
 """
 
+from repro.experiments.manifest import (
+    MANIFEST_VERSION,
+    ManifestError,
+    build_manifest,
+    load_manifest,
+    replay_manifest,
+    suite_from_manifest,
+    verify_results,
+    verify_trace_fingerprints,
+    write_manifest,
+)
 from repro.experiments.parallel import (
     POLICY_REGISTRY,
     ParallelRunner,
@@ -79,6 +94,15 @@ __all__ = [
     "ResultsConfig",
     "generate_results",
     "write_results",
+    "MANIFEST_VERSION",
+    "ManifestError",
+    "build_manifest",
+    "write_manifest",
+    "load_manifest",
+    "suite_from_manifest",
+    "verify_trace_fingerprints",
+    "verify_results",
+    "replay_manifest",
     "rq1_coldstart",
     "rq2_memory",
     "rq3_tradeoff",

@@ -26,11 +26,7 @@ factories with unpicklable closures are never shipped across processes.
 
 from __future__ import annotations
 
-import dataclasses
-import enum
-import hashlib
 import inspect
-import json
 import os
 import pickle
 import tempfile
@@ -66,16 +62,16 @@ from repro.simulation import (
     SimulationResult,
     Simulator,
 )
-from repro.simulation.engine import (
-    ENGINE_IMPLEMENTATIONS,
-    ENGINE_VERSION,
-    EVENT_ENGINES,
-    MEMORY_MODES,
-    ShardFallbackWarning,
-)
-from repro.simulation.placement import get_placement
+from repro.simulation.engine import ShardFallbackWarning
 from repro.simulation.policy_base import AlwaysWarmPolicy, NoKeepAlivePolicy
 from repro.simulation.sharding import shard_assignment, shard_fallback_reason
+from repro.simulation.spec import (
+    ENGINE_VERSION,
+    EVENT_ENGINES,
+    RunSpec,
+    canonical_value as _canonical,
+    content_digest as _digest,
+)
 from repro.traces import TraceSplit
 
 __all__ = [
@@ -135,30 +131,9 @@ def register_policy(name: str, factory: Callable[..., ProvisioningPolicy]) -> No
     POLICY_REGISTRY[name] = factory
 
 
-def _canonical(value: Any) -> Any:
-    """Convert ``value`` into a JSON-serializable canonical form for hashing."""
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return {
-            field.name: _canonical(getattr(value, field.name))
-            for field in dataclasses.fields(value)
-        }
-    if isinstance(value, enum.Enum):
-        return value.value
-    if isinstance(value, Mapping):
-        items = {str(_canonical(key)): _canonical(item) for key, item in value.items()}
-        return dict(sorted(items.items()))
-    if isinstance(value, (list, tuple, set, frozenset)):
-        converted = [_canonical(item) for item in value]
-        return sorted(converted, key=repr) if isinstance(value, (set, frozenset)) else converted
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    return repr(value)
-
-
-def _digest(*parts: Any) -> str:
-    """SHA-256 hex digest of the canonical JSON encoding of ``parts``."""
-    payload = json.dumps([_canonical(part) for part in parts], sort_keys=True)
-    return hashlib.sha256(payload.encode()).hexdigest()
+# _canonical/_digest (the canonical-value and content-digest helpers) now
+# live in repro.simulation.spec as canonical_value/content_digest; they are
+# imported above under their historical private names for compatibility.
 
 
 @dataclass(frozen=True)
@@ -344,67 +319,36 @@ def _worker_initializer(payload: bytes) -> None:
 def _execute_cell(
     cell: SweepCell,
     traces: Mapping[str, TraceSplit],
-    warmup_minutes: int,
-    cluster: ClusterModel | None = None,
-    engine: str = "vectorized",
-    events: EventConfig | None = None,
-    streaming: bool = False,
-    shards: int = 0,
-    shard_placement: str = "hash",
-    memory_mode: str = "unit",
+    spec: RunSpec,
 ) -> SimulationResult:
     """Run one cell against ``traces`` (shared by serial and worker paths).
 
-    In streaming mode the policy is evaluated *online*: it never sees the
-    training trace (no offline phase input, no warm-up replay) and enters
-    the simulation window completely cold.
+    ``spec`` is the cell's fully-resolved :class:`RunSpec` (cluster and
+    events already selected for its trace key).  Streaming semantics —
+    no training input, no warm-up replay, the policy enters cold — are
+    applied by the :class:`Simulator` itself from ``spec.streaming``.
     """
     split = traces[cell.trace_key]
     policy = cell.spec.build(seed=cell.seed)
     simulator = Simulator(
         simulation_trace=split.simulation,
-        training_trace=None if streaming else split.training,
-        warmup_minutes=0 if streaming else warmup_minutes,
-        cluster=cluster,
-        engine=engine,
-        events=events,
-        shards=shards,
-        shard_placement=shard_placement,
-        memory_mode=memory_mode,
+        training_trace=split.training,
+        spec=spec,
     )
     return simulator.run(policy)
 
 
-def _worker_run_cell(
-    cell: SweepCell,
-    warmup_minutes: int,
-    cluster: ClusterModel | None,
-    engine: str,
-    events: EventConfig | None,
-    streaming: bool,
-    memory_mode: str,
-) -> tuple[str, SimulationResult]:
-    return cell.name, _execute_cell(
-        cell,
-        _WORKER_TRACES,
-        warmup_minutes,
-        cluster,
-        engine,
-        events,
-        streaming,
-        memory_mode=memory_mode,
-    )
+def _worker_run_cell(cell: SweepCell, spec: RunSpec) -> tuple[str, SimulationResult]:
+    # Whole-cell worker execution never re-attempts sharding: the parent's
+    # _shard_plan already decided this cell runs unsharded (or unshardable),
+    # and re-warning inside the worker would be noise.
+    return cell.name, _execute_cell(cell, _WORKER_TRACES, spec.override(shards=0))
 
 
 def _worker_run_shard(
     cell: SweepCell,
     positions: np.ndarray,
-    warmup_minutes: int,
-    cluster: ClusterModel | None,
-    engine: str,
-    events: EventConfig | None,
-    streaming: bool,
-    memory_mode: str,
+    spec: RunSpec,
 ) -> SimulationResult:
     """Run one *shard* of a cell inside a worker process.
 
@@ -417,12 +361,8 @@ def _worker_run_shard(
     split = _WORKER_TRACES[cell.trace_key]
     simulator = Simulator(
         simulation_trace=split.simulation,
-        training_trace=None if streaming else split.training,
-        warmup_minutes=0 if streaming else warmup_minutes,
-        cluster=cluster,
-        engine=engine,
-        events=events,
-        memory_mode=memory_mode,
+        training_trace=split.training,
+        spec=spec.override(shards=0),
     )
     sub = simulator.shard_simulator(positions)
     return sub.run(cell.spec.build(seed=cell.seed))
@@ -489,6 +429,11 @@ class ParallelRunner:
         ``"mb"`` weighs loaded instances by their measured footprints — see
         :mod:`repro.simulation.memory`).  Part of every cell's cache key
         when not ``"unit"``.
+    spec:
+        A ready-made :class:`~repro.simulation.spec.RunSpec` instead of the
+        individual run knobs above (mutually exclusive with them).  The
+        spec's own ``cluster``/``events`` fields act as the default for
+        trace keys without an entry in the per-key mappings.
     """
 
     def __init__(
@@ -496,28 +441,42 @@ class ParallelRunner:
         traces: Mapping[str, TraceSplit],
         workers: int = 0,
         cache_dir: str | Path | None = None,
-        warmup_minutes: int = Simulator.DEFAULT_WARMUP_MINUTES,
+        warmup_minutes: int | None = None,
         clusters: Mapping[str, ClusterModel | None] | None = None,
-        engine: str = "vectorized",
+        engine: str | None = None,
         events: Mapping[str, EventConfig] | None = None,
-        streaming: bool = False,
-        shards: int = 0,
-        shard_placement: str = "hash",
-        memory_mode: str = "unit",
+        streaming: bool | None = None,
+        shards: int | None = None,
+        shard_placement: str | None = None,
+        memory_mode: str | None = None,
+        spec: RunSpec | None = None,
     ) -> None:
         if workers < 0:
             raise ValueError("workers must be non-negative")
-        if engine not in ENGINE_IMPLEMENTATIONS:
-            raise ValueError(
-                f"unknown engine {engine!r}; expected one of {ENGINE_IMPLEMENTATIONS}"
+        if spec is None:
+            # Back-compat shim: the classic keywords build the spec, whose
+            # constructor runs the one shared validate().
+            spec = RunSpec.build(
+                engine=engine,
+                streaming=streaming,
+                warmup_minutes=warmup_minutes,
+                shards=shards,
+                shard_placement=shard_placement,
+                memory_mode=memory_mode,
             )
-        if shards < 0:
-            raise ValueError("shards must be non-negative")
-        if memory_mode not in MEMORY_MODES:
-            raise ValueError(
-                f"unknown memory_mode {memory_mode!r}; expected one of {MEMORY_MODES}"
+        elif any(
+            value is not None
+            for value in (
+                warmup_minutes, engine, streaming,
+                shards, shard_placement, memory_mode,
             )
-        get_placement(shard_placement)
+        ):
+            raise ValueError(
+                "pass either spec= or the individual run knobs, not both"
+            )
+        else:
+            spec.validate()
+        self.spec = spec
         available = os.cpu_count() or 1
         if workers > available:
             warnings.warn(
@@ -528,12 +487,13 @@ class ParallelRunner:
             )
         self.traces = dict(traces)
         self.workers = workers
-        self.warmup_minutes = warmup_minutes
-        self.engine = engine
-        self.streaming = streaming
-        self.shards = shards
-        self.shard_placement = shard_placement
-        self.memory_mode = memory_mode
+        # Attribute shims: long-standing public names, now views on the spec.
+        self.warmup_minutes = spec.warmup_minutes
+        self.engine = spec.engine
+        self.streaming = spec.streaming
+        self.shards = spec.shards
+        self.shard_placement = spec.shard_placement
+        self.memory_mode = spec.memory_mode
         self.clusters = dict(clusters) if clusters else {}
         unknown = set(self.clusters) - set(self.traces)
         if unknown:
@@ -559,41 +519,53 @@ class ParallelRunner:
             seed=derive_cell_seed(base_seed, spec),
         )
 
-    def cache_key(self, cell: SweepCell) -> str:
-        """Content hash identifying a cell's simulation output."""
+    def trace_fingerprints(self) -> Dict[str, tuple[str, str]]:
+        """``{trace_key: (training, simulation)}`` content fingerprints.
+
+        Computed lazily and memoized: hashing every trace's invocation
+        matrix is only needed once cache keys (or run manifests) ask for it.
+        """
         if self._trace_fingerprints is None:
             self._trace_fingerprints = {
                 key: (split.training.fingerprint(), split.simulation.fingerprint())
                 for key, split in self.traces.items()
             }
-        parts: list[Any] = [
-            ENGINE_VERSION,
-            self.engine,
-            self.streaming,
-            # Shard count and partition strategy key results even though
-            # shardable runs are fingerprint-identical: event-engine latency
-            # blocks and overhead timings legitimately differ per partition,
-            # and a cached fallback run must not masquerade as a sharded one.
-            self.shards,
-            self.shard_placement,
-            self._trace_fingerprints[cell.trace_key],
-            self.warmup_minutes,
-            self.clusters.get(cell.trace_key),
-            self._cell_events(cell.trace_key),
-            cell.spec,
-            cell.seed,
-        ]
-        # Appended only off the default so pre-existing unit-mode cache
-        # entries keep their keys across the MB-accounting release.
-        if self.memory_mode != "unit":
-            parts.append(("memory_mode", self.memory_mode))
-        return _digest(*parts)
+        return self._trace_fingerprints
+
+    def cell_run_spec(self, trace_key: str) -> RunSpec:
+        """The fully-resolved spec cells of ``trace_key`` run (and key) under.
+
+        The base spec with the key's cluster and event config folded in —
+        the single object both :meth:`cache_key` and the execution paths
+        derive from, so a cell can never be keyed under one configuration
+        and simulated under another.
+        """
+        return self.spec.override(
+            cluster=self._cell_cluster(trace_key),
+            events=self._cell_events(trace_key),
+        )
+
+    def cache_key(self, cell: SweepCell) -> str:
+        """Content hash identifying a cell's simulation output.
+
+        Derived from the resolved spec's canonical serialization (see
+        :meth:`RunSpec.cache_key_parts` for the exact — legacy-stable —
+        part order).
+        """
+        fingerprints = self.trace_fingerprints()
+        return self.cell_run_spec(cell.trace_key).cache_key(
+            fingerprints[cell.trace_key], cell.spec, cell.seed
+        )
+
+    def _cell_cluster(self, trace_key: str) -> ClusterModel | None:
+        """The cluster model a cell runs under (per-key over spec default)."""
+        return self.clusters.get(trace_key, self.spec.cluster)
 
     def _cell_events(self, trace_key: str) -> EventConfig | None:
         """The event config a cell runs with (None off the event engines)."""
         if self.engine not in EVENT_ENGINES:
             return None
-        return self.events.get(trace_key) or EventConfig()
+        return self.events.get(trace_key) or self.spec.events or EventConfig()
 
     # ------------------------------------------------------------------ #
     def run_cells(self, cells: Sequence[SweepCell]) -> Dict[str, SimulationResult]:
@@ -624,16 +596,7 @@ class ParallelRunner:
             else:
                 computed = {
                     cell.name: _execute_cell(
-                        cell,
-                        self.traces,
-                        self.warmup_minutes,
-                        self.clusters.get(cell.trace_key),
-                        self.engine,
-                        self._cell_events(cell.trace_key),
-                        self.streaming,
-                        self.shards,
-                        self.shard_placement,
-                        self.memory_mode,
+                        cell, self.traces, self.cell_run_spec(cell.trace_key)
                     )
                     for cell in pending
                 }
@@ -672,7 +635,7 @@ class ParallelRunner:
         reason = shard_fallback_reason(
             cell.spec.build(seed=cell.seed),
             self.engine,
-            self.clusters.get(cell.trace_key),
+            self._cell_cluster(cell.trace_key),
             self.shards,
             self.shard_placement,
             True,
@@ -705,18 +668,11 @@ class ParallelRunner:
             whole_futures = []
             sharded: List[tuple[SweepCell, list]] = []
             for cell in cells:
-                common = (
-                    self.warmup_minutes,
-                    self.clusters.get(cell.trace_key),
-                    self.engine,
-                    self._cell_events(cell.trace_key),
-                    self.streaming,
-                    self.memory_mode,
-                )
+                spec = self.cell_run_spec(cell.trace_key)
                 plan = self._shard_plan(cell)
                 if plan is None:
                     whole_futures.append(
-                        pool.submit(_worker_run_cell, cell, *common)
+                        pool.submit(_worker_run_cell, cell, spec)
                     )
                     continue
                 # One pool task per non-empty partition: a single big cell
@@ -725,7 +681,7 @@ class ParallelRunner:
                     (
                         cell,
                         [
-                            pool.submit(_worker_run_shard, cell, positions, *common)
+                            pool.submit(_worker_run_shard, cell, positions, spec)
                             if positions.size
                             else None
                             for positions in plan
@@ -738,6 +694,6 @@ class ParallelRunner:
             for cell, futures in sharded:
                 computed[cell.name] = SimulationResult.merge_shards(
                     [f.result() if f is not None else None for f in futures],
-                    cluster_model=self.clusters.get(cell.trace_key),
+                    cluster_model=self._cell_cluster(cell.trace_key),
                 )
         return computed

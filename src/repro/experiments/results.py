@@ -46,6 +46,7 @@ from repro.experiments.rq6_slowdown import slowdown_rq, slowdown_rq_table
 from repro.metrics.summary import ComparisonTable
 from repro.scenarios import build_scenario
 from repro.simulation import SimulationResult
+from repro.simulation.spec import RunSpec
 
 __all__ = ["ResultsConfig", "generate_results", "write_results"]
 
@@ -107,6 +108,10 @@ class ResultsConfig:
             duration_days=self.days,
             training_days=self.training_days,
         )
+
+    def run_spec(self) -> RunSpec:
+        """The validated :class:`RunSpec` the book's RQ1/RQ2 suite runs under."""
+        return RunSpec.build(shards=self.shards, memory_mode=self.memory_mode)
 
     def command_line(self) -> str:
         """The ``spes-repro results`` invocation reproducing this document."""
@@ -212,8 +217,7 @@ def generate_results(config: ResultsConfig | None = None, echo: bool = False) ->
         cache_dir=config.cache_dir,
         scenario=scenario,
         scenario_params=scenario_params,
-        shards=config.shards,
-        memory_mode=config.memory_mode,
+        spec=config.run_spec(),
     )
     outcome: SuiteResult = suite.run()
 

@@ -9,6 +9,7 @@ from typing import Callable, Dict, Mapping
 from repro.core import SpesConfig, SpesPolicy
 from repro.experiments.parallel import ParallelRunner, PolicySpec, default_policy_specs
 from repro.simulation import ProvisioningPolicy, SimulationResult, Simulator
+from repro.simulation.spec import RunSpec
 from repro.traces import AzureTraceGenerator, GeneratorProfile, Trace, TraceSplit, split_trace
 
 
@@ -79,6 +80,10 @@ class ExperimentRunner:
         Memory accounting mode for every simulation (``"unit"`` default,
         ``"mb"`` weighs instances by measured footprints; see
         :mod:`repro.simulation.memory`).
+    spec:
+        A ready-made :class:`~repro.simulation.spec.RunSpec` instead of the
+        ``memory_mode`` shim (mutually exclusive with it); one validated
+        object describes every simulation this runner executes.
     """
 
     def __init__(
@@ -87,13 +92,26 @@ class ExperimentRunner:
         trace: Trace | None = None,
         workers: int = 0,
         cache_dir: str | Path | None = None,
-        memory_mode: str = "unit",
+        memory_mode: str | None = None,
         split: TraceSplit | None = None,
+        spec: RunSpec | None = None,
     ) -> None:
         self.config = config or ExperimentConfig()
+        if spec is None:
+            spec = RunSpec.build(
+                warmup_minutes=self.config.warmup_minutes,
+                memory_mode=memory_mode,
+            )
+        elif memory_mode is not None:
+            raise ValueError(
+                "pass either spec= or the individual run knobs, not both"
+            )
+        else:
+            spec.validate()
+        self.spec = spec
         self.workers = workers
         self.cache_dir = cache_dir
-        self.memory_mode = memory_mode
+        self.memory_mode = spec.memory_mode
         self._trace = trace
         self._split = split
         self._results: Dict[str, SimulationResult] = {}
@@ -157,8 +175,7 @@ class ExperimentRunner:
                 traces={"main": self.split},
                 workers=self.workers,
                 cache_dir=self.cache_dir,
-                warmup_minutes=self.config.warmup_minutes,
-                memory_mode=self.memory_mode,
+                spec=self.spec,
             )
         return self._parallel
 
@@ -212,8 +229,7 @@ class ExperimentRunner:
         simulator = Simulator(
             simulation_trace=self.split.simulation,
             training_trace=self.split.training,
-            warmup_minutes=self.config.warmup_minutes,
-            memory_mode=self.memory_mode,
+            spec=self.spec,
         )
         result = simulator.run(policy)
         if cache_key is not None:

@@ -35,7 +35,7 @@ from repro.experiments.parallel import (
 from repro.experiments.runner import ExperimentConfig
 from repro.metrics.summary import ComparisonTable
 from repro.simulation import EventConfig, LatencyStats, SimulationResult
-from repro.simulation.engine import ENGINE_IMPLEMENTATIONS, EVENT_ENGINES, MEMORY_MODES
+from repro.simulation.spec import EVENT_ENGINES, RunSpec
 from repro.traces import AzureTraceGenerator, TraceSplit, split_trace
 
 __all__ = ["ExperimentSuite", "SuiteResult", "DEFAULT_SUITE_POLICIES"]
@@ -376,34 +376,55 @@ class ExperimentSuite:
         scenario: str | None = None,
         scenario_params: Mapping[str, object] | None = None,
         placement: str | None = None,
-        engine: str = "vectorized",
-        streaming: bool = False,
-        shards: int = 0,
-        shard_placement: str = "hash",
+        engine: str | None = None,
+        streaming: bool | None = None,
+        shards: int | None = None,
+        shard_placement: str | None = None,
         cores: int | None = None,
         scheduler: str | None = None,
         slo_ms: float | None = None,
-        memory_mode: str = "unit",
+        memory_mode: str | None = None,
+        spec: RunSpec | None = None,
     ) -> None:
         self.config = config or ExperimentConfig()
-        if engine not in ENGINE_IMPLEMENTATIONS:
-            raise ValueError(
-                f"unknown engine {engine!r}; expected one of {ENGINE_IMPLEMENTATIONS}"
+        if spec is None:
+            # Back-compat shim: the classic keywords build the spec, whose
+            # constructor runs the one shared validate() — so the suite, the
+            # runner and the simulator reject an invalid configuration with
+            # the identical message.  The warm-up horizon comes from the
+            # experiment configuration, as it always has for suite sweeps.
+            spec = RunSpec.build(
+                engine=engine,
+                streaming=streaming,
+                warmup_minutes=self.config.warmup_minutes,
+                shards=shards,
+                shard_placement=shard_placement,
+                memory_mode=memory_mode,
             )
-        self.engine = engine
-        if memory_mode not in MEMORY_MODES:
+        elif any(
+            value is not None
+            for value in (engine, streaming, shards, shard_placement, memory_mode)
+        ):
             raise ValueError(
-                f"unknown memory_mode {memory_mode!r}; expected one of {MEMORY_MODES}"
+                "pass either spec= or the individual run knobs, not both"
             )
-        if memory_mode == "mb" and engine == "reference":
-            raise ValueError("MB-mode accounting requires a mask-based engine")
-        self.memory_mode = memory_mode
+        else:
+            spec.validate()
+        self.spec = spec
+        # Attribute shims: long-standing public names, now views on the spec.
+        self.engine = spec.engine
+        self.memory_mode = spec.memory_mode
+        self.streaming = spec.streaming
+        self.shards = spec.shards
+        self.shard_placement = spec.shard_placement
+        # The CPU/SLO knobs stay suite-level: they are per-seed *overlays*
+        # folded into each workload's EventConfig, not run-shape fields.
         if (cores is not None or scheduler is not None or slo_ms is not None) and (
-            engine not in EVENT_ENGINES
+            self.engine not in EVENT_ENGINES
         ):
             raise ValueError(
                 "cores/scheduler/slo_ms configure the event layer's CPU stage "
-                f"and require an event engine, not {engine!r}"
+                f"and require an event engine, not {self.engine!r}"
             )
         if scheduler is not None and cores is None:
             raise ValueError("scheduler requires cores (the pool it schedules)")
@@ -415,9 +436,6 @@ class ExperimentSuite:
         self.cores = cores
         self.scheduler = scheduler
         self.slo_ms = slo_ms
-        self.streaming = streaming
-        self.shards = shards
-        self.shard_placement = shard_placement
         # Deduplicate while preserving order: a repeated seed is the same
         # workload and would otherwise produce colliding sweep cells.
         self.seeds = tuple(dict.fromkeys(seeds)) if seeds else (self.config.seed,)
@@ -543,14 +561,9 @@ class ExperimentSuite:
                 traces=traces,
                 workers=self.workers,
                 cache_dir=self.cache_dir,
-                warmup_minutes=self.config.warmup_minutes,
                 clusters=self._clusters or None,
-                engine=self.engine,
                 events=self._events if self.engine in EVENT_ENGINES else None,
-                streaming=self.streaming,
-                shards=self.shards,
-                shard_placement=self.shard_placement,
-                memory_mode=self.memory_mode,
+                spec=self.spec,
             )
         return self._runner
 
@@ -614,6 +627,36 @@ class ExperimentSuite:
             cache_hits=(runner.cache.hits - hits_before) if runner.cache else 0,
             cache_misses=(runner.cache.misses - misses_before) if runner.cache else 0,
         )
+
+    # ------------------------------------------------------------------ #
+    def static_cache_keys(self) -> tuple[Dict[str, str], tuple[str, ...]]:
+        """Cache keys of every cell derivable without simulating anything.
+
+        Returns ``(keys, skipped)``: ``keys`` maps each ``seedN/policy``
+        cell name to the on-disk cache key its result would be stored
+        under, and ``skipped`` lists the policies whose keys cannot be
+        known statically — FaaSCache's capacity is derived from the
+        same-seed SPES *result*, so its key depends on a simulation
+        output.  Workloads are built (to fingerprint the traces) but no
+        cell is executed.
+        """
+        runner = self.parallel_runner()
+        keys: Dict[str, str] = {}
+        skipped = tuple(name for name in self.policies if name == "faascache")
+        for seed in self.seeds:
+            trace_key = self.trace_key(seed)
+            baselines = self._baseline_specs(seed, None)
+            for name in self.policies:
+                if name in skipped:
+                    continue
+                spec = (
+                    PolicySpec.of("spes", config=self.config.spes_config)
+                    if name == "spes"
+                    else baselines[name]
+                )
+                cell = runner.cell(f"{trace_key}/{name}", spec, trace_key, base_seed=seed)
+                keys[cell.name] = runner.cache_key(cell)
+        return keys, skipped
 
     # ------------------------------------------------------------------ #
     def _baseline_specs(

@@ -172,6 +172,27 @@ class ScenarioWorkload:
     cluster: ClusterModel | None = None
     events: EventConfig = EventConfig()
 
+    def run_spec(self, base: "RunSpec | None" = None, **overrides: Any) -> "RunSpec":
+        """Bundle this workload's cluster (and events) into a :class:`RunSpec`.
+
+        Starting from ``base`` (or the defaults) with ``overrides`` applied,
+        the scenario's prescribed cluster model is attached, and its event
+        configuration too when the resulting spec runs an event engine
+        (minute-granular engines take no event config, matching how the
+        experiment suite wires scenario workloads).  The returned spec is
+        validated, so e.g. a reference-engine override against a cluster
+        scenario fails here with the shared message instead of mid-run.
+        """
+        from repro.simulation.spec import EVENT_ENGINES, RunSpec
+
+        spec = base if base is not None else RunSpec()
+        engine = overrides.get("engine", spec.engine)
+        return spec.override(
+            cluster=self.cluster,
+            events=self.events if engine in EVENT_ENGINES else None,
+            **overrides,
+        )
+
 
 @dataclass(frozen=True)
 class Scenario:

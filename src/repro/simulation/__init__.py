@@ -46,8 +46,17 @@ from repro.simulation.results import (
     LatencyStats,
     SimulationResult,
 )
-from repro.simulation.engine import (
+from repro.simulation.spec import (
+    DEFAULT_WARMUP_MINUTES,
+    ENGINE_IMPLEMENTATIONS,
+    ENGINE_VERSION,
+    EVENT_ENGINES,
     MEMORY_MODES,
+    RunSpec,
+    canonical_value,
+    content_digest,
+)
+from repro.simulation.engine import (
     ShardFallbackWarning,
     Simulator,
     simulate_policy,
@@ -82,7 +91,14 @@ __all__ = [
     "MemoryAccountant",
     "DEFAULT_MEMORY_MB",
     "footprint_kb_vector",
+    "RunSpec",
+    "canonical_value",
+    "content_digest",
+    "ENGINE_IMPLEMENTATIONS",
+    "ENGINE_VERSION",
+    "EVENT_ENGINES",
     "MEMORY_MODES",
+    "DEFAULT_WARMUP_MINUTES",
     "FunctionStats",
     "SimulationResult",
     "Simulator",

@@ -85,8 +85,15 @@ from repro.simulation.memory import (
     footprint_kb_vector,
 )
 from repro.simulation.overhead import OverheadTimer
-from repro.simulation.placement import get_placement
 from repro.simulation.policy_base import ProvisioningPolicy
+from repro.simulation.spec import (
+    DEFAULT_WARMUP_MINUTES,
+    ENGINE_IMPLEMENTATIONS,
+    ENGINE_VERSION,
+    EVENT_ENGINES,
+    MEMORY_MODES,
+    RunSpec,
+)
 from repro.simulation.sharding import shard_assignment, shard_fallback_reason
 from repro.simulation.results import (
     ClusterStats,
@@ -97,19 +104,20 @@ from repro.simulation.results import (
 from repro.simulation.vector_policy import DictPolicyAdapter, VectorizedPolicy
 from repro.traces.trace import Trace
 
-#: Names of the available engine implementations.
-ENGINE_IMPLEMENTATIONS = ("vectorized", "reference", "event", "event-feedback")
-
-#: Memory accounting modes: the paper's abstract instance units (default)
-#: or measured megabyte footprints joined from the Azure dataset.
-MEMORY_MODES = ("unit", "mb")
-
-#: Engines that run the sub-minute event layer (and accept an EventConfig).
-EVENT_ENGINES = ("event", "event-feedback")
-
-#: Bumped whenever a change alters simulation *output*; part of on-disk
-#: result-cache keys so stale cached results are never served.
-ENGINE_VERSION = 6
+# The engine catalog constants (ENGINE_IMPLEMENTATIONS, MEMORY_MODES,
+# EVENT_ENGINES, ENGINE_VERSION) historically lived here and are imported
+# from this module all over the tree; they now live in
+# :mod:`repro.simulation.spec` (the validation layer must not import the
+# engine) and are re-exported above for compatibility.
+__all__ = [
+    "ENGINE_IMPLEMENTATIONS",
+    "MEMORY_MODES",
+    "EVENT_ENGINES",
+    "ENGINE_VERSION",
+    "ShardFallbackWarning",
+    "Simulator",
+    "simulate_policy",
+]
 
 
 class ShardFallbackWarning(RuntimeWarning):
@@ -183,73 +191,70 @@ class Simulator:
         mask-based engine; residency *decisions* are unchanged unless the
         cluster model itself is MB-denominated
         (``ClusterModel.capacity_unit="mb"``, which requires this mode).
+    spec:
+        A ready-made :class:`~repro.simulation.spec.RunSpec` instead of the
+        individual knobs above (mutually exclusive with them).  The spec's
+        ``streaming`` field is honoured: a streaming simulator drops the
+        training trace and the warm-up replay, exactly as the parallel
+        runner's streaming mode always has.
     """
 
-    #: Default warm-up horizon: one day covers the longest keep-alive and
-    #: prediction horizons used by SPES and the baselines.
-    DEFAULT_WARMUP_MINUTES = 1440
+    #: Default warm-up horizon (see :data:`repro.simulation.spec
+    #: .DEFAULT_WARMUP_MINUTES`, the single home of the value).
+    DEFAULT_WARMUP_MINUTES = DEFAULT_WARMUP_MINUTES
 
     def __init__(
         self,
         simulation_trace: Trace,
         training_trace: Trace | None = None,
         initially_resident: Set[str] | None = None,
-        warmup_minutes: int = DEFAULT_WARMUP_MINUTES,
-        engine: str = "vectorized",
+        warmup_minutes: int | None = None,
+        engine: str | None = None,
         cluster: ClusterModel | None = None,
         events: EventConfig | None = None,
-        shards: int = 0,
-        shard_placement: str = "hash",
-        memory_mode: str = "unit",
+        shards: int | None = None,
+        shard_placement: str | None = None,
+        memory_mode: str | None = None,
+        spec: RunSpec | None = None,
     ) -> None:
-        if warmup_minutes < 0:
-            raise ValueError("warmup_minutes must be non-negative")
-        if shards < 0:
-            raise ValueError("shards must be non-negative")
-        # Fail fast on unknown partition strategies, before any run.
-        get_placement(shard_placement)
-        if engine not in ENGINE_IMPLEMENTATIONS:
-            raise ValueError(
-                f"unknown engine {engine!r}; expected one of {ENGINE_IMPLEMENTATIONS}"
+        if spec is None:
+            # Back-compat shim: the classic keywords build the spec, whose
+            # constructor runs the one shared validate().  None means "use
+            # the RunSpec field default".
+            spec = RunSpec.build(
+                engine=engine,
+                warmup_minutes=warmup_minutes,
+                shards=shards,
+                shard_placement=shard_placement,
+                memory_mode=memory_mode,
+                cluster=cluster,
+                events=events,
             )
-        if memory_mode not in MEMORY_MODES:
-            raise ValueError(
-                f"unknown memory_mode {memory_mode!r}; expected one of {MEMORY_MODES}"
+        elif any(
+            value is not None
+            for value in (
+                warmup_minutes, engine, cluster, events,
+                shards, shard_placement, memory_mode,
             )
-        if memory_mode != "unit" and engine == "reference":
-            raise ValueError(
-                "MB-mode accounting requires a mask-based engine; the "
-                "reference engine is the executable specification of the "
-                "paper's unit accounting"
-            )
-        if cluster is not None and engine == "reference":
-            raise ValueError(
-                "the capacity-constrained cluster mode requires a mask-based "
-                "engine (vectorized or event)"
-            )
-        if (
-            cluster is not None
-            and cluster.capacity_unit == "mb"
-            and memory_mode != "mb"
         ):
             raise ValueError(
-                "an MB-denominated ClusterModel requires memory_mode='mb' "
-                "(footprints are needed to weigh admission)"
+                "pass either spec= or the individual run knobs, not both"
             )
-        if events is not None and engine not in EVENT_ENGINES:
-            raise ValueError(
-                f"an EventConfig requires an event engine {EVENT_ENGINES}"
-            )
+        else:
+            spec.validate()
+        self.spec = spec
         self.simulation_trace = simulation_trace
-        self.training_trace = training_trace
+        # Streaming semantics live in the spec: no training input, no
+        # warm-up replay — the policy enters the window completely cold.
+        self.training_trace = None if spec.streaming else training_trace
         self.initially_resident = set(initially_resident or set())
-        self.warmup_minutes = warmup_minutes
-        self.engine = engine
-        self.cluster = cluster
-        self.events = events
-        self.shards = shards
-        self.shard_placement = shard_placement
-        self.memory_mode = memory_mode
+        self.warmup_minutes = 0 if spec.streaming else spec.warmup_minutes
+        self.engine = spec.engine
+        self.cluster = spec.cluster
+        self.events = spec.events
+        self.shards = spec.shards
+        self.shard_placement = spec.shard_placement
+        self.memory_mode = spec.memory_mode
 
     def run(self, policy: ProvisioningPolicy, prepare: bool = True) -> SimulationResult:
         """Simulate ``policy`` over the configured trace and return its result.
@@ -341,11 +346,7 @@ class Simulator:
             initially_resident={
                 fid for fid in self.initially_resident if fid in sub_trace
             },
-            warmup_minutes=self.warmup_minutes,
-            engine=self.engine,
-            cluster=sub_cluster,
-            events=self.events,
-            memory_mode=self.memory_mode,
+            spec=self.spec.override(shards=0, cluster=sub_cluster),
         )
 
     def _run_sharded(self, policy: ProvisioningPolicy) -> SimulationResult:
@@ -734,13 +735,14 @@ def simulate_policy(
     simulation_trace: Trace,
     training_trace: Trace | None = None,
     initially_resident: Set[str] | None = None,
-    warmup_minutes: int = Simulator.DEFAULT_WARMUP_MINUTES,
-    engine: str = "vectorized",
+    warmup_minutes: int | None = None,
+    engine: str | None = None,
     cluster: ClusterModel | None = None,
     events: EventConfig | None = None,
-    shards: int = 0,
-    shard_placement: str = "hash",
-    memory_mode: str = "unit",
+    shards: int | None = None,
+    shard_placement: str | None = None,
+    memory_mode: str | None = None,
+    spec: RunSpec | None = None,
 ) -> SimulationResult:
     """Convenience wrapper: build a :class:`Simulator` and run one policy."""
     simulator = Simulator(
@@ -754,5 +756,6 @@ def simulate_policy(
         shards=shards,
         shard_placement=shard_placement,
         memory_mode=memory_mode,
+        spec=spec,
     )
     return simulator.run(policy)

@@ -1,0 +1,72 @@
+"""Golden cache-key pins: the on-disk cache-key contract, frozen.
+
+Every digest below was computed with the hand-assembled pre-``RunSpec`` key
+derivation over the frozen :mod:`pin_workload` matrix and pinned verbatim.
+The :class:`~repro.simulation.spec.RunSpec`-derived keys must reproduce them
+byte-for-byte — a drift here means every user's on-disk result cache (and
+every recorded run manifest) silently goes cold.
+
+If a *deliberate* key change is ever needed (new semantics), bump
+:data:`~repro.simulation.spec.ENGINE_VERSION` and re-pin with::
+
+    PYTHONPATH=src:tests/experiments python tests/experiments/pin_workload.py
+"""
+
+from __future__ import annotations
+
+from pin_workload import compute_keys, pin_runners, pin_split, pin_specs
+
+#: ``{"config/policy": sha256}`` — pinned, never edit without an
+#: ENGINE_VERSION bump (see module docstring).
+PINNED_KEYS = {
+    "default/fixed-10min": "0a1b5287c0d5f96b8d6ad9f3317865d09d83e6ac3ca711f90bcfe3cdd68ceefd",
+    "default/hybrid-function": "1fdfff6287ce2051f42cd30cd1ee1b4e70e6496982aab6a52582ca2017094d38",
+    "event-cpu/fixed-10min": "93b09fdc5605bbac8ee21f285469bf86b419c690c252c2fdbd5b6e62bfa6628e",
+    "event-cpu/hybrid-function": "82ec3c3ede6f79bae0f89fe09fc4272b990d334dc387789d9c07aa3086ed6198",
+    "sharded/fixed-10min": "a044ec50b99a0bf3039e2bfb8788cc33a3922a32094524f442d848d8e028cf18",
+    "sharded/hybrid-function": "608289d849c1f6bb6a6f2fec6c180498468cb08d7d8c6327065b582956e4e7e5",
+    "mb/fixed-10min": "cbef44df284223abb97a277cb9ebe8d3eab516709578e0ecfdf4bcbb131bb26e",
+    "mb/hybrid-function": "2c9a251cbd435124f6c31557ea9831d0624f46007911b44447c8736d39c1b84e",
+    "streaming/fixed-10min": "6a795c0d39066c1771ae084a4e1eb979f08bc34e048af6927ce323f3317dcbb3",
+    "streaming/hybrid-function": "3e2eee918a22c895ababc905aa770b43e92a5a7aceb4194b64fddc1199557174",
+    "cluster/fixed-10min": "c3cf6c339f0476469042f6d5122f7402de5ae4e5a7863bbc34d477f35c1790f2",
+    "cluster/hybrid-function": "b350edb5a74bacffaf8a22125ac8956609582d6d04980dfa913d08623a5d3d0a",
+}
+
+#: The pin workload's trace fingerprints (an input of every key above):
+#: if these drift the key pins fail for a trace-format reason, not a
+#: key-derivation one — this pair localizes the diagnosis.
+PINNED_TRAIN_FP = "0b81c17180e92d1ed655879bae4a72ebd682cc422eeb03188e8ad9c247606d94"
+PINNED_SIM_FP = "50cabf8fafaf756c4a90b514046efbb7aff9cba135ff9b35a9335b6de2be2a42"
+
+
+def test_every_pinned_cache_key_reproduces():
+    assert compute_keys() == PINNED_KEYS
+
+
+def test_pin_workload_trace_fingerprints():
+    split = pin_split()
+    assert split.training.fingerprint() == PINNED_TRAIN_FP
+    assert split.simulation.fingerprint() == PINNED_SIM_FP
+
+
+def test_keys_differ_across_configurations():
+    # Sanity on the matrix itself: every configuration keys differently for
+    # the same policy — no two rows may collide, or the cache would serve
+    # one configuration's result for another.
+    keys = compute_keys()
+    assert len(set(keys.values())) == len(keys)
+
+
+def test_cell_run_spec_matches_runner_key():
+    # The runner's cache_key is definitionally the per-cell resolved spec's
+    # cache_key — pin the delegation, not just the digests.
+    split = pin_split()
+    for runner in pin_runners(split).values():
+        for name, spec in pin_specs().items():
+            cell = runner.cell(name, spec, "t", base_seed=0)
+            fingerprints = runner.trace_fingerprints()["t"]
+            expected = runner.cell_run_spec("t").cache_key(
+                fingerprints, cell.spec, cell.seed
+            )
+            assert runner.cache_key(cell) == expected

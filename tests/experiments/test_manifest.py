@@ -1,0 +1,164 @@
+"""Run-manifest round trip on the hermetic ``azure2019-fixture`` pipeline.
+
+Records a small sweep as a manifest, replays it from the document alone and
+checks the replay is *fingerprint-identical* — plus the three refusal
+paths: a foreign engine version, a diverging trace fingerprint, and a
+diverging result fingerprint, each with a clear error.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.experiments import ExperimentConfig, ExperimentSuite
+from repro.experiments.manifest import (
+    MANIFEST_VERSION,
+    ManifestError,
+    build_manifest,
+    load_manifest,
+    replay_manifest,
+    suite_from_manifest,
+    verify_results,
+    verify_trace_fingerprints,
+    write_manifest,
+)
+from repro.simulation.spec import ENGINE_VERSION
+
+SEEDS = [2024]
+POLICIES = ["spes", "fixed-10min"]
+
+
+def small_suite(**overrides) -> ExperimentSuite:
+    """A seconds-scale suite over the hermetic azure2019 fixture."""
+    kwargs = dict(
+        config=ExperimentConfig(
+            n_functions=8, seed=SEEDS[0], duration_days=2.0, training_days=1.0
+        ),
+        seeds=SEEDS,
+        policies=POLICIES,
+        scenario="azure2019-fixture",
+        scenario_params={"population": 16},
+    )
+    kwargs.update(overrides)
+    return ExperimentSuite(**kwargs)
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    """One executed sweep and its manifest, shared across the module."""
+    suite = small_suite()
+    outcome = suite.run()
+    return suite, outcome, build_manifest(suite, outcome)
+
+
+class TestRecord:
+    def test_manifest_shape(self, recorded):
+        suite, _, manifest = recorded
+        assert manifest["manifest_version"] == MANIFEST_VERSION
+        assert manifest["engine_version"] == ENGINE_VERSION
+        assert manifest["spec"] == suite.spec.canonical()
+        assert manifest["spec_digest"] == suite.spec.spec_digest()
+        assert manifest["seeds"] == SEEDS
+        assert manifest["policies"] == POLICIES
+        assert set(manifest["results"]) == {
+            f"seed{seed}/{policy}" for seed in SEEDS for policy in POLICIES
+        }
+        assert set(manifest["trace_fingerprints"]) == {f"seed{seed}" for seed in SEEDS}
+
+    def test_write_load_round_trip(self, recorded, tmp_path):
+        _, _, manifest = recorded
+        path = write_manifest(tmp_path / "run.json", manifest)
+        assert load_manifest(path) == json.loads(json.dumps(manifest))
+
+    def test_written_json_is_stable(self, recorded, tmp_path):
+        _, _, manifest = recorded
+        first = write_manifest(tmp_path / "a.json", manifest).read_text()
+        second = write_manifest(tmp_path / "b.json", manifest).read_text()
+        assert first == second
+
+
+class TestReplay:
+    def test_suite_from_manifest_rebuilds_the_spec_and_workload(self, recorded):
+        suite, _, manifest = recorded
+        rebuilt = suite_from_manifest(manifest)
+        assert rebuilt.spec == suite.spec
+        assert rebuilt.seeds == suite.seeds
+        assert rebuilt.policies == suite.policies
+        assert rebuilt.scenario == suite.scenario
+        assert rebuilt.scenario_params == suite.scenario_params
+        assert rebuilt.config.n_functions == suite.config.n_functions
+
+    def test_replay_is_fingerprint_identical(self, recorded):
+        _, _, manifest = recorded
+        _, outcome = replay_manifest(manifest)
+        actual = {
+            f"seed{seed}/{policy}": result.deterministic_fingerprint()
+            for seed, per_policy in outcome.results.items()
+            for policy, result in per_policy.items()
+        }
+        assert actual == manifest["results"]
+
+    def test_verify_results_counts_cells(self, recorded):
+        _, outcome, manifest = recorded
+        assert verify_results(manifest, outcome) == len(SEEDS) * len(POLICIES)
+
+
+class TestRefusals:
+    def test_foreign_engine_version_is_rejected_at_load(self, recorded, tmp_path):
+        _, _, manifest = recorded
+        tampered = copy.deepcopy(manifest)
+        tampered["engine_version"] = ENGINE_VERSION - 1
+        path = write_manifest(tmp_path / "old.json", tampered)
+        with pytest.raises(ManifestError, match="engine version"):
+            load_manifest(path)
+
+    def test_unknown_manifest_version_is_rejected(self, recorded, tmp_path):
+        _, _, manifest = recorded
+        tampered = copy.deepcopy(manifest)
+        tampered["manifest_version"] = MANIFEST_VERSION + 1
+        path = write_manifest(tmp_path / "future.json", tampered)
+        with pytest.raises(ManifestError, match="schema version"):
+            load_manifest(path)
+
+    def test_non_manifest_json_is_rejected(self, tmp_path):
+        path = tmp_path / "not-a-manifest.json"
+        path.write_text(json.dumps({"hello": "world"}))
+        with pytest.raises(ManifestError, match="not a run manifest"):
+            load_manifest(path)
+
+    def test_missing_file_is_a_manifest_error(self, tmp_path):
+        with pytest.raises(ManifestError, match="cannot read manifest"):
+            load_manifest(tmp_path / "absent.json")
+
+    def test_diverging_trace_fingerprint_refuses_before_running(self, recorded):
+        _, _, manifest = recorded
+        tampered = copy.deepcopy(manifest)
+        key = f"seed{SEEDS[0]}"
+        tampered["trace_fingerprints"][key][0] = "0" * 64
+        suite = suite_from_manifest(tampered)
+        with pytest.raises(ManifestError, match="trace fingerprints diverge"):
+            verify_trace_fingerprints(tampered, suite)
+
+    def test_diverging_result_fingerprint_fails_verification(self, recorded):
+        _, outcome, manifest = recorded
+        tampered = copy.deepcopy(manifest)
+        tampered["results"][f"seed{SEEDS[0]}/spes"] = "0" * 64
+        with pytest.raises(ManifestError, match="result fingerprints diverge"):
+            verify_results(tampered, outcome)
+
+    def test_edited_spec_digest_is_rejected(self, recorded):
+        _, _, manifest = recorded
+        tampered = copy.deepcopy(manifest)
+        tampered["spec_digest"] = "0" * 64
+        with pytest.raises(ManifestError, match="spec_digest"):
+            suite_from_manifest(tampered)
+
+    def test_per_cell_spec_is_rejected_as_base(self, recorded):
+        _, _, manifest = recorded
+        tampered = copy.deepcopy(manifest)
+        tampered["spec"]["cluster"] = {"memory_capacity": 8}
+        with pytest.raises(ManifestError, match="base spec"):
+            suite_from_manifest(tampered)

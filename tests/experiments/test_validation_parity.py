@@ -1,0 +1,82 @@
+"""Cross-layer validation parity: one bad configuration, one message.
+
+Before :class:`~repro.simulation.spec.RunSpec`, the simulator, the parallel
+runner and the experiment suite each carried their own copy of the
+cross-field rules — and the copies drifted (the suite's MB-mode message was
+a shortened variant of the simulator's).  Now all three entry points build
+the same spec, so they must reject the same invalid configuration with the
+*identical* ``ValueError`` message.  This suite pins that parity.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from pin_workload import pin_split
+from repro.experiments import ExperimentConfig, ExperimentSuite, ParallelRunner
+from repro.simulation import RunSpec, Simulator
+
+#: Invalid run-shape keyword sets every entry point accepts verbatim.
+BAD_CONFIGS = {
+    "mb-on-reference": dict(engine="reference", memory_mode="mb"),
+    "unknown-engine": dict(engine="quantum"),
+    "unknown-memory-mode": dict(memory_mode="gb"),
+    "negative-shards": dict(shards=-1),
+}
+
+
+def _raised_message(exercise) -> str:
+    with pytest.raises(ValueError) as excinfo:
+        exercise()
+    return str(excinfo.value)
+
+
+@pytest.mark.parametrize("kwargs", BAD_CONFIGS.values(), ids=BAD_CONFIGS.keys())
+def test_all_layers_raise_the_identical_message(kwargs):
+    split = pin_split()
+    spec_message = _raised_message(lambda: RunSpec.build(**kwargs))
+    simulator_message = _raised_message(
+        lambda: Simulator(
+            simulation_trace=split.simulation,
+            training_trace=split.training,
+            **kwargs,
+        )
+    )
+    runner_message = _raised_message(lambda: ParallelRunner({"t": split}, **kwargs))
+    suite_message = _raised_message(
+        lambda: ExperimentSuite(config=ExperimentConfig(n_functions=4), **kwargs)
+    )
+    assert simulator_message == spec_message
+    assert runner_message == spec_message
+    assert suite_message == spec_message
+
+
+def test_mb_reference_message_keeps_the_historic_prefix():
+    # Pre-unification tests (and downstream scripts) matched the suite's old
+    # short message; the unified message must keep starting with it.
+    message = _raised_message(
+        lambda: RunSpec.build(engine="reference", memory_mode="mb")
+    )
+    assert message.startswith("MB-mode accounting requires a mask-based engine")
+
+
+@pytest.mark.parametrize(
+    "build",
+    [
+        lambda split, spec: Simulator(
+            simulation_trace=split.simulation,
+            training_trace=split.training,
+            spec=spec,
+            engine="event",
+        ),
+        lambda split, spec: ParallelRunner({"t": split}, spec=spec, engine="event"),
+        lambda split, spec: ExperimentSuite(
+            config=ExperimentConfig(n_functions=4), spec=spec, engine="event"
+        ),
+    ],
+    ids=["simulator", "runner", "suite"],
+)
+def test_spec_conflicts_with_individual_knobs_everywhere(build):
+    split = pin_split()
+    with pytest.raises(ValueError, match="either spec= or the individual run knobs"):
+        build(split, RunSpec())

@@ -1,0 +1,215 @@
+"""Unit tests of :class:`repro.simulation.spec.RunSpec`.
+
+The spec is the single home of run-shape defaults, cross-field validation
+and canonical serialization; these tests pin each of those contracts
+directly (the cross-*layer* guarantees are covered by
+``tests/experiments/test_validation_parity.py`` and the golden cache-key
+pins).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+
+import pytest
+
+from repro.simulation import ClusterModel, EventConfig
+from repro.simulation.spec import (
+    DEFAULT_WARMUP_MINUTES,
+    ENGINE_IMPLEMENTATIONS,
+    ENGINE_VERSION,
+    EVENT_ENGINES,
+    MEMORY_MODES,
+    RunSpec,
+    canonical_value,
+    content_digest,
+)
+
+
+class TestConstruction:
+    def test_defaults(self):
+        spec = RunSpec()
+        assert spec.engine == "vectorized"
+        assert spec.streaming is False
+        assert spec.warmup_minutes == DEFAULT_WARMUP_MINUTES
+        assert spec.shards == 0
+        assert spec.shard_placement == "hash"
+        assert spec.memory_mode == "unit"
+        assert spec.cluster is None
+        assert spec.events is None
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            RunSpec().engine = "event"
+
+    def test_build_drops_none_overrides(self):
+        # None means "use the field default" — that is the whole point of
+        # the entry points' keyword shims defaulting their knobs to None.
+        assert RunSpec.build(engine=None, shards=None) == RunSpec()
+        assert RunSpec.build(engine="event").engine == "event"
+
+    def test_build_keeps_falsy_non_none_overrides(self):
+        assert RunSpec.build(warmup_minutes=0).warmup_minutes == 0
+        assert RunSpec.build(streaming=False).streaming is False
+
+    def test_from_cli_args(self):
+        args = argparse.Namespace(
+            engine="event",
+            streaming=True,
+            shards=4,
+            shard_placement="least-loaded",
+            memory_mode="mb",
+        )
+        spec = RunSpec.from_cli_args(args)
+        assert spec.engine == "event"
+        assert spec.streaming is True
+        assert spec.shards == 4
+        assert spec.shard_placement == "least-loaded"
+        assert spec.memory_mode == "mb"
+        # Absent flags (e.g. a namespace without warmup) fall back to defaults.
+        assert spec.warmup_minutes == DEFAULT_WARMUP_MINUTES
+
+    def test_override_returns_new_validated_spec(self):
+        base = RunSpec()
+        changed = base.override(engine="event")
+        assert changed.engine == "event"
+        assert base.engine == "vectorized"
+
+    def test_override_revalidates(self):
+        spec = RunSpec(memory_mode="mb")
+        with pytest.raises(ValueError, match="mask-based"):
+            spec.override(engine="reference")
+
+
+class TestValidation:
+    def test_negative_warmup(self):
+        with pytest.raises(ValueError, match="warmup_minutes must be non-negative"):
+            RunSpec(warmup_minutes=-1)
+
+    def test_negative_shards(self):
+        with pytest.raises(ValueError, match="shards must be non-negative"):
+            RunSpec(shards=-2)
+
+    def test_unknown_engine(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            RunSpec(engine="quantum")
+
+    def test_unknown_memory_mode(self):
+        with pytest.raises(ValueError, match="unknown memory_mode"):
+            RunSpec(memory_mode="gb")
+
+    def test_unknown_shard_placement(self):
+        with pytest.raises(KeyError):
+            RunSpec(shard_placement="no-such-strategy")
+
+    def test_mb_requires_mask_engine(self):
+        with pytest.raises(ValueError, match="mask-based"):
+            RunSpec(engine="reference", memory_mode="mb")
+        for engine in ENGINE_IMPLEMENTATIONS:
+            if engine != "reference":
+                RunSpec(engine=engine, memory_mode="mb")
+
+    def test_cluster_requires_mask_engine(self):
+        cluster = ClusterModel(memory_capacity=8, n_nodes=2)
+        with pytest.raises(ValueError, match="cluster mode requires a mask-based"):
+            RunSpec(engine="reference", cluster=cluster)
+
+    def test_mb_cluster_requires_mb_mode(self):
+        cluster = ClusterModel(memory_capacity=4096, n_nodes=2, capacity_unit="mb")
+        with pytest.raises(ValueError, match="MB-denominated"):
+            RunSpec(cluster=cluster)
+        RunSpec(cluster=cluster, memory_mode="mb")
+
+    def test_events_require_event_engine(self):
+        with pytest.raises(ValueError, match="requires an event engine"):
+            RunSpec(events=EventConfig(seed=1))
+        for engine in EVENT_ENGINES:
+            RunSpec(engine=engine, events=EventConfig(seed=1))
+
+    def test_validate_returns_self(self):
+        spec = RunSpec()
+        assert spec.validate() is spec
+
+
+class TestCanonical:
+    def test_canonical_is_plain_json_data(self):
+        import json
+
+        doc = RunSpec().canonical()
+        assert doc["engine"] == "vectorized"
+        assert doc["cluster"] is None
+        json.dumps(doc)  # must be JSON-serializable as-is
+
+    def test_canonical_embeds_nested_configs(self):
+        spec = RunSpec(
+            engine="event",
+            events=EventConfig(seed=7),
+            cluster=ClusterModel(memory_capacity=8, n_nodes=2),
+        )
+        doc = spec.canonical()
+        assert doc["events"]["seed"] == 7
+        assert doc["cluster"]["memory_capacity"] == 8
+
+    def test_spec_digest_is_stable_and_distinguishing(self):
+        assert RunSpec().spec_digest() == RunSpec().spec_digest()
+        assert RunSpec().spec_digest() != RunSpec(engine="event").spec_digest()
+        assert RunSpec().spec_digest() == content_digest(RunSpec())
+
+    def test_equal_specs_from_different_constructors(self):
+        assert RunSpec.build(engine="event") == RunSpec(engine="event")
+        assert (
+            RunSpec.build(engine="event").spec_digest()
+            == RunSpec(engine="event").spec_digest()
+        )
+
+
+class TestCacheKeyParts:
+    """The legacy part order is a compatibility contract — pin it exactly."""
+
+    def test_default_spec_part_order(self):
+        parts = RunSpec().cache_key_parts("trace-fp", "policy", 42)
+        assert parts == [
+            ENGINE_VERSION,
+            "vectorized",
+            False,
+            0,
+            "hash",
+            "trace-fp",
+            DEFAULT_WARMUP_MINUTES,
+            None,
+            None,
+            "policy",
+            42,
+        ]
+
+    def test_memory_mode_appended_only_off_default(self):
+        unit = RunSpec().cache_key_parts("fp", "p", 0)
+        assert ("memory_mode", "unit") not in unit
+        mb = RunSpec(memory_mode="mb").cache_key_parts("fp", "p", 0)
+        assert mb[-1] == ("memory_mode", "mb")
+        assert mb[:-1] == unit
+
+    def test_cache_key_is_digest_of_parts(self):
+        spec = RunSpec(engine="event", events=EventConfig(seed=3))
+        assert spec.cache_key("fp", "p", 1) == content_digest(
+            *spec.cache_key_parts("fp", "p", 1)
+        )
+
+
+def test_constants_reexported_from_engine_module():
+    # Back-compat: the catalog constants moved to spec.py but their historic
+    # import sites must keep working.
+    from repro.simulation import engine as engine_module
+
+    assert engine_module.ENGINE_IMPLEMENTATIONS == ENGINE_IMPLEMENTATIONS
+    assert engine_module.MEMORY_MODES == MEMORY_MODES
+    assert engine_module.EVENT_ENGINES == EVENT_ENGINES
+    assert engine_module.ENGINE_VERSION == ENGINE_VERSION
+    assert engine_module.DEFAULT_WARMUP_MINUTES == DEFAULT_WARMUP_MINUTES
+
+    import repro.simulation as simulation
+
+    assert simulation.RunSpec is RunSpec
+    assert simulation.canonical_value is canonical_value
+    assert simulation.content_digest is content_digest

@@ -313,3 +313,122 @@ class TestCacheCommand:
     def test_prune_days_is_required(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["cache", "--cache-dir", "/tmp/x"])
+
+
+class TestConfigCommand:
+    def test_config_prints_canonical_spec_and_digest(self, capsys):
+        import json
+
+        exit_code = main(["config", "--engine", "event", "--shards", "4"])
+        assert exit_code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["spec"]["engine"] == "event"
+        assert document["spec"]["shards"] == 4
+        assert len(document["spec_digest"]) == 64
+        assert isinstance(document["engine_version"], int)
+
+    def test_config_shares_sweep_flag_semantics(self, capsys):
+        import json
+
+        exit_code = main(
+            ["config", "--streaming", "--memory-mode", "mb", "--seeds", "1", "2"]
+        )
+        assert exit_code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["spec"]["streaming"] is True
+        assert document["spec"]["memory_mode"] == "mb"
+        assert document["seeds"] == [1, 2]
+
+    def test_config_rejects_invalid_combination_like_sweep(self, capsys):
+        exit_code = main(["config", "--engine", "reference", "--memory-mode", "mb"])
+        assert exit_code == 2
+        assert "mask-based" in capsys.readouterr().err
+
+    def test_config_cache_keys_lists_static_cells(self, capsys):
+        import json
+
+        exit_code = main(
+            [
+                "config",
+                "--functions", "6",
+                "--days", "2",
+                "--training-days", "1",
+                "--seeds", "11",
+                "--policies", "spes", "fixed-10min",
+                "--cache-keys",
+            ]
+        )
+        assert exit_code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert set(document["cache_keys"]) == {"seed11/spes", "seed11/fixed-10min"}
+        assert all(len(key) == 64 for key in document["cache_keys"].values())
+
+    def test_config_cache_keys_notes_faascache_omission(self, capsys):
+        import json
+
+        exit_code = main(
+            [
+                "config",
+                "--functions", "6",
+                "--days", "2",
+                "--training-days", "1",
+                "--policies", "spes", "faascache",
+                "--cache-keys",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "faascache omitted" in captured.err
+        assert "faascache" not in json.loads(captured.out)["cache_keys"]
+
+
+class TestManifestFlags:
+    SWEEP_ARGS = [
+        "sweep",
+        "--scenario", "azure2019-fixture",
+        "--scenario-param", "population=16",
+        "--functions", "8",
+        "--days", "2",
+        "--training-days", "1",
+        "--seeds", "2024",
+        "--policies", "spes", "fixed-10min",
+    ]
+
+    def test_sweep_records_then_replays_a_manifest(self, capsys, tmp_path):
+        manifest_path = tmp_path / "run.json"
+        exit_code = main(self.SWEEP_ARGS + ["--manifest", str(manifest_path)])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "manifest: wrote" in captured.out
+        assert manifest_path.exists()
+
+        exit_code = main(["sweep", "--from-manifest", str(manifest_path)])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "result fingerprint(s) identical" in captured.out
+
+    def test_from_manifest_rejects_engine_version_mismatch(self, capsys, tmp_path):
+        import json
+
+        manifest_path = tmp_path / "run.json"
+        assert main(self.SWEEP_ARGS + ["--manifest", str(manifest_path)]) == 0
+        capsys.readouterr()
+        manifest = json.loads(manifest_path.read_text())
+        manifest["engine_version"] -= 1
+        manifest_path.write_text(json.dumps(manifest))
+        exit_code = main(["sweep", "--from-manifest", str(manifest_path)])
+        assert exit_code == 2
+        assert "engine version" in capsys.readouterr().err
+
+    def test_from_manifest_rejects_trace_divergence(self, capsys, tmp_path):
+        import json
+
+        manifest_path = tmp_path / "run.json"
+        assert main(self.SWEEP_ARGS + ["--manifest", str(manifest_path)]) == 0
+        capsys.readouterr()
+        manifest = json.loads(manifest_path.read_text())
+        manifest["trace_fingerprints"]["seed2024"][0] = "0" * 64
+        manifest_path.write_text(json.dumps(manifest))
+        exit_code = main(["sweep", "--from-manifest", str(manifest_path)])
+        assert exit_code == 2
+        assert "trace fingerprints diverge" in capsys.readouterr().err
